@@ -1,0 +1,338 @@
+// Benchmarks mirroring the paper's evaluation: one benchmark per table or
+// figure (see DESIGN.md §3 for the experiment index) plus ablations of the
+// design choices. `go test -bench=. -benchmem` runs them all;
+// cmd/tklus-bench prints the corresponding paper-style series.
+package tklus_test
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	tklus "repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/kendall"
+	"repro/internal/userstudy"
+)
+
+// benchEnv is built once and shared by all benchmarks.
+type benchEnv struct {
+	corpus  *datagen.Corpus
+	queries []datagen.QuerySpec
+	sys     *tklus.System // geohash length 4, default options
+}
+
+var (
+	envOnce sync.Once
+	env     *benchEnv
+)
+
+func benchSetup(b *testing.B) *benchEnv {
+	b.Helper()
+	envOnce.Do(func() {
+		gen := datagen.DefaultConfig()
+		gen.Seed = 42
+		gen.NumUsers = 1500
+		gen.NumPosts = 15000
+		corpus, err := datagen.Generate(gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := tklus.Build(corpus.Posts, tklus.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		env = &benchEnv{
+			corpus:  corpus,
+			queries: corpus.GenerateQueries(43, 10),
+			sys:     sys,
+		}
+	})
+	return env
+}
+
+// query instantiates a workload spec.
+func query(spec datagen.QuerySpec, radius float64, k int, sem core.Semantic, ranking core.Ranking) tklus.Query {
+	return tklus.Query{
+		Loc: spec.Loc, RadiusKm: radius, Keywords: spec.Keywords,
+		K: k, Semantic: sem, Ranking: ranking,
+	}
+}
+
+func (e *benchEnv) withKeywords(n int) []datagen.QuerySpec {
+	var out []datagen.QuerySpec
+	for _, q := range e.queries {
+		if len(q.Keywords) == n {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// runBatch executes each spec once against the shared system.
+func runBatch(b *testing.B, sys *tklus.System, specs []datagen.QuerySpec,
+	radius float64, sem core.Semantic, ranking core.Ranking) {
+	b.Helper()
+	for _, spec := range specs {
+		if _, _, err := sys.Search(query(spec, radius, 10, sem, ranking)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5IndexConstruction measures hybrid-index construction per
+// geohash length (Figure 5), with the centralized single-threaded builder
+// as the comparison point.
+func BenchmarkFig5IndexConstruction(b *testing.B) {
+	e := benchSetup(b)
+	for _, length := range []int{1, 2, 3, 4} {
+		b.Run(benchName("mapreduce/g", length), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := tklus.DefaultConfig()
+				cfg.Index.GeohashLen = length
+				if _, err := tklus.Build(e.corpus.Posts, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("centralized/g4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fsys := dfs.New(dfs.DefaultOptions())
+			if _, err := baseline.CentralizedBuild(fsys, e.corpus.Posts, 4, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig6IndexSize reports the index sizes of Figure 6 as benchmark
+// metrics (bytes are the measurement, not time).
+func BenchmarkFig6IndexSize(b *testing.B) {
+	e := benchSetup(b)
+	for _, length := range []int{1, 2, 3, 4} {
+		b.Run(benchName("g", length), func(b *testing.B) {
+			var postings, forward int64
+			for i := 0; i < b.N; i++ {
+				cfg := tklus.DefaultConfig()
+				cfg.Index.GeohashLen = length
+				sys, err := tklus.Build(e.corpus.Posts, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				postings = sys.IndexStats.PostingsBytes
+				forward = sys.IndexStats.ForwardBytes
+			}
+			b.ReportMetric(float64(postings), "postings-bytes")
+			b.ReportMetric(float64(forward), "forward-bytes")
+		})
+	}
+}
+
+// BenchmarkFig7GeohashLength measures query latency per geohash length
+// (Figure 7) at a 10 km radius.
+func BenchmarkFig7GeohashLength(b *testing.B) {
+	e := benchSetup(b)
+	specs := e.withKeywords(1)
+	for _, length := range []int{1, 2, 3, 4} {
+		cfg := tklus.DefaultConfig()
+		cfg.Index.GeohashLen = length
+		sys, err := tklus.Build(e.corpus.Posts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName("g", length), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runBatch(b, sys, specs, 10, core.Or, core.SumScore)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8SingleKeyword measures single-keyword query latency for the
+// two rankings across radii (Figure 8).
+func BenchmarkFig8SingleKeyword(b *testing.B) {
+	e := benchSetup(b)
+	specs := e.withKeywords(1)
+	for _, radius := range []float64{5, 20, 50, 100} {
+		for _, cfg := range []struct {
+			name    string
+			ranking core.Ranking
+		}{{"sum", core.SumScore}, {"max", core.MaxScore}} {
+			b.Run(benchName(cfg.name+"/r", int(radius)), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runBatch(b, e.sys, specs, radius, core.Or, cfg.ranking)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig9KendallTau measures the cost of comparing the two rankings
+// (Figure 9's metric computation, including both searches).
+func BenchmarkFig9KendallTau(b *testing.B) {
+	e := benchSetup(b)
+	specs := e.withKeywords(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			sumRes, _, err := e.sys.Search(query(spec, 20, 10, core.Or, core.SumScore))
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxRes, _, err := e.sys.Search(query(spec, 20, 10, core.Or, core.MaxScore))
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := make([]int64, len(sumRes))
+			c := make([]int64, len(maxRes))
+			for j, r := range sumRes {
+				a[j] = int64(r.UID)
+			}
+			for j, r := range maxRes {
+				c[j] = int64(r.UID)
+			}
+			kendall.TauVariant(a, c)
+		}
+	}
+}
+
+// BenchmarkFig10MultiKeyword measures multi-keyword latency per semantics
+// and keyword count (Figure 10) at a 20 km radius.
+func BenchmarkFig10MultiKeyword(b *testing.B) {
+	e := benchSetup(b)
+	for _, sem := range []core.Semantic{core.And, core.Or} {
+		for nk := 1; nk <= 3; nk++ {
+			specs := e.withKeywords(nk)
+			b.Run(benchName(sem.String()+"/kw", nk), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runBatch(b, e.sys, specs, 20, sem, core.MaxScore)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig12SpecificBound compares max-score query latency under the
+// global popularity bound vs the hot-keyword specific bounds (Figure 12).
+func BenchmarkFig12SpecificBound(b *testing.B) {
+	e := benchSetup(b)
+	hot := e.corpus.HotQueries(44, 10, 2)
+	globalCfg := tklus.DefaultConfig()
+	globalCfg.Engine.UseSpecificBounds = false
+	globalSys, err := tklus.Build(e.corpus.Posts, globalCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("global", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBatch(b, globalSys, hot, 20, core.Or, core.MaxScore)
+		}
+	})
+	b.Run("specific", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBatch(b, e.sys, hot, 20, core.Or, core.MaxScore)
+		}
+	})
+}
+
+// BenchmarkFig13UserStudy measures the simulated judging pipeline
+// (Figure 13): search plus panel precision.
+func BenchmarkFig13UserStudy(b *testing.B) {
+	e := benchSetup(b)
+	panel := userstudy.NewPanel(e.corpus, userstudy.DefaultPanel())
+	specs := e.withKeywords(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			res, _, err := e.sys.Search(query(spec, 10, 10, core.Or, core.SumScore))
+			if err != nil {
+				b.Fatal(err)
+			}
+			panel.Precision(res, spec.Loc, 10, spec.Keywords)
+		}
+	}
+}
+
+// BenchmarkAblationPruning isolates the value of Algorithm 5's upper-bound
+// pruning: identical results, different thread-construction work.
+func BenchmarkAblationPruning(b *testing.B) {
+	e := benchSetup(b)
+	noPruneCfg := tklus.DefaultConfig()
+	noPruneCfg.Engine.UsePruning = false
+	noPruneSys, err := tklus.Build(e.corpus.Posts, noPruneCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := e.withKeywords(1)
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBatch(b, e.sys, specs, 50, core.Or, core.MaxScore)
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBatch(b, noPruneSys, specs, 50, core.Or, core.MaxScore)
+		}
+	})
+}
+
+// BenchmarkAblationPageCache compares metadata-page caching settings (the
+// paper's configuration is cache-off).
+func BenchmarkAblationPageCache(b *testing.B) {
+	e := benchSetup(b)
+	specs := e.withKeywords(1)
+	for _, cache := range []int{0, 256} {
+		cfg := tklus.DefaultConfig()
+		cfg.DB.CacheSize = cache
+		sys, err := tklus.Build(e.corpus.Posts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName("pages", cache), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runBatch(b, sys, specs, 20, core.Or, core.SumScore)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThreadDepth varies Algorithm 1's depth limit.
+func BenchmarkAblationThreadDepth(b *testing.B) {
+	e := benchSetup(b)
+	specs := e.withKeywords(1)
+	for _, depth := range []int{1, 4, 8} {
+		cfg := tklus.DefaultConfig()
+		cfg.Engine.Params.ThreadDepth = depth
+		sys, err := tklus.Build(e.corpus.Posts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName("d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runBatch(b, sys, specs, 20, core.Or, core.SumScore)
+			}
+		})
+	}
+}
+
+// BenchmarkTableIVGeohash measures raw geohash encoding (Table IV's
+// operation) — the innermost primitive of both construction and search.
+func BenchmarkTableIVGeohash(b *testing.B) {
+	p := tklus.Point{Lat: -23.994140625, Lon: -46.23046875}
+	b.Run("encode4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchGeohashSink = geo.Encode(p, 4)
+		}
+	})
+}
+
+var benchGeohashSink string
+
+func benchName(prefix string, n int) string {
+	return prefix + strconv.Itoa(n)
+}

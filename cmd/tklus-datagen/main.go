@@ -1,0 +1,66 @@
+// Command tklus-datagen generates a synthetic geo-tagged tweet corpus and
+// writes it as JSON Lines, standing in for the paper's Twitter REST API
+// crawl (Section VI: 514 M geo-tagged tweets, Sep 2012 – Feb 2013).
+//
+// Usage:
+//
+//	tklus-datagen -posts 60000 -users 4000 -seed 1 -out corpus.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/corpusio"
+	"repro/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tklus-datagen: ")
+
+	var (
+		posts = flag.Int("posts", 60000, "number of posts to generate")
+		users = flag.Int("users", 4000, "number of users")
+		seed  = flag.Int64("seed", 1, "random seed (equal seeds give identical corpora)")
+		out   = flag.String("out", "corpus.jsonl", "output path (- for stdout)")
+	)
+	flag.Parse()
+
+	cfg := datagen.DefaultConfig()
+	cfg.NumPosts = *posts
+	cfg.NumUsers = *users
+	cfg.Seed = *seed
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := corpusio.Write(w, corpus.Posts); err != nil {
+		log.Fatal(err)
+	}
+
+	experts := 0
+	for _, u := range corpus.Users {
+		if u.Expertise != "" {
+			experts++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d posts by %d users (%d local experts) to %s\n",
+		len(corpus.Posts), len(corpus.Users), experts, *out)
+}

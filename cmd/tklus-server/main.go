@@ -1,0 +1,55 @@
+// Command tklus-server serves TkLUS queries over HTTP. It either builds
+// the system from a JSONL corpus or loads an image saved by
+// tklus-index -save.
+//
+// Usage:
+//
+//	tklus-server -in corpus.jsonl -addr :8080
+//	tklus-server -load ./sysimg  -addr :8080
+//
+//	curl 'localhost:8080/search?lat=43.68&lon=-79.37&radius=10&keywords=hotel&k=5'
+//	curl 'localhost:8080/evidence?lat=43.68&lon=-79.37&radius=10&keywords=hotel&uid=1'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	tklus "repro"
+	"repro/internal/ingest"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tklus-server: ")
+
+	var (
+		in     = flag.String("in", "corpus.jsonl", "input corpus")
+		format = flag.String("format", "jsonl", "input format: jsonl | twitter (REST v1.1 statuses)")
+		load   = flag.String("load", "", "load a saved system image instead of rebuilding")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var sys *tklus.System
+	var err error
+	if *load != "" {
+		sys, err = tklus.Load(*load, tklus.DefaultConfig())
+	} else {
+		var posts []*tklus.Post
+		if posts, err = ingest.Load(*in, *format); err != nil {
+			log.Fatal(err)
+		}
+		sys, err = tklus.Build(posts, tklus.DefaultConfig())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("serving %d rows, %d index keys on %s\n", sys.DB.Len(), sys.Index.NumKeys(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+}

@@ -1,0 +1,113 @@
+package tklus_test
+
+import (
+	"fmt"
+	"time"
+
+	tklus "repro"
+)
+
+// Example builds a four-tweet corpus and runs a max-score TkLUS query.
+func Example() {
+	downtown := tklus.Point{Lat: 43.6839, Lon: -79.3736}
+	t0 := time.Date(2013, 1, 15, 9, 0, 0, 0, time.UTC)
+
+	root := tklus.NewPost(1, t0, downtown, "The Marriott hotel breakfast is excellent")
+	posts := []*tklus.Post{
+		root,
+		tklus.NewReply(2, t0.Add(time.Minute), downtown, "so true!", root),
+		tklus.NewReply(3, t0.Add(2*time.Minute), downtown, "agreed", root),
+		tklus.NewPost(4, t0.Add(time.Hour), downtown, "hotel gyms are underrated"),
+	}
+
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	results, _, err := sys.Search(tklus.Query{
+		Loc:      downtown,
+		RadiusKm: 10,
+		Keywords: []string{"hotel"},
+		K:        2,
+		Ranking:  tklus.MaxScore,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("%d. user %d\n", i+1, r.UID)
+	}
+	// Output:
+	// 1. user 1
+	// 2. user 4
+}
+
+// ExampleSystem_Evidence shows how to retrieve the tweets that made a
+// returned user a candidate — the paper's "(userId, tweet content)" lines.
+func ExampleSystem_Evidence() {
+	loc := tklus.Point{Lat: 43.68, Lon: -79.37}
+	t0 := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	posts := []*tklus.Post{
+		tklus.NewPost(7, t0, loc, "best ramen restaurant in town"),
+		tklus.NewPost(7, t0.Add(time.Hour), loc, "back at my favourite restaurant"),
+		tklus.NewPost(8, t0.Add(2*time.Hour), loc, "the weather is lovely"),
+	}
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	q := tklus.Query{Loc: loc, RadiusKm: 5, Keywords: []string{"restaurant"}, K: 1}
+	results, _, _ := sys.Search(q)
+	texts, _ := sys.Evidence(q, results[0].UID, 10)
+	for _, text := range texts {
+		fmt.Println(text)
+	}
+	// Output:
+	// best ramen restaurant in town
+	// back at my favourite restaurant
+}
+
+// ExampleSystem_Thread materializes a reply cascade (Definition 3) and its
+// popularity score (Definition 4).
+func ExampleSystem_Thread() {
+	loc := tklus.Point{Lat: 43.68, Lon: -79.37}
+	t0 := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	root := tklus.NewPost(1, t0, loc, "free pizza at the office")
+	reply1 := tklus.NewReply(2, t0.Add(time.Minute), loc, "on my way", root)
+	posts := []*tklus.Post{
+		root,
+		reply1,
+		tklus.NewReply(3, t0.Add(2*time.Minute), loc, "save me a slice", root),
+		tklus.NewReply(4, t0.Add(3*time.Minute), loc, "too late, it's gone", reply1),
+	}
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	nodes, popularity := sys.Thread(root.SID)
+	fmt.Printf("nodes: %d, popularity: %.3f\n", len(nodes), popularity)
+	for _, n := range nodes {
+		fmt.Printf("level %d: user %d\n", n.Level, n.UID)
+	}
+	// Output:
+	// nodes: 4, popularity: 1.333
+	// level 1: user 1
+	// level 2: user 2
+	// level 2: user 3
+	// level 3: user 4
+}
+
+// ExampleNewPostFromText geo-tags an untagged tweet from a place name in
+// its text (the paper's future-work direction).
+func ExampleNewPostFromText() {
+	g := tklus.DefaultGazetteer()
+	p, err := tklus.NewPostFromText(9,
+		time.Date(2013, 2, 1, 12, 0, 0, 0, time.UTC),
+		"Nothing beats brunch in downtown Toronto", g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inferred location: %.4f, %.4f\n", p.Loc.Lat, p.Loc.Lon)
+	// Output:
+	// inferred location: 43.6510, -79.3822
+}

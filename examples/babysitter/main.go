@@ -1,0 +1,104 @@
+// Babysitter plays out the introduction's motivating scenario: "A couple
+// with kids moving to Seoul may ask 'Are there any good babysitters in
+// Seoul?'" — a location-dependent social search where the useful answer is
+// local *users* to contact, not raw tweets.
+//
+// The example builds a small Seoul corpus with two genuinely experienced
+// babysitter-adjacent users and a lot of unrelated chatter, runs a
+// two-keyword AND query, and then drills into the winning users' posts —
+// the "directly communicate with those recommended local users" step.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	tklus "repro"
+)
+
+func main() {
+	seoul := tklus.Point{Lat: 37.5665, Lon: 126.9780}
+	rng := rand.New(rand.NewSource(5))
+	at := time.Date(2012, 10, 1, 8, 0, 0, 0, time.UTC)
+	next := func() time.Time { at = at.Add(time.Duration(rng.Intn(3600)+1) * time.Second); return at }
+	near := func(p tklus.Point, km float64) tklus.Point {
+		return tklus.Point{
+			Lat: p.Lat + rng.NormFloat64()*km/111,
+			Lon: p.Lon + rng.NormFloat64()*km/88,
+		}
+	}
+
+	var posts []*tklus.Post
+	texts := map[tklus.UserID][]string{}
+	post := func(uid tklus.UserID, loc tklus.Point, text string) *tklus.Post {
+		p := tklus.NewPost(uid, next(), loc, text)
+		posts = append(posts, p)
+		texts[uid] = append(texts[uid], text)
+		return p
+	}
+
+	// User 1: an experienced nanny who posts often and gets engagement.
+	// Note "babysitter"/"babysitters" stem together ("babysitt") but
+	// "babysitting" stems differently ("babysit") — classic Porter — so the
+	// AND query matches the first two posts, not the third.
+	nannyPosts := []string{
+		"Looking after twins today — the babysitter life with kids in Seoul never gets boring",
+		"Tips for new babysitters: always ask the kids about nap schedules",
+		"Available for babysitting near Gangnam this weekend, puppet shows included",
+	}
+	for _, text := range nannyPosts {
+		p := post(1, near(seoul, 3), text)
+		for r := 0; r < 8; r++ {
+			posts = append(posts, tklus.NewReply(tklus.UserID(500+rng.Intn(400)), next(), near(seoul, 10), "so helpful, thank you!", p))
+		}
+	}
+
+	// User 2: a parent-community organizer, relevant but less engaged-with.
+	post(2, near(seoul, 2), "Our Seoul parents group shares trusted babysitter recommendations every Friday")
+	post(2, near(seoul, 2), "New list of vetted babysitters for the kids playgroup is up")
+
+	// User 3: mentions babysitters once, from far outside Seoul (Busan).
+	busan := tklus.Point{Lat: 35.1796, Lon: 129.0756}
+	post(3, busan, "Any babysitter recommendations? Kids are a handful")
+
+	// Background chatter: local users talking about everything else.
+	chatter := []string{
+		"Best bibimbap near the office", "Han river run this morning",
+		"Cherry blossoms soon?", "New cafe opened in Hongdae",
+		"Traffic on the bridge again", "Karaoke night was amazing",
+	}
+	for i := 0; i < 60; i++ {
+		post(tklus.UserID(10+i), near(seoul, 12), chatter[rng.Intn(len(chatter))])
+	}
+
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := tklus.Query{
+		Loc:      seoul,
+		RadiusKm: 15,
+		Keywords: []string{"babysitter", "kids"},
+		K:        3,
+		Semantic: tklus.And, // both words must appear in a tweet
+		Ranking:  tklus.SumScore,
+	}
+	results, stats, err := sys.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\"Are there any good babysitters in Seoul?\" — top %d local users (AND semantics):\n\n", q.K)
+	for i, r := range results {
+		fmt.Printf("%d. user %d (score %.4f), %d posts:\n", i+1, r.UID, r.Score, sys.DB.PostCountOfUser(r.UID))
+		for _, text := range texts[r.UID] {
+			fmt.Printf("     - %s\n", text)
+		}
+	}
+	fmt.Printf("\nsearched %d candidate tweets in %d geohash cells; user 3 (Busan) is\n"+
+		"excluded by the 15 km radius even though their tweet matches the keywords.\n",
+		stats.Candidates, stats.Cells)
+}

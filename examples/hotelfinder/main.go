@@ -1,0 +1,96 @@
+// Hotelfinder reproduces the paper's running example (Figure 1 and
+// Table I): seven tweets mentioning "hotel" around Toronto, queried from
+// the crossed location (43.6839128037, -79.37356590) with r = 10 km and
+// k = 1. Per Section III-C, the sum-score ranking returns u1 (two relevant
+// tweets, tweet A very close to the query) while the maximum-score ranking
+// returns u5 (tweet E has considerably more replies and forwards).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tklus "repro"
+)
+
+type exampleTweet struct {
+	id   string
+	uid  tklus.UserID
+	loc  tklus.Point
+	text string
+}
+
+func main() {
+	queryLoc := tklus.Point{Lat: 43.6839128037, Lon: -79.37356590}
+
+	// Table I, with plausible downtown-Toronto coordinates.
+	tweets := []exampleTweet{
+		{"A", 1, tklus.Point{Lat: 43.6709, Lon: -79.3857}, "I'm at Toronto Marriott Bloor Yorkville Hotel"},
+		{"B", 2, tklus.Point{Lat: 43.6515, Lon: -79.3790}, "Finally Toronto (at Clarion Hotel)."},
+		{"C", 3, tklus.Point{Lat: 43.6715, Lon: -79.3894}, "I'm at Four Seasons Hotel Toronto."},
+		{"D", 4, tklus.Point{Lat: 43.6716, Lon: -79.3895}, "Veal, lemon ricotta gnocchi @ Four Seasons Hotel Toronto."},
+		{"E", 5, tklus.Point{Lat: 43.6717, Lon: -79.3896}, "And that was the best massage I've ever had. (@ The Spa at Four Seasons Hotel Toronto)"},
+		{"F", 6, tklus.Point{Lat: 43.6718, Lon: -79.3897}, "Saturday night steez #fashion #style #ootd #toronto #saturday #party #outfit @ Four Seasons Hotel Toronto."},
+		{"G", 1, tklus.Point{Lat: 43.6710, Lon: -79.3858}, "Marriott Bloor Yorkville Hotel is a perfect place to stay."},
+	}
+
+	t0 := time.Date(2012, 11, 3, 14, 0, 0, 0, time.UTC)
+	var posts []*tklus.Post
+	byID := map[string]*tklus.Post{}
+	for i, tw := range tweets {
+		p := tklus.NewPost(tw.uid, t0.Add(time.Duration(i)*time.Minute), tw.loc, tw.text)
+		posts = append(posts, p)
+		byID[tw.id] = p
+	}
+
+	// "In our data set, u5's tweet E has considerably more replies and
+	// forwards than other tweets": E leads a 40-reaction cascade, A and G
+	// small conversations.
+	replyAt := t0.Add(time.Hour)
+	uid := tklus.UserID(1000)
+	addCascade := func(root *tklus.Post, n int) {
+		for i := 0; i < n; i++ {
+			replyAt = replyAt.Add(time.Second)
+			if i%3 == 0 {
+				posts = append(posts, tklus.NewForward(uid, replyAt, root.Loc, "RT: "+root.Text, root))
+			} else {
+				posts = append(posts, tklus.NewReply(uid, replyAt, root.Loc, "looks wonderful!", root))
+			}
+			uid++
+		}
+	}
+	// Cascade sizes are chosen so the two rankings disagree exactly as the
+	// paper narrates: A and G together outscore E under the sum ranking
+	// (ρ_A + ρ_G = 0.6 > ρ_E = 0.5 with u1 also closer), while E alone
+	// outscores either under the maximum ranking (0.5 > 0.3).
+	addCascade(byID["A"], 24)
+	addCascade(byID["G"], 24)
+	addCascade(byID["E"], 40)
+
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, ranking := range []struct {
+		name string
+		r    int
+	}{{"sum score (Definition 7)", int(tklus.SumScore)}, {"maximum score (Definition 8)", int(tklus.MaxScore)}} {
+		q := tklus.Query{
+			Loc: queryLoc, RadiusKm: 10, Keywords: []string{"hotel"}, K: 1,
+		}
+		if ranking.r == int(tklus.MaxScore) {
+			q.Ranking = tklus.MaxScore
+		}
+		results, _, err := sys.Search(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top-1 local user by %s:\n", ranking.name)
+		for _, r := range results {
+			fmt.Printf("  u%d (score %.4f)\n", r.UID, r.Score)
+		}
+	}
+	fmt.Println("\nexpected per Section III-C: sum ranking -> u1, maximum ranking -> u5")
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a tiny corpus with the public constructors, index it,
+// and run one TkLUS query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tklus "repro"
+)
+
+func main() {
+	downtown := tklus.Point{Lat: 43.6839, Lon: -79.3736} // Toronto
+	t0 := time.Date(2013, 1, 15, 9, 0, 0, 0, time.UTC)
+	next := func() time.Time { t0 = t0.Add(time.Minute); return t0 }
+
+	// Alice posts twice about hotels; her first post starts a conversation.
+	alice := tklus.NewPost(1, next(), downtown, "The Marriott hotel breakfast is excellent")
+	var posts []*tklus.Post
+	posts = append(posts, alice)
+	for i := 0; i < 4; i++ {
+		posts = append(posts, tklus.NewReply(tklus.UserID(100+i), next(),
+			downtown, "totally agree!", alice))
+	}
+	posts = append(posts,
+		tklus.NewPost(1, next(), tklus.Point{Lat: 43.69, Lon: -79.38},
+			"Another lovely hotel stay in Toronto"),
+		tklus.NewPost(2, next(), tklus.Point{Lat: 43.70, Lon: -79.40},
+			"This hotel lobby has great coffee"),
+		tklus.NewPost(3, next(), tklus.Point{Lat: 40.71, Lon: -74.00}, // New York: outside the radius
+			"Hotel prices here are wild"),
+	)
+
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results, stats, err := sys.Search(tklus.Query{
+		Loc:      downtown,
+		RadiusKm: 10,
+		Keywords: []string{"hotel"},
+		K:        3,
+		Ranking:  tklus.MaxScore,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top local users for \"hotel\" within 10 km of downtown Toronto:")
+	for i, r := range results {
+		fmt.Printf("  %d. user %d (score %.4f)\n", i+1, r.UID, r.Score)
+	}
+	fmt.Printf("processed %d candidate tweets across %d geohash cells in %v\n",
+		stats.Candidates, stats.Cells, stats.Elapsed.Round(time.Microsecond))
+	// User 3 (New York) is absent: their only tweet is outside the radius.
+}

@@ -1,0 +1,79 @@
+package tklus
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/gazetteer"
+)
+
+// This file implements the paper's future-work directions as public API:
+// geo-tagging tweets from place names in their text (Section VIII ¶3) and
+// federated search across platform boundaries (Section VIII ¶4). The
+// temporal extension (Section VIII ¶2) lives on Query.TimeWindow and
+// Config.Engine.RecencyHalfLife.
+
+// Gazetteer resolves place names mentioned in post text to coordinates.
+type Gazetteer = gazetteer.Gazetteer
+
+// GazetteerEntry is one known place.
+type GazetteerEntry = gazetteer.Entry
+
+// DefaultGazetteer returns the built-in place list covering the synthetic
+// corpus's metros.
+func DefaultGazetteer() *Gazetteer { return gazetteer.Default() }
+
+// NewPostFromText builds a post for a tweet that lacks a geo-tag by
+// inferring its location from place names in the text ("exploit the
+// implicit spatial information in such tweets"). It fails when the text
+// mentions no known place.
+func NewPostFromText(uid UserID, at time.Time, text string, g *Gazetteer) (*Post, error) {
+	place, ok := g.Resolve(text)
+	if !ok {
+		return nil, fmt.Errorf("tklus: no known place mentioned in %q", text)
+	}
+	return NewPost(uid, at, place.Loc, text), nil
+}
+
+// FederatedResult is one ranked user from a federated search, tagged with
+// the platform that produced it.
+type FederatedResult struct {
+	Platform string
+	UserResult
+}
+
+// FederatedSearch runs one TkLUS query against several platforms' systems
+// and merges their rankings into a single top-k ("make the search for
+// local users across the platform boundary"). Scores are comparable
+// because every platform uses the same scoring model; ties break by
+// platform name then user ID for determinism.
+func FederatedSearch(platforms map[string]*System, q Query) ([]FederatedResult, error) {
+	if len(platforms) == 0 {
+		return nil, fmt.Errorf("tklus: no platforms to search")
+	}
+	var merged []FederatedResult
+	for name, sys := range platforms {
+		results, _, err := sys.Search(q)
+		if err != nil {
+			return nil, fmt.Errorf("tklus: platform %q: %w", name, err)
+		}
+		for _, r := range results {
+			merged = append(merged, FederatedResult{Platform: name, UserResult: r})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Platform != b.Platform {
+			return a.Platform < b.Platform
+		}
+		return a.UID < b.UID
+	})
+	if len(merged) > q.K {
+		merged = merged[:q.K]
+	}
+	return merged, nil
+}

@@ -1,0 +1,47 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTree(n int) *Tree {
+	rng := rand.New(rand.NewSource(1))
+	tr := MustNew(DefaultOrder)
+	for i := 0; i < n; i++ {
+		tr.Insert(rng.Int63n(int64(n)*4), int64(i))
+	}
+	return tr
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := MustNew(DefaultOrder)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Int63(), int64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := benchTree(100000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(rng.Int63n(400000))
+	}
+}
+
+func BenchmarkRange100(b *testing.B) {
+	tr := benchTree(100000)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(390000)
+		count := 0
+		tr.Range(lo, lo+1000, func(int64, []int64) bool {
+			count++
+			return count < 100
+		})
+	}
+}

@@ -1,0 +1,204 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsTinyOrder(t *testing.T) {
+	for _, order := range []int{-1, 0, 1, 2} {
+		if _, err := New(order); err == nil {
+			t.Errorf("New(%d) should fail", order)
+		}
+	}
+	if _, err := New(3); err != nil {
+		t.Errorf("New(3) failed: %v", err)
+	}
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	tr := MustNew(4)
+	for _, k := range []int64{5, 3, 8, 1, 9, 7, 2, 6, 4} {
+		tr.Insert(k, k*10)
+	}
+	for _, k := range []int64{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		got := tr.Get(k)
+		if len(got) != 1 || got[0] != k*10 {
+			t.Errorf("Get(%d) = %v, want [%d]", k, got, k*10)
+		}
+	}
+	if tr.Get(100) != nil {
+		t.Error("Get(absent) should be nil")
+	}
+	if tr.Len() != 9 {
+		t.Errorf("Len = %d, want 9", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateKeysAccumulateValues(t *testing.T) {
+	// The rsid secondary index stores many posts per replied-to post.
+	tr := MustNew(8)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(42, i)
+	}
+	tr.Insert(7, 1)
+	got := tr.Get(42)
+	if len(got) != 100 {
+		t.Fatalf("100 values under one key, got %d", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("values out of insertion order: got[%d] = %d", i, v)
+		}
+	}
+	if tr.Len() != 2 || tr.ValueCount() != 101 {
+		t.Errorf("Len=%d ValueCount=%d, want 2/101", tr.Len(), tr.ValueCount())
+	}
+}
+
+func TestLargeRandomInsertMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := MustNew(DefaultOrder)
+	ref := make(map[int64][]int64)
+	for i := 0; i < 20000; i++ {
+		k := rng.Int63n(5000)
+		v := rng.Int63()
+		tr.Insert(k, v)
+		ref[k] = append(ref[k], v)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	for k, want := range ref {
+		got := tr.Get(k)
+		if len(got) != len(want) {
+			t.Fatalf("Get(%d): %d values, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Get(%d)[%d] = %d, want %d", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := MustNew(4)
+	for k := int64(0); k < 1000; k += 2 { // even keys only
+		tr.Insert(k, k)
+	}
+	var got []int64
+	tr.Range(100, 200, func(k int64, vals []int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 51 {
+		t.Fatalf("range [100,200] returned %d keys, want 51", len(got))
+	}
+	if got[0] != 100 || got[len(got)-1] != 200 {
+		t.Fatalf("range bounds wrong: %d..%d", got[0], got[len(got)-1])
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("range scan not sorted")
+	}
+	// Early termination.
+	count := 0
+	tr.Range(0, 1000, func(int64, []int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d keys, want 5", count)
+	}
+	// Empty range.
+	tr.Range(1, 1, func(int64, []int64) bool {
+		t.Error("odd key 1 should not exist")
+		return true
+	})
+}
+
+func TestTreeGrowsInHeight(t *testing.T) {
+	tr := MustNew(3)
+	if tr.Height() != 1 {
+		t.Fatalf("empty tree height %d", tr.Height())
+	}
+	for k := int64(0); k < 200; k++ {
+		tr.Insert(k, k)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("200 keys at order 3 gave height %d, expected >= 3", tr.Height())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialAndReverseInsertInvariants(t *testing.T) {
+	for name, gen := range map[string]func(i int64) int64{
+		"ascending":  func(i int64) int64 { return i },
+		"descending": func(i int64) int64 { return 10000 - i },
+	} {
+		tr := MustNew(5)
+		for i := int64(0); i < 3000; i++ {
+			tr.Insert(gen(i), i)
+		}
+		if err := tr.Check(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		keys := tr.Keys()
+		if len(keys) != 3000 {
+			t.Errorf("%s: %d keys, want 3000", name, len(keys))
+		}
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	tr := MustNew(4)
+	for k := int64(0); k < 500; k++ {
+		tr.Insert(k, k)
+	}
+	tr.ResetAccesses()
+	tr.Get(250)
+	if got := tr.Accesses(); got < int64(tr.Height()) {
+		t.Errorf("Get accesses %d < height %d", got, tr.Height())
+	}
+	tr.ResetAccesses()
+	if tr.Accesses() != 0 {
+		t.Error("ResetAccesses did not zero the counter")
+	}
+}
+
+func TestQuickCheckInvariant(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := MustNew(4)
+		seen := make(map[int64]int)
+		for _, k16 := range keys {
+			k := int64(k16)
+			tr.Insert(k, k)
+			seen[k]++
+		}
+		if tr.Check() != nil {
+			return false
+		}
+		if tr.Len() != len(seen) {
+			return false
+		}
+		for k, n := range seen {
+			if len(tr.Get(k)) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

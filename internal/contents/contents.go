@@ -1,0 +1,107 @@
+// Package contents stores raw tweet texts in the distributed file system,
+// as the architecture of Figure 3 prescribes ("The tweet contents/texts are
+// stored in HDFS as well") and retrieves them for query results — "the
+// system collects the tweet contents according to the postings lists for
+// later user study".
+//
+// Texts are concatenated into DFS files; an in-memory table maps each
+// tweet ID to its (file, offset, length), mirroring the postings forward
+// index.
+package contents
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/social"
+)
+
+// maxFileBytes bounds one content file; a new part file starts beyond it.
+const maxFileBytes = 4 << 20
+
+type ref struct {
+	file   string
+	offset int64
+	length int64
+}
+
+// Store resolves tweet IDs to their raw texts.
+type Store struct {
+	fs   *dfs.FS
+	refs map[social.PostID]ref
+}
+
+// BuildStore writes every post's text into the DFS under the given path
+// prefix and returns the lookup store. Posts with empty texts are stored
+// as empty strings (still retrievable).
+func BuildStore(fsys *dfs.FS, posts []*social.Post, pathPrefix string) (*Store, error) {
+	if pathPrefix == "" {
+		pathPrefix = "contents"
+	}
+	st := &Store{fs: fsys, refs: make(map[social.PostID]ref, len(posts))}
+	part := 0
+	var w *dfs.Writer
+	var name string
+	openPart := func() error {
+		var err error
+		name = fmt.Sprintf("%s/part-%05d", pathPrefix, part)
+		w, err = fsys.Create(name)
+		return err
+	}
+	if err := openPart(); err != nil {
+		return nil, err
+	}
+	for _, p := range posts {
+		if _, dup := st.refs[p.SID]; dup {
+			return nil, fmt.Errorf("contents: duplicate tweet ID %d", p.SID)
+		}
+		if w.Offset() >= maxFileBytes {
+			if err := w.Close(); err != nil {
+				return nil, err
+			}
+			part++
+			if err := openPart(); err != nil {
+				return nil, err
+			}
+		}
+		off := w.Offset()
+		if _, err := w.Write([]byte(p.Text)); err != nil {
+			return nil, err
+		}
+		st.refs[p.SID] = ref{file: name, offset: off, length: int64(len(p.Text))}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Len returns the number of stored texts.
+func (s *Store) Len() int { return len(s.refs) }
+
+// Text retrieves the raw text of one tweet.
+func (s *Store) Text(sid social.PostID) (string, error) {
+	r, ok := s.refs[sid]
+	if !ok {
+		return "", fmt.Errorf("contents: tweet %d not stored", sid)
+	}
+	b, err := s.fs.ReadAt(r.file, r.offset, r.length)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Collect retrieves texts for a batch of tweet IDs, preserving order. A
+// missing ID aborts with an error.
+func (s *Store) Collect(sids []social.PostID) ([]string, error) {
+	out := make([]string, 0, len(sids))
+	for _, sid := range sids {
+		text, err := s.Text(sid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, text)
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package contents
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+func mkPosts(n int) []*social.Post {
+	posts := make([]*social.Post, n)
+	for i := range posts {
+		posts[i] = &social.Post{
+			SID: social.PostID(i + 1), UID: 1,
+			Loc:  geo.Point{Lat: 43.7, Lon: -79.4},
+			Text: fmt.Sprintf("tweet number %d about hotels", i+1),
+		}
+	}
+	return posts
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	fsys := dfs.New(dfs.Options{BlockSize: 256, DataNodes: 2})
+	posts := mkPosts(100)
+	st, err := BuildStore(fsys, posts, "contents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 100 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	for _, p := range posts {
+		text, err := st.Text(p.SID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text != p.Text {
+			t.Fatalf("Text(%d) = %q, want %q", p.SID, text, p.Text)
+		}
+	}
+}
+
+func TestCollectPreservesOrder(t *testing.T) {
+	fsys := dfs.New(dfs.DefaultOptions())
+	posts := mkPosts(10)
+	st, err := BuildStore(fsys, posts, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts, err := st.Collect([]social.PostID{5, 1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != 3 || !strings.Contains(texts[0], "number 5") ||
+		!strings.Contains(texts[1], "number 1") || !strings.Contains(texts[2], "number 9") {
+		t.Errorf("Collect = %v", texts)
+	}
+	if _, err := st.Collect([]social.PostID{999}); err == nil {
+		t.Error("missing ID accepted")
+	}
+}
+
+func TestMissingAndDuplicates(t *testing.T) {
+	fsys := dfs.New(dfs.DefaultOptions())
+	st, err := BuildStore(fsys, mkPosts(3), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Text(42); err == nil {
+		t.Error("missing tweet accepted")
+	}
+	dup := mkPosts(2)
+	dup[1].SID = dup[0].SID
+	if _, err := BuildStore(fsys, dup, "dup"); err == nil {
+		t.Error("duplicate SIDs accepted")
+	}
+}
+
+func TestEmptyTexts(t *testing.T) {
+	fsys := dfs.New(dfs.DefaultOptions())
+	posts := mkPosts(2)
+	posts[0].Text = ""
+	st, err := BuildStore(fsys, posts, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := st.Text(posts[0].SID)
+	if err != nil || text != "" {
+		t.Errorf("empty text: %q, %v", text, err)
+	}
+}
+
+func TestStorePersistRoundTrip(t *testing.T) {
+	fsys := dfs.New(dfs.DefaultOptions())
+	posts := mkPosts(50)
+	st, err := BuildStore(fsys, posts, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte{}, buf.Bytes()...)
+	loaded, err := LoadStore(fsys, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != st.Len() {
+		t.Fatalf("Len %d vs %d", loaded.Len(), st.Len())
+	}
+	for _, p := range posts {
+		text, err := loaded.Text(p.SID)
+		if err != nil || text != p.Text {
+			t.Fatalf("Text(%d) = %q, %v", p.SID, text, err)
+		}
+	}
+	// Corruption is rejected.
+	if _, err := LoadStore(fsys, bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadStore(fsys, bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Error("truncation accepted")
+	}
+	// Dangling DFS references are rejected.
+	empty := dfs.New(dfs.DefaultOptions())
+	if _, err := LoadStore(empty, bytes.NewReader(full)); err == nil {
+		t.Error("dangling content file accepted")
+	}
+}
+
+func TestMultiPartFiles(t *testing.T) {
+	fsys := dfs.New(dfs.Options{BlockSize: 1024, DataNodes: 2})
+	// Force rollover: each text ~1 KiB, maxFileBytes 4 MiB => make texts huge.
+	posts := mkPosts(3)
+	long := strings.Repeat("x", maxFileBytes)
+	posts[0].Text = long
+	posts[1].Text = "short"
+	posts[2].Text = long[:100]
+	st, err := BuildStore(fsys, posts, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Posts 1 and 2 land in a second part file after the 4 MiB first text.
+	if len(fsys.List()) < 2 {
+		t.Errorf("expected multiple part files, got %v", fsys.List())
+	}
+	for _, p := range posts {
+		text, err := st.Text(p.SID)
+		if err != nil || text != p.Text {
+			t.Fatalf("round trip failed for %d", p.SID)
+		}
+	}
+}

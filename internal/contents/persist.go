@@ -1,0 +1,87 @@
+package contents
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dfs"
+	"repro/internal/social"
+)
+
+var storeMagic = []byte("TKCNT1")
+
+// Save writes the tweet-ID → location table to w; the texts themselves
+// live in the DFS image.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(storeMagic); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(len(s.refs)))
+	for sid, r := range s.refs {
+		putUvarint(bw, uint64(sid))
+		putUvarint(bw, uint64(len(r.file)))
+		bw.WriteString(r.file)
+		putUvarint(bw, uint64(r.offset))
+		putUvarint(bw, uint64(r.length))
+	}
+	return bw.Flush()
+}
+
+// LoadStore reconstructs a Store from a saved table and the DFS holding
+// the content files.
+func LoadStore(fsys *dfs.FS, r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("contents: reading magic: %w", err)
+	}
+	if string(magic) != string(storeMagic) {
+		return nil, fmt.Errorf("contents: bad store magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{fs: fsys, refs: make(map[social.PostID]ref, count)}
+	for i := uint64(0); i < count; i++ {
+		sid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("contents: implausible file name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		offset, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if !fsys.Exists(string(name)) {
+			return nil, fmt.Errorf("contents: file %q missing from DFS", name)
+		}
+		st.refs[social.PostID(sid)] = ref{
+			file: string(name), offset: int64(offset), length: int64(length),
+		}
+	}
+	return st, nil
+}
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

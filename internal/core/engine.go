@@ -1,0 +1,254 @@
+// Package core implements TkLUS query processing (Section V of the paper):
+// the sum-score ranking algorithm (Algorithm 4), the maximum-score ranking
+// algorithm with upper-bound pruning (Algorithm 5), AND/OR keyword
+// semantics, and the temporal extension sketched in the paper's future-work
+// section. It sits on top of the hybrid index (internal/invindex), the
+// metadata database (internal/metadb), and the thread builder
+// (internal/thread).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/score"
+	"repro/internal/social"
+	"repro/internal/textutil"
+	"repro/internal/thread"
+)
+
+// Semantic selects how multiple query keywords combine (Section V-A).
+type Semantic int
+
+const (
+	// Or keeps tweets containing any query keyword.
+	Or Semantic = iota
+	// And keeps only tweets containing every query keyword.
+	And
+)
+
+func (s Semantic) String() string {
+	if s == And {
+		return "AND"
+	}
+	return "OR"
+}
+
+// Ranking selects the user scoring function.
+type Ranking int
+
+const (
+	// SumScore ranks users by Definition 7 (Algorithm 4).
+	SumScore Ranking = iota
+	// MaxScore ranks users by Definition 8 (Algorithm 5).
+	MaxScore
+)
+
+func (r Ranking) String() string {
+	if r == MaxScore {
+		return "max"
+	}
+	return "sum"
+}
+
+// Query is a TkLUS query q(l, r, W) plus the result size k and processing
+// choices.
+type Query struct {
+	Loc      geo.Point
+	RadiusKm float64
+	Keywords []string // raw keywords; the engine stems them like documents
+	K        int
+	Semantic Semantic
+	Ranking  Ranking
+
+	// TimeWindow optionally restricts the search to tweets whose
+	// timestamp (SID) falls within [From, To] — the paper's temporal
+	// extension ("define a query for a particular period of time").
+	// A nil window searches all tweets.
+	TimeWindow *TimeWindow
+}
+
+// TimeWindow is a closed time interval. Post IDs are timestamps
+// (Section IV-A), so the filter compares SIDs directly.
+type TimeWindow struct {
+	From, To time.Time
+}
+
+// contains reports whether the post with the given SID (a UnixNano
+// timestamp by corpus convention) falls inside the window.
+func (w *TimeWindow) contains(sid social.PostID) bool {
+	t := int64(sid)
+	return t >= w.From.UnixNano() && t <= w.To.UnixNano()
+}
+
+// Validate rejects malformed queries.
+func (q *Query) Validate() error {
+	if !q.Loc.Valid() {
+		return fmt.Errorf("core: invalid query location %v", q.Loc)
+	}
+	if q.RadiusKm <= 0 {
+		return fmt.Errorf("core: query radius %v must be positive", q.RadiusKm)
+	}
+	if len(q.Keywords) == 0 {
+		return fmt.Errorf("core: query needs at least one keyword")
+	}
+	if q.K <= 0 {
+		return fmt.Errorf("core: k = %d must be positive", q.K)
+	}
+	if q.TimeWindow != nil && q.TimeWindow.To.Before(q.TimeWindow.From) {
+		return fmt.Errorf("core: empty time window")
+	}
+	return nil
+}
+
+// Options tunes engine behaviour beyond the scoring parameters.
+type Options struct {
+	Params score.Params
+	// UseSpecificBounds enables the pre-computed hot-keyword popularity
+	// bounds of Section V-B / Figure 12; when false the global bound is
+	// used for every query.
+	UseSpecificBounds bool
+	// UsePruning enables the upper-bound pruning of Algorithm 5 lines
+	// 18–19. Disabling it is the ablation baseline; results are identical,
+	// only thread-construction work changes.
+	UsePruning bool
+	// ExactUserDistance computes Definition 9 literally — the average
+	// distance score over ALL of a user's posts — which costs one metadata
+	// fetch per post of every candidate user. When false (the default),
+	// δ(u,q) sums only the user's keyword-matching candidate posts (still
+	// divided by |P_u|), which is what Algorithms 4 and 5 can compute from
+	// the retrieved postings lists alone and what keeps thread
+	// construction the dominant query cost, as Section V-B states.
+	ExactUserDistance bool
+	// RecencyHalfLife, when positive, multiplies each tweet's keyword
+	// relevance by score.RecencyBoost with this half-life expressed as a
+	// fraction of the corpus time span (future-work extension: "give
+	// priority to more recent tweets").
+	RecencyHalfLife float64
+}
+
+// DefaultOptions enables pruning and specific bounds, the paper's standard
+// configuration.
+func DefaultOptions() Options {
+	return Options{Params: score.DefaultParams(), UseSpecificBounds: true, UsePruning: true}
+}
+
+// PostingsSource is what the engine needs from a hybrid index: the geohash
+// precision it was built with and postings retrieval per ⟨cell, term⟩.
+// *invindex.Index implements it.
+type PostingsSource interface {
+	GeohashLen() int
+	FetchPostings(geohash, term string) ([]invindex.Posting, error)
+}
+
+// Partition is one time slice of the corpus with its own index — the
+// paper's batch setting builds one index per collection period
+// (Section IV-A: "periodically (e.g., one day) collect the spatial tweets
+// and then build the index"). MinSID/MaxSID bound the tweet IDs
+// (timestamps) the partition covers; a zero MaxSID means unbounded.
+type Partition struct {
+	Source PostingsSource
+	MinSID social.PostID
+	MaxSID social.PostID
+}
+
+// overlapsWindow reports whether the partition may contain tweets inside
+// the query window.
+func (p *Partition) overlapsWindow(w *TimeWindow) bool {
+	if w == nil {
+		return true
+	}
+	if p.MaxSID != 0 && social.PostID(w.From.UnixNano()) > p.MaxSID {
+		return false
+	}
+	if social.PostID(w.To.UnixNano()) < p.MinSID {
+		return false
+	}
+	return true
+}
+
+// Engine executes TkLUS queries.
+type Engine struct {
+	Index      *invindex.Index // primary index (nil for purely partitioned engines)
+	Partitions []Partition     // every postings source, in time order
+	DB         *metadb.DB
+	Bounds     *thread.Bounds
+	Opts       Options
+
+	builder thread.Builder
+}
+
+// NewEngine wires an engine over one index covering the whole corpus.
+func NewEngine(idx *invindex.Index, db *metadb.DB, bounds *thread.Bounds, opts Options) (*Engine, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("core: engine needs an index")
+	}
+	eng, err := NewPartitionedEngine([]Partition{{Source: idx}}, db, bounds, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng.Index = idx
+	return eng, nil
+}
+
+// NewPartitionedEngine wires an engine over one or more time-partitioned
+// indexes sharing the centralized metadata database. Queries with a
+// TimeWindow skip partitions entirely outside the window.
+func NewPartitionedEngine(parts []Partition, db *metadb.DB, bounds *thread.Bounds, opts Options) (*Engine, error) {
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 || db == nil || bounds == nil {
+		return nil, fmt.Errorf("core: engine needs partitions, db and bounds")
+	}
+	for i, p := range parts {
+		if p.Source == nil {
+			return nil, fmt.Errorf("core: partition %d has no postings source", i)
+		}
+	}
+	return &Engine{
+		Partitions: parts,
+		DB:         db,
+		Bounds:     bounds,
+		Opts:       opts,
+		builder:    thread.Builder{DB: db, Depth: opts.Params.ThreadDepth},
+	}, nil
+}
+
+// UserResult is one ranked user.
+type UserResult struct {
+	UID   social.UserID
+	Score float64
+}
+
+// QueryStats reports the work one query performed.
+type QueryStats struct {
+	Cells           int   // geohash cells in the circle cover
+	PostingsFetched int64 // postings lists pulled from the DFS
+	Candidates      int   // tweets surviving semantics + radius + window
+	ThreadsBuilt    int64 // Algorithm 1 invocations
+	ThreadsPruned   int64 // candidates skipped by the upper bound
+	TweetsPulled    int64 // rows fetched during thread expansion
+	Elapsed         time.Duration
+}
+
+// QueryTerms stems and deduplicates query keywords with the same pipeline
+// as documents, preserving order. It is exported so baselines and tools
+// interpret keywords identically to the engine.
+func QueryTerms(keywords []string) []string {
+	seen := make(map[string]struct{}, len(keywords))
+	var out []string
+	for _, kw := range keywords {
+		for _, term := range textutil.Terms(kw) {
+			if _, dup := seen[term]; dup {
+				continue
+			}
+			seen[term] = struct{}{}
+			out = append(out, term)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/invindex"
+	"repro/internal/social"
+)
+
+// hashIntersect is the alternative the sorted-merge intersection is
+// benchmarked against (DESIGN.md ablation "sorted-postings merge vs
+// hash-set intersection"): build a map from the shortest list, probe the
+// others.
+func hashIntersect(lists [][]invindex.Posting) []candidate {
+	if len(lists) == 0 {
+		return nil
+	}
+	shortest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[shortest]) {
+			shortest = i
+		}
+	}
+	acc := make(map[social.PostID]int, len(lists[shortest]))
+	for _, p := range lists[shortest] {
+		acc[p.TID] = int(p.TF)
+	}
+	for i, l := range lists {
+		if i == shortest {
+			continue
+		}
+		next := make(map[social.PostID]int, len(acc))
+		for _, p := range l {
+			if m, ok := acc[p.TID]; ok {
+				next[p.TID] = m + int(p.TF)
+			}
+		}
+		acc = next
+	}
+	// Emit in TID order to match intersectPostings.
+	out := make([]candidate, 0, len(acc))
+	for _, p := range lists[shortest] {
+		if m, ok := acc[p.TID]; ok {
+			out = append(out, candidate{tid: p.TID, matches: m})
+		}
+	}
+	return out
+}
+
+func syntheticLists(rng *rand.Rand, nLists, length int, overlap float64) [][]invindex.Posting {
+	lists := make([][]invindex.Posting, nLists)
+	for i := range lists {
+		var tid social.PostID
+		for j := 0; j < length; j++ {
+			if rng.Float64() < overlap {
+				tid += 1 // dense region: likely shared across lists
+			} else {
+				tid += social.PostID(rng.Intn(5) + 1)
+			}
+			lists[i] = append(lists[i], invindex.Posting{TID: tid, TF: uint32(rng.Intn(3) + 1)})
+		}
+	}
+	return lists
+}
+
+func TestHashIntersectMatchesSortedMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		lists := syntheticLists(rng, rng.Intn(3)+2, rng.Intn(200)+1, 0.5)
+		a := intersectPostings(lists)
+		b := hashIntersect(lists)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: sizes %d vs %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: element %d differs: %+v vs %+v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func BenchmarkAblationIntersection(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	lists := syntheticLists(rng, 3, 20000, 0.3)
+	b.Run("sorted-merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			intersectPostings(lists)
+		}
+	})
+	b.Run("hash-set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hashIntersect(lists)
+		}
+	})
+	// Asymmetric lists: a rare term against a hot term is where galloping
+	// cursors pay off.
+	rare := syntheticLists(rng, 1, 50, 0.1)[0]
+	hot := syntheticLists(rng, 1, 100000, 0.9)[0]
+	asym := [][]invindex.Posting{rare, hot}
+	b.Run("asymmetric", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			intersectPostings(asym)
+		}
+	})
+}
+
+func TestGallopTo(t *testing.T) {
+	l := ps(1, 1, 3, 1, 5, 1, 9, 1, 12, 1, 40, 1, 41, 1, 100, 1)
+	cases := []struct {
+		start  int
+		target int
+		want   int
+	}{
+		{0, 0, 0}, {0, 1, 0}, {0, 2, 1}, {0, 5, 2}, {0, 6, 3},
+		{0, 100, 7}, {0, 101, 8}, {3, 9, 3}, {3, 41, 6}, {7, 100, 7},
+		{8, 5, 8}, // start past the end stays put
+	}
+	for _, c := range cases {
+		got := gallopTo(l, c.start, social.PostID(c.target))
+		if got != c.want {
+			t.Errorf("gallopTo(start=%d, target=%d) = %d, want %d",
+				c.start, c.target, got, c.want)
+		}
+	}
+}
+
+func TestGallopingIntersectionMatchesHashOnAsymmetricLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		short := syntheticLists(rng, 1, rng.Intn(20)+1, 0.2)[0]
+		long := syntheticLists(rng, 1, rng.Intn(5000)+100, 0.8)[0]
+		lists := [][]invindex.Posting{short, long}
+		a := intersectPostings(lists)
+		b := hashIntersect(lists)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d element %d: %+v vs %+v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func BenchmarkUnionPostings(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	lists := syntheticLists(rng, 3, 20000, 0.3)
+	for i := 0; i < b.N; i++ {
+		unionPostings(lists)
+	}
+}

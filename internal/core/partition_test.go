@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func window(fromSec, toSec int64) *TimeWindow {
+	return &TimeWindow{From: time.Unix(fromSec, 0), To: time.Unix(toSec, 0)}
+}
+
+func TestPartitionOverlapsWindow(t *testing.T) {
+	p := Partition{MinSID: 100 * 1_000_000_000, MaxSID: 200 * 1_000_000_000}
+	cases := []struct {
+		name string
+		w    *TimeWindow
+		want bool
+	}{
+		{"nil window", nil, true},
+		{"inside", window(120, 150), true},
+		{"straddles start", window(50, 120), true},
+		{"straddles end", window(150, 300), true},
+		{"covers", window(50, 300), true},
+		{"before", window(10, 99), false},
+		{"after", window(201, 300), false},
+		{"touches start", window(50, 100), true},
+		{"touches end", window(200, 300), true},
+	}
+	for _, c := range cases {
+		if got := p.overlapsWindow(c.w); got != c.want {
+			t.Errorf("%s: overlaps = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Unbounded partition (MaxSID 0) overlaps any future window.
+	open := Partition{MinSID: 100 * 1_000_000_000}
+	if !open.overlapsWindow(window(500, 600)) {
+		t.Error("unbounded partition should overlap")
+	}
+	if open.overlapsWindow(window(10, 99)) {
+		t.Error("window before unbounded partition should not overlap")
+	}
+}
+
+func TestNewPartitionedEngineValidation(t *testing.T) {
+	if _, err := NewPartitionedEngine(nil, nil, nil, DefaultOptions()); err == nil {
+		t.Error("empty partitions accepted")
+	}
+	if _, err := NewPartitionedEngine([]Partition{{Source: nil}}, nil, nil, DefaultOptions()); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := NewEngine(nil, nil, nil, DefaultOptions()); err == nil {
+		t.Error("nil index accepted")
+	}
+}

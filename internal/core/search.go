@@ -1,0 +1,349 @@
+package core
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/score"
+	"repro/internal/social"
+	"repro/internal/thread"
+)
+
+// scoredCandidate is a keyword-matching tweet that survived the radius and
+// time-window filters, with its metadata row and distance score attached.
+type scoredCandidate struct {
+	tid     social.PostID
+	matches int
+	row     metadb.Row
+	delta   float64 // δ(p,q), Definition 5
+}
+
+// Search executes a TkLUS query and returns the top-k users with their
+// scores plus per-query statistics.
+func (e *Engine) Search(q Query) ([]UserResult, *QueryStats, error) {
+	return e.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search with cancellation: the query aborts with the
+// context's error at the next candidate boundary once ctx is done. Useful
+// for serving large-radius OR queries under a deadline.
+func (e *Engine) SearchContext(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	stats := &QueryStats{}
+
+	terms := QueryTerms(q.Keywords)
+	if len(terms) == 0 {
+		return nil, nil, fmt.Errorf("core: keywords %v reduce to no terms", q.Keywords)
+	}
+
+	cands, err := e.gatherCandidates(&q, terms, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Candidates = len(cands)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	var results []UserResult
+	switch q.Ranking {
+	case SumScore:
+		results, err = e.rankSum(ctx, &q, cands, stats)
+	case MaxScore:
+		results, err = e.rankMax(ctx, &q, terms, cands, stats)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown ranking %d", q.Ranking)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}
+
+// cancelCheckInterval bounds how many candidates are processed between
+// context checks; thread construction dominates per-candidate cost, so a
+// small stride keeps cancellation prompt without measurable overhead.
+const cancelCheckInterval = 64
+
+// gatherCandidates runs the shared front half of Algorithms 4 and 5:
+// circle cover (line 1), postings retrieval (lines 4–7), AND/OR merging
+// (lines 8–14), and the radius filter (lines 15–17), plus the optional
+// time-window filter of the temporal extension.
+func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats) ([]scoredCandidate, error) {
+	// Circle covers are computed once per geohash precision in use
+	// (partitions normally share one precision).
+	covers := make(map[int][]string)
+	coverFor := func(precision int) []string {
+		if c, ok := covers[precision]; ok {
+			return c
+		}
+		c := geo.CircleCover(q.Loc, q.RadiusKm, precision)
+		covers[precision] = c
+		stats.Cells += len(c)
+		return c
+	}
+
+	termLists := make([][]invindex.Posting, len(terms))
+	for _, part := range e.Partitions {
+		if !part.overlapsWindow(q.TimeWindow) {
+			continue // batch-partition pruning for windowed queries
+		}
+		cells := coverFor(part.Source.GeohashLen())
+		for ti, term := range terms {
+			ps, err := termPostings(part.Source, cells, term, stats)
+			if err != nil {
+				return nil, err
+			}
+			termLists[ti] = append(termLists[ti], ps...)
+		}
+	}
+	// Partitions are time-disjoint, so concatenation has no duplicate
+	// TIDs, but ordering across partitions must be restored.
+	if len(e.Partitions) > 1 {
+		for ti := range termLists {
+			slices.SortFunc(termLists[ti], func(a, b invindex.Posting) int {
+				return cmp.Compare(a.TID, b.TID)
+			})
+		}
+	}
+
+	var merged []candidate
+	if q.Semantic == And {
+		merged = intersectPostings(termLists)
+	} else {
+		merged = unionPostings(termLists)
+	}
+
+	out := make([]scoredCandidate, 0, len(merged))
+	for _, c := range merged {
+		if q.TimeWindow != nil && !q.TimeWindow.contains(c.tid) {
+			continue
+		}
+		row, ok := e.DB.GetBySID(c.tid)
+		if !ok {
+			return nil, fmt.Errorf("core: indexed tweet %d missing from metadata db", c.tid)
+		}
+		delta := score.TweetDistance(row.Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
+		if e.Opts.Params.Metric.DistanceKm(q.Loc, row.Loc()) > q.RadiusKm {
+			continue // cover cells may stick out of the circle
+		}
+		out = append(out, scoredCandidate{tid: c.tid, matches: c.matches, row: row, delta: delta})
+	}
+	return out, nil
+}
+
+// rankSum is the back half of Algorithm 4: per-candidate thread scoring
+// accumulated per user (Definition 7), then the combined user score
+// (Definition 10), sort, top k.
+func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate, stats *QueryStats) ([]UserResult, error) {
+	p := e.Opts.Params
+	type agg struct {
+		rs       float64 // Σ ρ(p,q), Definition 7
+		deltaSum float64 // Σ δ(p,q) over this user's candidates
+	}
+	users := make(map[social.UserID]*agg)
+	var tstats threadStats
+	for i, c := range cands {
+		if i%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		pop, _ := e.builder.Popularity(c.tid, p.Epsilon, &tstats.s)
+		rho := score.KeywordRelevance(c.matches, pop, p.N) * e.recencyFactor(c.tid)
+		a := users[c.row.UID]
+		if a == nil {
+			a = &agg{}
+			users[c.row.UID] = a
+		}
+		a.rs += rho
+		a.deltaSum += c.delta
+	}
+	tstats.fold(stats)
+
+	results := make([]UserResult, 0, len(users))
+	for uid, a := range users {
+		du := e.userDistance(q, uid, a.deltaSum)
+		results = append(results, UserResult{
+			UID:   uid,
+			Score: score.Combine(p.Alpha, a.rs, du),
+		})
+	}
+	sortResults(results)
+	if len(results) > q.K {
+		results = results[:q.K]
+	}
+	return results, nil
+}
+
+// rankMax is Algorithm 5: candidates stream through a bounded top-k
+// structure; before constructing a candidate's thread, an optimistic upper
+// bound on its user score is compared against the current kth score, and
+// dominated candidates are skipped (lines 18–19).
+func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []scoredCandidate, stats *QueryStats) ([]UserResult, error) {
+	p := e.Opts.Params
+	popBound := e.Bounds.ForQuery(terms, q.Semantic == And, e.Opts.UseSpecificBounds)
+
+	tk := newTopK(q.K)
+	userDelta := make(map[social.UserID]float64) // δ(u,q) cache
+	candDelta := make(map[social.UserID]float64) // candidate-only Σδ per user
+	if !e.Opts.ExactUserDistance {
+		for _, c := range cands {
+			candDelta[c.row.UID] += c.delta
+		}
+	}
+	var tstats threadStats
+	for i, c := range cands {
+		if i%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		uid := c.row.UID
+		du, ok := userDelta[uid]
+		if !ok {
+			du = e.userDistance(q, uid, candDelta[uid])
+			userDelta[uid] = du
+		}
+		if e.Opts.UsePruning && tk.full() {
+			// Optimistic user score: maximal keyword relevance under the
+			// popularity bound, combined with the user's distance score.
+			// The paper bounds the distance part by the maximal value 1
+			// (Section V-B); δ(u,q) is independent of the thread being
+			// considered and already computed here, so using it keeps the
+			// bound sound while pruning far more thread constructions —
+			// thread construction being the stated bottleneck.
+			ub := score.Combine(p.Alpha, score.KeywordRelevance(c.matches, popBound, p.N), du)
+			if ub <= tk.peek() {
+				stats.ThreadsPruned++
+				continue
+			}
+		}
+		pop, _ := e.builder.Popularity(c.tid, p.Epsilon, &tstats.s)
+		rho := score.KeywordRelevance(c.matches, pop, p.N) * e.recencyFactor(c.tid)
+
+		us := score.Combine(p.Alpha, rho, du)
+
+		switch {
+		case tk.contains(uid):
+			tk.raise(uid, us)
+		case !tk.full():
+			tk.add(uid, us)
+		case tk.peek() < us:
+			tk.removeWeakest()
+			tk.add(uid, us)
+		}
+	}
+	tstats.fold(stats)
+	return tk.results(), nil
+}
+
+// CandidateTweet is one keyword-matching tweet inside the query circle,
+// as produced by the shared retrieval front half of Algorithms 4 and 5.
+type CandidateTweet struct {
+	TID     social.PostID
+	UID     social.UserID
+	Matches int     // bag-model |q.W ∩ p.W|
+	Delta   float64 // δ(p,q), Definition 5
+}
+
+// CandidateTweets runs only the retrieval stage of query processing
+// (circle cover, postings fetch, AND/OR merge, radius and window filters)
+// and returns the surviving tweets in ascending tweet-ID order. Used by
+// the evidence API and by retrieval-only baselines.
+func (e *Engine) CandidateTweets(q Query) ([]CandidateTweet, *QueryStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	terms := QueryTerms(q.Keywords)
+	if len(terms) == 0 {
+		return nil, nil, fmt.Errorf("core: keywords %v reduce to no terms", q.Keywords)
+	}
+	stats := &QueryStats{}
+	start := time.Now()
+	cands, err := e.gatherCandidates(&q, terms, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Candidates = len(cands)
+	stats.Elapsed = time.Since(start)
+	out := make([]CandidateTweet, len(cands))
+	for i, c := range cands {
+		out[i] = CandidateTweet{TID: c.tid, UID: c.row.UID, Matches: c.matches, Delta: c.delta}
+	}
+	return out, stats, nil
+}
+
+// Evidence returns the IDs of the tweets that make one user a candidate
+// for q — the tweets behind the "(userId, tweet content)" result lines of
+// the user study (Section VI-B6) — in ascending tweet-ID order, capped at
+// limit (0 means no cap).
+func (e *Engine) Evidence(q Query, uid social.UserID, limit int) ([]social.PostID, error) {
+	cands, _, err := e.CandidateTweets(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []social.PostID
+	for _, c := range cands {
+		if c.UID != uid {
+			continue
+		}
+		out = append(out, c.TID)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// userDistance computes δ(u,q) (Definition 9). In exact mode it averages
+// the distance score of every post of the user, fetching each post's row;
+// in candidate-only mode it divides the pre-accumulated candidate distance
+// sum by |P_u| (tweets outside the radius contribute 0 either way).
+func (e *Engine) userDistance(q *Query, uid social.UserID, candidateDeltaSum float64) float64 {
+	total := e.DB.PostCountOfUser(uid)
+	if !e.Opts.ExactUserDistance {
+		return score.UserDistance(candidateDeltaSum, total)
+	}
+	var sum float64
+	for _, sid := range e.DB.PostsOfUser(uid) {
+		row, ok := e.DB.GetBySID(sid)
+		if !ok {
+			continue
+		}
+		sum += score.TweetDistance(row.Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
+	}
+	return score.UserDistance(sum, total)
+}
+
+// recencyFactor returns the temporal boost for a tweet, 1 unless the
+// extension is enabled.
+func (e *Engine) recencyFactor(sid social.PostID) float64 {
+	if e.Opts.RecencyHalfLife <= 0 {
+		return 1
+	}
+	min, max := e.DB.SIDRange()
+	if max <= min {
+		return 1
+	}
+	age := float64(max-sid) / float64(max-min)
+	return score.RecencyBoost(age, e.Opts.RecencyHalfLife)
+}
+
+// threadStats adapts thread.Stats into QueryStats.
+type threadStats struct{ s thread.Stats }
+
+func (t *threadStats) fold(qs *QueryStats) {
+	qs.ThreadsBuilt += t.s.ThreadsBuilt
+	qs.TweetsPulled += t.s.TweetsPulled
+}

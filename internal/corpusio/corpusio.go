@@ -1,0 +1,71 @@
+// Package corpusio reads and writes corpora as JSON Lines, the on-disk
+// interchange format of the cmd/ tools (the "ETL" stage of Figure 3: the
+// Twitter REST API delivers JSON, which is extracted into the relation the
+// system indexes).
+package corpusio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/social"
+)
+
+// jsonPost is the stable wire format of one post.
+type jsonPost struct {
+	SID   int64    `json:"sid"`
+	UID   int64    `json:"uid"`
+	Lat   float64  `json:"lat"`
+	Lon   float64  `json:"lon"`
+	Words []string `json:"words"`
+	Text  string   `json:"text,omitempty"`
+	Kind  uint8    `json:"kind,omitempty"`
+	RUID  int64    `json:"ruid,omitempty"`
+	RSID  int64    `json:"rsid,omitempty"`
+}
+
+// Write streams posts to w, one JSON object per line.
+func Write(w io.Writer, posts []*social.Post) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, p := range posts {
+		jp := jsonPost{
+			SID: int64(p.SID), UID: int64(p.UID),
+			Lat: p.Loc.Lat, Lon: p.Loc.Lon,
+			Words: p.Words, Text: p.Text,
+			Kind: uint8(p.Kind), RUID: int64(p.RUID), RSID: int64(p.RSID),
+		}
+		if err := enc.Encode(&jp); err != nil {
+			return fmt.Errorf("corpusio: encoding post %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON Lines corpus and validates every post.
+func Read(r io.Reader) ([]*social.Post, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var posts []*social.Post
+	for line := 1; ; line++ {
+		var jp jsonPost
+		if err := dec.Decode(&jp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("corpusio: line %d: %w", line, err)
+		}
+		p := &social.Post{
+			SID: social.PostID(jp.SID), UID: social.UserID(jp.UID),
+			Words: jp.Words, Text: jp.Text,
+			Kind: social.RelationKind(jp.Kind),
+			RUID: social.UserID(jp.RUID), RSID: social.PostID(jp.RSID),
+		}
+		p.Loc.Lat, p.Loc.Lon = jp.Lat, jp.Lon
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("corpusio: line %d: %w", line, err)
+		}
+		posts = append(posts, p)
+	}
+	return posts, nil
+}

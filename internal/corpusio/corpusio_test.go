@@ -1,0 +1,74 @@
+package corpusio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/social"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 100
+	cfg.NumPosts = 1000
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, corpus.Posts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(corpus.Posts) {
+		t.Fatalf("round trip size %d != %d", len(back), len(corpus.Posts))
+	}
+	for i, p := range corpus.Posts {
+		q := back[i]
+		if p.SID != q.SID || p.UID != q.UID || p.Loc != q.Loc ||
+			p.Kind != q.Kind || p.RUID != q.RUID || p.RSID != q.RSID ||
+			p.Text != q.Text || len(p.Words) != len(q.Words) {
+			t.Fatalf("post %d mismatch: %+v vs %+v", i, p, q)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Structurally valid JSON but an invalid post (zero uid).
+	if _, err := Read(strings.NewReader(`{"sid":1,"uid":0,"lat":1,"lon":1}` + "\n")); err == nil {
+		t.Error("invalid post accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	posts, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 0 {
+		t.Errorf("empty input produced %d posts", len(posts))
+	}
+}
+
+func TestOriginalPostOmitsRelationFields(t *testing.T) {
+	p := &social.Post{SID: 5, UID: 2, Words: []string{"hotel"}}
+	p.Loc.Lat, p.Loc.Lon = 43.7, -79.4
+	var buf bytes.Buffer
+	if err := Write(&buf, []*social.Post{p}); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	for _, field := range []string{"ruid", "rsid", "kind"} {
+		if strings.Contains(line, field) {
+			t.Errorf("original post serialization contains %q: %s", field, line)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package datagen generates the synthetic geo-tagged tweet corpus and query
+// workload that substitute for the paper's private 514-million-tweet data
+// set and AOL query logs (see DESIGN.md §2 for the substitution argument).
+// The generator reproduces the statistical properties the algorithms are
+// sensitive to: city-clustered locations, Zipf keyword skew seeded with the
+// paper's Table II hot keywords, heavy-tailed reply/forward cascades, and
+// "local expert" users who anchor the ground truth of the simulated user
+// study.
+package datagen
+
+import "repro/internal/geo"
+
+// City is one spatial cluster of the corpus.
+type City struct {
+	Name    string
+	Center  geo.Point
+	Weight  float64 // sampling weight, need not be normalized
+	SigmaKm float64 // spatial standard deviation of users' homes
+}
+
+// DefaultCities returns the five North American metros used throughout the
+// experiments. Toronto matches the paper's running example.
+func DefaultCities() []City {
+	return []City{
+		{Name: "Toronto", Center: geo.Point{Lat: 43.6532, Lon: -79.3832}, Weight: 3, SigmaKm: 8},
+		{Name: "New York", Center: geo.Point{Lat: 40.7128, Lon: -74.0060}, Weight: 4, SigmaKm: 10},
+		{Name: "Los Angeles", Center: geo.Point{Lat: 34.0522, Lon: -118.2437}, Weight: 3, SigmaKm: 14},
+		{Name: "Chicago", Center: geo.Point{Lat: 41.8781, Lon: -87.6298}, Weight: 2, SigmaKm: 9},
+		{Name: "Seattle", Center: geo.Point{Lat: 47.6062, Lon: -122.3321}, Weight: 1, SigmaKm: 7},
+	}
+}

@@ -1,0 +1,341 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+// Config parameterizes corpus generation. All randomness derives from Seed,
+// so equal configs produce byte-identical corpora.
+type Config struct {
+	Seed     int64
+	NumUsers int
+	NumPosts int
+	Cities   []City
+
+	// ReactionProb is the probability that a post replies to or forwards
+	// an earlier post, feeding the tweet-thread cascades.
+	ReactionProb float64
+	// ForwardFraction is the share of reactions that are forwards rather
+	// than replies.
+	ForwardFraction float64
+	// ExpertFraction is the share of users who are "local experts" on one
+	// hot keyword: they post about it often, near home, and their posts
+	// attract disproportionately many reactions. Experts are the latent
+	// ground truth the simulated user study scores against.
+	ExpertFraction float64
+	// ExpertInfluence multiplies an expert's chance of being reacted to.
+	ExpertInfluence float64
+
+	// Start and End bound the corpus timestamps (the paper's data covers
+	// Sep 2012 – Feb 2013).
+	Start, End time.Time
+}
+
+// DefaultConfig returns a laptop-scale configuration with the paper's
+// qualitative properties.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		NumUsers:        4000,
+		NumPosts:        60000,
+		Cities:          DefaultCities(),
+		ReactionProb:    0.35,
+		ForwardFraction: 0.4,
+		ExpertFraction:  0.08,
+		ExpertInfluence: 10,
+		Start:           time.Date(2012, 9, 1, 0, 0, 0, 0, time.UTC),
+		End:             time.Date(2013, 2, 28, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.NumUsers < 1 || c.NumPosts < 1 {
+		return fmt.Errorf("datagen: need at least one user and one post")
+	}
+	if len(c.Cities) == 0 {
+		return fmt.Errorf("datagen: need at least one city")
+	}
+	if c.ReactionProb < 0 || c.ReactionProb >= 1 {
+		return fmt.Errorf("datagen: reaction probability %v outside [0,1)", c.ReactionProb)
+	}
+	if !c.End.After(c.Start) {
+		return fmt.Errorf("datagen: empty time range")
+	}
+	return nil
+}
+
+// UserProfile is the latent description of one generated user.
+type UserProfile struct {
+	UID       social.UserID
+	City      int       // index into Config.Cities
+	Home      geo.Point // the user's home location
+	Expertise string    // hot keyword stem, or "" for regular users
+	Influence float64   // relative probability of attracting reactions
+}
+
+// Corpus is a generated data set plus its ground truth.
+type Corpus struct {
+	Config Config
+	Posts  []*social.Post
+	Users  []UserProfile
+
+	byUID map[social.UserID]*UserProfile
+}
+
+// Generate builds a corpus from the configuration.
+func Generate(cfg Config) (*Corpus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	users := generateUsers(cfg, rng)
+	corpus := &Corpus{
+		Config: cfg,
+		Users:  users,
+		byUID:  make(map[social.UserID]*UserProfile, len(users)),
+	}
+	for i := range users {
+		corpus.byUID[users[i].UID] = &users[i]
+	}
+
+	// Vocabulary pickers. Hot keywords and modifiers share one Zipf-ranked
+	// pool so Table II's frequency ranking emerges; filler words pad tweets.
+	topicPool := MeaningfulKeywords()
+	topicZipf := newZipfPicker(len(topicPool), 0.9)
+	fillerZipf := newZipfPicker(len(fillerWords), 0.7)
+	replyZipf := newZipfPicker(len(replyWords), 0.7)
+
+	// Timestamps advance by step/2 + uniform(0, step) per post — mean step,
+	// so the corpus ends near cfg.End as configured.
+	span := cfg.End.Sub(cfg.Start)
+	step := span / time.Duration(cfg.NumPosts+1)
+	if step < 2 {
+		step = 2
+	}
+
+	// Recent posts eligible as reaction parents, with their depth so the
+	// generated cascades stay within realistic depth. The window is wide
+	// enough for influential posts to keep accumulating reactions over
+	// days of corpus time, which is what produces the heavy-tailed thread
+	// sizes (tens of direct replies on viral tweets) the paper's pruning
+	// analysis presumes.
+	type parentRef struct {
+		post  *social.Post
+		depth int
+	}
+	var recent []parentRef
+	const recentWindow = 16384
+
+	var maxInfluence float64
+	for _, u := range users {
+		if u.Influence > maxInfluence {
+			maxInfluence = u.Influence
+		}
+	}
+
+	posts := make([]*social.Post, 0, cfg.NumPosts)
+	ts := cfg.Start
+	for i := 0; i < cfg.NumPosts; i++ {
+		ts = ts.Add(step/2 + time.Duration(rng.Int63n(int64(step)+1)))
+		author := &users[rng.Intn(len(users))]
+
+		p := &social.Post{
+			SID:  social.PostID(ts.UnixNano()),
+			UID:  author.UID,
+			Time: ts,
+		}
+
+		var parent *parentRef
+		if len(recent) > 0 && rng.Float64() < cfg.ReactionProb {
+			// Rejection-sample a parent proportional to author influence.
+			for tries := 0; tries < 16; tries++ {
+				cand := &recent[rng.Intn(len(recent))]
+				owner := corpus.byUID[cand.post.UID]
+				if rng.Float64() <= owner.Influence/maxInfluence {
+					parent = cand
+					break
+				}
+			}
+		}
+
+		if parent != nil {
+			p.Kind = social.Reply
+			if rng.Float64() < cfg.ForwardFraction {
+				p.Kind = social.Forward
+			}
+			p.RUID = parent.post.UID
+			p.RSID = parent.post.SID
+			// Reactions come from anywhere; bias toward the parent's city.
+			p.Loc = jitterKm(rng, parent.post.Loc, 20)
+			p.Words = reactionWords(rng, replyZipf)
+		} else {
+			topic := pickTopic(rng, author, topicPool, topicZipf)
+			p.Loc = jitterKm(rng, author.Home, 4)
+			p.Words = originalWords(rng, topic, topicPool, topicZipf, fillerZipf)
+		}
+		p.Text = strings.Join(surfaceForms(p.Words), " ")
+
+		posts = append(posts, p)
+		depth := 1
+		if parent != nil {
+			depth = parent.depth + 1
+		}
+		recent = append(recent, parentRef{post: p, depth: depth})
+		if len(recent) > recentWindow {
+			recent = recent[len(recent)-recentWindow:]
+		}
+	}
+	corpus.Posts = posts
+	return corpus, nil
+}
+
+// generateUsers assigns each user a city, a home location, and possibly an
+// expertise keyword with elevated influence.
+func generateUsers(cfg Config, rng *rand.Rand) []UserProfile {
+	totalWeight := 0.0
+	for _, c := range cfg.Cities {
+		totalWeight += c.Weight
+	}
+	users := make([]UserProfile, cfg.NumUsers)
+	for i := range users {
+		cityIdx := 0
+		target := rng.Float64() * totalWeight
+		acc := 0.0
+		for j, c := range cfg.Cities {
+			acc += c.Weight
+			if target <= acc {
+				cityIdx = j
+				break
+			}
+		}
+		city := cfg.Cities[cityIdx]
+		u := UserProfile{
+			UID:       social.UserID(i + 1),
+			City:      cityIdx,
+			Home:      jitterKm(rng, city.Center, city.SigmaKm),
+			Influence: 0.5 + rng.Float64(),
+		}
+		if rng.Float64() < cfg.ExpertFraction {
+			u.Expertise = HotKeywords[rng.Intn(len(HotKeywords))]
+			u.Influence *= cfg.ExpertInfluence
+		}
+		users[i] = u
+	}
+	return users
+}
+
+// pickTopic chooses the main keyword of an original post: experts post
+// about their expertise 70% of the time.
+func pickTopic(rng *rand.Rand, author *UserProfile, pool []string, z *zipfPicker) string {
+	if author.Expertise != "" && rng.Float64() < 0.7 {
+		return author.Expertise
+	}
+	return pool[z.pick(rng)]
+}
+
+// originalWords builds the term bag of an original post: the topic keyword
+// (occasionally twice — bag semantics), maybe one extra meaningful keyword,
+// and 2–5 filler words.
+func originalWords(rng *rand.Rand, topic string, pool []string, topicZipf, fillerZipf *zipfPicker) []string {
+	words := []string{topic}
+	if rng.Float64() < 0.1 {
+		words = append(words, topic) // tf 2
+	}
+	if rng.Float64() < 0.35 {
+		words = append(words, pool[topicZipf.pick(rng)])
+	}
+	for n := rng.Intn(4) + 2; n > 0; n-- {
+		words = append(words, fillerWords[fillerZipf.pick(rng)])
+	}
+	return words
+}
+
+// reactionWords builds the short term bag of a reply/forward; 10% carry a
+// meaningful keyword so reactions occasionally become candidates too.
+func reactionWords(rng *rand.Rand, replyZipf *zipfPicker) []string {
+	words := []string{replyWords[replyZipf.pick(rng)]}
+	if rng.Float64() < 0.5 {
+		words = append(words, replyWords[replyZipf.pick(rng)])
+	}
+	if rng.Float64() < 0.1 {
+		words = append(words, HotKeywords[rng.Intn(len(HotKeywords))])
+	}
+	return words
+}
+
+// surfaceForms maps stems back to display words where a surface form is
+// known, for the synthesized tweet text.
+func surfaceForms(words []string) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		if s, ok := HotKeywordSurface[w]; ok {
+			out[i] = s
+		} else {
+			out[i] = w
+		}
+	}
+	return out
+}
+
+// jitterKm displaces a point by an isotropic Gaussian with the given sigma
+// in km, clamped to the legal coordinate domain.
+func jitterKm(rng *rand.Rand, base geo.Point, sigmaKm float64) geo.Point {
+	dNorth := rng.NormFloat64() * sigmaKm
+	dEast := rng.NormFloat64() * sigmaKm
+	dLat := dNorth / geo.EarthRadiusKm * 180 / math.Pi
+	cos := math.Cos(base.Lat * math.Pi / 180)
+	if cos < 0.01 {
+		cos = 0.01
+	}
+	dLon := dEast / geo.EarthRadiusKm * 180 / math.Pi / cos
+	p := geo.Point{Lat: base.Lat + dLat, Lon: base.Lon + dLon}
+	if p.Lat > 89 {
+		p.Lat = 89
+	}
+	if p.Lat < -89 {
+		p.Lat = -89
+	}
+	for p.Lon > 180 {
+		p.Lon -= 360
+	}
+	for p.Lon < -180 {
+		p.Lon += 360
+	}
+	return p
+}
+
+// Profile returns the latent profile of a user.
+func (c *Corpus) Profile(uid social.UserID) (UserProfile, bool) {
+	p, ok := c.byUID[uid]
+	if !ok {
+		return UserProfile{}, false
+	}
+	return *p, true
+}
+
+// KeywordFrequencies counts, over original posts, how often each meaningful
+// keyword occurs — the statistic behind Table II.
+func (c *Corpus) KeywordFrequencies() map[string]int {
+	counts := make(map[string]int)
+	meaningful := make(map[string]struct{})
+	for _, k := range MeaningfulKeywords() {
+		meaningful[k] = struct{}{}
+	}
+	for _, p := range c.Posts {
+		for _, w := range p.Words {
+			if _, ok := meaningful[w]; ok {
+				counts[w]++
+			}
+		}
+	}
+	return counts
+}

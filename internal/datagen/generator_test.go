@@ -1,0 +1,295 @@
+package datagen
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumUsers = 300
+	cfg.NumPosts = 5000
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Posts) != len(b.Posts) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Posts), len(b.Posts))
+	}
+	for i := range a.Posts {
+		pa, pb := a.Posts[i], b.Posts[i]
+		if pa.SID != pb.SID || pa.UID != pb.UID || pa.Loc != pb.Loc ||
+			pa.RSID != pb.RSID || len(pa.Words) != len(pb.Words) {
+			t.Fatalf("post %d differs between equal-seed runs", i)
+		}
+	}
+}
+
+func TestGeneratedPostsValid(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Posts) != smallConfig().NumPosts {
+		t.Fatalf("generated %d posts, want %d", len(c.Posts), smallConfig().NumPosts)
+	}
+	seen := make(map[social.PostID]bool, len(c.Posts))
+	var prev social.PostID
+	for i, p := range c.Posts {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("post %d invalid: %v", i, err)
+		}
+		if seen[p.SID] {
+			t.Fatalf("duplicate SID %d", p.SID)
+		}
+		seen[p.SID] = true
+		if p.SID <= prev {
+			t.Fatalf("SIDs not strictly increasing at %d", i)
+		}
+		prev = p.SID
+		if len(p.Words) == 0 {
+			t.Fatalf("post %d has no words", i)
+		}
+		if p.Text == "" {
+			t.Fatalf("post %d has no text", i)
+		}
+	}
+}
+
+func TestTimestampsStayInRange(t *testing.T) {
+	cfg := smallConfig()
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := c.Posts[len(c.Posts)-1].Time
+	if last.Before(cfg.Start) {
+		t.Errorf("last post %v before corpus start", last)
+	}
+	// Mean increment equals span/(N+1), so the corpus should end within
+	// a few percent of cfg.End.
+	overshoot := last.Sub(cfg.End)
+	if overshoot > cfg.End.Sub(cfg.Start)/10 {
+		t.Errorf("corpus overshoots configured end by %v", overshoot)
+	}
+}
+
+func TestReactionsReferenceEarlierPosts(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySID := make(map[social.PostID]*social.Post, len(c.Posts))
+	for _, p := range c.Posts {
+		bySID[p.SID] = p
+	}
+	reactions := 0
+	for _, p := range c.Posts {
+		if !p.IsReaction() {
+			continue
+		}
+		reactions++
+		parent, ok := bySID[p.RSID]
+		if !ok {
+			t.Fatalf("reaction %d references missing post %d", p.SID, p.RSID)
+		}
+		if parent.SID >= p.SID {
+			t.Fatalf("reaction %d references later post %d", p.SID, p.RSID)
+		}
+		if parent.UID != p.RUID {
+			t.Fatalf("reaction %d RUID %d != parent author %d", p.SID, p.RUID, parent.UID)
+		}
+	}
+	// Roughly ReactionProb of posts should be reactions.
+	frac := float64(reactions) / float64(len(c.Posts))
+	if frac < 0.2 || frac > 0.5 {
+		t.Errorf("reaction fraction %.2f far from configured %.2f", frac, smallConfig().ReactionProb)
+	}
+}
+
+func TestThreadsExist(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	children := map[social.PostID]int{}
+	for _, p := range c.Posts {
+		if p.RSID != social.NoPost {
+			children[p.RSID]++
+		}
+	}
+	maxFanout := 0
+	for _, n := range children {
+		if n > maxFanout {
+			maxFanout = n
+		}
+	}
+	if maxFanout < 3 {
+		t.Errorf("max fanout %d; cascades too thin for thread experiments", maxFanout)
+	}
+}
+
+func TestHotKeywordsFrequency(t *testing.T) {
+	// Table II: the 10 hot keywords must be the 10 most frequent meaningful
+	// keywords, and "restaur" the most frequent overall.
+	c, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.KeywordFrequencies()
+	type kc struct {
+		k string
+		n int
+	}
+	var ranked []kc
+	for k, n := range counts {
+		ranked = append(ranked, kc{k, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+	if len(ranked) < 10 {
+		t.Fatalf("only %d meaningful keywords appeared", len(ranked))
+	}
+	hot := map[string]bool{}
+	for _, k := range HotKeywords {
+		hot[k] = true
+	}
+	for i := 0; i < 10; i++ {
+		if !hot[ranked[i].k] {
+			t.Errorf("rank %d keyword %q is not a Table II hot keyword", i+1, ranked[i].k)
+		}
+	}
+	if ranked[0].k != "restaur" {
+		t.Errorf("most frequent keyword = %q, want restaur (Table II rank 1)", ranked[0].k)
+	}
+}
+
+func TestUsersClusterAroundCities(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range c.Users {
+		city := c.Config.Cities[u.City]
+		d := geo.HaversineKm(u.Home, city.Center)
+		if d > city.SigmaKm*6 {
+			t.Errorf("user %d home %.1f km from %s center (σ=%.0f)", u.UID, d, city.Name, city.SigmaKm)
+		}
+	}
+}
+
+func TestExpertsExistAndInfluence(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	experts := 0
+	for _, u := range c.Users {
+		if u.Expertise != "" {
+			experts++
+		}
+	}
+	if experts == 0 {
+		t.Fatal("no expert users generated")
+	}
+	frac := float64(experts) / float64(len(c.Users))
+	if frac < 0.02 || frac > 0.2 {
+		t.Errorf("expert fraction %.3f far from configured %.2f", frac, smallConfig().ExpertFraction)
+	}
+	if _, ok := c.Profile(c.Users[0].UID); !ok {
+		t.Error("Profile lookup failed")
+	}
+	if _, ok := c.Profile(999999); ok {
+		t.Error("Profile found nonexistent user")
+	}
+}
+
+func TestGenerateQueriesWorkload(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := c.GenerateQueries(7, 30)
+	if len(qs) != 90 {
+		t.Fatalf("workload size %d, want 90", len(qs))
+	}
+	for i, q := range qs {
+		wantKw := i/30 + 1
+		if len(q.Keywords) != wantKw {
+			t.Errorf("query %d has %d keywords, want %d", i, len(q.Keywords), wantKw)
+		}
+		if !q.Loc.Valid() {
+			t.Errorf("query %d has invalid location", i)
+		}
+		seen := map[string]bool{}
+		for _, k := range q.Keywords {
+			if seen[k] {
+				t.Errorf("query %d repeats keyword %q", i, k)
+			}
+			seen[k] = true
+		}
+	}
+	// Multi-keyword queries start with a hot keyword (AOL-style phrases).
+	hot := map[string]bool{}
+	for _, k := range HotKeywords {
+		hot[k] = true
+	}
+	for i := 30; i < 90; i++ {
+		if !hot[qs[i].Keywords[0]] {
+			t.Errorf("multi-keyword query %d does not anchor on a hot keyword: %v", i, qs[i].Keywords)
+		}
+	}
+}
+
+func TestHotQueries(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := c.HotQueries(3, 10, 2)
+	if len(qs) != 10 {
+		t.Fatalf("HotQueries returned %d, want 10", len(qs))
+	}
+	hot := map[string]bool{}
+	for _, k := range HotKeywords {
+		hot[k] = true
+	}
+	for _, q := range qs {
+		if len(q.Keywords) != 2 {
+			t.Errorf("hot query has %d keywords", len(q.Keywords))
+		}
+		for _, k := range q.Keywords {
+			if !hot[k] {
+				t.Errorf("hot query contains non-hot keyword %q", k)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.NumUsers = 0 },
+		func(c *Config) { c.NumPosts = 0 },
+		func(c *Config) { c.Cities = nil },
+		func(c *Config) { c.ReactionProb = 1.0 },
+		func(c *Config) { c.ReactionProb = -0.1 },
+		func(c *Config) { c.End = c.Start },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

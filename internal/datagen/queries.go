@@ -1,0 +1,79 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+)
+
+// QuerySpec is one workload query: keywords plus a location. The caller
+// supplies radius, k, semantics and ranking per experiment.
+type QuerySpec struct {
+	Keywords []string
+	Loc      geo.Point
+}
+
+// GenerateQueries builds the evaluation workload of Section VI-B1:
+// perClass queries with one keyword, perClass with two, and perClass with
+// three (the paper uses 30 each, 90 total). Single-keyword queries draw
+// uniformly from the 30 meaningful keywords; multi-keyword queries pair a
+// hot keyword with modifiers, mirroring the AOL phrases built around the
+// Table II keywords ("restaurant seafood", "mexican restaurant houston").
+// Each query's location is the location of a random corpus post, i.e.
+// "sampled according to the spatial distribution in our data set".
+func (c *Corpus) GenerateQueries(seed int64, perClass int) []QuerySpec {
+	rng := rand.New(rand.NewSource(seed))
+	meaningful := MeaningfulKeywords()
+	var out []QuerySpec
+	for nKeywords := 1; nKeywords <= 3; nKeywords++ {
+		for i := 0; i < perClass; i++ {
+			var kws []string
+			switch nKeywords {
+			case 1:
+				kws = []string{meaningful[rng.Intn(len(meaningful))]}
+			default:
+				kws = []string{HotKeywords[rng.Intn(len(HotKeywords))]}
+				for len(kws) < nKeywords {
+					m := Modifiers[rng.Intn(len(Modifiers))]
+					if !contains(kws, m) {
+						kws = append(kws, m)
+					}
+				}
+			}
+			out = append(out, QuerySpec{
+				Keywords: kws,
+				Loc:      c.Posts[rng.Intn(len(c.Posts))].Loc,
+			})
+		}
+	}
+	return out
+}
+
+// HotQueries builds queries whose keywords are all hot (Table II) keywords,
+// used by the Figure 12 experiment where the specific popularity bounds
+// apply.
+func (c *Corpus) HotQueries(seed int64, n, nKeywords int) []QuerySpec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]QuerySpec, 0, n)
+	for i := 0; i < n; i++ {
+		perm := rng.Perm(len(HotKeywords))
+		kws := make([]string, 0, nKeywords)
+		for _, idx := range perm[:nKeywords] {
+			kws = append(kws, HotKeywords[idx])
+		}
+		out = append(out, QuerySpec{
+			Keywords: kws,
+			Loc:      c.Posts[rng.Intn(len(c.Posts))].Loc,
+		})
+	}
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

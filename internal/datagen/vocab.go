@@ -1,0 +1,61 @@
+package datagen
+
+// HotKeywords are the paper's Table II top-10 frequent keywords, in
+// frequency-rank order, already in stemmed form (the generator emits
+// stemmed term bags directly, matching what textutil.Terms produces for
+// the raw surface forms).
+var HotKeywords = []string{
+	"restaur", // restaurant
+	"game",
+	"cafe",
+	"shop",
+	"hotel",
+	"club",
+	"coffe", // coffee
+	"film",
+	"pizza",
+	"mall",
+}
+
+// HotKeywordSurface maps each hot stem back to a display surface form for
+// generated tweet text.
+var HotKeywordSurface = map[string]string{
+	"restaur": "restaurant", "game": "game", "cafe": "cafe", "shop": "shop",
+	"hotel": "hotel", "club": "club", "coffe": "coffee", "film": "film",
+	"pizza": "pizza", "mall": "mall",
+}
+
+// Modifiers are the 20 additional meaningful keywords (stemmed) that,
+// together with the 10 hot keywords, form the paper's pool of "30
+// meaningful keywords" (Section VI-B1). Multi-keyword queries pair a hot
+// keyword with modifiers, mimicking AOL phrases like "restaurant seafood".
+var Modifiers = []string{
+	"seafood", "mexican", "italian", "sushi", "vegan",
+	"downtown", "cheap", "luxuri", "famili", "night",
+	"live", "indie", "craft", "brunch", "rooftop",
+	"vintag", "organ", "karaok", "jazz", "artisan",
+}
+
+// fillerWords pad tweets with low-signal terms so postings lists carry
+// realistic noise. They are never used as query keywords.
+var fillerWords = []string{
+	"today", "love", "time", "good", "happi", "friend", "citi", "week",
+	"look", "place", "best", "amaz", "final", "back", "work", "home",
+	"weekend", "morn", "even", "peopl", "year", "feel", "thing", "nice",
+	"great", "visit", "walk", "enjoy", "wait", "start",
+}
+
+// replyWords fill reaction tweets (replies/forwards), which rarely repeat
+// the root's keywords.
+var replyWords = []string{
+	"agre", "total", "thank", "true", "haha", "same", "right", "cool",
+	"exact", "yes", "wow", "sure", "defin", "omg", "nope",
+}
+
+// MeaningfulKeywords returns the 30-keyword pool queries draw from.
+func MeaningfulKeywords() []string {
+	out := make([]string, 0, len(HotKeywords)+len(Modifiers))
+	out = append(out, HotKeywords...)
+	out = append(out, Modifiers...)
+	return out
+}

@@ -1,0 +1,46 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfPicker samples indexes 0..n-1 with probability proportional to
+// 1/(i+1)^s — rank-ordered Zipf, so index 0 is the most frequent item.
+// math/rand's Zipf type samples an unordered distribution; this picker
+// preserves the rank order the Table II frequency test relies on.
+type zipfPicker struct {
+	cum []float64 // cumulative unnormalized mass
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / powf(float64(i+1), s)
+		cum[i] = total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(rng *rand.Rand) int {
+	target := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// powf computes x^s for positive x.
+func powf(x, s float64) float64 {
+	if s == 1 {
+		return x
+	}
+	return math.Pow(x, s)
+}

@@ -1,0 +1,275 @@
+// Package dfs simulates the Hadoop distributed file system used by the
+// paper's architecture (Fig. 3): the inverted index and the tweet contents
+// live in block-structured files spread over virtual datanodes. Reads are
+// accounted block-by-block so experiments can report I/O and cross-node
+// transfer costs; Section IV-B1 argues geohash layout keeps the points of a
+// rectangular area "in contiguous slices ... in one computer", which the
+// locality counters make measurable.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize mirrors a small HDFS block; the simulated corpus is far
+// smaller than a real 128 MB-block deployment, so the block size is scaled
+// down to keep block counts realistic.
+const DefaultBlockSize = 64 * 1024
+
+// Options configures the simulated cluster.
+type Options struct {
+	BlockSize int // bytes per block
+	DataNodes int // number of datanodes blocks are spread over
+}
+
+// DefaultOptions returns a 3-node cluster (one master, two slaves in the
+// paper's Table III; the master also stores blocks here).
+func DefaultOptions() Options {
+	return Options{BlockSize: DefaultBlockSize, DataNodes: 3}
+}
+
+// Stats aggregates simulated access counters.
+type Stats struct {
+	BlocksRead    int64 // total block fetches
+	BytesRead     int64
+	Seeks         int64 // reads that did not continue the previous position
+	NodeSwitches  int64 // consecutive reads served by different datanodes
+	BlocksWritten int64
+	BytesWritten  int64
+}
+
+// FS is a simulated distributed file system. It is safe for concurrent use.
+type FS struct {
+	mu    sync.Mutex
+	opts  Options
+	files map[string]*file
+	stats Stats
+
+	lastNode   int
+	lastFile   string
+	lastOffset int64
+	nextBlock  int // round-robin placement cursor
+}
+
+type file struct {
+	blocks [][]byte // sealed blocks; last one may be partial
+	nodes  []int    // datanode of each block
+	size   int64
+	sealed bool
+}
+
+// New creates an empty simulated file system.
+func New(opts Options) *FS {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	if opts.DataNodes <= 0 {
+		opts.DataNodes = 1
+	}
+	return &FS{opts: opts, files: make(map[string]*file), lastNode: -1}
+}
+
+// Create opens a new file for writing. Files are write-once: the returned
+// Writer must be closed before the file can be read, and an existing name
+// cannot be recreated.
+func (fs *FS) Create(name string) (*Writer, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, exists := fs.files[name]; exists {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	f := &file{}
+	fs.files[name] = f
+	return &Writer{fs: fs, f: f, name: name}, nil
+}
+
+// Writer appends bytes to a file, cutting blocks at the block size and
+// assigning each block to a datanode round-robin.
+type Writer struct {
+	fs     *FS
+	f      *file
+	name   string
+	buf    []byte
+	offset int64
+	closed bool
+}
+
+// Write appends p. It never fails before Close.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("dfs: write to closed file %q", w.name)
+	}
+	w.buf = append(w.buf, p...)
+	w.offset += int64(len(p))
+	for len(w.buf) >= w.fs.opts.BlockSize {
+		w.seal(w.buf[:w.fs.opts.BlockSize])
+		w.buf = w.buf[w.fs.opts.BlockSize:]
+	}
+	return len(p), nil
+}
+
+// Offset returns the number of bytes written so far — the "position of each
+// postings list in HDFS" recorded by the forward index construction job.
+func (w *Writer) Offset() int64 { return w.offset }
+
+func (w *Writer) seal(block []byte) {
+	b := make([]byte, len(block))
+	copy(b, block)
+	w.fs.mu.Lock()
+	w.f.blocks = append(w.f.blocks, b)
+	w.f.nodes = append(w.f.nodes, w.fs.nextBlock%w.fs.opts.DataNodes)
+	w.fs.nextBlock++
+	w.f.size += int64(len(b))
+	w.fs.stats.BlocksWritten++
+	w.fs.stats.BytesWritten += int64(len(b))
+	w.fs.mu.Unlock()
+}
+
+// Close seals the trailing partial block and makes the file readable.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if len(w.buf) > 0 {
+		w.seal(w.buf)
+		w.buf = nil
+	}
+	w.closed = true
+	w.fs.mu.Lock()
+	w.f.sealed = true
+	w.fs.mu.Unlock()
+	return nil
+}
+
+// ReadAt reads length bytes of the named file starting at offset, counting
+// every block touched. It fails on unsealed or missing files and on reads
+// past the end of the file.
+func (fs *FS) ReadAt(name string, offset, length int64) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", name)
+	}
+	if !f.sealed {
+		return nil, fmt.Errorf("dfs: file %q not sealed", name)
+	}
+	if offset < 0 || length < 0 || offset+length > f.size {
+		return nil, fmt.Errorf("dfs: read [%d,%d) out of bounds for %q (size %d)",
+			offset, offset+length, name, f.size)
+	}
+	if fs.lastFile != name || fs.lastOffset != offset {
+		fs.stats.Seeks++
+	}
+	fs.lastFile = name
+	fs.lastOffset = offset + length
+
+	out := make([]byte, 0, length)
+	bs := int64(fs.opts.BlockSize)
+	for remaining := length; remaining > 0; {
+		blockIdx := offset / bs
+		within := offset % bs
+		block := f.blocks[blockIdx]
+		n := int64(len(block)) - within
+		if n > remaining {
+			n = remaining
+		}
+		out = append(out, block[within:within+n]...)
+		fs.stats.BlocksRead++
+		fs.stats.BytesRead += n
+		node := f.nodes[blockIdx]
+		if fs.lastNode != -1 && node != fs.lastNode {
+			fs.stats.NodeSwitches++
+		}
+		fs.lastNode = node
+		offset += n
+		remaining -= n
+	}
+	return out, nil
+}
+
+// ReadAll returns the entire contents of a file.
+func (fs *FS) ReadAll(name string) ([]byte, error) {
+	size, err := fs.FileSize(name)
+	if err != nil {
+		return nil, err
+	}
+	return fs.ReadAt(name, 0, size)
+}
+
+// FileSize returns the size in bytes of a sealed file.
+func (fs *FS) FileSize(name string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("dfs: file %q not found", name)
+	}
+	return f.size, nil
+}
+
+// Exists reports whether the named file exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// List returns all file names in lexicographic order.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalSize returns the number of bytes stored across all files — the
+// "index size in HDFS" reported by Figure 6.
+func (fs *FS) TotalSize() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var total int64
+	for _, f := range fs.files {
+		total += f.size
+	}
+	return total
+}
+
+// Stats returns a copy of the access counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats zeroes the counters and the locality trackers.
+func (fs *FS) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+	fs.lastNode = -1
+	fs.lastFile = ""
+	fs.lastOffset = 0
+}
+
+// NodeOfBlock reports which datanode stores the given block of a file.
+// Used by locality tests.
+func (fs *FS) NodeOfBlock(name string, block int) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("dfs: file %q not found", name)
+	}
+	if block < 0 || block >= len(f.nodes) {
+		return 0, fmt.Errorf("dfs: block %d out of range for %q", block, name)
+	}
+	return f.nodes[block], nil
+}

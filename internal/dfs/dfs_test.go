@@ -1,0 +1,193 @@
+package dfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(Options{BlockSize: 16, DataNodes: 3})
+	w, err := fs.Create("postings/part-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("postings/part-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q vs %q", got, data)
+	}
+	size, _ := fs.FileSize("postings/part-0")
+	if size != int64(len(data)) {
+		t.Errorf("FileSize = %d, want %d", size, len(data))
+	}
+}
+
+func TestReadAtSlices(t *testing.T) {
+	fs := New(Options{BlockSize: 8, DataNodes: 2})
+	w, _ := fs.Create("f")
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	w.Write(data)
+	w.Close()
+	for _, c := range []struct{ off, n int64 }{{0, 8}, {5, 10}, {17, 1}, {92, 8}, {0, 100}, {50, 0}} {
+		got, err := fs.ReadAt("f", c.off, c.n)
+		if err != nil {
+			t.Fatalf("ReadAt(%d,%d): %v", c.off, c.n, err)
+		}
+		if !bytes.Equal(got, data[c.off:c.off+c.n]) {
+			t.Fatalf("ReadAt(%d,%d) wrong content", c.off, c.n)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	fs := New(DefaultOptions())
+	if _, err := fs.ReadAt("missing", 0, 1); err == nil {
+		t.Error("read of missing file should fail")
+	}
+	w, _ := fs.Create("open")
+	w.Write([]byte("abc"))
+	if _, err := fs.ReadAt("open", 0, 1); err == nil {
+		t.Error("read of unsealed file should fail")
+	}
+	w.Close()
+	if _, err := fs.ReadAt("open", 0, 4); err == nil {
+		t.Error("read past EOF should fail")
+	}
+	if _, err := fs.ReadAt("open", -1, 1); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := fs.Create("open"); err == nil {
+		t.Error("recreating a file should fail")
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("write after close should fail")
+	}
+}
+
+func TestWriterOffsetTracksBytes(t *testing.T) {
+	fs := New(Options{BlockSize: 4, DataNodes: 1})
+	w, _ := fs.Create("f")
+	if w.Offset() != 0 {
+		t.Error("fresh writer offset != 0")
+	}
+	w.Write([]byte("abcdefg"))
+	if w.Offset() != 7 {
+		t.Errorf("offset = %d, want 7", w.Offset())
+	}
+	w.Write([]byte("hi"))
+	if w.Offset() != 9 {
+		t.Errorf("offset = %d, want 9", w.Offset())
+	}
+	w.Close()
+}
+
+func TestBlockPlacementRoundRobin(t *testing.T) {
+	fs := New(Options{BlockSize: 4, DataNodes: 3})
+	w, _ := fs.Create("f")
+	w.Write(make([]byte, 24)) // 6 full blocks
+	w.Close()
+	for i := 0; i < 6; i++ {
+		node, err := fs.NodeOfBlock("f", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != i%3 {
+			t.Errorf("block %d on node %d, want %d", i, node, i%3)
+		}
+	}
+	if _, err := fs.NodeOfBlock("f", 99); err == nil {
+		t.Error("out-of-range block should fail")
+	}
+}
+
+func TestStatsSeeksAndLocality(t *testing.T) {
+	fs := New(Options{BlockSize: 8, DataNodes: 2})
+	w, _ := fs.Create("f")
+	w.Write(make([]byte, 64))
+	w.Close()
+	fs.ResetStats()
+
+	// Sequential reads: one seek (the first), no extra seeks after.
+	fs.ReadAt("f", 0, 8)
+	fs.ReadAt("f", 8, 8)
+	fs.ReadAt("f", 16, 8)
+	s := fs.Stats()
+	if s.Seeks != 1 {
+		t.Errorf("sequential reads produced %d seeks, want 1", s.Seeks)
+	}
+	if s.BlocksRead != 3 || s.BytesRead != 24 {
+		t.Errorf("stats = %+v", s)
+	}
+	// A jump back is a seek.
+	fs.ReadAt("f", 0, 8)
+	if s := fs.Stats(); s.Seeks != 2 {
+		t.Errorf("random read produced %d seeks, want 2", s.Seeks)
+	}
+	// Reading across 2 datanodes switches nodes.
+	fs.ResetStats()
+	fs.ReadAt("f", 0, 64) // blocks on nodes 0,1,0,1,...
+	if s := fs.Stats(); s.NodeSwitches < 7 {
+		t.Errorf("NodeSwitches = %d, want >= 7 for 8 alternating blocks", s.NodeSwitches)
+	}
+}
+
+func TestListAndTotalSize(t *testing.T) {
+	fs := New(DefaultOptions())
+	for _, name := range []string{"b", "a", "c"} {
+		w, _ := fs.Create(name)
+		w.Write([]byte(name))
+		w.Close()
+	}
+	list := fs.List()
+	if len(list) != 3 || list[0] != "a" || list[2] != "c" {
+		t.Errorf("List = %v", list)
+	}
+	if fs.TotalSize() != 3 {
+		t.Errorf("TotalSize = %d, want 3", fs.TotalSize())
+	}
+	if !fs.Exists("a") || fs.Exists("zz") {
+		t.Error("Exists wrong")
+	}
+}
+
+func TestLargeRandomReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fs := New(Options{BlockSize: 777, DataNodes: 5}) // odd block size
+	data := make([]byte, 100000)
+	rng.Read(data)
+	w, _ := fs.Create("big")
+	// Write in random chunk sizes.
+	for off := 0; off < len(data); {
+		n := rng.Intn(2000) + 1
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		w.Write(data[off : off+n])
+		off += n
+	}
+	w.Close()
+	for i := 0; i < 200; i++ {
+		off := rng.Int63n(int64(len(data)))
+		n := rng.Int63n(int64(len(data)) - off)
+		got, err := fs.ReadAt("big", off, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[off:off+n]) {
+			t.Fatalf("random read [%d,%d) mismatch", off, off+n)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package dfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The simulated DFS persists to a host directory as one image file per
+// simulated file: a header with the block/node layout followed by the raw
+// bytes. Slashes in simulated names map to '__' so the host layout stays
+// flat and reversible.
+
+const imageMagic = "TKDFS1\n"
+
+// Save writes every sealed file into dir (created if needed). Unsealed
+// files are an error: persistence happens after construction.
+func (fs *FS) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for name, f := range fs.files {
+		if !f.sealed {
+			return fmt.Errorf("dfs: cannot save unsealed file %q", name)
+		}
+		if err := saveFile(dir, name, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveFile(dir, name string, f *file) error {
+	host, err := os.Create(filepath.Join(dir, encodeName(name)))
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	if _, err := host.WriteString(imageHeader(f)); err != nil {
+		return err
+	}
+	for _, block := range f.blocks {
+		if _, err := host.Write(block); err != nil {
+			return err
+		}
+	}
+	return host.Close()
+}
+
+// imageHeader renders the header: magic, then block count, then one
+// "size node" line per block.
+func imageHeader(f *file) string {
+	var sb strings.Builder
+	sb.WriteString(imageMagic)
+	fmt.Fprintf(&sb, "%d\n", len(f.blocks))
+	for i, block := range f.blocks {
+		fmt.Fprintf(&sb, "%d %d\n", len(block), f.nodes[i])
+	}
+	return sb.String()
+}
+
+// Load reads a directory written by Save into an empty FS. Loading into a
+// non-empty FS is rejected.
+func (fs *FS) Load(dir string) error {
+	fs.mu.Lock()
+	if len(fs.files) != 0 {
+		fs.mu.Unlock()
+		return fmt.Errorf("dfs: load into non-empty file system")
+	}
+	fs.mu.Unlock()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, hostName := range names {
+		if err := fs.loadFile(dir, hostName); err != nil {
+			return fmt.Errorf("dfs: loading %q: %w", hostName, err)
+		}
+	}
+	return nil
+}
+
+func (fs *FS) loadFile(dir, hostName string) error {
+	data, err := os.ReadFile(filepath.Join(dir, hostName))
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(string(data), imageMagic) {
+		return fmt.Errorf("bad magic")
+	}
+	rest := string(data[len(imageMagic):])
+	var nBlocks int
+	n, err := fmt.Sscanf(rest, "%d\n", &nBlocks)
+	if err != nil || n != 1 {
+		return fmt.Errorf("bad block count")
+	}
+	idx := strings.IndexByte(rest, '\n') + 1
+	f := &file{sealed: true}
+	sizes := make([]int, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		line := rest[idx:]
+		var size, node int
+		if _, err := fmt.Sscanf(line, "%d %d\n", &size, &node); err != nil {
+			return fmt.Errorf("bad block header %d", b)
+		}
+		sizes[b] = size
+		f.nodes = append(f.nodes, node)
+		idx += strings.IndexByte(line, '\n') + 1
+	}
+	payload := data[len(imageMagic)+idx:]
+	off := 0
+	for b := 0; b < nBlocks; b++ {
+		if off+sizes[b] > len(payload) {
+			return fmt.Errorf("truncated payload")
+		}
+		block := make([]byte, sizes[b])
+		copy(block, payload[off:off+sizes[b]])
+		f.blocks = append(f.blocks, block)
+		f.size += int64(sizes[b])
+		off += sizes[b]
+	}
+	if off != len(payload) {
+		return fmt.Errorf("trailing bytes")
+	}
+	fs.mu.Lock()
+	fs.files[decodeName(hostName)] = f
+	fs.mu.Unlock()
+	return nil
+}
+
+// encodeName flattens a simulated path to a host file name.
+func encodeName(name string) string { return strings.ReplaceAll(name, "/", "__") }
+
+// decodeName inverts encodeName.
+func decodeName(host string) string { return strings.ReplaceAll(host, "__", "/") }

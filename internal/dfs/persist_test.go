@@ -1,0 +1,106 @@
+package dfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fs := New(Options{BlockSize: 32, DataNodes: 3})
+	files := map[string][]byte{
+		"index/part-00000":    bytes.Repeat([]byte("abcdef"), 20),
+		"index/part-00001":    []byte("tiny"),
+		"contents/part-00000": bytes.Repeat([]byte{0, 1, 2, 255}, 33),
+		"empty":               nil,
+	}
+	for name, data := range files {
+		w, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(data)
+		w.Close()
+	}
+	dir := t.TempDir()
+	if err := fs.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := New(Options{BlockSize: 32, DataNodes: 3})
+	if err := loaded.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.List()) != len(files) {
+		t.Fatalf("loaded %v", loaded.List())
+	}
+	for name, data := range files {
+		got, err := loaded.ReadAll(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s content mismatch", name)
+		}
+	}
+	// Block placement survives: node assignments are part of the image.
+	orig, _ := fs.NodeOfBlock("index/part-00000", 2)
+	got, err := loaded.NodeOfBlock("index/part-00000", 2)
+	if err != nil || got != orig {
+		t.Errorf("node placement lost: %d vs %d (%v)", got, orig, err)
+	}
+}
+
+func TestSaveUnsealedFails(t *testing.T) {
+	fs := New(DefaultOptions())
+	w, _ := fs.Create("open")
+	w.Write([]byte("x"))
+	if err := fs.Save(t.TempDir()); err == nil {
+		t.Error("saving with unsealed file should fail")
+	}
+	w.Close()
+}
+
+func TestLoadIntoNonEmptyFails(t *testing.T) {
+	fs := New(DefaultOptions())
+	w, _ := fs.Create("f")
+	w.Close()
+	dir := t.TempDir()
+	if err := fs.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Load(dir); err == nil {
+		t.Error("loading into non-empty FS should fail")
+	}
+}
+
+func TestLoadCorruptImage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad"), []byte("not an image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(DefaultOptions())
+	if err := fs.Load(dir); err == nil {
+		t.Error("corrupt image accepted")
+	}
+	// Truncated payload.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "trunc"),
+		[]byte("TKDFS1\n1\n100 0\nshort"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := New(DefaultOptions())
+	if err := fs2.Load(dir2); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestNameEncoding(t *testing.T) {
+	if encodeName("a/b/c") != "a__b__c" {
+		t.Error("encodeName wrong")
+	}
+	if decodeName("a__b__c") != "a/b/c" {
+		t.Error("decodeName wrong")
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/irtree"
+)
+
+// AblationIRTree compares candidate retrieval through the hybrid geohash
+// index against a centralized IR-tree (the paper's related-work comparison
+// point, references [5]/[14]) on identical queries. Both sides must return
+// identical candidate sets; the table reports retrieval latency and
+// candidate counts.
+func (s *Setup) AblationIRTree() (*Table, error) {
+	t := &Table{
+		Title:   "Ablation — candidate retrieval: hybrid geohash index vs IR-tree",
+		Note:    "identical candidates by construction; compare retrieval latency",
+		Headers: []string{"radius (km)", "semantic", "hybrid", "ir-tree", "candidates"},
+	}
+	sys, err := s.System(4)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]irtree.Entry, len(s.Corpus.Posts))
+	for i, p := range s.Corpus.Posts {
+		entries[i] = irtree.Entry{SID: p.SID, Loc: p.Loc, Terms: p.Words}
+	}
+	tree := irtree.Bulkload(entries, irtree.DefaultFanout)
+
+	specs := sample(s.queriesWithKeywordCount(2), 10, s.Cfg.Seed+21)
+	for _, radius := range []float64{5, 20, 50} {
+		for _, sem := range []core.Semantic{core.And, core.Or} {
+			var hybridTime, irTime time.Duration
+			var candidates int
+			for _, spec := range specs {
+				q := toQuery(spec, radius, s.Cfg.K, sem, core.SumScore)
+				terms := core.QueryTerms(q.Keywords)
+
+				start := time.Now()
+				hybrid, _, err := sys.Engine.CandidateTweets(q)
+				if err != nil {
+					return nil, err
+				}
+				hybridTime += time.Since(start)
+
+				start = time.Now()
+				irCands := tree.Search(q.Loc, q.RadiusKm, terms, sem == core.And)
+				irTime += time.Since(start)
+
+				if err := compareCandidates(hybrid, irCands); err != nil {
+					return nil, fmt.Errorf("radius %.0f %v keywords %v: %w",
+						radius, sem, q.Keywords, err)
+				}
+				candidates += len(hybrid)
+			}
+			n := float64(len(specs))
+			t.AddRow(fmt.Sprintf("%.0f", radius), sem.String(),
+				ms(hybridTime.Seconds()/n), ms(irTime.Seconds()/n),
+				fmt.Sprintf("%d", candidates))
+		}
+	}
+	return t, nil
+}
+
+// compareCandidates asserts the two retrieval paths agree on tweet IDs and
+// match counts.
+func compareCandidates(hybrid []core.CandidateTweet, ir []irtree.Candidate) error {
+	if len(hybrid) != len(ir) {
+		return fmt.Errorf("candidate counts differ: hybrid %d vs ir-tree %d", len(hybrid), len(ir))
+	}
+	h := make([]core.CandidateTweet, len(hybrid))
+	copy(h, hybrid)
+	sort.Slice(h, func(i, j int) bool { return h[i].TID < h[j].TID })
+	for i := range h {
+		if h[i].TID != ir[i].SID {
+			return fmt.Errorf("candidate %d: tweet %d vs %d", i, h[i].TID, ir[i].SID)
+		}
+		if h[i].Matches != ir[i].Matches {
+			return fmt.Errorf("tweet %d: match count %d vs %d", h[i].TID, h[i].Matches, ir[i].Matches)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/userstudy"
+)
+
+// Fig13UserStudy reproduces Figure 13: the simulated relevance-judgment
+// study. 30 queries with 1–3 keywords are issued at radii 5–20 km; the
+// judge panel scores the top-5 and top-10 results of both rankings.
+// Expected shape: precision 60–80 % for radii <= 10 km, decreasing with the
+// radius, and top-5 above top-10.
+func (s *Setup) Fig13UserStudy() (*Table, error) {
+	t := &Table{
+		Title:   "Figure 13 — user study precision (simulated judge panel)",
+		Note:    "expected shape: precision decreases with radius; top-5 >= top-10",
+		Headers: []string{"radius (km)", "sum top-5", "sum top-10", "max top-5", "max top-10"},
+	}
+	sys, err := s.System(4)
+	if err != nil {
+		return nil, err
+	}
+	panel := userstudy.NewPanel(s.Corpus, userstudy.DefaultPanel())
+	specs := sample(s.Queries, 30, s.Cfg.Seed+13)
+	for _, radius := range []float64{5, 10, 15, 20} {
+		row := []string{fmt.Sprintf("%.0f", radius)}
+		for _, ranking := range []core.Ranking{core.SumScore, core.MaxScore} {
+			for _, k := range []int{5, 10} {
+				var total float64
+				n := 0
+				for _, spec := range specs {
+					res, _, err := sys.Engine.Search(toQuery(spec, radius, k, core.Or, ranking))
+					if err != nil {
+						return nil, err
+					}
+					if len(res) == 0 {
+						continue
+					}
+					total += panel.Precision(res, spec.Loc, radius, spec.Keywords)
+					n++
+				}
+				precision := 0.0
+				if n > 0 {
+					precision = total / float64(n)
+				}
+				row = append(row, f2(precision))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

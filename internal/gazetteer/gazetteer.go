@@ -1,0 +1,127 @@
+// Package gazetteer implements the second future-work direction of the
+// paper: "There are also tweets that lack longitude/latitude in the
+// metadata but mention place name(s) in the short content. It is worth
+// studying how to exploit the implicit spatial information in such tweets."
+//
+// A Gazetteer maps place names (possibly multi-word) to coordinates and
+// resolves the most specific place mention in a post's text, so tweets
+// without geo-tags can still be ingested into the TkLUS index with an
+// inferred location.
+package gazetteer
+
+import (
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/textutil"
+)
+
+// maxNameTokens bounds the length of place names in tokens.
+const maxNameTokens = 3
+
+// Entry is one gazetteer place.
+type Entry struct {
+	Name string // canonical display name
+	Loc  geo.Point
+}
+
+// Gazetteer resolves place mentions to coordinates. Lookup keys are the
+// tokenized, lowercased name (stop words kept: "the hague" must survive),
+// joined by single spaces.
+type Gazetteer struct {
+	places map[string]Entry
+}
+
+// New builds a gazetteer from entries. Names that tokenize to nothing or
+// exceed maxNameTokens tokens are rejected silently by Add's error being
+// ignored; use Add directly to observe failures.
+func New(entries []Entry) *Gazetteer {
+	g := &Gazetteer{places: make(map[string]Entry, len(entries))}
+	for _, e := range entries {
+		_ = g.Add(e)
+	}
+	return g
+}
+
+// Add registers one place.
+func (g *Gazetteer) Add(e Entry) error {
+	key := nameKey(e.Name)
+	if key == "" {
+		return errBadName(e.Name)
+	}
+	if len(strings.Fields(key)) > maxNameTokens {
+		return errBadName(e.Name)
+	}
+	if !e.Loc.Valid() {
+		return errBadName(e.Name)
+	}
+	g.places[key] = e
+	return nil
+}
+
+// Len returns the number of known places.
+func (g *Gazetteer) Len() int { return len(g.places) }
+
+// Resolve finds the place mentioned in text. When several names match, the
+// longest (most specific) mention wins; among equal lengths, the earliest
+// in the text. It returns false when no known place is mentioned.
+func (g *Gazetteer) Resolve(text string) (Entry, bool) {
+	tokens := textutil.Tokenize(text)
+	best := Entry{}
+	bestLen := 0
+	found := false
+	for i := range tokens {
+		for n := maxNameTokens; n >= 1; n-- {
+			if i+n > len(tokens) {
+				continue
+			}
+			key := strings.Join(tokens[i:i+n], " ")
+			e, ok := g.places[key]
+			if !ok {
+				continue
+			}
+			if n > bestLen {
+				best, bestLen, found = e, n, true
+			}
+			break // longer match at this position wins; shorter ones can't beat it
+		}
+	}
+	return best, found
+}
+
+// nameKey normalizes a place name to its lookup key.
+func nameKey(name string) string {
+	return strings.Join(textutil.Tokenize(name), " ")
+}
+
+type errBadName string
+
+func (e errBadName) Error() string { return "gazetteer: unusable place name " + string(e) }
+
+// Default returns a small built-in gazetteer of the metros the synthetic
+// corpus uses plus well-known districts, enough to exercise the inference
+// path end to end.
+func Default() *Gazetteer {
+	return New([]Entry{
+		{"Toronto", geo.Point{Lat: 43.6532, Lon: -79.3832}},
+		{"Downtown Toronto", geo.Point{Lat: 43.6510, Lon: -79.3822}},
+		{"Yorkville", geo.Point{Lat: 43.6709, Lon: -79.3933}},
+		{"Scarborough", geo.Point{Lat: 43.7764, Lon: -79.2318}},
+		{"New York", geo.Point{Lat: 40.7128, Lon: -74.0060}},
+		{"New York City", geo.Point{Lat: 40.7128, Lon: -74.0060}},
+		{"Manhattan", geo.Point{Lat: 40.7831, Lon: -73.9712}},
+		{"Brooklyn", geo.Point{Lat: 40.6782, Lon: -73.9442}},
+		{"Los Angeles", geo.Point{Lat: 34.0522, Lon: -118.2437}},
+		{"Hollywood", geo.Point{Lat: 34.0928, Lon: -118.3287}},
+		{"Santa Monica", geo.Point{Lat: 34.0195, Lon: -118.4912}},
+		{"Chicago", geo.Point{Lat: 41.8781, Lon: -87.6298}},
+		{"Wicker Park", geo.Point{Lat: 41.9088, Lon: -87.6796}},
+		{"Seattle", geo.Point{Lat: 47.6062, Lon: -122.3321}},
+		{"Capitol Hill", geo.Point{Lat: 47.6253, Lon: -122.3222}},
+		{"Seoul", geo.Point{Lat: 37.5665, Lon: 126.9780}},
+		{"Gangnam", geo.Point{Lat: 37.5172, Lon: 127.0473}},
+		{"Busan", geo.Point{Lat: 35.1796, Lon: 129.0756}},
+		{"Copenhagen", geo.Point{Lat: 55.6761, Lon: 12.5683}},
+		{"Aalborg", geo.Point{Lat: 57.0488, Lon: 9.9217}},
+	})
+}

@@ -1,0 +1,84 @@
+package gazetteer
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestResolveSingleWord(t *testing.T) {
+	g := Default()
+	e, ok := g.Resolve("Finally landed in Toronto, time for dinner")
+	if !ok || e.Name != "Toronto" {
+		t.Fatalf("Resolve = %+v, %v", e, ok)
+	}
+}
+
+func TestResolveMostSpecificWins(t *testing.T) {
+	g := Default()
+	// "Downtown Toronto" (2 tokens) must beat the contained "Toronto".
+	e, ok := g.Resolve("coffee crawl through downtown toronto today")
+	if !ok || e.Name != "Downtown Toronto" {
+		t.Fatalf("Resolve = %+v, want Downtown Toronto", e)
+	}
+	// Three-token name.
+	e, ok = g.Resolve("greetings from New York City!")
+	if !ok || e.Name != "New York City" {
+		t.Fatalf("Resolve = %+v, want New York City", e)
+	}
+}
+
+func TestResolveNoMention(t *testing.T) {
+	g := Default()
+	if _, ok := g.Resolve("just had the best sandwich of my life"); ok {
+		t.Error("resolved a place from placeless text")
+	}
+	if _, ok := g.Resolve(""); ok {
+		t.Error("resolved a place from empty text")
+	}
+}
+
+func TestResolveCaseAndPunctuation(t *testing.T) {
+	g := Default()
+	e, ok := g.Resolve("SEATTLE!!! here we come :)")
+	if !ok || e.Name != "Seattle" {
+		t.Fatalf("Resolve = %+v", e)
+	}
+}
+
+func TestResolveEarliestAmongEqualLengths(t *testing.T) {
+	g := Default()
+	e, ok := g.Resolve("from Brooklyn to Manhattan by bike")
+	if !ok || e.Name != "Brooklyn" {
+		t.Fatalf("Resolve = %+v, want the earlier mention Brooklyn", e)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	g := New(nil)
+	if err := g.Add(Entry{Name: "Valid Place", Loc: geo.Point{Lat: 1, Lon: 2}}); err != nil {
+		t.Errorf("valid entry rejected: %v", err)
+	}
+	bad := []Entry{
+		{Name: "", Loc: geo.Point{Lat: 1, Lon: 2}},
+		{Name: "...", Loc: geo.Point{Lat: 1, Lon: 2}},
+		{Name: "One Two Three Four", Loc: geo.Point{Lat: 1, Lon: 2}}, // too long
+		{Name: "Nowhere", Loc: geo.Point{Lat: 99, Lon: 0}},           // bad coords
+	}
+	for _, e := range bad {
+		if err := g.Add(e); err == nil {
+			t.Errorf("bad entry %q accepted", e.Name)
+		}
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestCustomGazetteer(t *testing.T) {
+	g := New([]Entry{{Name: "Test Town", Loc: geo.Point{Lat: 12, Lon: 34}}})
+	e, ok := g.Resolve("meet me in test town at noon")
+	if !ok || e.Loc.Lat != 12 || e.Loc.Lon != 34 {
+		t.Fatalf("Resolve = %+v, %v", e, ok)
+	}
+}

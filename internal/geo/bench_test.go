@@ -1,0 +1,44 @@
+package geo
+
+import "testing"
+
+var (
+	benchPoint = Point{Lat: 43.6839128037, Lon: -79.37356590}
+	sinkString string
+	sinkFloat  float64
+	sinkCover  []string
+)
+
+func BenchmarkEncode(b *testing.B) {
+	for _, precision := range []int{4, 8, 12} {
+		b.Run(string(rune('0'+precision/10))+string(rune('0'+precision%10)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkString = Encode(benchPoint, precision)
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = DecodeCell("6gxp")
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	other := Point{Lat: 40.7128, Lon: -74.0060}
+	for i := 0; i < b.N; i++ {
+		sinkFloat = HaversineKm(benchPoint, other)
+	}
+}
+
+func BenchmarkCircleCover(b *testing.B) {
+	for _, radius := range []float64{5, 20, 100} {
+		name := map[float64]string{5: "r5", 20: "r20", 100: "r100"}[radius]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkCover = CircleCover(benchPoint, radius, 4)
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package geo
+
+import "testing"
+
+// FuzzEncodeDecode checks the round-trip invariant for arbitrary inputs:
+// the decoded cell of a point's geohash contains the point, at every
+// precision.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(43.6839128037, -79.37356590)
+	f.Add(-23.994140625, -46.23046875)
+	f.Add(0.0, 0.0)
+	f.Add(89.9999, 179.9999)
+	f.Add(-89.9999, -179.9999)
+	f.Fuzz(func(t *testing.T, lat, lon float64) {
+		p := Point{Lat: lat, Lon: lon}
+		if !p.Valid() {
+			t.Skip()
+		}
+		for _, precision := range []int{1, 4, 8} {
+			h := Encode(p, precision)
+			if len(h) != precision {
+				t.Fatalf("Encode length %d != precision %d", len(h), precision)
+			}
+			cell, err := DecodeCell(h)
+			if err != nil {
+				t.Fatalf("DecodeCell(%q): %v", h, err)
+			}
+			if !cell.Contains(p) {
+				t.Fatalf("cell %q does not contain %v", h, p)
+			}
+		}
+	})
+}
+
+// FuzzDecodeCell checks that arbitrary strings never panic the decoder.
+func FuzzDecodeCell(f *testing.F) {
+	f.Add("6gxp")
+	f.Add("")
+	f.Add("zzzzzzzzzzzzzz")
+	f.Add("a")
+	f.Fuzz(func(t *testing.T, s string) {
+		cell, err := DecodeCell(s)
+		if err != nil {
+			return
+		}
+		if cell.MinLat > cell.MaxLat || cell.MinLon > cell.MaxLon {
+			t.Fatalf("inverted cell from %q: %+v", s, cell)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package geo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The geohash scheme follows Section IV-B1 of the paper: the lat/lon space is
+// subdivided as a full-height quadtree, each split contributing one longitude
+// bit and one latitude bit (interleaved, longitude first), and every five
+// bits are mapped to one character of the Base32 alphabet below (digits 0-9
+// and the letters a-z excluding a, i, l, o).
+
+// Base32Alphabet is the geohash Base32 alphabet.
+const Base32Alphabet = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+// MaxPrecision is the maximum supported geohash length in characters.
+// 12 characters (60 bits) resolve to well under a metre, far beyond the
+// paper's 4-character experiments.
+const MaxPrecision = 12
+
+var base32Decode = func() map[byte]uint64 {
+	m := make(map[byte]uint64, 32)
+	for i := 0; i < len(Base32Alphabet); i++ {
+		m[Base32Alphabet[i]] = uint64(i)
+	}
+	return m
+}()
+
+// EncodeBits computes the leading `bits` interleaved quadtree bits of the
+// geohash of p, longitude bit first, returned right-aligned in a uint64.
+// bits must be in [1, 60].
+func EncodeBits(p Point, bits int) uint64 {
+	if bits < 1 || bits > 60 {
+		panic(fmt.Sprintf("geo: EncodeBits precision %d out of range [1,60]", bits))
+	}
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	var code uint64
+	for i := 0; i < bits; i++ {
+		code <<= 1
+		if i%2 == 0 { // even positions refine longitude
+			mid := (lonLo + lonHi) / 2
+			if p.Lon >= mid {
+				code |= 1
+				lonLo = mid
+			} else {
+				lonHi = mid
+			}
+		} else { // odd positions refine latitude
+			mid := (latLo + latHi) / 2
+			if p.Lat >= mid {
+				code |= 1
+				latLo = mid
+			} else {
+				latHi = mid
+			}
+		}
+	}
+	return code
+}
+
+// Encode returns the geohash of p with the given precision in characters.
+func Encode(p Point, precision int) string {
+	if precision < 1 || precision > MaxPrecision {
+		panic(fmt.Sprintf("geo: Encode precision %d out of range [1,%d]", precision, MaxPrecision))
+	}
+	code := EncodeBits(p, precision*5)
+	var sb strings.Builder
+	sb.Grow(precision)
+	for i := precision - 1; i >= 0; i-- {
+		sb.WriteByte(Base32Alphabet[(code>>(uint(i)*5))&0x1f])
+	}
+	return sb.String()
+}
+
+// DecodeCell returns the lat/lon rectangle represented by a geohash string.
+// It returns an error if the string is empty, too long, or contains a
+// character outside the Base32 alphabet.
+func DecodeCell(hash string) (Rect, error) {
+	if hash == "" {
+		return Rect{}, fmt.Errorf("geo: empty geohash")
+	}
+	if len(hash) > MaxPrecision {
+		return Rect{}, fmt.Errorf("geo: geohash %q longer than max precision %d", hash, MaxPrecision)
+	}
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	bit := 0
+	for i := 0; i < len(hash); i++ {
+		v, ok := base32Decode[hash[i]]
+		if !ok {
+			return Rect{}, fmt.Errorf("geo: invalid geohash character %q in %q", hash[i], hash)
+		}
+		for j := 4; j >= 0; j-- {
+			b := (v >> uint(j)) & 1
+			if bit%2 == 0 {
+				mid := (lonLo + lonHi) / 2
+				if b == 1 {
+					lonLo = mid
+				} else {
+					lonHi = mid
+				}
+			} else {
+				mid := (latLo + latHi) / 2
+				if b == 1 {
+					latLo = mid
+				} else {
+					latHi = mid
+				}
+			}
+			bit++
+		}
+	}
+	return Rect{MinLat: latLo, MaxLat: latHi, MinLon: lonLo, MaxLon: lonHi}, nil
+}
+
+// MustDecodeCell is DecodeCell for hashes known to be valid; it panics on error.
+func MustDecodeCell(hash string) Rect {
+	r, err := DecodeCell(hash)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// CellSizeDegrees returns the latitude and longitude span of one geohash cell
+// of the given precision in characters.
+func CellSizeDegrees(precision int) (latSpan, lonSpan float64) {
+	if precision < 1 || precision > MaxPrecision {
+		panic(fmt.Sprintf("geo: CellSizeDegrees precision %d out of range [1,%d]", precision, MaxPrecision))
+	}
+	bits := precision * 5
+	lonBits := (bits + 1) / 2 // longitude gets the extra bit on odd totals
+	latBits := bits / 2
+	return 180 / float64(uint64(1)<<uint(latBits)), 360 / float64(uint64(1)<<uint(lonBits))
+}
+
+// Parent returns the geohash truncated by one character, or "" for a
+// single-character hash.
+func Parent(hash string) string {
+	if len(hash) <= 1 {
+		return ""
+	}
+	return hash[:len(hash)-1]
+}
+
+// Children returns the 32 child geohashes of hash at precision len(hash)+1,
+// in Base32 (and therefore Z-order) order.
+func Children(hash string) []string {
+	out := make([]string, 0, 32)
+	for i := 0; i < len(Base32Alphabet); i++ {
+		out = append(out, hash+string(Base32Alphabet[i]))
+	}
+	return out
+}
+
+// Neighbor returns the geohash of the cell adjacent to hash in the given
+// direction (dLat, dLon ∈ {-1, 0, 1} cells). It returns "" when stepping
+// past the latitude poles; longitude wraps around the antimeridian.
+func Neighbor(hash string, dLat, dLon int) string {
+	cell, err := DecodeCell(hash)
+	if err != nil {
+		return ""
+	}
+	latSpan := cell.MaxLat - cell.MinLat
+	lonSpan := cell.MaxLon - cell.MinLon
+	center := cell.Center()
+	lat := center.Lat + float64(dLat)*latSpan
+	if lat >= 90 || lat <= -90 {
+		return ""
+	}
+	lon := center.Lon + float64(dLon)*lonSpan
+	for lon >= 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return Encode(Point{Lat: lat, Lon: lon}, len(hash))
+}
+
+// Neighbors returns the up-to-eight cells surrounding hash, clockwise from
+// north; cells beyond a pole are omitted.
+func Neighbors(hash string) []string {
+	dirs := [8][2]int{
+		{1, 0}, {1, 1}, {0, 1}, {-1, 1}, {-1, 0}, {-1, -1}, {0, -1}, {1, -1},
+	}
+	out := make([]string, 0, 8)
+	for _, d := range dirs {
+		if n := Neighbor(hash, d[0], d[1]); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperGeohashExample reproduces Table IV of the paper: the geohash of
+// (-23.994140625, -46.23046875) at lengths 1 through 4.
+func TestPaperGeohashExample(t *testing.T) {
+	p := Point{Lat: -23.994140625, Lon: -46.23046875}
+	want := map[int]string{1: "6", 2: "6g", 3: "6gx", 4: "6gxp"}
+	for precision, expect := range want {
+		if got := Encode(p, precision); got != expect {
+			t.Errorf("Encode(%v, %d) = %q, want %q", p, precision, got, expect)
+		}
+	}
+}
+
+func TestEncodeKnownLocations(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Point
+		hash string
+	}{
+		{"Toronto query point (Fig. 1)", Point{43.6839128037, -79.37356590}, "dpz8"},
+		{"null island", Point{0, 0}, "s000"},
+		{"north-east extreme", Point{89.999999, 179.999999}, "zzzz"},
+		{"south-west extreme", Point{-89.999999, -179.999999}, "0000"},
+	}
+	for _, c := range cases {
+		if got := Encode(c.p, 4); got != c.hash {
+			t.Errorf("%s: Encode = %q, want %q", c.name, got, c.hash)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := Point{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+		for precision := 1; precision <= 8; precision++ {
+			h := Encode(p, precision)
+			cell, err := DecodeCell(h)
+			if err != nil {
+				t.Fatalf("DecodeCell(%q): %v", h, err)
+			}
+			if !cell.Contains(p) {
+				t.Fatalf("cell %q %+v does not contain source point %v", h, cell, p)
+			}
+			// Decoded cell size must match the precision's nominal size.
+			latSpan, lonSpan := CellSizeDegrees(precision)
+			if got := cell.MaxLat - cell.MinLat; math.Abs(got-latSpan) > 1e-9 {
+				t.Fatalf("precision %d: lat span %g, want %g", precision, got, latSpan)
+			}
+			if got := cell.MaxLon - cell.MinLon; math.Abs(got-lonSpan) > 1e-9 {
+				t.Fatalf("precision %d: lon span %g, want %g", precision, got, lonSpan)
+			}
+		}
+	}
+}
+
+// TestGeohashPrefixProperty checks the quadtree containment property the
+// index relies on: a longer hash is always prefixed by the hash of its
+// containing coarser cell, and the child cell nests inside the parent cell.
+func TestGeohashPrefixProperty(t *testing.T) {
+	f := func(latSeed, lonSeed uint32) bool {
+		p := Point{
+			Lat: float64(latSeed)/float64(math.MaxUint32)*180 - 90,
+			Lon: float64(lonSeed)/float64(math.MaxUint32)*360 - 180,
+		}
+		h8 := Encode(p, 8)
+		for precision := 1; precision < 8; precision++ {
+			if !strings.HasPrefix(h8, Encode(p, precision)) {
+				return false
+			}
+			parent := MustDecodeCell(h8[:precision])
+			child := MustDecodeCell(h8[:precision+1])
+			if child.MinLat < parent.MinLat || child.MaxLat > parent.MaxLat ||
+				child.MinLon < parent.MinLon || child.MaxLon > parent.MaxLon {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeBitsMatchesEncode(t *testing.T) {
+	p := Point{Lat: -23.994140625, Lon: -46.23046875}
+	bits := EncodeBits(p, 20)
+	// Reassemble characters from 5-bit groups; must equal Encode(p, 4).
+	var sb strings.Builder
+	for i := 3; i >= 0; i-- {
+		sb.WriteByte(Base32Alphabet[(bits>>(uint(i)*5))&0x1f])
+	}
+	if got, want := sb.String(), Encode(p, 4); got != want {
+		t.Errorf("bits reassembly %q != Encode %q", got, want)
+	}
+}
+
+func TestDecodeCellErrors(t *testing.T) {
+	if _, err := DecodeCell(""); err == nil {
+		t.Error("DecodeCell(\"\") should fail")
+	}
+	if _, err := DecodeCell("6gxa"); err == nil {
+		t.Error("DecodeCell with excluded letter 'a' should fail")
+	}
+	if _, err := DecodeCell("6gxi"); err == nil {
+		t.Error("DecodeCell with excluded letter 'i' should fail")
+	}
+	if _, err := DecodeCell(strings.Repeat("6", MaxPrecision+1)); err == nil {
+		t.Error("DecodeCell beyond max precision should fail")
+	}
+}
+
+func TestEncodePanicsOnBadPrecision(t *testing.T) {
+	for _, precision := range []int{0, -1, MaxPrecision + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode with precision %d should panic", precision)
+				}
+			}()
+			Encode(Point{}, precision)
+		}()
+	}
+}
+
+func TestParentChildren(t *testing.T) {
+	if got := Parent("6gxp"); got != "6gx" {
+		t.Errorf("Parent(6gxp) = %q", got)
+	}
+	if got := Parent("6"); got != "" {
+		t.Errorf("Parent(6) = %q, want empty", got)
+	}
+	kids := Children("6g")
+	if len(kids) != 32 {
+		t.Fatalf("Children returned %d cells, want 32", len(kids))
+	}
+	parent := MustDecodeCell("6g")
+	for _, k := range kids {
+		cell := MustDecodeCell(k)
+		if !parent.Intersects(cell) {
+			t.Errorf("child %q does not intersect parent", k)
+		}
+		if cell.Center().Lat < parent.MinLat || cell.Center().Lat > parent.MaxLat {
+			t.Errorf("child %q center outside parent lat range", k)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	// All 8 neighbors exist away from the poles, are distinct, differ from
+	// the center, and their cells are adjacent (share a border) with it.
+	// All test cells sit away from the polar rows ("u" or "g" would
+	// legitimately have fewer neighbors).
+	for _, hash := range []string{"6gxp", "dpz8", "s000", "d", "kz"} {
+		ns := Neighbors(hash)
+		if len(ns) != 8 {
+			t.Fatalf("%s: %d neighbors, want 8", hash, len(ns))
+		}
+		center := MustDecodeCell(hash)
+		seen := map[string]bool{hash: true}
+		for _, n := range ns {
+			if seen[n] {
+				t.Fatalf("%s: duplicate neighbor %s", hash, n)
+			}
+			seen[n] = true
+			if len(n) != len(hash) {
+				t.Fatalf("%s: neighbor %s has wrong precision", hash, n)
+			}
+			cell := MustDecodeCell(n)
+			// Adjacent cells' rectangles touch the center cell (allowing
+			// antimeridian wraps to skip the check).
+			if cell.MinLon > center.MaxLon+1e-9 && center.MinLon > cell.MaxLon+1e-9 {
+				continue // wrapped across the antimeridian
+			}
+			grown := Rect{
+				MinLat: center.MinLat - 1e-9, MaxLat: center.MaxLat + 1e-9,
+				MinLon: center.MinLon - 1e-9, MaxLon: center.MaxLon + 1e-9,
+			}
+			if !grown.Intersects(cell) {
+				t.Fatalf("%s: neighbor %s not adjacent", hash, n)
+			}
+		}
+	}
+}
+
+func TestNeighborAcrossAntimeridian(t *testing.T) {
+	// The easternmost cell's eastern neighbor is the westernmost cell.
+	east := Encode(Point{Lat: 0, Lon: 179.99}, 2)
+	west := Neighbor(east, 0, 1)
+	if west == "" {
+		t.Fatal("no eastern neighbor at the antimeridian")
+	}
+	cell := MustDecodeCell(west)
+	if cell.MinLon != -180 {
+		t.Errorf("antimeridian wrap landed at %v", cell)
+	}
+}
+
+func TestNeighborAtPole(t *testing.T) {
+	top := Encode(Point{Lat: 89.9, Lon: 0}, 2)
+	if n := Neighbor(top, 1, 0); n != "" {
+		t.Errorf("northern neighbor past the pole: %q", n)
+	}
+	if ns := Neighbors(top); len(ns) >= 8 {
+		t.Errorf("polar cell reports %d neighbors", len(ns))
+	}
+	if Neighbor("not a hash!", 0, 1) != "" {
+		t.Error("invalid hash produced a neighbor")
+	}
+}
+
+func TestBase32AlphabetExclusions(t *testing.T) {
+	for _, c := range "ailo" {
+		if strings.ContainsRune(Base32Alphabet, c) {
+			t.Errorf("alphabet must exclude %q", c)
+		}
+	}
+	if len(Base32Alphabet) != 32 {
+		t.Errorf("alphabet has %d characters, want 32", len(Base32Alphabet))
+	}
+}

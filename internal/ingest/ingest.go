@@ -1,0 +1,43 @@
+// Package ingest loads corpora from disk for the command-line tools,
+// dispatching on format: the repository's own JSONL interchange format or
+// raw Twitter REST API v1.1 statuses (the paper's crawl format).
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/corpusio"
+	"repro/internal/social"
+	"repro/internal/twitterjson"
+)
+
+// Load reads the corpus at path. format is "jsonl" (default) or "twitter".
+// Twitter input is ETL'd: reply/retweet references are resolved to
+// in-corpus tweets and posts are returned in timestamp order.
+func Load(path, format string) ([]*social.Post, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "", "jsonl":
+		return corpusio.Read(f)
+	case "twitter":
+		posts, ids, stats, err := twitterjson.Read(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(posts) == 0 {
+			return nil, fmt.Errorf("ingest: no geo-tagged statuses in %s (%d read, %d without geo-tag, %d malformed)",
+				path, stats.Read, stats.NoGeoTag, stats.Malformed)
+		}
+		twitterjson.ResolveReferences(posts, ids)
+		sort.Slice(posts, func(i, j int) bool { return posts[i].SID < posts[j].SID })
+		return posts, nil
+	default:
+		return nil, fmt.Errorf("ingest: unknown format %q (want jsonl or twitter)", format)
+	}
+}

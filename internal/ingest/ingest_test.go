@@ -1,0 +1,76 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpusio"
+	"repro/internal/datagen"
+)
+
+func TestLoadJSONL(t *testing.T) {
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 50
+	cfg.NumPosts = 200
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpusio.Write(f, corpus.Posts); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, format := range []string{"", "jsonl"} {
+		posts, err := Load(path, format)
+		if err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if len(posts) != 200 {
+			t.Fatalf("format %q: loaded %d posts", format, len(posts))
+		}
+	}
+}
+
+func TestLoadTwitter(t *testing.T) {
+	raw := `{"id":1001,"text":"great hotel","created_at":"Sat Nov 03 14:00:00 +0000 2012","user":{"id":501},"coordinates":{"type":"Point","coordinates":[-79.3894,43.6715]}}
+{"id":1002,"text":"@x nice","created_at":"Sat Nov 03 14:05:00 +0000 2012","user":{"id":502},"coordinates":{"type":"Point","coordinates":[-79.39,43.67]},"in_reply_to_status_id":1001,"in_reply_to_user_id":501}
+`
+	path := filepath.Join(t.TempDir(), "tweets.json")
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	posts, err := Load(path, "twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 2 {
+		t.Fatalf("loaded %d posts", len(posts))
+	}
+	if posts[0].SID >= posts[1].SID {
+		t.Error("posts not sorted by SID")
+	}
+	if posts[1].RSID != posts[0].SID {
+		t.Error("references not resolved")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/does/not/exist", "jsonl"); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "empty")
+	os.WriteFile(path, nil, 0o644)
+	if _, err := Load(path, "twitter"); err == nil {
+		t.Error("empty twitter corpus accepted")
+	}
+	if _, err := Load(path, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package invindex
+
+import "sort"
+
+// GeohashLen returns the encoding length the index was built with.
+func (idx *Index) GeohashLen() int { return idx.geohashLen }
+
+// NumKeys returns the number of distinct ⟨geohash, term⟩ keys.
+func (idx *Index) NumKeys() int { return len(idx.forward) }
+
+// Fetches returns how many postings lists have been fetched since the last
+// ResetStats; the DFS tracks the byte- and block-level costs.
+func (idx *Index) Fetches() int64 { return idx.fetches.Load() }
+
+// ResetStats zeroes the fetch counter.
+func (idx *Index) ResetStats() { idx.fetches.Store(0) }
+
+// PostingsCount returns the number of postings stored under a key without
+// fetching them (the forward index carries the count).
+func (idx *Index) PostingsCount(geohash, term string) int {
+	return idx.forward[Key{Geohash: geohash, Term: term}].count
+}
+
+// FetchPostings retrieves the postings list for ⟨geohash, term⟩ from the
+// DFS, or nil if the key has no postings. Each call models one random
+// access to the inverted index ("Random access to inverted index in HDFS
+// is disk-based", Section VI-B1).
+func (idx *Index) FetchPostings(geohash, term string) ([]Posting, error) {
+	ref, ok := idx.forward[Key{Geohash: geohash, Term: term}]
+	if !ok {
+		return nil, nil
+	}
+	idx.fetches.Add(1)
+	raw, err := idx.fs.ReadAt(ref.file, ref.offset, ref.length)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePostingsList(raw)
+}
+
+// Keys returns every forward-index key in sorted (geohash-major) order.
+// Intended for tests and tooling, not the query path.
+func (idx *Index) Keys() []Key {
+	out := make([]Key, 0, len(idx.forward))
+	for k := range idx.forward {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// TermsInCell returns the distinct terms indexed under one geohash cell,
+// sorted. Intended for diagnostics.
+func (idx *Index) TermsInCell(geohash string) []string {
+	var out []string
+	for k := range idx.forward {
+		if k.Geohash == geohash {
+			out = append(out, k.Term)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,33 @@
+package irtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func BenchmarkBulkload(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	entries := randomEntries(rng, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bulkload(entries, DefaultFanout)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := Bulkload(randomEntries(rng, 20000), DefaultFanout)
+	center := geo.Point{Lat: 43.7, Lon: -79.4}
+	b.Run("or", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Search(center, 30, []string{"hotel", "pizza"}, false)
+		}
+	})
+	b.Run("and", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Search(center, 30, []string{"hotel", "pizza"}, true)
+		}
+	})
+}

@@ -1,0 +1,327 @@
+// Package irtree implements an IR-tree (Cong, Jensen & Wu, PVLDB 2009 /
+// Li et al., TKDE 2011 — the paper's references [5] and [14]): an R-tree
+// over tweet locations where every node carries an inverted file
+// summarizing the terms present in its subtree, so both the spatial and the
+// textual predicate prune the search.
+//
+// The paper positions IR-tree variants as the centralized state of the art
+// that "suffers from the scalability issue" and "cannot solve TkLUS
+// queries" by itself; this package reproduces that comparison point as a
+// candidate-retrieval baseline: it returns the keyword-matching tweets in
+// a query circle, which the TkLUS ranking can then consume. The ablation
+// experiment compares it against the hybrid geohash index's retrieval.
+package irtree
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+// Entry is one indexed tweet.
+type Entry struct {
+	SID   social.PostID
+	Loc   geo.Point
+	Terms []string
+}
+
+// DefaultFanout is the default maximum children/entries per node.
+const DefaultFanout = 16
+
+// Tree is a static, bulk-loaded IR-tree.
+type Tree struct {
+	root   *node
+	fanout int
+	size   int
+	visits int // nodes touched by the last query
+}
+
+type node struct {
+	mbr      geo.Rect
+	children []*node
+	entries  []Entry             // leaf payload
+	terms    map[string]struct{} // inverted file: terms in this subtree
+}
+
+// Bulkload builds the tree with the Sort-Tile-Recursive algorithm, the
+// standard bulk load for static R-trees. fanout <= 1 selects DefaultFanout.
+func Bulkload(entries []Entry, fanout int) *Tree {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{fanout: fanout, size: len(entries)}
+	if len(entries) == 0 {
+		t.root = &node{terms: map[string]struct{}{}}
+		return t
+	}
+	leaves := strLeaves(entries, fanout)
+	level := make([]*node, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		level = packLevel(level, fanout)
+	}
+	t.root = level[0]
+	return t
+}
+
+// strLeaves tiles the entries into leaf nodes: sort by longitude, cut into
+// vertical slices, sort each slice by latitude, and pack runs of fanout.
+func strLeaves(entries []Entry, fanout int) []*node {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Loc.Lon < sorted[j].Loc.Lon })
+
+	nLeaves := (len(sorted) + fanout - 1) / fanout
+	nSlices := isqrtCeil(nLeaves)
+	sliceSize := nSlices * fanout
+
+	var leaves []*node
+	for start := 0; start < len(sorted); start += sliceSize {
+		end := start + sliceSize
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].Loc.Lat < slice[j].Loc.Lat })
+		for ls := 0; ls < len(slice); ls += fanout {
+			le := ls + fanout
+			if le > len(slice) {
+				le = len(slice)
+			}
+			leaves = append(leaves, newLeaf(slice[ls:le]))
+		}
+	}
+	return leaves
+}
+
+func newLeaf(entries []Entry) *node {
+	n := &node{
+		entries: append([]Entry(nil), entries...),
+		terms:   make(map[string]struct{}),
+	}
+	n.mbr = geo.Rect{MinLat: 91, MaxLat: -91, MinLon: 181, MaxLon: -181}
+	for _, e := range entries {
+		n.growMBR(e.Loc)
+		for _, term := range e.Terms {
+			n.terms[term] = struct{}{}
+		}
+	}
+	return n
+}
+
+// packLevel groups one level's nodes into parents of up to fanout children,
+// preserving the spatial order the STR tiling produced.
+func packLevel(level []*node, fanout int) []*node {
+	var parents []*node
+	for start := 0; start < len(level); start += fanout {
+		end := start + fanout
+		if end > len(level) {
+			end = len(level)
+		}
+		p := &node{
+			children: append([]*node(nil), level[start:end]...),
+			terms:    make(map[string]struct{}),
+			mbr:      geo.Rect{MinLat: 91, MaxLat: -91, MinLon: 181, MaxLon: -181},
+		}
+		for _, c := range p.children {
+			p.mergeMBR(c.mbr)
+			for term := range c.terms {
+				p.terms[term] = struct{}{}
+			}
+		}
+		parents = append(parents, p)
+	}
+	return parents
+}
+
+func (n *node) growMBR(p geo.Point) {
+	if p.Lat < n.mbr.MinLat {
+		n.mbr.MinLat = p.Lat
+	}
+	if p.Lat > n.mbr.MaxLat {
+		n.mbr.MaxLat = p.Lat
+	}
+	if p.Lon < n.mbr.MinLon {
+		n.mbr.MinLon = p.Lon
+	}
+	if p.Lon > n.mbr.MaxLon {
+		n.mbr.MaxLon = p.Lon
+	}
+}
+
+func (n *node) mergeMBR(r geo.Rect) {
+	if r.MinLat < n.mbr.MinLat {
+		n.mbr.MinLat = r.MinLat
+	}
+	if r.MaxLat > n.mbr.MaxLat {
+		n.mbr.MaxLat = r.MaxLat
+	}
+	if r.MinLon < n.mbr.MinLon {
+		n.mbr.MinLon = r.MinLon
+	}
+	if r.MaxLon > n.mbr.MaxLon {
+		n.mbr.MaxLon = r.MaxLon
+	}
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Visits returns how many nodes the last Search touched.
+func (t *Tree) Visits() int { return t.visits }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for len(n.children) > 0 {
+		n = n.children[0]
+		h++
+	}
+	return h
+}
+
+// Candidate is one matching tweet with its bag-model keyword match count.
+type Candidate struct {
+	SID     social.PostID
+	Matches int
+}
+
+// Search returns the tweets within radiusKm of center that satisfy the
+// keyword predicate (AND: every term present; OR: any term present),
+// sorted by tweet ID. Match counts follow Definition 6's bag semantics
+// (term multiplicity in the entry's term bag).
+func (t *Tree) Search(center geo.Point, radiusKm float64, terms []string, and bool) []Candidate {
+	t.visits = 0
+	var out []Candidate
+	var walk func(n *node)
+	walk = func(n *node) {
+		t.visits++
+		if geo.MinDistanceKm(center, n.mbr) > radiusKm {
+			return
+		}
+		if !n.mayMatch(terms, and) {
+			return
+		}
+		if n.children == nil {
+			for _, e := range n.entries {
+				if geo.HaversineKm(center, e.Loc) > radiusKm {
+					continue
+				}
+				if m, ok := matchCount(e.Terms, terms, and); ok {
+					out = append(out, Candidate{SID: e.SID, Matches: m})
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i].SID < out[j].SID })
+	return out
+}
+
+// mayMatch consults the node's inverted file: under AND every query term
+// must appear somewhere in the subtree; under OR at least one must.
+func (n *node) mayMatch(terms []string, and bool) bool {
+	if len(terms) == 0 {
+		return false
+	}
+	for _, term := range terms {
+		_, present := n.terms[term]
+		if and && !present {
+			return false
+		}
+		if !and && present {
+			return true
+		}
+	}
+	return and
+}
+
+// matchCount computes the bag-model match count of one entry.
+func matchCount(entryTerms, queryTerms []string, and bool) (int, bool) {
+	tf := make(map[string]int, len(entryTerms))
+	for _, w := range entryTerms {
+		tf[w]++
+	}
+	total, matched := 0, 0
+	for _, term := range queryTerms {
+		if n := tf[term]; n > 0 {
+			total += n
+			matched++
+		}
+	}
+	if and && matched != len(queryTerms) {
+		return 0, false
+	}
+	return total, matched > 0
+}
+
+// CheckInvariants verifies MBR containment and inverted-file coverage for
+// the whole tree; property tests call it after bulk loading.
+func (t *Tree) CheckInvariants() error {
+	return checkNode(t.root)
+}
+
+func checkNode(n *node) error {
+	if n.children == nil {
+		for _, e := range n.entries {
+			if !n.mbr.Contains(e.Loc) {
+				return errContain(e.SID)
+			}
+			for _, term := range e.Terms {
+				if _, ok := n.terms[term]; !ok {
+					return errTerm(e.SID, term)
+				}
+			}
+		}
+		return nil
+	}
+	for _, c := range n.children {
+		if c.mbr.MinLat < n.mbr.MinLat || c.mbr.MaxLat > n.mbr.MaxLat ||
+			c.mbr.MinLon < n.mbr.MinLon || c.mbr.MaxLon > n.mbr.MaxLon {
+			return errContain(-1)
+		}
+		for term := range c.terms {
+			if _, ok := n.terms[term]; !ok {
+				return errTerm(-1, term)
+			}
+		}
+		if err := checkNode(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type invariantError struct {
+	sid  social.PostID
+	term string
+}
+
+func (e invariantError) Error() string {
+	if e.term != "" {
+		return "irtree: inverted file missing term " + e.term
+	}
+	return "irtree: MBR containment violated"
+}
+
+func errContain(sid social.PostID) error { return invariantError{sid: sid} }
+func errTerm(sid social.PostID, term string) error {
+	return invariantError{sid: sid, term: term}
+}
+
+func isqrtCeil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}

@@ -1,0 +1,160 @@
+package irtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+var vocab = []string{"hotel", "restaur", "pizza", "game", "cafe", "club", "shop"}
+
+func randomEntries(rng *rand.Rand, n int) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		nTerms := rng.Intn(3) + 1
+		terms := make([]string, nTerms)
+		for j := range terms {
+			terms[j] = vocab[rng.Intn(len(vocab))]
+		}
+		entries[i] = Entry{
+			SID: social.PostID(i + 1),
+			Loc: geo.Point{
+				Lat: 43.7 + rng.NormFloat64(),
+				Lon: -79.4 + rng.NormFloat64(),
+			},
+			Terms: terms,
+		}
+	}
+	return entries
+}
+
+// scanSearch is the oracle: a linear scan with the same predicate.
+func scanSearch(entries []Entry, center geo.Point, radius float64, terms []string, and bool) []Candidate {
+	var out []Candidate
+	for _, e := range entries {
+		if geo.HaversineKm(center, e.Loc) > radius {
+			continue
+		}
+		if m, ok := matchCount(e.Terms, terms, and); ok {
+			out = append(out, Candidate{SID: e.SID, Matches: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SID < out[j].SID })
+	return out
+}
+
+func TestSearchMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	entries := randomEntries(rng, 4000)
+	tr := Bulkload(entries, DefaultFanout)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(entries) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	queries := []struct {
+		terms []string
+		and   bool
+	}{
+		{[]string{"hotel"}, false},
+		{[]string{"hotel", "pizza"}, true},
+		{[]string{"hotel", "pizza"}, false},
+		{[]string{"restaur", "cafe", "club"}, true},
+		{[]string{"nosuchterm"}, false},
+	}
+	for trial := 0; trial < 10; trial++ {
+		center := geo.Point{Lat: 43.7 + rng.NormFloat64()*0.5, Lon: -79.4 + rng.NormFloat64()*0.5}
+		radius := rng.Float64()*60 + 2
+		for _, q := range queries {
+			got := tr.Search(center, radius, q.terms, q.and)
+			want := scanSearch(entries, center, radius, q.terms, q.and)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d terms=%v and=%v: %d results vs scan %d",
+					trial, q.terms, q.and, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestTextualPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	entries := randomEntries(rng, 4000)
+	// Plant a rare term on a single entry.
+	entries[100].Terms = []string{"uniqueterm"}
+	tr := Bulkload(entries, DefaultFanout)
+
+	center := geo.Point{Lat: 43.7, Lon: -79.4}
+	tr.Search(center, 500, []string{"hotel"}, false)
+	commonVisits := tr.Visits()
+	got := tr.Search(center, 500, []string{"uniqueterm"}, false)
+	rareVisits := tr.Visits()
+	if len(got) != 1 || got[0].SID != entries[100].SID {
+		t.Fatalf("rare-term search = %v", got)
+	}
+	if rareVisits >= commonVisits {
+		t.Errorf("inverted-file pruning ineffective: rare=%d common=%d visits", rareVisits, commonVisits)
+	}
+}
+
+func TestSpatialPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := Bulkload(randomEntries(rng, 4000), DefaultFanout)
+	tr.Search(geo.Point{Lat: -40, Lon: 100}, 5, []string{"hotel"}, false)
+	if tr.Visits() > 3 {
+		t.Errorf("far query visited %d nodes", tr.Visits())
+	}
+}
+
+func TestEmptyAndSmallTrees(t *testing.T) {
+	empty := Bulkload(nil, 0)
+	if got := empty.Search(geo.Point{}, 10, []string{"x"}, false); len(got) != 0 {
+		t.Errorf("empty tree returned %v", got)
+	}
+	if empty.Height() != 1 {
+		t.Errorf("empty height %d", empty.Height())
+	}
+	one := Bulkload([]Entry{{SID: 1, Loc: geo.Point{Lat: 1, Lon: 1}, Terms: []string{"a"}}}, 4)
+	got := one.Search(geo.Point{Lat: 1, Lon: 1}, 1, []string{"a"}, true)
+	if len(got) != 1 || got[0].SID != 1 || got[0].Matches != 1 {
+		t.Errorf("singleton search = %v", got)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := Bulkload(randomEntries(rng, 5000), 16)
+	// 5000 entries at fanout 16: leaves ~313, height ~ 1+ceil(log16(313))+1.
+	if h := tr.Height(); h < 3 || h > 5 {
+		t.Errorf("height %d unexpected for 5000 entries at fanout 16", h)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchCountBagSemantics(t *testing.T) {
+	// Definition 6's example: one "spicy", two "restaurant".
+	entry := []string{"spicy", "restaur", "restaur"}
+	m, ok := matchCount(entry, []string{"spicy", "restaur"}, true)
+	if !ok || m != 3 {
+		t.Errorf("bag match = %d/%v, want 3/true", m, ok)
+	}
+	if _, ok := matchCount(entry, []string{"spicy", "missing"}, true); ok {
+		t.Error("AND with missing term matched")
+	}
+	m, ok = matchCount(entry, []string{"spicy", "missing"}, false)
+	if !ok || m != 1 {
+		t.Errorf("OR partial match = %d/%v, want 1/true", m, ok)
+	}
+	if _, ok := matchCount(entry, nil, false); ok {
+		t.Error("empty query matched")
+	}
+}

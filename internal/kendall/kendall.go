@@ -1,0 +1,69 @@
+// Package kendall implements the Kendall tau rank-correlation variant of
+// Section VI-B3, used to compare the top-k results of the sum-score and
+// maximum-score user rankings. Because the two result lists may contain
+// different users, each ranking is first extended with the other's missing
+// elements, all sharing the next ordinal rank (the paper's example: k = 3,
+// ρ_b = ⟨A,B,C⟩ and ρ_d = ⟨B,D,E⟩ become ⟨A,B,C,D,E⟩ and ⟨B,D,E,A,C⟩ with
+// D and E both ranked 4th in ρ_b, A and C both 4th in ρ_d).
+package kendall
+
+// TauVariant computes the padded-ranking Kendall tau coefficient between
+// two rankings of item IDs. Each input must be duplicate-free. A pair is
+// concordant when both rankings order it the same way — "before, after or
+// in tie with" agreeing in both — and discordant when the rankings order it
+// strictly oppositely; a tie in exactly one ranking is neither. The
+// coefficient is (cp − dp) / (0.5·n·(n−1)) over the n items of the union,
+// so identical rankings score 1 and exact reversals −1.
+func TauVariant(a, b []int64) float64 {
+	rankA := paddedRanks(a, b)
+	rankB := paddedRanks(b, a)
+	if len(rankA) < 2 {
+		return 1 // zero or one item: the rankings trivially agree
+	}
+	ids := make([]int64, 0, len(rankA))
+	for id := range rankA {
+		ids = append(ids, id)
+	}
+	var cp, dp int
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			da := rankA[ids[i]] - rankA[ids[j]]
+			db := rankB[ids[i]] - rankB[ids[j]]
+			switch {
+			case sign(da) == sign(db):
+				cp++
+			case da != 0 && db != 0:
+				dp++
+			}
+		}
+	}
+	n := len(ids)
+	return float64(cp-dp) / (0.5 * float64(n) * float64(n-1))
+}
+
+// paddedRanks assigns 1-based ranks to the items of primary, then gives
+// every item of other that is missing from primary the shared ordinal rank
+// len(primary)+1.
+func paddedRanks(primary, other []int64) map[int64]int {
+	ranks := make(map[int64]int, len(primary)+len(other))
+	for i, id := range primary {
+		ranks[id] = i + 1
+	}
+	tieRank := len(primary) + 1
+	for _, id := range other {
+		if _, ok := ranks[id]; !ok {
+			ranks[id] = tieRank
+		}
+	}
+	return ranks
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,128 @@
+package kendall
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdenticalRankings(t *testing.T) {
+	for _, r := range [][]int64{{1}, {1, 2}, {5, 4, 3, 2, 1}, {}} {
+		if got := TauVariant(r, r); got != 1 {
+			t.Errorf("TauVariant(x, x) = %v for %v, want 1", got, r)
+		}
+	}
+}
+
+func TestExactReversal(t *testing.T) {
+	a := []int64{1, 2, 3, 4, 5}
+	b := []int64{5, 4, 3, 2, 1}
+	if got := TauVariant(a, b); got != -1 {
+		t.Errorf("reversal tau = %v, want -1", got)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// k=3, ρ_b = ⟨A,B,C⟩, ρ_d = ⟨B,D,E⟩ (A=1, B=2, C=3, D=4, E=5).
+	// Padded: ρ_b = A:1 B:2 C:3 D:4 E:4 ; ρ_d = B:1 D:2 E:3 A:4 C:4.
+	// Pairs (10 total):
+	//  AB: b says A<B, d says A>B -> discordant
+	//  AC: b A<C, d tie          -> neither
+	//  AD: b A<D, d A>D          -> discordant
+	//  AE: b A<E, d A>E          -> discordant
+	//  BC: b B<C, d B<C          -> concordant
+	//  BD: b B<D, d B<D          -> concordant
+	//  BE: b B<E, d B<E          -> concordant
+	//  CD: b C<D, d C>D          -> discordant
+	//  CE: b C<E, d C>E          -> discordant
+	//  DE: b tie, d D<E          -> neither
+	// cp=3, dp=5, n=5 -> tau = (3-5)/10 = -0.2.
+	a := []int64{1, 2, 3}
+	b := []int64{2, 4, 5}
+	if got := TauVariant(a, b); math.Abs(got-(-0.2)) > 1e-12 {
+		t.Errorf("paper example tau = %v, want -0.2", got)
+	}
+}
+
+func TestPartialOverlapHighAgreement(t *testing.T) {
+	// Same first four of five, last element differs: tau should be high
+	// but below 1.
+	a := []int64{1, 2, 3, 4, 5}
+	b := []int64{1, 2, 3, 4, 6}
+	got := TauVariant(a, b)
+	if got <= 0.5 || got >= 1 {
+		t.Errorf("near-identical rankings tau = %v, want in (0.5, 1)", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		a := randomRanking(rng, 5, 20)
+		b := randomRanking(rng, 5, 20)
+		ab, ba := TauVariant(a, b), TauVariant(b, a)
+		if math.Abs(ab-ba) > 1e-12 {
+			t.Fatalf("asymmetric: tau(a,b)=%v tau(b,a)=%v for %v %v", ab, ba, a, b)
+		}
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		rngB := rand.New(rand.NewSource(seedB))
+		a := randomRanking(rngA, 1, 15)
+		b := randomRanking(rngB, 1, 15)
+		tau := TauVariant(a, b)
+		return tau >= -1-1e-12 && tau <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointRankings(t *testing.T) {
+	// Completely disjoint top-k lists: every cross pair has the added
+	// elements tied, so concordance comes only from within-list pairs
+	// ordered consistently against the other list's ties.
+	a := []int64{1, 2, 3}
+	b := []int64{4, 5, 6}
+	got := TauVariant(a, b)
+	if got < -1 || got > 1 {
+		t.Fatalf("tau out of range: %v", got)
+	}
+	// Within-list pairs: (1,2): a strict, b ties -> neither. All 15 pairs
+	// are either one-sided ties or opposite strict orders... compute: pairs
+	// between a-items: tie in b -> neither (3 pairs). Same for b-items (3).
+	// Cross pairs (9): a says a-item < b-item (rank i vs 4); b says a-item
+	// (rank 4) > b-item -> discordant when b-item rank < 4, i.e. always.
+	// cp=0, dp=9, n=6 -> tau = -9/15 = -0.6.
+	if math.Abs(got-(-0.6)) > 1e-12 {
+		t.Errorf("disjoint tau = %v, want -0.6", got)
+	}
+}
+
+func TestSingletonAndEmpty(t *testing.T) {
+	if got := TauVariant([]int64{7}, []int64{7}); got != 1 {
+		t.Errorf("singleton tau = %v", got)
+	}
+	if got := TauVariant(nil, nil); got != 1 {
+		t.Errorf("empty tau = %v", got)
+	}
+	// One vs other singleton: union of 2, cross pair: a: 7<9 (9 padded to
+	// rank 2), b: 7 padded rank 2, 9 rank 1 -> discordant. tau = -1.
+	if got := TauVariant([]int64{7}, []int64{9}); got != -1 {
+		t.Errorf("disjoint singletons tau = %v, want -1", got)
+	}
+}
+
+func randomRanking(rng *rand.Rand, minLen, maxID int) []int64 {
+	n := rng.Intn(8) + minLen
+	perm := rng.Perm(maxID)
+	out := make([]int64, 0, n)
+	for _, p := range perm[:n] {
+		out = append(out, int64(p))
+	}
+	return out
+}

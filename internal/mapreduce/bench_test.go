@@ -1,0 +1,39 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkWordCount(b *testing.B) {
+	docs := make([]string, 2000)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("alpha beta gamma w%d w%d delta", i%37, i%101)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := wordCountConfig(docs, workers, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWordCountWithCombiner(b *testing.B) {
+	docs := make([]string, 2000)
+	for i := range docs {
+		docs[i] = "hot hot hot cold hot"
+	}
+	cfg := wordCountConfig(docs, 4, 4)
+	cfg.Combine = cfg.Reduce
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package mapreduce is an in-process implementation of the MapReduce
+// programming model (Dean & Ghemawat, OSDI 2004) that the paper uses to
+// construct its hybrid index (Section IV-B2). It reproduces the Hadoop
+// dataflow the index construction depends on:
+//
+//   - map tasks run in parallel over input splits and emit key/value pairs;
+//   - an optional combiner folds map output locally;
+//   - pairs are hash-partitioned across R reducers;
+//   - within each partition pairs are sorted by key (Hadoop's guarantee
+//     that "the key of the inverted index is sorted", which gives the
+//     ⟨geohash, term⟩ layout its disk contiguity);
+//   - reduce tasks run in parallel, each seeing its keys in sorted order
+//     with all values grouped.
+//
+// Keys are strings and values are opaque byte slices, mirroring Hadoop's
+// writables without reflection.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KeyValue is one intermediate record.
+type KeyValue struct {
+	Key   string
+	Value []byte
+}
+
+// Emitter receives records from map and reduce functions.
+type Emitter func(kv KeyValue)
+
+// MapFunc processes one input record. Inputs are supplied by the job's
+// Input slice; the framework does not interpret them.
+type MapFunc func(input any, emit Emitter) error
+
+// ReduceFunc processes one key with all its values (already sorted by the
+// framework when SortValues is set).
+type ReduceFunc func(key string, values [][]byte, emit Emitter) error
+
+// Config describes one MapReduce job.
+type Config struct {
+	Name        string
+	Input       []any
+	Map         MapFunc
+	Reduce      ReduceFunc
+	Combine     ReduceFunc // optional local aggregation after each map task
+	NumMappers  int        // parallel map workers (default 4)
+	NumReducers int        // partitions / parallel reduce workers (default 4)
+	SortValues  bool       // sort each key's values bytewise before reducing
+}
+
+// Counters reports job-level statistics, the analogue of Hadoop counters.
+type Counters struct {
+	MapInputRecords      int64
+	MapOutputRecords     int64
+	CombineOutputRecords int64
+	ReduceInputKeys      int64
+	ReduceOutputRecords  int64
+	ShuffledBytes        int64
+}
+
+// Result is the output of a job: per-partition key-sorted records plus
+// counters.
+type Result struct {
+	// Partitions holds each reducer's emitted records in emission order.
+	// Reducers see keys sorted, so emission order is key-sorted when the
+	// reduce function emits per key.
+	Partitions [][]KeyValue
+	Counters   Counters
+}
+
+// All flattens every partition into one key-sorted slice.
+func (r *Result) All() []KeyValue {
+	var out []KeyValue
+	for _, p := range r.Partitions {
+		out = append(out, p...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Run executes the job and returns its result. The first map or reduce
+// error aborts the job.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Map == nil || cfg.Reduce == nil {
+		return nil, fmt.Errorf("mapreduce: job %q needs Map and Reduce", cfg.Name)
+	}
+	if cfg.NumMappers <= 0 {
+		cfg.NumMappers = 4
+	}
+	if cfg.NumReducers <= 0 {
+		cfg.NumReducers = 4
+	}
+
+	var counters Counters
+	var countersMu sync.Mutex
+
+	// ---- Map phase ----------------------------------------------------
+	// Each map worker owns a private set of partition buffers; they are
+	// merged after the phase so no locking happens on the hot path.
+	type mapOutput struct {
+		partitions [][]KeyValue
+	}
+	outputs := make([]mapOutput, cfg.NumMappers)
+	for i := range outputs {
+		outputs[i].partitions = make([][]KeyValue, cfg.NumReducers)
+	}
+
+	splits := splitInput(cfg.Input, cfg.NumMappers)
+	errs := make(chan error, cfg.NumMappers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.NumMappers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &outputs[w]
+			var produced, inputs int64
+			emit := func(kv KeyValue) {
+				p := partition(kv.Key, cfg.NumReducers)
+				local.partitions[p] = append(local.partitions[p], kv)
+				produced++
+			}
+			for _, rec := range splits[w] {
+				inputs++
+				if err := cfg.Map(rec, emit); err != nil {
+					errs <- fmt.Errorf("mapreduce: job %q map: %w", cfg.Name, err)
+					return
+				}
+			}
+			if cfg.Combine != nil {
+				var combined int64
+				for p := range local.partitions {
+					folded, err := applyReduce(cfg.Combine, local.partitions[p], false)
+					if err != nil {
+						errs <- fmt.Errorf("mapreduce: job %q combine: %w", cfg.Name, err)
+						return
+					}
+					local.partitions[p] = folded
+					combined += int64(len(folded))
+				}
+				countersMu.Lock()
+				counters.CombineOutputRecords += combined
+				countersMu.Unlock()
+			}
+			countersMu.Lock()
+			counters.MapInputRecords += inputs
+			counters.MapOutputRecords += produced
+			countersMu.Unlock()
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Shuffle: merge map outputs per partition, sort by key ---------
+	// Partitions shuffle independently (in Hadoop each reducer pulls and
+	// merges its own partition), so they run concurrently here too.
+	shuffled := make([][]KeyValue, cfg.NumReducers)
+	var swg sync.WaitGroup
+	for p := 0; p < cfg.NumReducers; p++ {
+		swg.Add(1)
+		go func(p int) {
+			defer swg.Done()
+			var merged []KeyValue
+			var bytes int64
+			for w := range outputs {
+				merged = append(merged, outputs[w].partitions[p]...)
+				for _, kv := range outputs[w].partitions[p] {
+					bytes += int64(len(kv.Key) + len(kv.Value))
+				}
+			}
+			slices.SortFunc(merged, func(a, b KeyValue) int { return strings.Compare(a.Key, b.Key) })
+			shuffled[p] = merged
+			countersMu.Lock()
+			counters.ShuffledBytes += bytes
+			countersMu.Unlock()
+		}(p)
+	}
+	swg.Wait()
+
+	// ---- Reduce phase ---------------------------------------------------
+	result := &Result{Partitions: make([][]KeyValue, cfg.NumReducers)}
+	redErrs := make(chan error, cfg.NumReducers)
+	var rwg sync.WaitGroup
+	for p := 0; p < cfg.NumReducers; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			out, keys, emitted, err := reducePartition(cfg, shuffled[p])
+			if err != nil {
+				redErrs <- err
+				return
+			}
+			result.Partitions[p] = out
+			countersMu.Lock()
+			counters.ReduceInputKeys += keys
+			counters.ReduceOutputRecords += emitted
+			countersMu.Unlock()
+			redErrs <- nil
+		}(p)
+	}
+	rwg.Wait()
+	close(redErrs)
+	for err := range redErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	result.Counters = counters
+	return result, nil
+}
+
+// reducePartition groups the sorted records of one partition by key and
+// applies the reduce function.
+func reducePartition(cfg Config, records []KeyValue) (out []KeyValue, keys, emitted int64, err error) {
+	emit := func(kv KeyValue) {
+		out = append(out, kv)
+		emitted++
+	}
+	for i := 0; i < len(records); {
+		j := i
+		for j < len(records) && records[j].Key == records[i].Key {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for _, kv := range records[i:j] {
+			values = append(values, kv.Value)
+		}
+		if cfg.SortValues {
+			sort.Slice(values, func(a, b int) bool { return lessBytes(values[a], values[b]) })
+		}
+		keys++
+		if err = cfg.Reduce(records[i].Key, values, emit); err != nil {
+			return nil, 0, 0, fmt.Errorf("mapreduce: job %q reduce key %q: %w", cfg.Name, records[i].Key, err)
+		}
+		i = j
+	}
+	return out, keys, emitted, nil
+}
+
+// applyReduce runs a reduce-style function over an unsorted buffer, used
+// for the combiner. Values per key keep emission order unless sortValues.
+func applyReduce(fn ReduceFunc, records []KeyValue, sortValues bool) ([]KeyValue, error) {
+	slices.SortFunc(records, func(a, b KeyValue) int { return strings.Compare(a.Key, b.Key) })
+	var out []KeyValue
+	emit := func(kv KeyValue) { out = append(out, kv) }
+	for i := 0; i < len(records); {
+		j := i
+		for j < len(records) && records[j].Key == records[i].Key {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for _, kv := range records[i:j] {
+			values = append(values, kv.Value)
+		}
+		if sortValues {
+			sort.Slice(values, func(a, b int) bool { return lessBytes(values[a], values[b]) })
+		}
+		if err := fn(records[i].Key, values, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+func lessBytes(a, b []byte) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// partition assigns a key to one of n reducers by FNV hash, Hadoop's
+// default HashPartitioner behaviour.
+func partition(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// splitInput deals the input records into n splits round-robin.
+func splitInput(input []any, n int) [][]any {
+	splits := make([][]any, n)
+	for i, rec := range input {
+		splits[i%n] = append(splits[i%n], rec)
+	}
+	return splits
+}

@@ -1,0 +1,271 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wordCount is the canonical MapReduce example, used as the framework's
+// acceptance test.
+func wordCountConfig(docs []string, mappers, reducers int) Config {
+	return Config{
+		Name:        "wordcount",
+		Input:       anySlice(docs),
+		NumMappers:  mappers,
+		NumReducers: reducers,
+		Map: func(input any, emit Emitter) error {
+			for _, w := range strings.Fields(input.(string)) {
+				emit(KeyValue{Key: w, Value: encodeCount(1)})
+			}
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit Emitter) error {
+			var total uint64
+			for _, v := range values {
+				total += decodeCount(v)
+			}
+			emit(KeyValue{Key: key, Value: encodeCount(total)})
+			return nil
+		},
+	}
+}
+
+func anySlice[T any](in []T) []any {
+	out := make([]any, len(in))
+	for i, v := range in {
+		out[i] = v
+	}
+	return out
+}
+
+func encodeCount(n uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, n)
+	return b
+}
+
+func decodeCount(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func TestWordCount(t *testing.T) {
+	docs := []string{
+		"the cat sat on the mat",
+		"the dog sat on the log",
+		"cat and dog and cat",
+	}
+	res, err := Run(wordCountConfig(docs, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]uint64{}
+	for _, kv := range res.All() {
+		got[kv.Key] = decodeCount(kv.Value)
+	}
+	want := map[string]uint64{
+		"the": 4, "cat": 3, "sat": 2, "on": 2, "mat": 1,
+		"dog": 2, "log": 1, "and": 2,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d: %v", len(got), len(want), got)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	docs := make([]string, 200)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("w%d w%d w%d", i%7, i%13, i%3)
+	}
+	var baseline []KeyValue
+	for _, par := range []struct{ m, r int }{{1, 1}, {2, 3}, {8, 5}, {16, 1}} {
+		res, err := Run(wordCountConfig(docs, par.m, par.r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := res.All()
+		if baseline == nil {
+			baseline = all
+			continue
+		}
+		if len(all) != len(baseline) {
+			t.Fatalf("parallelism %v changed output size: %d vs %d", par, len(all), len(baseline))
+		}
+		for i := range all {
+			if all[i].Key != baseline[i].Key || decodeCount(all[i].Value) != decodeCount(baseline[i].Value) {
+				t.Fatalf("parallelism %v changed output at %d", par, i)
+			}
+		}
+	}
+}
+
+func TestKeysSortedWithinPartition(t *testing.T) {
+	// The Hadoop sorted-key guarantee that Section IV-B2 relies on.
+	docs := []string{"d b a c e f g h z y x w v u"}
+	res, err := Run(wordCountConfig(docs, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, part := range res.Partitions {
+		keys := make([]string, len(part))
+		for i, kv := range part {
+			keys[i] = kv.Key
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Errorf("partition %d keys not sorted: %v", p, keys)
+		}
+	}
+}
+
+func TestPartitioningIsByKey(t *testing.T) {
+	// The same key must never land in two partitions.
+	docs := []string{"k k k", "k k", "k"}
+	res, err := Run(wordCountConfig(docs, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, part := range res.Partitions {
+		for _, kv := range part {
+			if kv.Key == "k" {
+				seen++
+				if got := decodeCount(kv.Value); got != 6 {
+					t.Errorf("split key: partition count %d, want all 6", got)
+				}
+			}
+		}
+	}
+	if seen != 1 {
+		t.Errorf("key emitted from %d partitions, want 1", seen)
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	docs := make([]string, 100)
+	for i := range docs {
+		docs[i] = strings.Repeat("hot ", 20)
+	}
+	plain := wordCountConfig(docs, 4, 2)
+	resPlain, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := plain
+	combined.Combine = plain.Reduce
+	resCombined, err := Run(combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same final answer.
+	if decodeCount(resPlain.All()[0].Value) != decodeCount(resCombined.All()[0].Value) {
+		t.Fatal("combiner changed the result")
+	}
+	if resCombined.Counters.ShuffledBytes >= resPlain.Counters.ShuffledBytes {
+		t.Errorf("combiner did not reduce shuffle: %d vs %d",
+			resCombined.Counters.ShuffledBytes, resPlain.Counters.ShuffledBytes)
+	}
+	if resCombined.Counters.CombineOutputRecords == 0 {
+		t.Error("combine output records not counted")
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	cfg := Config{
+		Name:        "sortvals",
+		Input:       anySlice([]int{3, 1, 2}),
+		NumMappers:  3,
+		NumReducers: 1,
+		SortValues:  true,
+		Map: func(input any, emit Emitter) error {
+			emit(KeyValue{Key: "k", Value: []byte{byte(input.(int))}})
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit Emitter) error {
+			joined := make([]byte, 0, len(values))
+			for _, v := range values {
+				joined = append(joined, v...)
+			}
+			emit(KeyValue{Key: key, Value: joined})
+			return nil
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.All()[0].Value
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("values not sorted before reduce: %v", got)
+	}
+}
+
+func TestMapErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := Config{
+		Name:  "failing",
+		Input: anySlice([]int{1, 2, 3}),
+		Map: func(input any, emit Emitter) error {
+			if input.(int) == 2 {
+				return boom
+			}
+			return nil
+		},
+		Reduce: func(string, [][]byte, Emitter) error { return nil },
+	}
+	if _, err := Run(cfg); !errors.Is(err, boom) {
+		t.Errorf("map error not propagated: %v", err)
+	}
+}
+
+func TestReduceErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := wordCountConfig([]string{"a b c"}, 1, 2)
+	cfg.Reduce = func(key string, _ [][]byte, _ Emitter) error {
+		if key == "b" {
+			return boom
+		}
+		return nil
+	}
+	if _, err := Run(cfg); !errors.Is(err, boom) {
+		t.Errorf("reduce error not propagated: %v", err)
+	}
+}
+
+func TestMissingFunctionsRejected(t *testing.T) {
+	if _, err := Run(Config{Name: "nil"}); err == nil {
+		t.Error("job without Map/Reduce should fail")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	res, err := Run(wordCountConfig([]string{"a b", "c"}, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.MapInputRecords != 2 || c.MapOutputRecords != 3 {
+		t.Errorf("map counters wrong: %+v", c)
+	}
+	if c.ReduceInputKeys != 3 || c.ReduceOutputRecords != 3 {
+		t.Errorf("reduce counters wrong: %+v", c)
+	}
+	if c.ShuffledBytes == 0 {
+		t.Error("shuffle bytes not counted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Run(wordCountConfig(nil, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All()) != 0 {
+		t.Errorf("empty input produced output %v", res.All())
+	}
+}

@@ -1,0 +1,355 @@
+// Package metadb implements the centralized tweet metadata database of
+// Section IV-A: a relation with schema (sid, uid, lat, lon, ruid, rsid)
+// stored in fixed-size pages, a B⁺-tree primary index on sid, and a
+// B⁺-tree secondary index on rsid. These indexes "accelerate the query
+// processing phase" — in particular the level-by-level tweet-thread
+// construction of Algorithm 1, whose line 7 ("select all where rsid equals
+// to Id") is served by SelectByRSID.
+//
+// The database simulates disk behaviour: every page touched counts as one
+// I/O, optionally with a configurable latency, and a small LRU page cache
+// can be enabled (the paper's experiments run with caches off).
+package metadb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+// Row is one tuple of the metadata relation.
+type Row struct {
+	SID  social.PostID
+	UID  social.UserID
+	Lat  float64
+	Lon  float64
+	RUID social.UserID
+	RSID social.PostID
+}
+
+// Loc returns the row's location as a geo.Point.
+func (r Row) Loc() geo.Point { return geo.Point{Lat: r.Lat, Lon: r.Lon} }
+
+// Options configures a DB.
+type Options struct {
+	// RowsPerPage is the page capacity; 128 rows of 48 bytes approximates
+	// a pair of 4 KB pages per disk read, a typical DBMS setting.
+	RowsPerPage int
+	// IndexOrder is the B⁺-tree order for both indexes.
+	IndexOrder int
+	// CacheSize is the number of pages the LRU cache may hold; 0 disables
+	// caching (the paper's configuration: "database caches are set off").
+	CacheSize int
+	// IOLatency is added per simulated page read (0 for tests; benches may
+	// set a small value to model disk behaviour).
+	IOLatency time.Duration
+}
+
+// DefaultOptions returns the configuration used across the experiments.
+func DefaultOptions() Options {
+	return Options{RowsPerPage: 128, IndexOrder: btree.DefaultOrder}
+}
+
+// Stats aggregates simulated I/O counters.
+type Stats struct {
+	PageReads  int64 // pages fetched from "disk"
+	CacheHits  int64 // page requests served by the LRU cache
+	IndexReads int64 // B⁺-tree node accesses
+}
+
+// DB is the centralized metadata database. After Freeze, reads are safe
+// for concurrent use: the statistics counters and the page cache are
+// guarded by a mutex.
+type DB struct {
+	opts  Options
+	pages [][]Row
+
+	sidIndex  *btree.Tree // sid -> row ordinal
+	rsidIndex *btree.Tree // rsid -> sids of posts reacting to it
+	uidIndex  *btree.Tree // uid -> the user's sids (P_u, ascending)
+
+	mu    sync.Mutex // guards cache and stats
+	cache *pageCache
+	stats Stats
+
+	maxFanout   int // t_m: max replies/forwards observed for one post
+	frozen      bool
+	totalRows   int
+	minSID      social.PostID
+	maxSID      social.PostID
+	sortedBatch []Row // staging area before Freeze
+}
+
+// New creates an empty database.
+func New(opts Options) *DB {
+	if opts.RowsPerPage <= 0 {
+		opts.RowsPerPage = DefaultOptions().RowsPerPage
+	}
+	if opts.IndexOrder < 3 {
+		opts.IndexOrder = btree.DefaultOrder
+	}
+	db := &DB{
+		opts:      opts,
+		sidIndex:  btree.MustNew(opts.IndexOrder),
+		rsidIndex: btree.MustNew(opts.IndexOrder),
+		uidIndex:  btree.MustNew(opts.IndexOrder),
+	}
+	if opts.CacheSize > 0 {
+		db.cache = newPageCache(opts.CacheSize)
+	}
+	return db
+}
+
+// Load bulk-loads posts into the database and freezes it for querying.
+// Loading is batch-oriented, matching the paper's offline/batch setting
+// for geo-tagged tweets. Duplicate SIDs are rejected.
+func Load(opts Options, posts []*social.Post) (*DB, error) {
+	db := New(opts)
+	for _, p := range posts {
+		if err := db.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	db.Freeze()
+	return db, nil
+}
+
+// Insert stages one post. Insert must not be called after Freeze.
+func (db *DB) Insert(p *social.Post) error {
+	if db.frozen {
+		return fmt.Errorf("metadb: insert after freeze")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	db.sortedBatch = append(db.sortedBatch, Row{
+		SID: p.SID, UID: p.UID,
+		Lat: p.Loc.Lat, Lon: p.Loc.Lon,
+		RUID: p.RUID, RSID: p.RSID,
+	})
+	return nil
+}
+
+// Freeze sorts the staged rows by SID (clustered on the primary key, as a
+// timestamp-keyed tweet store naturally is), paginates them, and builds
+// both B⁺-tree indexes. After Freeze the database is read-only.
+func (db *DB) Freeze() {
+	if db.frozen {
+		return
+	}
+	rows := db.sortedBatch
+	db.sortedBatch = nil
+	sort.Slice(rows, func(i, j int) bool { return rows[i].SID < rows[j].SID })
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SID == rows[i-1].SID {
+			panic(fmt.Sprintf("metadb: duplicate SID %d", rows[i].SID))
+		}
+	}
+	per := db.opts.RowsPerPage
+	for start := 0; start < len(rows); start += per {
+		end := start + per
+		if end > len(rows) {
+			end = len(rows)
+		}
+		db.pages = append(db.pages, rows[start:end])
+	}
+	fanout := make(map[social.PostID]int)
+	for ordinal, r := range rows {
+		db.sidIndex.Insert(int64(r.SID), int64(ordinal))
+		db.uidIndex.Insert(int64(r.UID), int64(r.SID))
+		if r.RSID != social.NoPost {
+			db.rsidIndex.Insert(int64(r.RSID), int64(r.SID))
+			fanout[r.RSID]++
+			if fanout[r.RSID] > db.maxFanout {
+				db.maxFanout = fanout[r.RSID]
+			}
+		}
+	}
+	db.totalRows = len(rows)
+	if len(rows) > 0 {
+		db.minSID, db.maxSID = rows[0].SID, rows[len(rows)-1].SID
+	}
+	db.frozen = true
+}
+
+// Len returns the number of rows.
+func (db *DB) Len() int { return db.totalRows }
+
+// SIDRange returns the smallest and largest SID stored.
+func (db *DB) SIDRange() (min, max social.PostID) { return db.minSID, db.maxSID }
+
+// MaxReplyFanout returns t_m, the maximum number of replied/forwarded posts
+// any single post has in the database (Definition 11).
+func (db *DB) MaxReplyFanout() int { return db.maxFanout }
+
+// Stats returns a copy of the I/O counters, folding in index accesses.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	s := db.stats
+	db.mu.Unlock()
+	s.IndexReads = db.sidIndex.Accesses() + db.rsidIndex.Accesses() + db.uidIndex.Accesses()
+	return s
+}
+
+// ResetStats zeroes all I/O counters.
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	db.stats = Stats{}
+	db.mu.Unlock()
+	db.sidIndex.ResetAccesses()
+	db.rsidIndex.ResetAccesses()
+	db.uidIndex.ResetAccesses()
+}
+
+// readPage simulates fetching one page from disk (or the cache).
+func (db *DB) readPage(idx int) []Row {
+	db.mu.Lock()
+	if db.cache != nil {
+		if rows, ok := db.cache.get(idx); ok {
+			db.stats.CacheHits++
+			db.mu.Unlock()
+			return rows
+		}
+	}
+	db.stats.PageReads++
+	db.mu.Unlock()
+	if db.opts.IOLatency > 0 {
+		simulateLatency(db.opts.IOLatency)
+	}
+	rows := db.pages[idx]
+	if db.cache != nil {
+		db.mu.Lock()
+		db.cache.put(idx, rows)
+		db.mu.Unlock()
+	}
+	return rows
+}
+
+func (db *DB) rowByOrdinal(ordinal int64) Row {
+	page := int(ordinal) / db.opts.RowsPerPage
+	slot := int(ordinal) % db.opts.RowsPerPage
+	return db.readPage(page)[slot]
+}
+
+// GetBySID returns the row with the given post ID via the primary index.
+// With caches off, each B⁺-tree node visited is one simulated I/O, like
+// the page fetch itself.
+func (db *DB) GetBySID(sid social.PostID) (Row, bool) {
+	db.mustBeFrozen()
+	vals, visited := db.sidIndex.GetCounted(int64(sid))
+	db.chargeIndexIO(visited)
+	if len(vals) == 0 {
+		return Row{}, false
+	}
+	return db.rowByOrdinal(vals[0]), true
+}
+
+// chargeIndexIO adds simulated latency for index-node reads.
+func (db *DB) chargeIndexIO(nodes int) {
+	if db.opts.IOLatency > 0 && nodes > 0 {
+		simulateLatency(time.Duration(nodes) * db.opts.IOLatency)
+	}
+}
+
+// UserOf returns the author of a post (Algorithm 4 line 20:
+// "select userId where sid = P_j.sid").
+func (db *DB) UserOf(sid social.PostID) (social.UserID, bool) {
+	r, ok := db.GetBySID(sid)
+	if !ok {
+		return social.NoUser, false
+	}
+	return r.UID, true
+}
+
+// SelectByRSID returns the rows of all posts that reply to or forward the
+// given post (Algorithm 1 line 7), via the rsid secondary index.
+func (db *DB) SelectByRSID(rsid social.PostID) []Row {
+	db.mustBeFrozen()
+	sids, visited := db.rsidIndex.GetCounted(int64(rsid))
+	db.chargeIndexIO(visited)
+	if len(sids) == 0 {
+		return nil
+	}
+	out := make([]Row, 0, len(sids))
+	for _, sid := range sids {
+		if r, ok := db.GetBySID(social.PostID(sid)); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PostsOfUser returns all post IDs of a user in ascending order (P_u of
+// the problem definition), via the uid B⁺-tree — index node visits are
+// charged like any other simulated I/O. The returned slice must not be
+// modified.
+func (db *DB) PostsOfUser(uid social.UserID) []social.PostID {
+	db.mustBeFrozen()
+	sids, visited := db.uidIndex.GetCounted(int64(uid))
+	db.chargeIndexIO(visited)
+	if len(sids) == 0 {
+		return nil
+	}
+	out := make([]social.PostID, len(sids))
+	for i, sid := range sids {
+		out[i] = social.PostID(sid)
+	}
+	return out
+}
+
+// PostCountOfUser returns |P_u|.
+func (db *DB) PostCountOfUser(uid social.UserID) int {
+	db.mustBeFrozen()
+	sids, visited := db.uidIndex.GetCounted(int64(uid))
+	db.chargeIndexIO(visited)
+	return len(sids)
+}
+
+// UserIDs returns every distinct user with at least one post, ascending.
+func (db *DB) UserIDs() []social.UserID {
+	db.mustBeFrozen()
+	keys := db.uidIndex.Keys()
+	out := make([]social.UserID, len(keys))
+	for i, k := range keys {
+		out[i] = social.UserID(k)
+	}
+	return out
+}
+
+// Scan iterates every row in SID order; fn returning false stops the scan.
+// Each page touched counts as one I/O, so a full scan models the sequential
+// read cost the baseline (index-free) ranker pays.
+func (db *DB) Scan(fn func(Row) bool) {
+	db.mustBeFrozen()
+	for i := range db.pages {
+		for _, r := range db.readPage(i) {
+			if !fn(r) {
+				return
+			}
+		}
+	}
+}
+
+func (db *DB) mustBeFrozen() {
+	if !db.frozen {
+		panic("metadb: query before Freeze")
+	}
+}
+
+// simulateLatency delays for d. The OS cannot sleep for single-digit
+// microseconds (time.Sleep rounds up to scheduler granularity, ~100 µs),
+// so short latencies spin on the monotonic clock instead.
+func simulateLatency(d time.Duration) {
+	if d >= 100*time.Microsecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,37 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 100000)
+	b.ResetTimer()
+	tr := New(DefaultCapacity)
+	for i := 0; i < b.N; i++ {
+		tr.Insert(items[i%len(items)])
+	}
+}
+
+func BenchmarkSearchCircle(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(DefaultCapacity)
+	for _, it := range randomItems(rng, 50000) {
+		tr.Insert(it)
+	}
+	center := geo.Point{Lat: 43.7, Lon: -79.4}
+	for i := 0; i < b.N; i++ {
+		tr.SearchCircle(center, 25)
+	}
+}
+
+func BenchmarkDescendCover(b *testing.B) {
+	center := geo.Point{Lat: 43.68, Lon: -79.37}
+	for i := 0; i < b.N; i++ {
+		DescendCover(center, 20, 4)
+	}
+}

@@ -1,0 +1,209 @@
+// Package quadtree implements the point-region quadtree (Finkel & Bentley,
+// Acta Informatica 1974 — the paper's reference [9]) that the geohash
+// encoding derives from: "Quadtree is an easily-maintained spatial index
+// structure which divides the spatial space in a uniform way" (Section
+// IV-B1). The package provides both a dynamic point index with circle
+// search and the quadtree-descent construction of a geohash circle cover,
+// which must agree exactly with geo.CircleCover's grid walk.
+package quadtree
+
+import (
+	"repro/internal/geo"
+)
+
+// DefaultCapacity is the number of points a leaf holds before splitting.
+const DefaultCapacity = 16
+
+// Item is one indexed point.
+type Item struct {
+	ID int64
+	P  geo.Point
+}
+
+// Tree is a PR quadtree over the whole lat/lon domain.
+type Tree struct {
+	root     *node
+	capacity int
+	size     int
+	visits   int // nodes touched by the latest search, for pruning tests
+}
+
+type node struct {
+	cell     geo.Rect
+	items    []Item  // leaf payload
+	children []*node // nil for leaves; 4 quadrants otherwise
+}
+
+// New creates an empty tree; capacity <= 0 selects DefaultCapacity.
+func New(capacity int) *Tree {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tree{
+		root: &node{cell: geo.Rect{
+			MinLat: -90, MaxLat: 90, MinLon: -180, MaxLon: 180,
+		}},
+		capacity: capacity,
+	}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Visits returns how many nodes the last SearchCircle touched.
+func (t *Tree) Visits() int { return t.visits }
+
+// Insert adds an item. Points outside the legal domain are rejected by
+// panicking: callers validate coordinates at ingestion.
+func (t *Tree) Insert(it Item) {
+	if !it.P.Valid() {
+		panic("quadtree: invalid point")
+	}
+	t.insert(t.root, it, 0)
+	t.size++
+}
+
+// maxDepth caps subdivision; 2*5*12 bits matches geohash max precision.
+const maxDepth = 60
+
+func (t *Tree) insert(n *node, it Item, depth int) {
+	if n.children == nil {
+		if len(n.items) < t.capacity || depth >= maxDepth {
+			n.items = append(n.items, it)
+			return
+		}
+		t.split(n)
+	}
+	t.insert(n.children[quadrantOf(n.cell, it.P)], it, depth+1)
+}
+
+// split turns a leaf into an inner node with four quadrants ("each quadrant
+// is obtained by dividing the parent node in half along both the horizontal
+// and vertical axes") and redistributes the items.
+func (t *Tree) split(n *node) {
+	midLat := (n.cell.MinLat + n.cell.MaxLat) / 2
+	midLon := (n.cell.MinLon + n.cell.MaxLon) / 2
+	n.children = []*node{
+		{cell: geo.Rect{MinLat: midLat, MaxLat: n.cell.MaxLat, MinLon: n.cell.MinLon, MaxLon: midLon}}, // upper-left
+		{cell: geo.Rect{MinLat: midLat, MaxLat: n.cell.MaxLat, MinLon: midLon, MaxLon: n.cell.MaxLon}}, // upper-right
+		{cell: geo.Rect{MinLat: n.cell.MinLat, MaxLat: midLat, MinLon: midLon, MaxLon: n.cell.MaxLon}}, // bottom-right
+		{cell: geo.Rect{MinLat: n.cell.MinLat, MaxLat: midLat, MinLon: n.cell.MinLon, MaxLon: midLon}}, // bottom-left
+	}
+	items := n.items
+	n.items = nil
+	for _, it := range items {
+		child := n.children[quadrantOf(n.cell, it.P)]
+		child.items = append(child.items, it)
+	}
+}
+
+// quadrantOf returns the child index (see split's layout) of p in cell.
+func quadrantOf(cell geo.Rect, p geo.Point) int {
+	midLat := (cell.MinLat + cell.MaxLat) / 2
+	midLon := (cell.MinLon + cell.MaxLon) / 2
+	upper := p.Lat >= midLat
+	right := p.Lon >= midLon
+	switch {
+	case upper && !right:
+		return 0
+	case upper && right:
+		return 1
+	case !upper && right:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// SearchCircle returns every item within radiusKm of center, pruning
+// subtrees whose cells cannot intersect the circle.
+func (t *Tree) SearchCircle(center geo.Point, radiusKm float64) []Item {
+	t.visits = 0
+	var out []Item
+	var walk func(n *node)
+	walk = func(n *node) {
+		t.visits++
+		if geo.MinDistanceKm(center, n.cell) > radiusKm {
+			return
+		}
+		if n.children == nil {
+			for _, it := range n.items {
+				if geo.HaversineKm(center, it.P) <= radiusKm {
+					out = append(out, it)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Depth returns the height of the tree.
+func (t *Tree) Depth() int {
+	var depth func(n *node) int
+	depth = func(n *node) int {
+		if n.children == nil {
+			return 1
+		}
+		max := 0
+		for _, c := range n.children {
+			if d := depth(c); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return depth(t.root)
+}
+
+// DescendCover computes the geohash circle cover by quadtree descent: the
+// world cell is recursively quartered (equivalently, one longitude and one
+// latitude geohash bit per level); subtrees disjoint from the circle are
+// pruned; surviving cells at the target precision are emitted in Z-order.
+// It must produce exactly geo.CircleCover's result — the property test in
+// this package asserts that.
+func DescendCover(center geo.Point, radiusKm float64, precision int) []string {
+	if radiusKm < 0 {
+		radiusKm = 0
+	}
+	target := precision * 5 // bits
+	var out []string
+	var walk func(cell geo.Rect, hashBits uint64, depth int)
+	walk = func(cell geo.Rect, hashBits uint64, depth int) {
+		if geo.MinDistanceKm(center, cell) > radiusKm {
+			return
+		}
+		if depth == target {
+			out = append(out, bitsToHash(hashBits, precision))
+			return
+		}
+		if depth%2 == 0 { // refine longitude
+			midLon := (cell.MinLon + cell.MaxLon) / 2
+			walk(geo.Rect{MinLat: cell.MinLat, MaxLat: cell.MaxLat, MinLon: cell.MinLon, MaxLon: midLon},
+				hashBits<<1, depth+1)
+			walk(geo.Rect{MinLat: cell.MinLat, MaxLat: cell.MaxLat, MinLon: midLon, MaxLon: cell.MaxLon},
+				hashBits<<1|1, depth+1)
+		} else { // refine latitude
+			midLat := (cell.MinLat + cell.MaxLat) / 2
+			walk(geo.Rect{MinLat: cell.MinLat, MaxLat: midLat, MinLon: cell.MinLon, MaxLon: cell.MaxLon},
+				hashBits<<1, depth+1)
+			walk(geo.Rect{MinLat: midLat, MaxLat: cell.MaxLat, MinLon: cell.MinLon, MaxLon: cell.MaxLon},
+				hashBits<<1|1, depth+1)
+		}
+	}
+	walk(geo.Rect{MinLat: -90, MaxLat: 90, MinLon: -180, MaxLon: 180}, 0, 0)
+	return out
+}
+
+func bitsToHash(bits uint64, precision int) string {
+	buf := make([]byte, precision)
+	for i := precision - 1; i >= 0; i-- {
+		buf[i] = geo.Base32Alphabet[bits&0x1f]
+		bits >>= 5
+	}
+	return string(buf)
+}

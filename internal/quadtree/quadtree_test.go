@@ -1,0 +1,136 @@
+package quadtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID: int64(i + 1),
+			P: geo.Point{
+				Lat: 43.7 + rng.NormFloat64()*2,
+				Lon: -79.4 + rng.NormFloat64()*2,
+			},
+		}
+	}
+	return items
+}
+
+func TestSearchCircleMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randomItems(rng, 3000)
+	tr := New(8)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 20; trial++ {
+		center := geo.Point{Lat: 43.7 + rng.NormFloat64(), Lon: -79.4 + rng.NormFloat64()}
+		radius := rng.Float64()*80 + 1
+		got := tr.SearchCircle(center, radius)
+		var want []int64
+		for _, it := range items {
+			if geo.HaversineKm(center, it.P) <= radius {
+				want = append(want, it.ID)
+			}
+		}
+		gotIDs := make([]int64, len(got))
+		for i, it := range got {
+			gotIDs[i] = it.ID
+		}
+		sort.Slice(gotIDs, func(i, j int) bool { return gotIDs[i] < gotIDs[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(gotIDs) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(gotIDs, want) {
+			t.Fatalf("trial %d: quadtree %d items vs scan %d items", trial, len(gotIDs), len(want))
+		}
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(8)
+	for _, it := range randomItems(rng, 5000) {
+		tr.Insert(it)
+	}
+	// A tiny circle far from the data should touch very few nodes.
+	tr.SearchCircle(geo.Point{Lat: -40, Lon: 100}, 1)
+	farVisits := tr.Visits()
+	// A circle over the data touches many more.
+	tr.SearchCircle(geo.Point{Lat: 43.7, Lon: -79.4}, 100)
+	nearVisits := tr.Visits()
+	if farVisits >= nearVisits {
+		t.Errorf("pruning ineffective: far=%d near=%d visits", farVisits, nearVisits)
+	}
+	if farVisits > 10 {
+		t.Errorf("far query visited %d nodes; expected near-root pruning", farVisits)
+	}
+}
+
+func TestTreeGrowsAndSplits(t *testing.T) {
+	tr := New(2)
+	if tr.Depth() != 1 {
+		t.Fatalf("empty depth %d", tr.Depth())
+	}
+	// Cluster points so the tree must split repeatedly.
+	for i := 0; i < 50; i++ {
+		tr.Insert(Item{ID: int64(i), P: geo.Point{Lat: 10 + float64(i)*1e-6, Lon: 10}})
+	}
+	if tr.Depth() < 3 {
+		t.Errorf("clustered inserts produced depth %d", tr.Depth())
+	}
+	got := tr.SearchCircle(geo.Point{Lat: 10, Lon: 10}, 1)
+	if len(got) != 50 {
+		t.Errorf("search returned %d of 50 clustered items", len(got))
+	}
+}
+
+func TestInsertRejectsInvalid(t *testing.T) {
+	tr := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid point accepted")
+		}
+	}()
+	tr.Insert(Item{ID: 1, P: geo.Point{Lat: 91, Lon: 0}})
+}
+
+// TestDescendCoverMatchesGridWalk is the load-bearing equivalence: the
+// quadtree-descent construction of the circle cover (how the paper derives
+// it) and geo.CircleCover's grid walk must produce identical cell sets.
+func TestDescendCoverMatchesGridWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		center := geo.Point{Lat: rng.Float64()*120 - 60, Lon: rng.Float64()*340 - 170}
+		radius := rng.Float64()*50 + 0.5
+		for precision := 1; precision <= 4; precision++ {
+			a := DescendCover(center, radius, precision)
+			b := geo.CircleCover(center, radius, precision)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("cover mismatch center=%v r=%.2f precision=%d:\n descent=%v\n gridwalk=%v",
+					center, radius, precision, a, b)
+			}
+		}
+	}
+}
+
+func TestDescendCoverSortedZOrder(t *testing.T) {
+	cover := DescendCover(geo.Point{Lat: 43.68, Lon: -79.37}, 15, 4)
+	if !sort.StringsAreSorted(cover) {
+		t.Errorf("descent cover not in Z-order: %v", cover)
+	}
+	if len(cover) == 0 {
+		t.Error("empty cover")
+	}
+}

@@ -1,0 +1,271 @@
+// Package server exposes a built TkLUS system as a JSON-over-HTTP query
+// service — the serving half of the paper's architecture (Figure 3 ends at
+// "query processing"; this is how an application would consume it).
+//
+// Endpoints:
+//
+//	GET /search    lat, lon, radius, keywords (space separated), k,
+//	               semantic (and|or), ranking (sum|max) → ranked users
+//	GET /evidence  the same query parameters plus uid and limit →
+//	               the user's matching tweet texts
+//	GET /stats     cumulative I/O and index counters
+//	GET /healthz   liveness probe
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	tklus "repro"
+	"repro/internal/core"
+)
+
+// Server routes HTTP requests to one TkLUS system.
+type Server struct {
+	sys *tklus.System
+	mux *http.ServeMux
+}
+
+// New creates a server over a built system.
+func New(sys *tklus.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /evidence", s.handleEvidence)
+	s.mux.HandleFunc("GET /thread", s.handleThread)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// searchResponse is the /search reply.
+type searchResponse struct {
+	Results []userJSON `json:"results"`
+	Stats   statsJSON  `json:"stats"`
+}
+
+type userJSON struct {
+	UID   int64   `json:"uid"`
+	Score float64 `json:"score"`
+	Posts int     `json:"posts"`
+}
+
+type statsJSON struct {
+	Cells           int    `json:"cells"`
+	PostingsFetched int64  `json:"postings_fetched"`
+	Candidates      int    `json:"candidates"`
+	ThreadsBuilt    int64  `json:"threads_built"`
+	ThreadsPruned   int64  `json:"threads_pruned"`
+	ElapsedMicros   int64  `json:"elapsed_us"`
+	Ranking         string `json:"ranking"`
+	Semantic        string `json:"semantic"`
+}
+
+// parseQuery builds a tklus.Query from URL parameters.
+func parseQuery(r *http.Request) (tklus.Query, error) {
+	var q tklus.Query
+	get := r.URL.Query()
+
+	f := func(name string, dst *float64) error {
+		v, err := strconv.ParseFloat(get.Get(name), 64)
+		if err != nil {
+			return fmt.Errorf("parameter %q: %v", name, err)
+		}
+		*dst = v
+		return nil
+	}
+	if err := f("lat", &q.Loc.Lat); err != nil {
+		return q, err
+	}
+	if err := f("lon", &q.Loc.Lon); err != nil {
+		return q, err
+	}
+	if err := f("radius", &q.RadiusKm); err != nil {
+		return q, err
+	}
+	q.Keywords = strings.Fields(get.Get("keywords"))
+
+	q.K = 10
+	if raw := get.Get("k"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil {
+			return q, fmt.Errorf("parameter %q: %v", "k", err)
+		}
+		q.K = k
+	}
+	switch get.Get("semantic") {
+	case "", "or":
+		q.Semantic = tklus.Or
+	case "and":
+		q.Semantic = tklus.And
+	default:
+		return q, fmt.Errorf("parameter %q: want and|or", "semantic")
+	}
+	switch get.Get("ranking") {
+	case "", "max":
+		q.Ranking = tklus.MaxScore
+	case "sum":
+		q.Ranking = tklus.SumScore
+	default:
+		return q, fmt.Errorf("parameter %q: want sum|max", "ranking")
+	}
+	if from, to := get.Get("from"), get.Get("to"); from != "" || to != "" {
+		window, err := parseWindow(from, to)
+		if err != nil {
+			return q, err
+		}
+		q.TimeWindow = window
+	}
+	return q, nil
+}
+
+func parseWindow(from, to string) (*tklus.TimeWindow, error) {
+	f, err := time.Parse(time.RFC3339, from)
+	if err != nil {
+		return nil, fmt.Errorf("parameter %q: %v", "from", err)
+	}
+	t, err := time.Parse(time.RFC3339, to)
+	if err != nil {
+		return nil, fmt.Errorf("parameter %q: %v", "to", err)
+	}
+	return &tklus.TimeWindow{From: f, To: t}, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, stats, err := s.sys.SearchContext(r.Context(), q)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client went away; nothing to write
+		}
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := searchResponse{
+		Results: make([]userJSON, 0, len(results)),
+		Stats: statsJSON{
+			Cells:           stats.Cells,
+			PostingsFetched: stats.PostingsFetched,
+			Candidates:      stats.Candidates,
+			ThreadsBuilt:    stats.ThreadsBuilt,
+			ThreadsPruned:   stats.ThreadsPruned,
+			ElapsedMicros:   stats.Elapsed.Microseconds(),
+			Ranking:         rankingName(q.Ranking),
+			Semantic:        semanticName(q.Semantic),
+		},
+	}
+	for _, res := range results {
+		resp.Results = append(resp.Results, userJSON{
+			UID:   int64(res.UID),
+			Score: res.Score,
+			Posts: s.sys.DB.PostCountOfUser(res.UID),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	uid, err := strconv.ParseInt(r.URL.Query().Get("uid"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %v", "uid", err))
+		return
+	}
+	limit := 10
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		if limit, err = strconv.Atoi(raw); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %v", "limit", err))
+			return
+		}
+	}
+	texts, err := s.sys.Evidence(q, tklus.UserID(uid), limit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"uid": uid, "tweets": texts})
+}
+
+// handleThread materializes the tweet thread rooted at ?tid= and returns
+// its nodes (with texts where stored) plus the popularity score.
+func (s *Server) handleThread(w http.ResponseWriter, r *http.Request) {
+	tid, err := strconv.ParseInt(r.URL.Query().Get("tid"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %v", "tid", err))
+		return
+	}
+	if _, ok := s.sys.DB.GetBySID(tklus.PostID(tid)); !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("tweet %d not found", tid))
+		return
+	}
+	nodes, popularity := s.sys.Thread(tklus.PostID(tid))
+	type nodeJSON struct {
+		SID    int64  `json:"sid"`
+		UID    int64  `json:"uid"`
+		Parent int64  `json:"parent,omitempty"`
+		Level  int    `json:"level"`
+		Text   string `json:"text,omitempty"`
+	}
+	out := make([]nodeJSON, 0, len(nodes))
+	for _, n := range nodes {
+		text, _ := s.sys.Contents.Text(n.SID)
+		out = append(out, nodeJSON{
+			SID: int64(n.SID), UID: int64(n.UID),
+			Parent: int64(n.Parent), Level: n.Level, Text: text,
+		})
+	}
+	writeJSON(w, map[string]any{"popularity": popularity, "nodes": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	dbStats := s.sys.DB.Stats()
+	fsStats := s.sys.FS.Stats()
+	writeJSON(w, map[string]any{
+		"index_keys":       s.sys.Index.NumKeys(),
+		"postings_fetches": s.sys.Index.Fetches(),
+		"db_page_reads":    dbStats.PageReads,
+		"db_cache_hits":    dbStats.CacheHits,
+		"db_index_reads":   dbStats.IndexReads,
+		"dfs_blocks_read":  fsStats.BlocksRead,
+		"dfs_bytes_read":   fsStats.BytesRead,
+		"dfs_seeks":        fsStats.Seeks,
+		"rows":             s.sys.DB.Len(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func rankingName(r core.Ranking) string   { return r.String() }
+func semanticName(s core.Semantic) string { return s.String() }

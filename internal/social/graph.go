@@ -1,0 +1,83 @@
+package social
+
+import "sort"
+
+// Graph is the social network of Definition 2: a directed graph over users
+// with "reply" and "forward" edge sets, each edge labelled with the set of
+// posts that realize the relationship (the l_reply and l_forward mappings).
+type Graph struct {
+	users   map[UserID]struct{}
+	reply   map[edge][]PostID
+	forward map[edge][]PostID
+}
+
+type edge struct {
+	from, to UserID
+}
+
+// NewGraph returns an empty social network.
+func NewGraph() *Graph {
+	return &Graph{
+		users:   make(map[UserID]struct{}),
+		reply:   make(map[edge][]PostID),
+		forward: make(map[edge][]PostID),
+	}
+}
+
+// AddUser registers a user vertex.
+func (g *Graph) AddUser(u UserID) { g.users[u] = struct{}{} }
+
+// HasUser reports whether u is a vertex of the graph.
+func (g *Graph) HasUser(u UserID) bool {
+	_, ok := g.users[u]
+	return ok
+}
+
+// NumUsers returns |U|.
+func (g *Graph) NumUsers() int { return len(g.users) }
+
+// AddPost inserts the edges implied by one post: a reply post adds (or
+// extends) a reply edge from its author to the replied-to user, a forward
+// post a forward edge. Original posts only register the author vertex.
+func (g *Graph) AddPost(p *Post) {
+	g.AddUser(p.UID)
+	if !p.IsReaction() || p.RUID == NoUser {
+		return
+	}
+	g.AddUser(p.RUID)
+	e := edge{from: p.UID, to: p.RUID}
+	switch p.Kind {
+	case Reply:
+		g.reply[e] = append(g.reply[e], p.SID)
+	case Forward:
+		g.forward[e] = append(g.forward[e], p.SID)
+	}
+}
+
+// RepliesFromTo implements l_reply(u1, u2): all posts in which u1 replies
+// to u2, sorted by post ID.
+func (g *Graph) RepliesFromTo(u1, u2 UserID) []PostID {
+	return sortedCopy(g.reply[edge{from: u1, to: u2}])
+}
+
+// ForwardsFromTo implements l_forward(u1, u2): all u2 posts forwarded by u1,
+// identified by the forwarding posts' IDs, sorted.
+func (g *Graph) ForwardsFromTo(u1, u2 UserID) []PostID {
+	return sortedCopy(g.forward[edge{from: u1, to: u2}])
+}
+
+// NumReplyEdges returns |E_reply|.
+func (g *Graph) NumReplyEdges() int { return len(g.reply) }
+
+// NumForwardEdges returns |E_forward|.
+func (g *Graph) NumForwardEdges() int { return len(g.forward) }
+
+func sortedCopy(ids []PostID) []PostID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]PostID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

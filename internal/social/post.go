@@ -1,0 +1,89 @@
+// Package social models geo-tagged social media data as defined in
+// Section II-A of the paper: posts (Definition 1), users, and the social
+// network graph of reply/forward relationships (Definition 2).
+package social
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// PostID identifies a post. Following Section IV-A, the post ID ("sid") is
+// essentially the post timestamp, which is unique in the corpus.
+type PostID int64
+
+// UserID identifies a user.
+type UserID int64
+
+// NoPost and NoUser are the zero sentinels for the ruid/rsid columns of the
+// metadata relation: a post that replies to or forwards nothing.
+const (
+	NoPost PostID = 0
+	NoUser UserID = 0
+)
+
+// RelationKind distinguishes the two edge types of Definition 2.
+type RelationKind uint8
+
+const (
+	// None marks an original post.
+	None RelationKind = iota
+	// Reply marks a post that replies to another post.
+	Reply
+	// Forward marks a post that forwards (retweets) another post.
+	Forward
+)
+
+func (k RelationKind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Reply:
+		return "reply"
+	case Forward:
+		return "forward"
+	}
+	return fmt.Sprintf("RelationKind(%d)", uint8(k))
+}
+
+// Post is a social media post, the 4-tuple p = (uid, t, l, W) of
+// Definition 1 extended with the reply/forward metadata of the relation
+// schema (sid, uid, lat, lon, ruid, rsid) from Section IV-A.
+type Post struct {
+	SID   PostID    // post ID == timestamp (unique)
+	UID   UserID    // author
+	Time  time.Time // publication time
+	Loc   geo.Point // geo-tag
+	Words []string  // tokenized, stemmed, stop-word-filtered bag p.W
+	Text  string    // original raw content (kept for result display)
+
+	Kind RelationKind // how this post relates to RSID (None for originals)
+	RUID UserID       // author of the related post (NoUser if none)
+	RSID PostID       // related post (NoPost if none)
+}
+
+// IsReaction reports whether the post replies to or forwards another post.
+func (p *Post) IsReaction() bool { return p.Kind != None && p.RSID != NoPost }
+
+// Validate checks structural invariants of a post.
+func (p *Post) Validate() error {
+	if p.SID == NoPost {
+		return fmt.Errorf("social: post has zero SID")
+	}
+	if p.UID == NoUser {
+		return fmt.Errorf("social: post %d has zero UID", p.SID)
+	}
+	if !p.Loc.Valid() {
+		return fmt.Errorf("social: post %d has invalid location %v", p.SID, p.Loc)
+	}
+	if (p.Kind == None) != (p.RSID == NoPost) {
+		return fmt.Errorf("social: post %d relation kind %v inconsistent with rsid %d",
+			p.SID, p.Kind, p.RSID)
+	}
+	if p.RSID == p.SID && p.RSID != NoPost {
+		return fmt.Errorf("social: post %d replies to itself", p.SID)
+	}
+	return nil
+}

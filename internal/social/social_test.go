@@ -1,0 +1,103 @@
+package social
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func post(sid PostID, uid UserID, kind RelationKind, ruid UserID, rsid PostID) *Post {
+	return &Post{
+		SID: sid, UID: uid, Time: time.Unix(int64(sid), 0),
+		Loc:  geo.Point{Lat: 43.7, Lon: -79.4},
+		Kind: kind, RUID: ruid, RSID: rsid,
+	}
+}
+
+func TestPostValidate(t *testing.T) {
+	good := []*Post{
+		post(1, 10, None, NoUser, NoPost),
+		post(2, 11, Reply, 10, 1),
+		post(3, 12, Forward, 10, 1),
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("valid post %d rejected: %v", p.SID, err)
+		}
+	}
+	bad := []*Post{
+		post(0, 10, None, NoUser, NoPost),                 // zero SID
+		post(1, 0, None, NoUser, NoPost),                  // zero UID
+		post(1, 10, Reply, 11, NoPost),                    // reply without rsid
+		post(1, 10, None, NoUser, 5),                      // rsid without kind
+		post(5, 10, Reply, 10, 5),                         // self-reply
+		{SID: 1, UID: 1, Loc: geo.Point{Lat: 99, Lon: 0}}, // bad location
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad post case %d accepted", i)
+		}
+	}
+}
+
+func TestIsReaction(t *testing.T) {
+	if post(1, 10, None, NoUser, NoPost).IsReaction() {
+		t.Error("original post reported as reaction")
+	}
+	if !post(2, 11, Reply, 10, 1).IsReaction() {
+		t.Error("reply not reported as reaction")
+	}
+	if !post(3, 11, Forward, 10, 1).IsReaction() {
+		t.Error("forward not reported as reaction")
+	}
+}
+
+func TestRelationKindString(t *testing.T) {
+	if None.String() != "none" || Reply.String() != "reply" || Forward.String() != "forward" {
+		t.Error("RelationKind strings wrong")
+	}
+	if RelationKind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestGraphEdgesAndLabels(t *testing.T) {
+	g := NewGraph()
+	// u2 replies twice to u1, u3 forwards u1 once.
+	g.AddPost(post(1, 1, None, NoUser, NoPost))
+	g.AddPost(post(2, 2, Reply, 1, 1))
+	g.AddPost(post(3, 2, Reply, 1, 1))
+	g.AddPost(post(4, 3, Forward, 1, 1))
+
+	if g.NumUsers() != 3 {
+		t.Errorf("NumUsers = %d, want 3", g.NumUsers())
+	}
+	if g.NumReplyEdges() != 1 || g.NumForwardEdges() != 1 {
+		t.Errorf("edges = %d reply / %d forward, want 1/1",
+			g.NumReplyEdges(), g.NumForwardEdges())
+	}
+	replies := g.RepliesFromTo(2, 1)
+	if len(replies) != 2 || replies[0] != 2 || replies[1] != 3 {
+		t.Errorf("l_reply(2,1) = %v, want [2 3]", replies)
+	}
+	if got := g.RepliesFromTo(1, 2); got != nil {
+		t.Errorf("reverse direction should be empty, got %v", got)
+	}
+	forwards := g.ForwardsFromTo(3, 1)
+	if len(forwards) != 1 || forwards[0] != 4 {
+		t.Errorf("l_forward(3,1) = %v, want [4]", forwards)
+	}
+}
+
+func TestGraphIgnoresReactionWithoutRUID(t *testing.T) {
+	g := NewGraph()
+	p := post(2, 2, Reply, NoUser, 1) // replied-to user unknown
+	g.AddPost(p)
+	if g.NumReplyEdges() != 0 {
+		t.Error("edge added despite unknown target user")
+	}
+	if !g.HasUser(2) {
+		t.Error("author vertex missing")
+	}
+}

@@ -1,0 +1,77 @@
+// Package stats provides the small summary statistics (mean, percentiles)
+// the experiment harness reports for query latencies. The paper plots
+// averages; percentiles expose the tail behaviour that averages hide.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of non-negative measurements.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	P50  float64
+	P95  float64
+	P99  float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	var total float64
+	for _, v := range sorted {
+		total += v
+	}
+	return Summary{
+		N:    len(sorted),
+		Mean: total / float64(len(sorted)),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  Percentile(sorted, 50),
+		P95:  Percentile(sorted, 95),
+		P99:  Percentile(sorted, 99),
+	}
+}
+
+// Percentile returns the p-th percentile (0-100) of an ascending-sorted
+// sample using linear interpolation between closest ranks. It panics on an
+// empty sample or a percentile outside [0, 100].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// DurationSummary summarizes a sample of durations in seconds.
+func DurationSummary(durations []time.Duration) Summary {
+	sample := make([]float64, len(durations))
+	for i, d := range durations {
+		sample[i] = d.Seconds()
+	}
+	return Summarize(sample)
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	// P95 of [1..5] by linear interpolation: rank 3.8 -> 4.8.
+	if math.Abs(s.P95-4.8) > 1e-12 {
+		t.Errorf("P95 = %v, want 4.8", s.P95)
+	}
+}
+
+func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.P50 != 7 || s.P99 != 7 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 40 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(sorted, 50); math.Abs(got-25) > 1e-12 {
+		t.Errorf("P50 = %v, want 25", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sample := make([]float64, int(n)+1)
+		for i := range sample {
+			sample[i] = rng.Float64() * 100
+		}
+		s := Summarize(sample)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeNotDestructive(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	Summarize(sample)
+	if sample[0] != 3 || sample[1] != 1 || sample[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestDurationSummary(t *testing.T) {
+	s := DurationSummary([]time.Duration{time.Second, 3 * time.Second})
+	if s.N != 2 || math.Abs(s.Mean-2) > 1e-12 {
+		t.Errorf("duration summary = %+v", s)
+	}
+}

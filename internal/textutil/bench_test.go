@@ -1,0 +1,33 @@
+package textutil
+
+import "testing"
+
+var sinkTerms []string
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{
+		"caresses", "relational", "babysitting", "hopefulness",
+		"restaurant", "vietnamization", "toronto", "photography",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkTerms(b *testing.B) {
+	// A representative 140-character tweet.
+	text := "Saturday night steez #fashion #style #ootd #toronto #saturday " +
+		"#party #outfit @ Four Seasons Hotel Toronto http://t.co/abc123"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkTerms = Terms(text)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := "I'm at Toronto Marriott Bloor Yorkville Hotel, loving the view!"
+	for i := 0; i < b.N; i++ {
+		sinkTerms = Tokenize(text)
+	}
+}

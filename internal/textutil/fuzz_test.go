@@ -1,0 +1,44 @@
+package textutil
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzStem checks the stemmer never panics, never grows a word by more
+// than one byte, and always returns valid UTF-8 for valid input.
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "caresses", "babysitting", "relational", "hopefulness",
+		"zzzz", "über", "can't", "123abc",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, w string) {
+		out := Stem(w)
+		if len(out) > len(w)+1 {
+			t.Fatalf("Stem(%q) grew: %q", w, out)
+		}
+		if utf8.ValidString(w) && !utf8.ValidString(out) {
+			t.Fatalf("Stem(%q) produced invalid UTF-8 %q", w, out)
+		}
+	})
+}
+
+// FuzzTerms checks the full pipeline stays total: no panics, no empty
+// terms, no stop words in the output.
+func FuzzTerms(f *testing.F) {
+	f.Add("I'm at the Four Seasons Hotel! http://t.co/x #toronto")
+	f.Add("")
+	f.Add("\x00\xff weird bytes �")
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, term := range Terms(text) {
+			if term == "" {
+				t.Fatal("empty term emitted")
+			}
+			if IsStopWord(term) {
+				t.Fatalf("stop word %q emitted", term)
+			}
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package textutil
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980), the stemmer referenced by Algorithm 2
+// ("each term is stemmed"). This is a faithful implementation of the
+// original five-step algorithm operating on lowercase ASCII words; words
+// containing non-ASCII letters are returned unchanged.
+
+// Stem returns the Porter stem of the lowercase word w.
+func Stem(w string) string {
+	if len(w) <= 2 {
+		return w
+	}
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c < 'a' || c > 'z' {
+			if c >= '0' && c <= '9' {
+				continue // alphanumeric tokens pass through unstemmed
+			}
+			return w
+		}
+	}
+	s := stemmer{b: []byte(w)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// 'y' is a consonant when it starts the word or follows a vowel.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in b[:end].
+func (s *stemmer) measure(end int) int {
+	n := 0
+	i := 0
+	// Skip the initial consonant run.
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		n++
+		// Consonant run.
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+	}
+	return n
+}
+
+// hasVowel reports whether b[:end] contains a vowel.
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b[:end] ends with a double consonant.
+func (s *stemmer) endsDoubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return s.b[end-1] == s.b[end-2] && s.isConsonant(end-1)
+}
+
+// endsCVC reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func (s *stemmer) endsCVC(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.isConsonant(end-3) || s.isConsonant(end-2) || !s.isConsonant(end-1) {
+		return false
+	}
+	switch s.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the current word ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	if len(s.b) < len(suf) {
+		return false
+	}
+	return string(s.b[len(s.b)-len(suf):]) == suf
+}
+
+// stemEnd returns the length of the word with suf removed.
+func (s *stemmer) stemEnd(suf string) int { return len(s.b) - len(suf) }
+
+// replace replaces the suffix suf with rep if the measure of the remaining
+// stem is greater than m. It reports whether suf matched (regardless of
+// whether the replacement fired), so callers can stop at the first match.
+func (s *stemmer) replace(suf, rep string, m int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	end := s.stemEnd(suf)
+	if s.measure(end) > m {
+		s.b = append(s.b[:end], rep...)
+	}
+	return true
+}
+
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.b = s.b[:len(s.b)-2] // sses -> ss
+	case s.hasSuffix("ies"):
+		s.b = s.b[:len(s.b)-2] // ies -> i
+	case s.hasSuffix("ss"):
+		// ss -> ss (no change)
+	case s.hasSuffix("s"):
+		s.b = s.b[:len(s.b)-1] // s -> (empty)
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(s.stemEnd("eed")) > 0 {
+			s.b = s.b[:len(s.b)-1] // eed -> ee
+		}
+		return
+	}
+	fired := false
+	if s.hasSuffix("ed") && s.hasVowel(s.stemEnd("ed")) {
+		s.b = s.b[:s.stemEnd("ed")]
+		fired = true
+	} else if s.hasSuffix("ing") && s.hasVowel(s.stemEnd("ing")) {
+		s.b = s.b[:s.stemEnd("ing")]
+		fired = true
+	}
+	if !fired {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"), s.hasSuffix("bl"), s.hasSuffix("iz"):
+		s.b = append(s.b, 'e')
+	case s.endsDoubleConsonant(len(s.b)):
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.endsCVC(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(len(s.b)-1) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+var step2Rules = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func (s *stemmer) step2() {
+	for _, r := range step2Rules {
+		if s.replace(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+var step3Rules = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (s *stemmer) step3() {
+	for _, r := range step3Rules {
+		if s.replace(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (s *stemmer) step4() {
+	// "ion" only strips after s or t.
+	if s.hasSuffix("ion") {
+		end := s.stemEnd("ion")
+		if end > 0 && (s.b[end-1] == 's' || s.b[end-1] == 't') && s.measure(end) > 1 {
+			s.b = s.b[:end]
+			return
+		}
+	}
+	for _, suf := range step4Suffixes {
+		if s.hasSuffix(suf) {
+			if s.measure(s.stemEnd(suf)) > 1 {
+				s.b = s.b[:s.stemEnd(suf)]
+			}
+			return
+		}
+	}
+}
+
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	end := len(s.b) - 1
+	m := s.measure(end)
+	if m > 1 || (m == 1 && !s.endsCVC(end)) {
+		s.b = s.b[:end]
+	}
+}
+
+func (s *stemmer) step5b() {
+	if s.measure(len(s.b)) > 1 && s.endsDoubleConsonant(len(s.b)) && s.b[len(s.b)-1] == 'l' {
+		s.b = s.b[:len(s.b)-1]
+	}
+}

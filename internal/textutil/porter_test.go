@@ -1,0 +1,104 @@
+package textutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Vectors from Porter's original paper and the canonical vocabulary list.
+func TestStemKnownVectors(t *testing.T) {
+	cases := map[string]string{
+		// Step 1a
+		"caresses": "caress", "ponies": "poni", "ties": "ti",
+		"caress": "caress", "cats": "cat",
+		// Step 1b
+		"feed": "feed", "agreed": "agre", "plastered": "plaster",
+		"bled": "bled", "motoring": "motor", "sing": "sing",
+		"conflated": "conflat", "troubled": "troubl", "sized": "size",
+		"hopping": "hop", "tanned": "tan", "falling": "fall",
+		"hissing": "hiss", "fizzed": "fizz", "failing": "fail",
+		"filing": "file",
+		// Step 1c
+		"happy": "happi", "sky": "sky",
+		// Step 2
+		"relational": "relat", "conditional": "condit", "rational": "ration",
+		"valenci": "valenc", "hesitanci": "hesit", "digitizer": "digit",
+		"conformabli": "conform", "radicalli": "radic", "differentli": "differ",
+		"vileli": "vile", "analogousli": "analog", "vietnamization": "vietnam",
+		"predication": "predic", "operator": "oper", "feudalism": "feudal",
+		"decisiveness": "decis", "hopefulness": "hope", "callousness": "callous",
+		"formaliti": "formal", "sensitiviti": "sensit", "sensibiliti": "sensibl",
+		// Step 3
+		"triplicate": "triplic", "formative": "form", "formalize": "formal",
+		"electriciti": "electr", "electrical": "electr", "hopeful": "hope",
+		"goodness": "good",
+		// Step 4
+		"revival": "reviv", "allowance": "allow", "inference": "infer",
+		"airliner": "airlin", "gyroscopic": "gyroscop", "adjustable": "adjust",
+		"defensible": "defens", "irritant": "irrit", "replacement": "replac",
+		"adjustment": "adjust", "dependent": "depend", "adoption": "adopt",
+		"homologou": "homolog", "communism": "commun", "activate": "activ",
+		"angulariti": "angular", "homologous": "homolog", "effective": "effect",
+		"bowdlerize": "bowdler",
+		// Step 5
+		"probate": "probat", "rate": "rate", "cease": "ceas",
+		"controll": "control", "roll": "roll",
+		// Domain words used throughout the reproduction.
+		"restaurants": "restaur", "hotels": "hotel", "hotel": "hotel",
+		"games": "game", "babysitters": "babysitt", "coffee": "coffe",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"", "a", "by", "是的", "café"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem again is a fixed point for this vocabulary, which
+	// matters because query keywords are stemmed with the same pipeline as
+	// indexed terms.
+	// Note "coffee" is intentionally absent: Porter genuinely maps
+	// coffee -> coffe -> coff across repeated applications. Queries and
+	// documents both stem exactly once, so this does not affect matching.
+	words := []string{
+		"restaurant", "game", "cafe", "shop", "hotel", "club",
+		"film", "pizza", "mall", "babysitter", "massage", "seafood",
+		"mexican", "downtown", "marriott", "spa", "fashion",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		if twice := Stem(once); twice != once {
+			t.Errorf("Stem not idempotent for %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverGrows(t *testing.T) {
+	f := func(w string) bool {
+		// Restrict to lowercase ASCII letters; others are returned as-is.
+		clean := make([]byte, 0, len(w))
+		for i := 0; i < len(w) && len(clean) < 30; i++ {
+			c := w[i]
+			if c >= 'a' && c <= 'z' {
+				clean = append(clean, c)
+			}
+		}
+		s := string(clean)
+		out := Stem(s)
+		// The Porter algorithm can add back an 'e' (e.g. "hopping" path) but
+		// never grows the word beyond its input length plus one.
+		return len(out) <= len(s)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

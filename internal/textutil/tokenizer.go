@@ -1,0 +1,93 @@
+// Package textutil implements the text pipeline of the index construction
+// map function (Algorithm 2 of the paper): tokenization of short social
+// media posts, stop-word filtering against a fixed vocabulary, and Porter
+// stemming of each remaining term.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits raw post text into lowercase word tokens. Hashtags and
+// mentions keep their word part (#toronto -> "toronto", @user -> "user"),
+// URLs are dropped, and everything that is not a letter or digit separates
+// tokens. Pure-digit tokens and single characters are dropped: they carry no
+// keyword signal in 140-character posts.
+func Tokenize(text string) []string {
+	var tokens []string
+	fields := strings.Fields(text)
+	for _, f := range fields {
+		lower := strings.ToLower(f)
+		if strings.HasPrefix(lower, "http://") || strings.HasPrefix(lower, "https://") ||
+			strings.HasPrefix(lower, "www.") {
+			continue
+		}
+		start := -1
+		flush := func(end int) {
+			if start < 0 {
+				return
+			}
+			tok := lower[start:end]
+			start = -1
+			if len(tok) < 2 || isAllDigits(tok) {
+				return
+			}
+			tokens = append(tokens, tok)
+		}
+		for i, r := range lower {
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' {
+				if start < 0 {
+					start = i
+				}
+				continue
+			}
+			flush(i)
+		}
+		flush(len(lower))
+	}
+	// Strip possessive suffixes after the rune scan so "hotel's" -> "hotel".
+	for i, tok := range tokens {
+		tokens[i] = strings.TrimSuffix(strings.TrimSuffix(tok, "'s"), "'")
+	}
+	return tokens
+}
+
+func isAllDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Terms runs the full map-side pipeline of Algorithm 2 on raw text:
+// tokenize, drop stop words, stem. The result is the bag of terms p.W used
+// throughout scoring (Definition 1 restricts p.W to a vocabulary that
+// excludes popular stop words).
+func Terms(text string) []string {
+	tokens := Tokenize(text)
+	out := tokens[:0]
+	for _, tok := range tokens {
+		if IsStopWord(tok) {
+			continue
+		}
+		stemmed := Stem(tok)
+		if stemmed == "" || IsStopWord(stemmed) {
+			continue
+		}
+		out = append(out, stemmed)
+	}
+	return out
+}
+
+// TermFrequencies folds a term bag into a term -> count map, the associative
+// array H of Algorithm 2.
+func TermFrequencies(terms []string) map[string]int {
+	h := make(map[string]int, len(terms))
+	for _, t := range terms {
+		h[t]++
+	}
+	return h
+}

@@ -1,0 +1,82 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"I'm at Toronto Marriott Bloor Yorkville Hotel", []string{"i'm", "at", "toronto", "marriott", "bloor", "yorkville", "hotel"}},
+		{"Finally Toronto (at Clarion Hotel).", []string{"finally", "toronto", "at", "clarion", "hotel"}},
+		{"#fashion #style #ootd #toronto", []string{"fashion", "style", "ootd", "toronto"}},
+		{"check http://t.co/abc and www.example.com now", []string{"check", "and", "now"}},
+		{"@friend hello!!", []string{"friend", "hello"}},
+		{"Room 1408 costs 200", []string{"room", "costs"}},
+		{"the hotel's lobby", []string{"the", "hotel", "lobby"}},
+		{"", nil},
+		{"   \t\n ", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeMixedAlphanumeric(t *testing.T) {
+	got := Tokenize("ipad2 is great in 2013")
+	want := []string{"ipad2", "is", "great", "in"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTermsPipeline(t *testing.T) {
+	// Full Algorithm 2 map-side pipeline: tokenize, stop-word filter, stem.
+	got := Terms("I'm at the Four Seasons Hotels in Toronto, looking for restaurants!")
+	want := []string{"four", "season", "hotel", "toronto", "look", "restaur"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTermsDropsStopWordsEntirely(t *testing.T) {
+	if got := Terms("this is that and it was"); len(got) != 0 {
+		t.Errorf("pure stop-word text produced terms %v", got)
+	}
+}
+
+func TestTermFrequencies(t *testing.T) {
+	// Bag semantics from Definition 6's example: "spicy restaurant" query
+	// against a tweet containing one "spicy" and two "restaurant".
+	tf := TermFrequencies(Terms("spicy restaurant, another restaurant"))
+	if tf[Stem("restaurant")] != 2 {
+		t.Errorf("restaurant tf = %d, want 2", tf[Stem("restaurant")])
+	}
+	if tf[Stem("spicy")] != 1 {
+		t.Errorf("spicy tf = %d, want 1", tf[Stem("spicy")])
+	}
+	if tf[Stem("another")] != 1 {
+		t.Errorf("another tf = %d, want 1", tf[Stem("another")])
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"this", "that", "the", "rt", "via", "i'm"} {
+		if !IsStopWord(w) {
+			t.Errorf("%q should be a stop word", w)
+		}
+	}
+	for _, w := range []string{"hotel", "restaurant", "toronto"} {
+		if IsStopWord(w) {
+			t.Errorf("%q should not be a stop word", w)
+		}
+	}
+	if StopWordCount() < 100 {
+		t.Errorf("stop-word list suspiciously small: %d", StopWordCount())
+	}
+}

@@ -1,0 +1,236 @@
+// Package thread implements tweet threads (Definition 3): the reply/forward
+// cascade rooted at a tweet, constructed level by level through the
+// metadata database's rsid index exactly as Algorithm 1 prescribes, plus the
+// popularity upper bounds of Section V-B (the global Definition 11 bound
+// and the pre-computed per-hot-keyword bounds) used by the maximum-score
+// query processing algorithm to prune thread construction.
+package thread
+
+import (
+	"repro/internal/metadb"
+	"repro/internal/score"
+	"repro/internal/social"
+)
+
+// Builder constructs tweet threads against the metadata database.
+type Builder struct {
+	DB    *metadb.DB
+	Depth int // thread depth limit d of Algorithm 1
+}
+
+// Stats counts construction work for the experiments.
+type Stats struct {
+	ThreadsBuilt int64
+	TweetsPulled int64 // rows fetched while expanding levels
+}
+
+// Popularity runs Algorithm 1: starting from the root tweet it expands one
+// level at a time via "select all where rsid = Id" until the depth limit,
+// and scores the thread per Definition 4. It returns the popularity, the
+// level sizes (levels[0] == 1 for the root), and updates stats.
+func (b *Builder) Popularity(root social.PostID, epsilon float64, stats *Stats) (float64, []int) {
+	if stats != nil {
+		stats.ThreadsBuilt++
+	}
+	levels := []int{1}
+	frontier := []social.PostID{root}
+	for depth := 1; depth <= b.Depth && len(frontier) > 0; depth++ {
+		var next []social.PostID
+		for _, tid := range frontier {
+			for _, row := range b.DB.SelectByRSID(tid) {
+				next = append(next, row.SID)
+			}
+		}
+		if stats != nil {
+			stats.TweetsPulled += int64(len(next))
+		}
+		if len(next) == 0 {
+			break
+		}
+		levels = append(levels, len(next))
+		frontier = next
+	}
+	return score.Popularity(levels, epsilon), levels
+}
+
+// Node is one tweet of a materialized thread tree.
+type Node struct {
+	SID    social.PostID
+	UID    social.UserID
+	Parent social.PostID // NoPost for the root
+	Level  int           // 1 for the root, matching Definition 4's levels
+}
+
+// Tree materializes the thread rooted at root (Definition 3) up to the
+// depth limit, returning its nodes in BFS order (root first) plus the
+// popularity score. It performs the same metadata I/O as Popularity.
+func (b *Builder) Tree(root social.PostID, epsilon float64, stats *Stats) ([]Node, float64) {
+	if stats != nil {
+		stats.ThreadsBuilt++
+	}
+	nodes := []Node{{SID: root, Level: 1}}
+	if row, ok := b.DB.GetBySID(root); ok {
+		nodes[0].UID = row.UID
+	}
+	levels := []int{1}
+	frontier := []social.PostID{root}
+	for depth := 1; depth <= b.Depth && len(frontier) > 0; depth++ {
+		var next []social.PostID
+		for _, tid := range frontier {
+			for _, row := range b.DB.SelectByRSID(tid) {
+				next = append(next, row.SID)
+				nodes = append(nodes, Node{
+					SID: row.SID, UID: row.UID, Parent: tid, Level: depth + 1,
+				})
+			}
+		}
+		if stats != nil {
+			stats.TweetsPulled += int64(len(next))
+		}
+		if len(next) == 0 {
+			break
+		}
+		levels = append(levels, len(next))
+		frontier = next
+	}
+	return nodes, score.Popularity(levels, epsilon)
+}
+
+// Bounds holds the popularity upper bounds available to the max-score
+// algorithm (Section V-B).
+type Bounds struct {
+	// TM is t_m, the maximum number of replied/forwarded tweets any single
+	// tweet has in the database.
+	TM int
+	// Depth is the thread depth limit the bounds were computed for.
+	Depth int
+	// Def11 is the global bound of Definition 11: Σ_{i=2..n} t_m · 1/i with
+	// n = Depth+1 levels. As defined in the paper it assumes every level is
+	// capped by t_m; threads where several tweets at one level each attract
+	// replies can exceed it, so it is a heuristic bound.
+	Def11 float64
+	// MaxObserved is the largest actual thread popularity in the corpus, a
+	// sound global bound ("selecting the largest thread score") computed
+	// offline. The engine uses it by default so pruning is lossless.
+	MaxObserved float64
+	// PerKeyword maps each hot keyword (stemmed) to the largest popularity
+	// among threads rooted at tweets containing it — the paper's "specific
+	// keyword related" bound, precomputed offline for the top-10 frequent
+	// keywords (Table II).
+	PerKeyword map[string]float64
+}
+
+// Def11Bound computes the Definition 11 global bound for a given t_m and
+// depth limit: t_m · Σ_{i=2}^{depth+1} 1/i.
+func Def11Bound(tm, depth int) float64 {
+	var sum float64
+	for i := 2; i <= depth+1; i++ {
+		sum += 1.0 / float64(i)
+	}
+	return float64(tm) * sum
+}
+
+// ComputeBounds scans the whole corpus offline and derives every bound the
+// engine may use. hotKeywords are the stemmed keywords that receive
+// specific bounds; posts supply each root tweet's term bag. The scan builds
+// each thread once through an in-memory child adjacency (this is the
+// offline pre-computation of Section V-B, not charged to query I/O).
+func ComputeBounds(posts []*social.Post, depth int, epsilon float64, hotKeywords []string) *Bounds {
+	children := make(map[social.PostID][]social.PostID, len(posts))
+	tm := 0
+	for _, p := range posts {
+		if p.RSID != social.NoPost {
+			children[p.RSID] = append(children[p.RSID], p.SID)
+			if n := len(children[p.RSID]); n > tm {
+				tm = n
+			}
+		}
+	}
+	hot := make(map[string]struct{}, len(hotKeywords))
+	for _, kw := range hotKeywords {
+		hot[kw] = struct{}{}
+	}
+	b := &Bounds{
+		TM:         tm,
+		Depth:      depth,
+		Def11:      Def11Bound(tm, depth),
+		PerKeyword: make(map[string]float64, len(hotKeywords)),
+	}
+	for _, p := range posts {
+		pop := popularityInMemory(p.SID, children, depth, epsilon)
+		if pop > b.MaxObserved {
+			b.MaxObserved = pop
+		}
+		seen := map[string]struct{}{}
+		for _, w := range p.Words {
+			if _, isHot := hot[w]; !isHot {
+				continue
+			}
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			if pop > b.PerKeyword[w] {
+				b.PerKeyword[w] = pop
+			}
+		}
+	}
+	// Keywords never observed still get an explicit (epsilon) entry so the
+	// query-time lookup can distinguish "hot keyword with tiny bound" from
+	// "not a hot keyword".
+	for kw := range hot {
+		if _, ok := b.PerKeyword[kw]; !ok {
+			b.PerKeyword[kw] = epsilon
+		}
+	}
+	return b
+}
+
+// popularityInMemory scores a thread from a prebuilt adjacency, mirroring
+// Algorithm 1 without database I/O.
+func popularityInMemory(root social.PostID, children map[social.PostID][]social.PostID, depth int, epsilon float64) float64 {
+	levels := []int{1}
+	frontier := []social.PostID{root}
+	for d := 1; d <= depth && len(frontier) > 0; d++ {
+		var next []social.PostID
+		for _, tid := range frontier {
+			next = append(next, children[tid]...)
+		}
+		if len(next) == 0 {
+			break
+		}
+		levels = append(levels, len(next))
+		frontier = next
+	}
+	return score.Popularity(levels, epsilon)
+}
+
+// ForQuery selects the popularity bound for a query per Section VI-B5:
+// with AND semantics the smallest per-keyword bound applies (every result
+// tweet contains every keyword), with OR the largest. Keywords without a
+// specific bound fall back to the global bound; useSpecific=false forces
+// the global bound (the Figure 12 baseline).
+func (b *Bounds) ForQuery(terms []string, and, useSpecific bool) float64 {
+	global := b.MaxObserved
+	if !useSpecific || len(terms) == 0 {
+		return global
+	}
+	var bound float64
+	first := true
+	for _, term := range terms {
+		kb, ok := b.PerKeyword[term]
+		if !ok {
+			kb = global
+		}
+		switch {
+		case first:
+			bound = kb
+			first = false
+		case and && kb < bound:
+			bound = kb
+		case !and && kb > bound:
+			bound = kb
+		}
+	}
+	return bound
+}

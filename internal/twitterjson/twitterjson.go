@@ -1,0 +1,186 @@
+// Package twitterjson implements the ETL stage of the paper's architecture
+// (Figure 3): "Twitter Rest API is commonly used to crawl sample data in
+// JSON format from Twitter. After extraction, transform and load (ETL),
+// the metadata of all the tweets is stored in a centralized database."
+//
+// It parses the classic Twitter REST API v1.1 status object (the format of
+// the paper's 2012–2013 crawl) into social.Post values: numeric IDs,
+// created_at in Ruby date format, GeoJSON coordinates (longitude first),
+// reply metadata, and retweeted_status for forwards. Statuses without a
+// usable geo-tag are skipped — the system indexes geo-tagged tweets only.
+package twitterjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+	"repro/internal/textutil"
+)
+
+// CreatedAtLayout is Twitter's classic created_at format,
+// e.g. "Wed Aug 27 13:08:45 +0000 2008".
+const CreatedAtLayout = "Mon Jan 02 15:04:05 -0700 2006"
+
+// status mirrors the subset of the v1.1 status object the ETL needs.
+type status struct {
+	ID        int64  `json:"id"`
+	Text      string `json:"text"`
+	CreatedAt string `json:"created_at"`
+	User      struct {
+		ID int64 `json:"id"`
+	} `json:"user"`
+	Coordinates *struct {
+		Type        string    `json:"type"`
+		Coordinates []float64 `json:"coordinates"` // GeoJSON: [lon, lat]
+	} `json:"coordinates"`
+	Geo *struct {
+		Type        string    `json:"type"`
+		Coordinates []float64 `json:"coordinates"` // deprecated: [lat, lon]
+	} `json:"geo"`
+	InReplyToStatusID int64 `json:"in_reply_to_status_id"`
+	InReplyToUserID   int64 `json:"in_reply_to_user_id"`
+	RetweetedStatus   *struct {
+		ID   int64 `json:"id"`
+		User struct {
+			ID int64 `json:"id"`
+		} `json:"user"`
+	} `json:"retweeted_status"`
+}
+
+// Stats summarizes one ETL run.
+type Stats struct {
+	Read      int // statuses parsed
+	Loaded    int // posts produced
+	NoGeoTag  int // skipped: no usable coordinates
+	Malformed int // skipped: unparseable JSON or fields
+}
+
+// location extracts the point, preferring the GeoJSON coordinates field
+// (lon, lat) over the deprecated geo field (lat, lon).
+func (s *status) location() (geo.Point, bool) {
+	if s.Coordinates != nil && len(s.Coordinates.Coordinates) == 2 {
+		p := geo.Point{Lat: s.Coordinates.Coordinates[1], Lon: s.Coordinates.Coordinates[0]}
+		if p.Valid() {
+			return p, true
+		}
+	}
+	if s.Geo != nil && len(s.Geo.Coordinates) == 2 {
+		p := geo.Point{Lat: s.Geo.Coordinates[0], Lon: s.Geo.Coordinates[1]}
+		if p.Valid() {
+			return p, true
+		}
+	}
+	return geo.Point{}, false
+}
+
+// ToPost converts one parsed status into a Post. The post ID is the
+// tweet's creation timestamp in UnixNano (Section IV-A: the tweet ID "is
+// essentially the tweet timestamp"); Twitter's own numeric id disambiguates
+// same-instant tweets via the low bits.
+func (s *status) toPost() (*social.Post, error) {
+	if s.ID == 0 || s.User.ID == 0 {
+		return nil, fmt.Errorf("twitterjson: status missing id or user")
+	}
+	created, err := time.Parse(CreatedAtLayout, s.CreatedAt)
+	if err != nil {
+		return nil, fmt.Errorf("twitterjson: created_at %q: %v", s.CreatedAt, err)
+	}
+	loc, ok := s.location()
+	if !ok {
+		return nil, errNoGeo
+	}
+	p := &social.Post{
+		SID:   social.PostID(created.UnixNano() | (s.ID & 0xffff)),
+		UID:   social.UserID(s.User.ID),
+		Time:  created,
+		Loc:   loc,
+		Words: textutil.Terms(s.Text),
+		Text:  s.Text,
+	}
+	switch {
+	case s.RetweetedStatus != nil:
+		p.Kind = social.Forward
+		p.RUID = social.UserID(s.RetweetedStatus.User.ID)
+		p.RSID = social.PostID(s.RetweetedStatus.ID)
+	case s.InReplyToStatusID != 0:
+		p.Kind = social.Reply
+		p.RUID = social.UserID(s.InReplyToUserID)
+		p.RSID = social.PostID(s.InReplyToStatusID)
+	}
+	return p, nil
+}
+
+var errNoGeo = fmt.Errorf("twitterjson: status has no geo-tag")
+
+// Read parses newline-delimited Twitter statuses from r into posts.
+// Statuses without geo-tags and malformed lines are counted and skipped,
+// mirroring a tolerant crawler ETL; a completely unreadable stream is an
+// error. Reply/forward references use raw Twitter status ids, which the
+// caller can remap with ResolveReferences once all posts are read.
+func Read(r io.Reader) ([]*social.Post, map[social.PostID]int64, *Stats, error) {
+	stats := &Stats{}
+	var posts []*social.Post
+	twitterIDs := make(map[social.PostID]int64) // our SID -> twitter id
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var st status
+		if err := json.Unmarshal(line, &st); err != nil {
+			stats.Malformed++
+			continue
+		}
+		stats.Read++
+		post, err := st.toPost()
+		if err == errNoGeo {
+			stats.NoGeoTag++
+			continue
+		}
+		if err != nil {
+			stats.Malformed++
+			continue
+		}
+		posts = append(posts, post)
+		twitterIDs[post.SID] = st.ID
+		stats.Loaded++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	return posts, twitterIDs, stats, nil
+}
+
+// ResolveReferences rewrites each reaction's RSID from the raw Twitter
+// status id to the referenced post's SID (timestamp id), dropping the
+// reaction metadata when the referenced tweet is not in the corpus (it
+// was not geo-tagged, or outside the crawl) — the post itself is kept as
+// an original.
+func ResolveReferences(posts []*social.Post, twitterIDs map[social.PostID]int64) (resolved, dropped int) {
+	bySID := make(map[int64]social.PostID, len(twitterIDs))
+	for sid, twid := range twitterIDs {
+		bySID[twid] = sid
+	}
+	for _, p := range posts {
+		if p.RSID == social.NoPost {
+			continue
+		}
+		if target, ok := bySID[int64(p.RSID)]; ok && target != p.SID {
+			p.RSID = target
+			resolved++
+			continue
+		}
+		p.Kind = social.None
+		p.RSID = social.NoPost
+		p.RUID = social.NoUser
+		dropped++
+	}
+	return resolved, dropped
+}

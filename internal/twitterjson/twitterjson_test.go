@@ -1,0 +1,134 @@
+package twitterjson
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/social"
+)
+
+const sampleStatuses = `{"id":1001,"text":"I'm at Four Seasons Hotel Toronto","created_at":"Sat Nov 03 14:00:00 +0000 2012","user":{"id":501},"coordinates":{"type":"Point","coordinates":[-79.3894,43.6715]}}
+{"id":1002,"text":"@guest looks amazing!","created_at":"Sat Nov 03 14:05:00 +0000 2012","user":{"id":502},"coordinates":{"type":"Point","coordinates":[-79.39,43.67]},"in_reply_to_status_id":1001,"in_reply_to_user_id":501}
+{"id":1003,"text":"RT: I'm at Four Seasons Hotel Toronto","created_at":"Sat Nov 03 14:10:00 +0000 2012","user":{"id":503},"coordinates":{"type":"Point","coordinates":[-79.391,43.671]},"retweeted_status":{"id":1001,"user":{"id":501}}}
+{"id":1004,"text":"no geotag here","created_at":"Sat Nov 03 14:15:00 +0000 2012","user":{"id":504}}
+{"id":1005,"text":"legacy geo field","created_at":"Sat Nov 03 14:20:00 +0000 2012","user":{"id":505},"geo":{"type":"Point","coordinates":[43.65,-79.38]}}
+{"id":1006,"text":"reply to something outside the crawl","created_at":"Sat Nov 03 14:25:00 +0000 2012","user":{"id":506},"coordinates":{"type":"Point","coordinates":[-79.40,43.66]},"in_reply_to_status_id":999999,"in_reply_to_user_id":999}
+not json at all
+`
+
+func TestReadAndResolve(t *testing.T) {
+	posts, ids, stats, err := Read(strings.NewReader(sampleStatuses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Read != 6 || stats.Loaded != 5 || stats.NoGeoTag != 1 || stats.Malformed != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(posts) != 5 {
+		t.Fatalf("loaded %d posts", len(posts))
+	}
+
+	resolved, dropped := ResolveReferences(posts, ids)
+	if resolved != 2 || dropped != 1 {
+		t.Fatalf("resolved=%d dropped=%d, want 2/1", resolved, dropped)
+	}
+
+	// Every post validates after resolution.
+	bySID := map[social.PostID]*social.Post{}
+	for _, p := range posts {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("post %d invalid: %v", p.SID, err)
+		}
+		bySID[p.SID] = p
+	}
+
+	// The reply and the retweet both point at the root tweet's SID now.
+	var root, reply, retweet *social.Post
+	for _, p := range posts {
+		switch p.UID {
+		case 501:
+			root = p
+		case 502:
+			reply = p
+		case 503:
+			retweet = p
+		}
+	}
+	if root == nil || reply == nil || retweet == nil {
+		t.Fatal("missing expected posts")
+	}
+	if reply.Kind != social.Reply || reply.RSID != root.SID || reply.RUID != 501 {
+		t.Errorf("reply linkage = %+v", reply)
+	}
+	if retweet.Kind != social.Forward || retweet.RSID != root.SID {
+		t.Errorf("retweet linkage = %+v", retweet)
+	}
+
+	// The out-of-crawl reply became an original.
+	for _, p := range posts {
+		if p.UID == 506 && p.Kind != social.None {
+			t.Errorf("dangling reply not converted to original: %+v", p)
+		}
+	}
+
+	// Terms went through the standard pipeline.
+	found := false
+	for _, w := range root.Words {
+		if w == "hotel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("root words %v missing stemmed 'hotel'", root.Words)
+	}
+
+	// Legacy geo field: lat/lon order differs from GeoJSON.
+	for _, p := range posts {
+		if p.UID == 505 {
+			if p.Loc.Lat != 43.65 || p.Loc.Lon != -79.38 {
+				t.Errorf("legacy geo parsed as %v", p.Loc)
+			}
+		}
+	}
+}
+
+func TestReadRejectsBadFields(t *testing.T) {
+	cases := []string{
+		`{"id":0,"text":"x","created_at":"Sat Nov 03 14:00:00 +0000 2012","user":{"id":5},"coordinates":{"type":"Point","coordinates":[-79,43]}}`,
+		`{"id":1,"text":"x","created_at":"not a date","user":{"id":5},"coordinates":{"type":"Point","coordinates":[-79,43]}}`,
+		`{"id":1,"text":"x","created_at":"Sat Nov 03 14:00:00 +0000 2012","user":{"id":5},"coordinates":{"type":"Point","coordinates":[-200,43]}}`,
+	}
+	for i, line := range cases {
+		posts, _, stats, err := Read(strings.NewReader(line + "\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(posts) != 0 {
+			t.Errorf("case %d: bad status loaded: %+v", i, posts[0])
+		}
+		if stats.Malformed+stats.NoGeoTag == 0 {
+			t.Errorf("case %d: not counted as skipped: %+v", i, stats)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	posts, _, stats, err := Read(strings.NewReader(""))
+	if err != nil || len(posts) != 0 || stats.Read != 0 {
+		t.Fatalf("empty read: %v %v %+v", posts, err, stats)
+	}
+}
+
+func TestSIDsUniqueForSameInstant(t *testing.T) {
+	// Two tweets in the same second: the Twitter id low bits disambiguate.
+	lines := `{"id":2001,"text":"a","created_at":"Sat Nov 03 14:00:00 +0000 2012","user":{"id":1},"coordinates":{"type":"Point","coordinates":[-79,43]}}
+{"id":2002,"text":"b","created_at":"Sat Nov 03 14:00:00 +0000 2012","user":{"id":2},"coordinates":{"type":"Point","coordinates":[-79,43]}}
+`
+	posts, _, _, err := Read(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 2 || posts[0].SID == posts[1].SID {
+		t.Fatalf("same-instant SIDs collide: %+v", posts)
+	}
+}

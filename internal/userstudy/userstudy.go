@@ -1,0 +1,145 @@
+// Package userstudy simulates the relevance-feedback study of
+// Section VI-B6. The paper recruited six Twitter-literate participants,
+// assigned each top-10 query result to four of them, and declared a
+// returned user relevant when at least two votes agreed. Here the human
+// panel is replaced by stochastic judges whose votes are driven by the
+// corpus generator's latent ground truth (a user's expertise topic and
+// home-city proximity) plus noise — see DESIGN.md §2 for the substitution
+// argument.
+package userstudy
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+// PanelConfig parameterizes the simulated judges.
+type PanelConfig struct {
+	Seed         int64
+	NumJudges    int // the paper recruits 6 participants
+	VotesPerLine int // each result line is evaluated 4 times
+	MinAgreement int // votes needed to call a user relevant (paper: 2)
+
+	// Vote probabilities by latent relevance class.
+	PRelevant   float64 // expertise matches and user is local
+	PPartial    float64 // exactly one of the two holds
+	PIrrelevant float64 // neither holds
+	// JudgeSpread is the per-judge leniency deviation: judge j's vote
+	// probability is the class probability scaled by a fixed personal
+	// factor drawn from [1−spread, 1+spread]. Real panels disagree;
+	// identical judges would make the 2-of-4 vote nearly deterministic.
+	JudgeSpread float64
+}
+
+// DefaultPanel mirrors the paper's protocol (six judges, four votes per
+// line, two votes to agree) with plausible judge noise.
+func DefaultPanel() PanelConfig {
+	return PanelConfig{
+		Seed:         1,
+		NumJudges:    6,
+		VotesPerLine: 4,
+		MinAgreement: 2,
+		PRelevant:    0.85,
+		PPartial:     0.45,
+		PIrrelevant:  0.12,
+		JudgeSpread:  0.15,
+	}
+}
+
+// Panel simulates relevance judgments against a corpus's ground truth.
+type Panel struct {
+	cfg       PanelConfig
+	corpus    *datagen.Corpus
+	rng       *rand.Rand
+	leniency  []float64 // per-judge probability scaling
+	nextJudge int       // round-robin assignment cursor
+}
+
+// NewPanel creates a judge panel for one corpus.
+func NewPanel(corpus *datagen.Corpus, cfg PanelConfig) *Panel {
+	if cfg.NumJudges <= 0 {
+		cfg.NumJudges = 6
+	}
+	if cfg.VotesPerLine <= 0 {
+		cfg.VotesPerLine = 4
+	}
+	if cfg.MinAgreement <= 0 {
+		cfg.MinAgreement = 2
+	}
+	p := &Panel{cfg: cfg, corpus: corpus, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for j := 0; j < cfg.NumJudges; j++ {
+		p.leniency = append(p.leniency, 1+(p.rng.Float64()*2-1)*cfg.JudgeSpread)
+	}
+	return p
+}
+
+// relevanceClass buckets a returned user against the latent ground truth.
+func (p *Panel) relevanceClass(uid social.UserID, queryLoc geo.Point, radiusKm float64, terms []string) float64 {
+	profile, ok := p.corpus.Profile(uid)
+	if !ok {
+		return p.cfg.PIrrelevant
+	}
+	expertiseMatch := false
+	for _, t := range terms {
+		if profile.Expertise == t {
+			expertiseMatch = true
+			break
+		}
+	}
+	// Judges read "local" relative to the asker's intent, not the query
+	// radius: someone 40 km away is not a useful babysitter contact even
+	// if the query cast a wide net. A fixed threshold is what produces the
+	// paper's declining precision as the radius grows.
+	const localityKm = 15.0
+	local := geo.HaversineKm(profile.Home, queryLoc) <= localityKm
+	switch {
+	case expertiseMatch && local:
+		return p.cfg.PRelevant
+	case expertiseMatch || local:
+		return p.cfg.PPartial
+	default:
+		return p.cfg.PIrrelevant
+	}
+}
+
+// JudgeUser simulates the paper's protocol for one result line: the line
+// is assigned round-robin to VotesPerLine of the panel's judges (each with
+// an individual leniency), and the user is relevant when MinAgreement of
+// those votes agree.
+func (p *Panel) JudgeUser(uid social.UserID, queryLoc geo.Point, radiusKm float64, terms []string) bool {
+	prob := p.relevanceClass(uid, queryLoc, radiusKm, terms)
+	votes := 0
+	for v := 0; v < p.cfg.VotesPerLine; v++ {
+		judge := (p.nextJudge + v) % p.cfg.NumJudges
+		q := prob * p.leniency[judge]
+		if q > 1 {
+			q = 1
+		}
+		if p.rng.Float64() < q {
+			votes++
+		}
+	}
+	p.nextJudge = (p.nextJudge + p.cfg.VotesPerLine) % p.cfg.NumJudges
+	return votes >= p.cfg.MinAgreement
+}
+
+// Precision returns the fraction of returned users the panel judges
+// relevant — the effectiveness metric of Figure 13. It returns 0 for an
+// empty result list.
+func (p *Panel) Precision(results []core.UserResult, queryLoc geo.Point, radiusKm float64, keywords []string) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	terms := core.QueryTerms(keywords)
+	relevant := 0
+	for _, r := range results {
+		if p.JudgeUser(r.UID, queryLoc, radiusKm, terms) {
+			relevant++
+		}
+	}
+	return float64(relevant) / float64(len(results))
+}

@@ -1,0 +1,169 @@
+package userstudy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+func testCorpus(t *testing.T) *datagen.Corpus {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 500
+	cfg.NumPosts = 3000
+	c, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// expertNear finds an expert on the given keyword and returns their UID and
+// home; skips the test if the corpus has none.
+func expertOn(t *testing.T, c *datagen.Corpus, keyword string) datagen.UserProfile {
+	t.Helper()
+	for _, u := range c.Users {
+		if u.Expertise == keyword {
+			return u
+		}
+	}
+	t.Skipf("no expert on %q in test corpus", keyword)
+	return datagen.UserProfile{}
+}
+
+func TestExpertNearQueryJudgedRelevant(t *testing.T) {
+	c := testCorpus(t)
+	expert := expertOn(t, c, "hotel")
+	panel := NewPanel(c, DefaultPanel())
+	// Judge the expert many times at their own home: acceptance should be
+	// high (p=0.85 per vote, >=2 of 4).
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		if panel.JudgeUser(expert.UID, expert.Home, 10, []string{"hotel"}) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / trials; frac < 0.8 {
+		t.Errorf("local expert judged relevant only %.2f of the time", frac)
+	}
+}
+
+func TestStrangerFarAwayJudgedIrrelevant(t *testing.T) {
+	c := testCorpus(t)
+	var regular *datagen.UserProfile
+	for i := range c.Users {
+		if c.Users[i].Expertise == "" {
+			regular = &c.Users[i]
+			break
+		}
+	}
+	if regular == nil {
+		t.Skip("no regular user")
+	}
+	panel := NewPanel(c, DefaultPanel())
+	// Judge far from the user's home with a keyword they know nothing about.
+	farLoc := geo.Point{Lat: regular.Home.Lat + 40, Lon: regular.Home.Lon}
+	if farLoc.Lat > 89 {
+		farLoc.Lat = regular.Home.Lat - 40
+	}
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		if panel.JudgeUser(regular.UID, farLoc, 5, []string{"hotel"}) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / trials; frac > 0.25 {
+		t.Errorf("distant non-expert judged relevant %.2f of the time", frac)
+	}
+}
+
+func TestUnknownUserUsesIrrelevantProbability(t *testing.T) {
+	c := testCorpus(t)
+	panel := NewPanel(c, DefaultPanel())
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		if panel.JudgeUser(social.UserID(10_000_000), c.Users[0].Home, 10, []string{"hotel"}) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / trials; frac > 0.25 {
+		t.Errorf("unknown user judged relevant %.2f of the time", frac)
+	}
+}
+
+func TestPrecisionBounds(t *testing.T) {
+	c := testCorpus(t)
+	panel := NewPanel(c, DefaultPanel())
+	if got := panel.Precision(nil, geo.Point{}, 10, []string{"hotel"}); got != 0 {
+		t.Errorf("empty results precision = %v, want 0", got)
+	}
+	var results []core.UserResult
+	for _, u := range c.Users[:20] {
+		results = append(results, core.UserResult{UID: u.UID, Score: 1})
+	}
+	p := panel.Precision(results, c.Config.Cities[0].Center, 10, []string{"hotel"})
+	if p < 0 || p > 1 {
+		t.Errorf("precision %v outside [0,1]", p)
+	}
+}
+
+func TestPrecisionSeparatesGoodFromBadRankings(t *testing.T) {
+	c := testCorpus(t)
+	panel := NewPanel(c, DefaultPanel())
+
+	// "Good" ranking: experts on hotel near Toronto. "Bad": far non-experts.
+	toronto := c.Config.Cities[0].Center
+	var good, bad []core.UserResult
+	for _, u := range c.Users {
+		if u.Expertise == "hotel" && geo.HaversineKm(u.Home, toronto) < 15 && len(good) < 10 {
+			good = append(good, core.UserResult{UID: u.UID})
+		}
+		if u.Expertise == "" && geo.HaversineKm(u.Home, toronto) > 300 && len(bad) < 10 {
+			bad = append(bad, core.UserResult{UID: u.UID})
+		}
+	}
+	if len(good) < 3 || len(bad) < 3 {
+		t.Skip("corpus lacks enough contrast users")
+	}
+	pg := panel.Precision(good, toronto, 10, []string{"hotel"})
+	pb := panel.Precision(bad, toronto, 10, []string{"hotel"})
+	if pg <= pb {
+		t.Errorf("good ranking precision %.2f not above bad ranking %.2f", pg, pb)
+	}
+}
+
+func TestPanelConfigDefaults(t *testing.T) {
+	c := testCorpus(t)
+	p := NewPanel(c, PanelConfig{Seed: 1, PRelevant: 0.9, PPartial: 0.4, PIrrelevant: 0.1})
+	if p.cfg.VotesPerLine != 4 || p.cfg.MinAgreement != 2 || p.cfg.NumJudges != 6 {
+		t.Errorf("defaults not applied: %+v", p.cfg)
+	}
+	if len(p.leniency) != 6 {
+		t.Errorf("leniency pool size %d", len(p.leniency))
+	}
+}
+
+func TestJudgesDiffer(t *testing.T) {
+	c := testCorpus(t)
+	p := NewPanel(c, DefaultPanel())
+	allEqual := true
+	for _, l := range p.leniency[1:] {
+		if l != p.leniency[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Error("judge leniencies identical; spread not applied")
+	}
+	for _, l := range p.leniency {
+		if l < 1-p.cfg.JudgeSpread-1e-9 || l > 1+p.cfg.JudgeSpread+1e-9 {
+			t.Errorf("leniency %v outside configured spread", l)
+		}
+	}
+}

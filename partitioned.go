@@ -1,0 +1,129 @@
+package tklus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/contents"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/thread"
+)
+
+// PartitionedSystem is a TkLUS deployment in the paper's periodic batch
+// mode (Section IV-A): the geo-tagged tweets are collected period by
+// period (e.g. daily) and each period gets its own hybrid index, while
+// the metadata database, tweet contents and popularity bounds stay
+// centralized. Results are identical to a monolithic build; queries with
+// a TimeWindow additionally skip whole partitions outside the window.
+type PartitionedSystem struct {
+	Engine   *core.Engine
+	DB       *metadb.DB
+	FS       *dfs.FS
+	Bounds   *thread.Bounds
+	Contents *contents.Store
+
+	// Indexes holds one hybrid index per period, in time order; Spans the
+	// matching time intervals.
+	Indexes []*invindex.Index
+	Spans   []TimeWindow
+}
+
+// BuildPartitioned builds one index per period of the given length.
+// Posts must be non-empty; they are bucketed by timestamp. Empty periods
+// produce no partition.
+func BuildPartitioned(posts []*Post, cfg Config, period time.Duration) (*PartitionedSystem, error) {
+	if len(posts) == 0 {
+		return nil, fmt.Errorf("tklus: no posts to index")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("tklus: period must be positive")
+	}
+
+	db, err := metadb.Load(cfg.DB, posts)
+	if err != nil {
+		return nil, fmt.Errorf("tklus: loading metadata db: %w", err)
+	}
+	fsys := dfs.New(cfg.DFS)
+	store, err := contents.BuildStore(fsys, posts, "contents")
+	if err != nil {
+		return nil, fmt.Errorf("tklus: storing tweet contents: %w", err)
+	}
+	bounds := thread.ComputeBounds(posts, cfg.Engine.Params.ThreadDepth,
+		cfg.Engine.Params.Epsilon, stemAll(cfg.HotKeywords))
+
+	// Bucket posts by period. SIDs are UnixNano timestamps, so the
+	// bucketing keys off the SID directly.
+	minSID, maxSID := posts[0].SID, posts[0].SID
+	for _, p := range posts {
+		if p.SID < minSID {
+			minSID = p.SID
+		}
+		if p.SID > maxSID {
+			maxSID = p.SID
+		}
+	}
+	periodNanos := period.Nanoseconds()
+	buckets := make(map[int64][]*Post)
+	for _, p := range posts {
+		buckets[(int64(p.SID)-int64(minSID))/periodNanos] = append(
+			buckets[(int64(p.SID)-int64(minSID))/periodNanos], p)
+	}
+
+	ps := &PartitionedSystem{DB: db, FS: fsys, Bounds: bounds, Contents: store}
+	var parts []core.Partition
+	nPeriods := (int64(maxSID)-int64(minSID))/periodNanos + 1
+	for b := int64(0); b < nPeriods; b++ {
+		bucket := buckets[b]
+		if len(bucket) == 0 {
+			continue
+		}
+		opts := cfg.Index
+		opts.PathPrefix = fmt.Sprintf("%s/part-%05d", orDefault(cfg.Index.PathPrefix, "index"), b)
+		idx, _, err := invindex.Build(fsys, bucket, opts)
+		if err != nil {
+			return nil, fmt.Errorf("tklus: building partition %d: %w", b, err)
+		}
+		lo := PostID(int64(minSID) + b*periodNanos)
+		hi := PostID(int64(minSID) + (b+1)*periodNanos - 1)
+		parts = append(parts, core.Partition{Source: idx, MinSID: lo, MaxSID: hi})
+		ps.Indexes = append(ps.Indexes, idx)
+		ps.Spans = append(ps.Spans, TimeWindow{
+			From: time.Unix(0, int64(lo)),
+			To:   time.Unix(0, int64(hi)),
+		})
+	}
+
+	engine, err := core.NewPartitionedEngine(parts, db, bounds, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	ps.Engine = engine
+	return ps, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// Search executes a TkLUS query across the partitions.
+func (ps *PartitionedSystem) Search(q Query) ([]UserResult, *QueryStats, error) {
+	return ps.Engine.Search(q)
+}
+
+// NumPartitions returns how many period indexes exist.
+func (ps *PartitionedSystem) NumPartitions() int { return len(ps.Indexes) }
+
+// PostingsFetches sums the postings fetch counters across partitions.
+func (ps *PartitionedSystem) PostingsFetches() int64 {
+	var total int64
+	for _, idx := range ps.Indexes {
+		total += idx.Fetches()
+	}
+	return total
+}

@@ -1,0 +1,144 @@
+package tklus_test
+
+import (
+	"testing"
+	"time"
+
+	tklus "repro"
+	"repro/internal/datagen"
+)
+
+func buildBoth(t *testing.T, posts int) (*tklus.System, *tklus.PartitionedSystem, *datagen.Corpus) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 400
+	cfg.NumPosts = posts
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := tklus.Build(corpus.Posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monthly partitions over the Sep 2012 – Feb 2013 corpus: ~6 indexes.
+	parted, err := tklus.BuildPartitioned(corpus.Posts, tklus.DefaultConfig(), 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mono, parted, corpus
+}
+
+func TestPartitionedEquivalence(t *testing.T) {
+	mono, parted, corpus := buildBoth(t, 6000)
+	if parted.NumPartitions() < 3 {
+		t.Fatalf("only %d partitions; expected several months", parted.NumPartitions())
+	}
+	toronto := corpus.Config.Cities[0].Center
+	for _, ranking := range []int{0, 1} {
+		for _, radius := range []float64{10, 40} {
+			q := tklus.Query{
+				Loc: toronto, RadiusKm: radius,
+				Keywords: []string{"restaurant", "pizza"}, K: 10, Semantic: tklus.Or,
+			}
+			if ranking == 1 {
+				q.Ranking = tklus.MaxScore
+			}
+			a, _, err := mono.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := parted.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("r=%v ranking=%d: sizes %d vs %d", radius, ranking, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("r=%v ranking=%d: result %d differs: %+v vs %+v",
+						radius, ranking, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionedWindowPruning(t *testing.T) {
+	mono, parted, corpus := buildBoth(t, 6000)
+	toronto := corpus.Config.Cities[0].Center
+	// A one-month window: the partitioned engine should fetch postings
+	// from only the overlapping partitions.
+	window := &tklus.TimeWindow{
+		From: time.Date(2012, 10, 5, 0, 0, 0, 0, time.UTC),
+		To:   time.Date(2012, 11, 4, 0, 0, 0, 0, time.UTC),
+	}
+	q := tklus.Query{
+		Loc: toronto, RadiusKm: 30, Keywords: []string{"restaurant"},
+		K: 10, TimeWindow: window,
+	}
+
+	a, _, err := mono.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted.Engine.Index = nil // ensure the partitioned path is in use
+	b, bStats, err := parted.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("windowed sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("windowed result %d differs", i)
+		}
+	}
+
+	// Partition pruning: the same query without a window fetches strictly
+	// more postings lists.
+	qAll := q
+	qAll.TimeWindow = nil
+	_, allStats, err := parted.Search(qAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bStats.PostingsFetched >= allStats.PostingsFetched {
+		t.Errorf("window fetched %d postings lists, unwindowed %d; expected pruning",
+			bStats.PostingsFetched, allStats.PostingsFetched)
+	}
+}
+
+func TestBuildPartitionedValidation(t *testing.T) {
+	if _, err := tklus.BuildPartitioned(nil, tklus.DefaultConfig(), time.Hour); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	posts := []*tklus.Post{tklus.NewPost(1, time.Unix(1000, 0), tklus.Point{Lat: 1, Lon: 1}, "hi there")}
+	if _, err := tklus.BuildPartitioned(posts, tklus.DefaultConfig(), 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestPartitionedSinglePeriodDegenerate(t *testing.T) {
+	// A period longer than the corpus span yields exactly one partition,
+	// behaving like the monolithic system.
+	mono, _, corpus := buildBoth(t, 2000)
+	parted, err := tklus.BuildPartitioned(corpus.Posts, tklus.DefaultConfig(), 10*365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parted.NumPartitions() != 1 {
+		t.Fatalf("partitions = %d, want 1", parted.NumPartitions())
+	}
+	q := tklus.Query{
+		Loc: corpus.Config.Cities[0].Center, RadiusKm: 20,
+		Keywords: []string{"hotel"}, K: 5,
+	}
+	a, _, _ := mono.Search(q)
+	b, _, _ := parted.Search(q)
+	if len(a) != len(b) {
+		t.Fatalf("degenerate partition differs: %d vs %d", len(a), len(b))
+	}
+}

@@ -1,0 +1,138 @@
+package tklus
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/contents"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/thread"
+)
+
+// On-disk layout of a saved system:
+//
+//	<dir>/dfs/          simulated-DFS image (postings + tweet contents)
+//	<dir>/forward.bin   forward index (key -> postings location)
+//	<dir>/contents.bin  tweet-ID -> content location table
+//	<dir>/rows.bin      metadata relation rows
+//	<dir>/bounds.gob    popularity bounds (Section V-B)
+const (
+	dfsDir       = "dfs"
+	forwardFile  = "forward.bin"
+	contentsFile = "contents.bin"
+	rowsFile     = "rows.bin"
+	boundsFile   = "bounds.gob"
+)
+
+// Save persists the built system to a directory, so a later Load can serve
+// queries without re-running index construction.
+func (s *System) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := s.FS.Save(filepath.Join(dir, dfsDir)); err != nil {
+		return fmt.Errorf("tklus: saving DFS image: %w", err)
+	}
+	if err := writeTo(dir, forwardFile, s.Index.SaveForward); err != nil {
+		return err
+	}
+	if err := writeTo(dir, contentsFile, s.Contents.Save); err != nil {
+		return err
+	}
+	if err := writeTo(dir, rowsFile, s.DB.SaveRows); err != nil {
+		return err
+	}
+	return writeTo(dir, boundsFile, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(s.Bounds)
+	})
+}
+
+// writeTo creates dir/name and streams fn into it.
+func writeTo(dir, name string, fn func(io.Writer) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("tklus: writing %s: %w", name, err)
+	}
+	return f.Close()
+}
+
+// Load reconstructs a system saved by Save. The Config supplies runtime
+// settings (engine options, DB page/cache configuration, DFS parameters);
+// the index structure, bounds, and data come from the directory.
+func Load(dir string, cfg Config) (*System, error) {
+	start := time.Now()
+	fsys := dfs.New(cfg.DFS)
+	if err := fsys.Load(filepath.Join(dir, dfsDir)); err != nil {
+		return nil, fmt.Errorf("tklus: loading DFS image: %w", err)
+	}
+	var idx *invindex.Index
+	if err := readFrom(dir, forwardFile, func(f io.Reader) error {
+		var err error
+		idx, err = invindex.LoadIndex(fsys, f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	var store *contents.Store
+	if err := readFrom(dir, contentsFile, func(f io.Reader) error {
+		var err error
+		store, err = contents.LoadStore(fsys, f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	var db *metadb.DB
+	if err := readFrom(dir, rowsFile, func(f io.Reader) error {
+		var err error
+		db, err = metadb.LoadRows(cfg.DB, f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	bounds := &thread.Bounds{}
+	if err := readFrom(dir, boundsFile, func(f io.Reader) error {
+		return gob.NewDecoder(f).Decode(bounds)
+	}); err != nil {
+		return nil, err
+	}
+	engine, err := core.NewEngine(idx, db, bounds, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Engine:   engine,
+		DB:       db,
+		Index:    idx,
+		FS:       fsys,
+		Bounds:   bounds,
+		Contents: store,
+		IndexStats: &invindex.BuildStats{
+			Keys:          idx.NumKeys(),
+			PostingsBytes: fsys.TotalSize(),
+		},
+		BuildTime: time.Since(start),
+	}, nil
+}
+
+func readFrom(dir, name string, fn func(io.Reader) error) error {
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		return fmt.Errorf("tklus: reading %s: %w", name, err)
+	}
+	return nil
+}

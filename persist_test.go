@@ -1,0 +1,167 @@
+package tklus_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	tklus "repro"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys, corpus := buildSystem(t, 5000)
+	dir := filepath.Join(t.TempDir(), "saved")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := tklus.Load(dir, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Index.NumKeys() != sys.Index.NumKeys() {
+		t.Fatalf("keys: loaded %d vs built %d", loaded.Index.NumKeys(), sys.Index.NumKeys())
+	}
+	if loaded.DB.Len() != sys.DB.Len() {
+		t.Fatalf("rows: loaded %d vs built %d", loaded.DB.Len(), sys.DB.Len())
+	}
+	if loaded.Bounds.MaxObserved != sys.Bounds.MaxObserved ||
+		loaded.Bounds.TM != sys.Bounds.TM {
+		t.Fatalf("bounds differ: %+v vs %+v", loaded.Bounds, sys.Bounds)
+	}
+
+	// Queries against the loaded system must be byte-identical to the
+	// original for every ranking and semantic.
+	toronto := corpus.Config.Cities[0].Center
+	for _, ranking := range []int{int(tklus.SumScore), int(tklus.MaxScore)} {
+		for _, sem := range []int{int(tklus.Or), int(tklus.And)} {
+			q := tklus.Query{
+				Loc: toronto, RadiusKm: 20,
+				Keywords: []string{"restaurant", "pizza"}, K: 10,
+			}
+			if ranking == int(tklus.MaxScore) {
+				q.Ranking = tklus.MaxScore
+			}
+			if sem == int(tklus.And) {
+				q.Semantic = tklus.And
+			}
+			a, _, err := sys.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := loaded.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+		}
+	}
+
+	// Evidence (contents store) survives the round trip.
+	q := tklus.Query{Loc: toronto, RadiusKm: 20, Keywords: []string{"restaurant"}, K: 3}
+	res, _, err := loaded.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) > 0 {
+		texts, err := loaded.Evidence(q, res[0].UID, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(texts) == 0 || texts[0] == "" {
+			t.Error("loaded system returned no evidence texts")
+		}
+	}
+}
+
+func TestLoadMissingDirectory(t *testing.T) {
+	if _, err := tklus.Load(filepath.Join(t.TempDir(), "nope"), tklus.DefaultConfig()); err == nil {
+		t.Error("loading a missing directory should fail")
+	}
+}
+
+func TestLoadPartialImage(t *testing.T) {
+	// An image missing any one of its files must fail cleanly.
+	sys, _ := buildSystem(t, 1000)
+	for _, remove := range []string{"forward.bin", "contents.bin", "rows.bin", "bounds.gob"} {
+		dir := t.TempDir()
+		if err := sys.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, remove)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tklus.Load(dir, tklus.DefaultConfig()); err == nil {
+			t.Errorf("image without %s loaded", remove)
+		}
+	}
+	// Corrupt bounds gob.
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bounds.gob"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tklus.Load(dir, tklus.DefaultConfig()); err == nil {
+		t.Error("corrupt bounds loaded")
+	}
+}
+
+func TestSaveToUnwritableLocation(t *testing.T) {
+	sys, _ := buildSystem(t, 500)
+	// A path under a regular file cannot be created as a directory.
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(filepath.Join(blocker, "sub")); err == nil {
+		t.Error("save under a regular file succeeded")
+	}
+}
+
+func TestSaveLoadDifferentEngineOptions(t *testing.T) {
+	// The saved image carries data; engine options come from the Load
+	// config — loading with pruning off must still answer correctly.
+	sys, corpus := buildSystem(t, 3000)
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tklus.DefaultConfig()
+	cfg.Engine.UsePruning = false
+	loaded, err := tklus.Load(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tklus.Query{
+		Loc: corpus.Config.Cities[0].Center, RadiusKm: 15,
+		Keywords: []string{"hotel"}, K: 5, Ranking: tklus.MaxScore,
+	}
+	a, _, err := sys.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, stats, err := loaded.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ThreadsPruned != 0 {
+		t.Error("pruning-off engine pruned")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}

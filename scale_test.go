@@ -1,0 +1,72 @@
+package tklus_test
+
+import (
+	"testing"
+
+	tklus "repro"
+	"repro/internal/baseline"
+	"repro/internal/datagen"
+)
+
+// TestScaleSmoke builds a 100k-post corpus end to end and cross-checks a
+// handful of queries against the exhaustive oracle — the closest this
+// repository gets to the paper's data scale in a unit test. Skipped under
+// -short.
+func TestScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke test skipped in -short mode")
+	}
+	gen := datagen.DefaultConfig()
+	gen.Seed = 7
+	gen.NumUsers = 6000
+	gen.NumPosts = 100000
+	corpus, err := datagen.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := tklus.Build(corpus.Posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.DB.Len() != 100000 {
+		t.Fatalf("db rows = %d", sys.DB.Len())
+	}
+	oracle := baseline.NewScanRanker(corpus.Posts, tklus.DefaultConfig().Engine.Params)
+
+	for _, spec := range corpus.GenerateQueries(11, 2) { // 6 queries, 1-3 kw
+		for _, sem := range []int{int(tklus.Or), int(tklus.And)} {
+			q := tklus.Query{
+				Loc: spec.Loc, RadiusKm: 25, Keywords: spec.Keywords,
+				K: 10, Ranking: tklus.MaxScore,
+			}
+			if sem == int(tklus.And) {
+				q.Semantic = tklus.And
+			}
+			got, _, err := sys.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.Search(q)
+			if len(got) != len(want) {
+				t.Fatalf("keywords %v %v: %d results vs oracle %d",
+					spec.Keywords, q.Semantic, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].UID != want[i].UID &&
+					!floatsClose(got[i].Score, want[i].Score) {
+					t.Fatalf("keywords %v: result %d differs (%+v vs %+v)",
+						spec.Keywords, i, got[i], want[i])
+				}
+				if !floatsClose(got[i].Score, want[i].Score) {
+					t.Fatalf("keywords %v: score %d differs (%v vs %v)",
+						spec.Keywords, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func floatsClose(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,262 @@
+// Package tklus is a from-scratch reproduction of "Finding Top-k Local
+// Users in Geo-Tagged Social Media Data" (Jiang, Lu, Yang, Cui — ICDE
+// 2015).
+//
+// A TkLUS query q(l, r, W) finds the k social-media users most relevant to
+// the keywords W among those who posted keyword-matching tweets within r
+// kilometres of location l. Relevance combines reply/forward cascade
+// popularity ("tweet threads"), keyword relevance and spatial proximity.
+//
+// The package wires together the paper's full architecture (Figure 3):
+//
+//   - a centralized metadata database with B⁺-tree indexes on the tweet ID
+//     and the replied-to tweet ID (internal/metadb, internal/btree);
+//   - a hybrid ⟨geohash, term⟩ inverted index built with an in-process
+//     MapReduce engine and stored in a simulated distributed file system
+//     (internal/invindex, internal/mapreduce, internal/dfs);
+//   - the sum-score and maximum-score user ranking algorithms with
+//     upper-bound pruning (internal/core, internal/thread, internal/score).
+//
+// Basic usage:
+//
+//	posts := []*tklus.Post{ ... }
+//	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+//	results, stats, err := sys.Search(tklus.Query{
+//	    Loc:      tklus.Point{Lat: 43.68, Lon: -79.37},
+//	    RadiusKm: 10,
+//	    Keywords: []string{"hotel"},
+//	    K:        5,
+//	    Ranking:  tklus.MaxScore,
+//	})
+package tklus
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/contents"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/score"
+	"repro/internal/social"
+	"repro/internal/textutil"
+	"repro/internal/thread"
+)
+
+// Re-exported data-model types.
+type (
+	// Post is a geo-tagged social media post (Definition 1 + metadata).
+	Post = social.Post
+	// PostID identifies a post; by convention it is the post's UnixNano
+	// timestamp (Section IV-A: "the tweet ID ... is essentially the tweet
+	// timestamp").
+	PostID = social.PostID
+	// UserID identifies a user.
+	UserID = social.UserID
+	// Point is a geographic location in degrees.
+	Point = geo.Point
+	// Query is a TkLUS query q(l, r, W) plus k and processing options.
+	Query = core.Query
+	// TimeWindow restricts a query to a time interval (temporal extension).
+	TimeWindow = core.TimeWindow
+	// UserResult is one ranked user.
+	UserResult = core.UserResult
+	// QueryStats reports per-query work counters.
+	QueryStats = core.QueryStats
+	// Params are the scoring-model parameters of Section III.
+	Params = score.Params
+)
+
+// Relation kinds of a post.
+const (
+	None    = social.None
+	Reply   = social.Reply
+	Forward = social.Forward
+)
+
+// Keyword semantics (Section V-A).
+const (
+	Or  = core.Or
+	And = core.And
+)
+
+// User ranking functions (Definitions 7 and 8).
+const (
+	SumScore = core.SumScore
+	MaxScore = core.MaxScore
+)
+
+// Config controls how Build assembles the system.
+type Config struct {
+	// Index configures the hybrid index (geohash length, MapReduce
+	// parallelism).
+	Index invindex.BuildOptions
+	// DB configures the metadata database (page size, cache).
+	DB metadb.Options
+	// DFS configures the simulated distributed file system.
+	DFS dfs.Options
+	// Engine configures query processing (scoring parameters, pruning,
+	// bound selection).
+	Engine core.Options
+	// HotKeywords receive pre-computed specific popularity bounds
+	// (Section V-B). Defaults to the paper's Table II top-10 keywords.
+	HotKeywords []string
+}
+
+// DefaultConfig returns the paper's standard configuration: 4-length
+// geohash, α = 0.5, ε = 0.1, N = 40, pruning and hot-keyword bounds on,
+// database caches off.
+func DefaultConfig() Config {
+	return Config{
+		Index:       invindex.DefaultBuildOptions(),
+		DB:          metadb.DefaultOptions(),
+		DFS:         dfs.DefaultOptions(),
+		Engine:      core.DefaultOptions(),
+		HotKeywords: datagen.HotKeywords,
+	}
+}
+
+// System is a fully built TkLUS deployment over one corpus.
+type System struct {
+	Engine *core.Engine
+	DB     *metadb.DB
+	Index  *invindex.Index
+	FS     *dfs.FS
+	Bounds *thread.Bounds
+	// Contents resolves tweet IDs to their raw texts, stored in the DFS
+	// alongside the index (Figure 3).
+	Contents *contents.Store
+
+	// IndexStats reports MapReduce construction counters and sizes.
+	IndexStats *invindex.BuildStats
+	// BuildTime is the wall-clock construction duration.
+	BuildTime time.Duration
+}
+
+// Build loads the posts into the metadata database, constructs the hybrid
+// index with two MapReduce jobs, pre-computes the popularity bounds, and
+// returns a queryable system.
+func Build(posts []*Post, cfg Config) (*System, error) {
+	if len(posts) == 0 {
+		return nil, fmt.Errorf("tklus: no posts to index")
+	}
+	start := time.Now()
+	db, err := metadb.Load(cfg.DB, posts)
+	if err != nil {
+		return nil, fmt.Errorf("tklus: loading metadata db: %w", err)
+	}
+	fsys := dfs.New(cfg.DFS)
+	idx, stats, err := invindex.Build(fsys, posts, cfg.Index)
+	if err != nil {
+		return nil, fmt.Errorf("tklus: building hybrid index: %w", err)
+	}
+	store, err := contents.BuildStore(fsys, posts, "contents")
+	if err != nil {
+		return nil, fmt.Errorf("tklus: storing tweet contents: %w", err)
+	}
+	bounds := thread.ComputeBounds(posts, cfg.Engine.Params.ThreadDepth,
+		cfg.Engine.Params.Epsilon, stemAll(cfg.HotKeywords))
+	engine, err := core.NewEngine(idx, db, bounds, cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("tklus: creating engine: %w", err)
+	}
+	return &System{
+		Engine:     engine,
+		DB:         db,
+		Index:      idx,
+		FS:         fsys,
+		Bounds:     bounds,
+		Contents:   store,
+		IndexStats: stats,
+		BuildTime:  time.Since(start),
+	}, nil
+}
+
+// ThreadNode is one tweet of a materialized tweet thread (Definition 3).
+type ThreadNode = thread.Node
+
+// Thread materializes the reply/forward cascade rooted at the given tweet
+// up to the configured depth limit, returning its nodes in BFS order and
+// the thread's popularity score φ (Definition 4).
+func (s *System) Thread(root PostID) ([]ThreadNode, float64) {
+	builder := thread.Builder{DB: s.DB, Depth: s.Engine.Opts.Params.ThreadDepth}
+	return builder.Tree(root, s.Engine.Opts.Params.Epsilon, nil)
+}
+
+// Evidence returns, for one returned user, the raw texts of the tweets
+// that made them a candidate for q — the "(userId, tweet content)" result
+// lines the paper's user study presents to judges. limit caps the number
+// of tweets (0 = no cap).
+func (s *System) Evidence(q Query, uid UserID, limit int) ([]string, error) {
+	sids, err := s.Engine.Evidence(q, uid, limit)
+	if err != nil {
+		return nil, err
+	}
+	return s.Contents.Collect(sids)
+}
+
+// Search executes a TkLUS query.
+func (s *System) Search(q Query) ([]UserResult, *QueryStats, error) {
+	return s.Engine.Search(q)
+}
+
+// SearchContext is Search with cancellation: the query aborts with the
+// context's error once ctx is done.
+func (s *System) SearchContext(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+	return s.Engine.SearchContext(ctx, q)
+}
+
+// ResetStats zeroes every layer's I/O and work counters, so the next query
+// is measured in isolation.
+func (s *System) ResetStats() {
+	s.DB.ResetStats()
+	s.FS.ResetStats()
+	s.Index.ResetStats()
+}
+
+// NewPost builds a Post from raw text: the text is tokenized, stop-word
+// filtered and stemmed with the same pipeline the index uses. The post ID
+// is the UnixNano timestamp; callers must keep timestamps unique.
+func NewPost(uid UserID, at time.Time, loc Point, text string) *Post {
+	return &Post{
+		SID:   PostID(at.UnixNano()),
+		UID:   uid,
+		Time:  at,
+		Loc:   loc,
+		Words: textutil.Terms(text),
+		Text:  text,
+	}
+}
+
+// NewReply builds a reply post referencing a parent post.
+func NewReply(uid UserID, at time.Time, loc Point, text string, parent *Post) *Post {
+	p := NewPost(uid, at, loc, text)
+	p.Kind = Reply
+	p.RUID = parent.UID
+	p.RSID = parent.SID
+	return p
+}
+
+// NewForward builds a forward (retweet) post referencing a parent post.
+func NewForward(uid UserID, at time.Time, loc Point, text string, parent *Post) *Post {
+	p := NewPost(uid, at, loc, text)
+	p.Kind = Forward
+	p.RUID = parent.UID
+	p.RSID = parent.SID
+	return p
+}
+
+// stemAll runs query keywords through the text pipeline so hot-keyword
+// bounds are stored under the same stems the index uses.
+func stemAll(keywords []string) []string {
+	var out []string
+	for _, kw := range keywords {
+		out = append(out, textutil.Terms(kw)...)
+	}
+	return out
+}
