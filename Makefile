@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test short race vet fmt bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+# Race lane: the serving path (engine + HTTP server + telemetry registry)
+# must stay safe under concurrent queries and scrapes.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	rm -f BENCH_telemetry.json

@@ -9,6 +9,11 @@
 //	tklus-bench                 # run everything at the default scale
 //	tklus-bench -fig 8          # a single figure
 //	tklus-bench -posts 10000 -queries 10   # smaller, faster run
+//
+// Every run also writes BENCH_telemetry.json (disable with -telemetry ""):
+// per-stage query-pipeline latency percentiles from the telemetry
+// histograms, the machine-readable perf baseline later PRs compare
+// against.
 package main
 
 import (
@@ -34,7 +39,9 @@ func main() {
 		k       = flag.Int("k", 10, "result size k")
 		iolat   = flag.Duration("iolat", 2*time.Microsecond,
 			"simulated latency per metadata page read (paper regime: disk-based, caches off)")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		telemetry = flag.String("telemetry", "BENCH_telemetry.json",
+			"write a per-stage latency snapshot to this file (empty disables)")
 	)
 	flag.Parse()
 
@@ -74,5 +81,25 @@ func main() {
 	}
 	if ran == 0 {
 		log.Fatalf("unknown experiment %q (use -list)", *fig)
+	}
+
+	if *telemetry != "" {
+		t0 := time.Now()
+		snap, err := setup.Telemetry()
+		if err != nil {
+			log.Fatalf("telemetry snapshot: %v", err)
+		}
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[telemetry snapshot (%d queries) written to %s in %v]\n",
+			snap.Queries, *telemetry, time.Since(t0).Round(time.Millisecond))
 	}
 }

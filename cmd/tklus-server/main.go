@@ -5,18 +5,30 @@
 // Usage:
 //
 //	tklus-server -in corpus.jsonl -addr :8080
-//	tklus-server -load ./sysimg  -addr :8080
+//	tklus-server -load ./sysimg  -addr :8080 -debug -slow-query 250ms
 //
 //	curl 'localhost:8080/search?lat=43.68&lon=-79.37&radius=10&keywords=hotel&k=5'
 //	curl 'localhost:8080/evidence?lat=43.68&lon=-79.37&radius=10&keywords=hotel&uid=1'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'          # Prometheus text exposition
+//	go tool pprof localhost:8080/debug/pprof/profile   # with -debug
+//
+// The server installs Read/Write/Idle timeouts and shuts down gracefully
+// on SIGINT/SIGTERM: in-flight queries drain (up to -shutdown-timeout),
+// then a final metrics snapshot is flushed to the log.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	tklus "repro"
 	"repro/internal/ingest"
@@ -24,16 +36,20 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tklus-server: ")
-
 	var (
 		in     = flag.String("in", "corpus.jsonl", "input corpus")
 		format = flag.String("format", "jsonl", "input format: jsonl | twitter (REST v1.1 statuses)")
 		load   = flag.String("load", "", "load a saved system image instead of rebuilding")
 		addr   = flag.String("addr", ":8080", "listen address")
+		debug  = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+		slowQ  = flag.Duration("slow-query", 250*time.Millisecond,
+			"log queries at or above this duration (0 disables the slow-query log)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
+			"how long to drain in-flight queries on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	var sys *tklus.System
 	var err error
@@ -42,14 +58,64 @@ func main() {
 	} else {
 		var posts []*tklus.Post
 		if posts, err = ingest.Load(*in, *format); err != nil {
-			log.Fatal(err)
+			logger.Error("loading corpus", "err", err)
+			os.Exit(1)
 		}
 		sys, err = tklus.Build(posts, tklus.DefaultConfig())
 	}
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("building system", "err", err)
+		os.Exit(1)
 	}
 
-	fmt.Printf("serving %d rows, %d index keys on %s\n", sys.DB.Len(), sys.Index.NumKeys(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+	handler := server.NewWith(sys, server.Options{
+		Logger:             logger,
+		SlowQueryThreshold: *slowQ,
+		EnablePprof:        *debug,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Header/body reads are tiny GETs; writes cover the slowest
+		// plausible query against a large corpus.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	logger.Info("serving",
+		"rows", sys.DB.Len(), "index_keys", sys.Index.NumKeys(),
+		"addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	logger.Info("shutting down", "drain_timeout", shutdownTimeout.String())
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Warn("drain incomplete, closing", "err", err)
+		srv.Close()
+	}
+
+	// Flush a final metrics snapshot so the last scrape interval is not
+	// lost when the process exits.
+	var snap strings.Builder
+	if err := handler.Registry().WritePrometheus(&snap); err == nil {
+		logger.Info("final metrics snapshot\n" + snap.String())
+	}
+	logger.Info("bye")
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metadb"
 	"repro/internal/score"
 	"repro/internal/social"
+	"repro/internal/telemetry"
 	"repro/internal/textutil"
 	"repro/internal/thread"
 )
@@ -233,6 +234,23 @@ type QueryStats struct {
 	ThreadsPruned   int64 // candidates skipped by the upper bound
 	TweetsPulled    int64 // rows fetched during thread expansion
 	Elapsed         time.Duration
+
+	// Spans are the per-stage timings of the query pipeline (cell cover →
+	// postings fetch → candidate filter → thread build → rank/top-k), in
+	// first-start order. Serving code returns them in the /search reply and
+	// feeds them into the per-stage latency histograms.
+	Spans []telemetry.Span
+}
+
+// StageDuration returns the accumulated duration of one pipeline stage
+// (a telemetry.Stage* constant), or 0 if the stage never ran.
+func (s *QueryStats) StageDuration(stage string) time.Duration {
+	for _, sp := range s.Spans {
+		if sp.Stage == stage {
+			return sp.Duration
+		}
+	}
+	return 0
 }
 
 // QueryTerms stems and deduplicates query keywords with the same pipeline

@@ -12,6 +12,7 @@ import (
 	"repro/internal/metadb"
 	"repro/internal/score"
 	"repro/internal/social"
+	"repro/internal/telemetry"
 	"repro/internal/thread"
 )
 
@@ -33,19 +34,25 @@ func (e *Engine) Search(q Query) ([]UserResult, *QueryStats, error) {
 // SearchContext is Search with cancellation: the query aborts with the
 // context's error at the next candidate boundary once ctx is done. Useful
 // for serving large-radius OR queries under a deadline.
+//
+// Every query is traced: the returned QueryStats carry one span per
+// pipeline stage (cell cover, postings fetch, candidate filter, thread
+// build, rank/top-k) so callers can see where the time went without
+// re-running the query under a profiler.
 func (e *Engine) SearchContext(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
 	start := time.Now()
 	stats := &QueryStats{}
+	rec := telemetry.NewSpanRecorder()
 
 	terms := QueryTerms(q.Keywords)
 	if len(terms) == 0 {
 		return nil, nil, fmt.Errorf("core: keywords %v reduce to no terms", q.Keywords)
 	}
 
-	cands, err := e.gatherCandidates(&q, terms, stats)
+	cands, err := e.gatherCandidates(&q, terms, stats, rec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -55,17 +62,24 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]UserResult, *Que
 	}
 
 	var results []UserResult
+	rankStart := time.Now()
 	switch q.Ranking {
 	case SumScore:
-		results, err = e.rankSum(ctx, &q, cands, stats)
+		results, err = e.rankSum(ctx, &q, cands, stats, rec)
 	case MaxScore:
-		results, err = e.rankMax(ctx, &q, terms, cands, stats)
+		results, err = e.rankMax(ctx, &q, terms, cands, stats, rec)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown ranking %d", q.Ranking)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
+	// Thread construction runs interleaved inside the ranking loop and is
+	// recorded as its own stage; the rank span is the remainder, so the
+	// stage durations sum to (approximately) the query's elapsed time.
+	rec.Observe(telemetry.StageRank, rankStart,
+		time.Since(rankStart)-rec.Total(telemetry.StageThreadBuild))
+	stats.Spans = rec.Spans()
 	stats.Elapsed = time.Since(start)
 	return results, stats, nil
 }
@@ -78,30 +92,39 @@ const cancelCheckInterval = 64
 // gatherCandidates runs the shared front half of Algorithms 4 and 5:
 // circle cover (line 1), postings retrieval (lines 4–7), AND/OR merging
 // (lines 8–14), and the radius filter (lines 15–17), plus the optional
-// time-window filter of the temporal extension.
-func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats) ([]scoredCandidate, error) {
-	// Circle covers are computed once per geohash precision in use
-	// (partitions normally share one precision).
+// time-window filter of the temporal extension. Each phase is recorded as
+// a span on rec (which may be nil for un-instrumented callers).
+func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats, rec *telemetry.SpanRecorder) ([]scoredCandidate, error) {
+	// Stage 1 — cell cover: computed once per geohash precision in use
+	// (partitions normally share one precision). Windowed queries prune
+	// partitions entirely outside the window here.
+	stopCover := rec.Start(telemetry.StageCellCover)
+	parts := make([]*Partition, 0, len(e.Partitions))
 	covers := make(map[int][]string)
-	coverFor := func(precision int) []string {
-		if c, ok := covers[precision]; ok {
-			return c
-		}
-		c := geo.CircleCover(q.Loc, q.RadiusKm, precision)
-		covers[precision] = c
-		stats.Cells += len(c)
-		return c
-	}
-
-	termLists := make([][]invindex.Posting, len(terms))
-	for _, part := range e.Partitions {
+	for i := range e.Partitions {
+		part := &e.Partitions[i]
 		if !part.overlapsWindow(q.TimeWindow) {
 			continue // batch-partition pruning for windowed queries
 		}
-		cells := coverFor(part.Source.GeohashLen())
+		parts = append(parts, part)
+		precision := part.Source.GeohashLen()
+		if _, ok := covers[precision]; !ok {
+			c := geo.CircleCover(q.Loc, q.RadiusKm, precision)
+			covers[precision] = c
+			stats.Cells += len(c)
+		}
+	}
+	stopCover()
+
+	// Stage 2 — postings fetch (the DFS round trips).
+	stopFetch := rec.Start(telemetry.StagePostingsFetch)
+	termLists := make([][]invindex.Posting, len(terms))
+	for _, part := range parts {
+		cells := covers[part.Source.GeohashLen()]
 		for ti, term := range terms {
 			ps, err := termPostings(part.Source, cells, term, stats)
 			if err != nil {
+				stopFetch()
 				return nil, err
 			}
 			termLists[ti] = append(termLists[ti], ps...)
@@ -116,7 +139,11 @@ func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats) (
 			})
 		}
 	}
+	stopFetch()
 
+	// Stage 3 — candidate filter: AND/OR merge, window filter, metadata
+	// lookup, exact radius check.
+	defer rec.Start(telemetry.StageCandidateFilter)()
 	var merged []candidate
 	if q.Semantic == And {
 		merged = intersectPostings(termLists)
@@ -145,7 +172,7 @@ func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats) (
 // rankSum is the back half of Algorithm 4: per-candidate thread scoring
 // accumulated per user (Definition 7), then the combined user score
 // (Definition 10), sort, top k.
-func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate, stats *QueryStats) ([]UserResult, error) {
+func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate, stats *QueryStats, rec *telemetry.SpanRecorder) ([]UserResult, error) {
 	p := e.Opts.Params
 	type agg struct {
 		rs       float64 // Σ ρ(p,q), Definition 7
@@ -153,13 +180,16 @@ func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate,
 	}
 	users := make(map[social.UserID]*agg)
 	var tstats threadStats
+	var threads threadClock
 	for i, c := range cands {
 		if i%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
+		t0 := threads.begin()
 		pop, _ := e.builder.Popularity(c.tid, p.Epsilon, &tstats.s)
+		threads.end(t0)
 		rho := score.KeywordRelevance(c.matches, pop, p.N) * e.recencyFactor(c.tid)
 		a := users[c.row.UID]
 		if a == nil {
@@ -170,6 +200,7 @@ func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate,
 		a.deltaSum += c.delta
 	}
 	tstats.fold(stats)
+	threads.fold(rec)
 
 	results := make([]UserResult, 0, len(users))
 	for uid, a := range users {
@@ -190,7 +221,7 @@ func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate,
 // structure; before constructing a candidate's thread, an optimistic upper
 // bound on its user score is compared against the current kth score, and
 // dominated candidates are skipped (lines 18–19).
-func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []scoredCandidate, stats *QueryStats) ([]UserResult, error) {
+func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []scoredCandidate, stats *QueryStats, rec *telemetry.SpanRecorder) ([]UserResult, error) {
 	p := e.Opts.Params
 	popBound := e.Bounds.ForQuery(terms, q.Semantic == And, e.Opts.UseSpecificBounds)
 
@@ -203,6 +234,7 @@ func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []
 		}
 	}
 	var tstats threadStats
+	var threads threadClock
 	for i, c := range cands {
 		if i%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
@@ -229,7 +261,9 @@ func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []
 				continue
 			}
 		}
+		t0 := threads.begin()
 		pop, _ := e.builder.Popularity(c.tid, p.Epsilon, &tstats.s)
+		threads.end(t0)
 		rho := score.KeywordRelevance(c.matches, pop, p.N) * e.recencyFactor(c.tid)
 
 		us := score.Combine(p.Alpha, rho, du)
@@ -245,6 +279,7 @@ func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []
 		}
 	}
 	tstats.fold(stats)
+	threads.fold(rec)
 	return tk.results(), nil
 }
 
@@ -271,11 +306,13 @@ func (e *Engine) CandidateTweets(q Query) ([]CandidateTweet, *QueryStats, error)
 	}
 	stats := &QueryStats{}
 	start := time.Now()
-	cands, err := e.gatherCandidates(&q, terms, stats)
+	rec := telemetry.NewSpanRecorder()
+	cands, err := e.gatherCandidates(&q, terms, stats, rec)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.Candidates = len(cands)
+	stats.Spans = rec.Spans()
 	stats.Elapsed = time.Since(start)
 	out := make([]CandidateTweet, len(cands))
 	for i, c := range cands {
@@ -346,4 +383,29 @@ type threadStats struct{ s thread.Stats }
 func (t *threadStats) fold(qs *QueryStats) {
 	qs.ThreadsBuilt += t.s.ThreadsBuilt
 	qs.TweetsPulled += t.s.TweetsPulled
+}
+
+// threadClock accumulates the wall time of the thread constructions that
+// run interleaved inside the ranking loops, folding them into one
+// thread_build span. Two time.Now calls per surviving candidate are noise
+// next to a thread construction's metadata I/O.
+type threadClock struct {
+	first time.Time
+	total time.Duration
+}
+
+func (c *threadClock) begin() time.Time {
+	t := time.Now()
+	if c.first.IsZero() {
+		c.first = t
+	}
+	return t
+}
+
+func (c *threadClock) end(t0 time.Time) { c.total += time.Since(t0) }
+
+func (c *threadClock) fold(rec *telemetry.SpanRecorder) {
+	if c.total > 0 {
+		rec.Observe(telemetry.StageThreadBuild, c.first, c.total)
+	}
 }

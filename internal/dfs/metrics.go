@@ -1,0 +1,26 @@
+package dfs
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics hooks the file system's cumulative access counters into
+// a telemetry registry as read-at-scrape metrics.
+func (fs *FS) RegisterMetrics(reg *telemetry.Registry) {
+	counters := []struct {
+		name, help string
+		read       func(Stats) int64
+	}{
+		{"tklus_dfs_blocks_read_total", "DFS block fetches.",
+			func(s Stats) int64 { return s.BlocksRead }},
+		{"tklus_dfs_bytes_read_total", "Bytes read from the DFS.",
+			func(s Stats) int64 { return s.BytesRead }},
+		{"tklus_dfs_seeks_total", "DFS reads that did not continue the previous position.",
+			func(s Stats) int64 { return s.Seeks }},
+		{"tklus_dfs_node_switches_total", "Consecutive DFS reads served by different datanodes.",
+			func(s Stats) int64 { return s.NodeSwitches }},
+	}
+	for _, c := range counters {
+		read := c.read
+		reg.CounterFunc(c.name, c.help, nil,
+			func() float64 { return float64(read(fs.Stats())) })
+	}
+}

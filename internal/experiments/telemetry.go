@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// StageLatency is one pipeline stage's latency distribution across the
+// telemetry workload, in microseconds.
+type StageLatency struct {
+	Stage  string  `json:"stage"`
+	N      int     `json:"n"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// TelemetrySnapshot is the machine-readable perf baseline cmd/tklus-bench
+// writes to BENCH_telemetry.json: per-stage and end-to-end latency
+// percentiles over the standard workload, plus enough configuration to
+// compare runs. Future PRs diff these snapshots to prove their wins.
+type TelemetrySnapshot struct {
+	Posts     int            `json:"posts"`
+	Users     int            `json:"users"`
+	Seed      int64          `json:"seed"`
+	K         int            `json:"k"`
+	RadiusKm  float64        `json:"radius_km"`
+	Queries   int            `json:"queries"`
+	Total     StageLatency   `json:"total"`
+	Stages    []StageLatency `json:"stages"`
+	IOLatency string         `json:"io_latency"`
+}
+
+// Telemetry runs the full 90-query-style workload (max ranking, OR
+// semantics, r = 20 km — the paper's default setting) through the engine,
+// feeds every stage span into telemetry histograms, and extracts the
+// percentile summary from them.
+func (s *Setup) Telemetry() (*TelemetrySnapshot, error) {
+	const radiusKm = 20
+	sys, err := s.System(4)
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.NewRegistry()
+	total := reg.Histogram("bench_query_seconds", "", nil, nil)
+	stages := make(map[string]*telemetry.Histogram, len(telemetry.QueryStages))
+	for _, stage := range telemetry.QueryStages {
+		stages[stage] = reg.Histogram("bench_stage_seconds", "",
+			telemetry.Labels{"stage": stage}, nil)
+	}
+
+	for _, spec := range s.Queries {
+		_, qs, err := sys.Engine.Search(toQuery(spec, radiusKm, s.Cfg.K, core.Or, core.MaxScore))
+		if err != nil {
+			return nil, err
+		}
+		total.Observe(qs.Elapsed.Seconds())
+		for _, sp := range qs.Spans {
+			if h, ok := stages[sp.Stage]; ok {
+				h.Observe(sp.Duration.Seconds())
+			}
+		}
+	}
+
+	snap := &TelemetrySnapshot{
+		Posts: s.Cfg.NumPosts, Users: s.Cfg.NumUsers, Seed: s.Cfg.Seed,
+		K: s.Cfg.K, RadiusKm: radiusKm, Queries: len(s.Queries),
+		Total:     stageLatency("total", total.Summary()),
+		IOLatency: s.Cfg.IOLatency.String(),
+	}
+	for _, stage := range telemetry.QueryStages {
+		snap.Stages = append(snap.Stages, stageLatency(stage, stages[stage].Summary()))
+	}
+	return snap, nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (t *TelemetrySnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+func stageLatency(stage string, s stats.Summary) StageLatency {
+	us := func(seconds float64) float64 { return seconds * float64(time.Second/time.Microsecond) }
+	return StageLatency{
+		Stage: stage, N: s.N,
+		MeanUs: us(s.Mean), P50Us: us(s.P50), P95Us: us(s.P95), P99Us: us(s.P99), MaxUs: us(s.Max),
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestTelemetrySnapshot(t *testing.T) {
+	s := setup(t)
+	snap, err := s.Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Queries != len(s.Queries) || snap.Total.N != len(s.Queries) {
+		t.Errorf("queries = %d / total.N = %d, want %d", snap.Queries, snap.Total.N, len(s.Queries))
+	}
+	if snap.Total.P50Us <= 0 || snap.Total.P99Us < snap.Total.P50Us {
+		t.Errorf("total percentiles malformed: %+v", snap.Total)
+	}
+	if len(snap.Stages) != len(telemetry.QueryStages) {
+		t.Fatalf("stages = %d, want %d", len(snap.Stages), len(telemetry.QueryStages))
+	}
+	for _, st := range snap.Stages {
+		if st.Stage == telemetry.StageThreadBuild {
+			continue // may be empty if every candidate was pruned
+		}
+		if st.N == 0 {
+			t.Errorf("stage %s has no samples", st.Stage)
+		}
+		if st.P99Us < st.P50Us {
+			t.Errorf("stage %s: p99 %v < p50 %v", st.Stage, st.P99Us, st.P50Us)
+		}
+	}
+
+	// Round-trips as JSON with the stable field names later PRs diff.
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded TelemetrySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Total.N != snap.Total.N || len(decoded.Stages) != len(snap.Stages) {
+		t.Errorf("JSON round trip mangled snapshot: %+v", decoded)
+	}
+}

@@ -1,0 +1,14 @@
+package invindex
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics hooks the index's cumulative fetch counter and size
+// gauge into a telemetry registry as read-at-scrape metrics.
+func (idx *Index) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("tklus_postings_fetches_total",
+		"Postings lists fetched from the DFS.", nil,
+		func() float64 { return float64(idx.Fetches()) })
+	reg.GaugeFunc("tklus_index_keys",
+		"Distinct (geohash, term) keys in the hybrid index.", nil,
+		func() float64 { return float64(idx.NumKeys()) })
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ServeHTTP implements http.Handler: every request runs through the
+// observability middleware (HTTP metrics + one structured access-log line)
+// before reaching the route handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+
+	route := routeOf(r.URL.Path)
+	s.metrics.observeHTTP(route, sw.status, elapsed)
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("query", r.URL.RawQuery),
+		slog.Int("status", sw.status),
+		slog.Int64("bytes", sw.bytes),
+		slog.Int64("duration_us", elapsed.Microseconds()),
+	)
+}
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// routeOf maps a request path onto the fixed route label set, keeping
+// metric cardinality bounded no matter what paths clients probe.
+func routeOf(path string) string {
+	switch path {
+	case "/search", "/evidence", "/thread", "/stats", "/metrics", "/healthz":
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}

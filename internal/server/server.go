@@ -5,46 +5,109 @@
 // Endpoints:
 //
 //	GET /search    lat, lon, radius, keywords (space separated), k,
-//	               semantic (and|or), ranking (sum|max) → ranked users
+//	               semantic (and|or), ranking (sum|max) → ranked users,
+//	               per-query stats and per-stage span timings
 //	GET /evidence  the same query parameters plus uid and limit →
 //	               the user's matching tweet texts
-//	GET /stats     cumulative I/O and index counters
+//	GET /stats     cumulative I/O counters, query outcomes, and per-stage
+//	               latency summaries
+//	GET /metrics   Prometheus text exposition of every registered metric
 //	GET /healthz   liveness probe
+//
+// Every request flows through a middleware that records HTTP metrics and
+// emits one structured access-log line; /search additionally feeds the
+// per-stage latency histograms and the slow-query log (see Options).
+// Options.EnablePprof mounts net/http/pprof under /debug/pprof/.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	tklus "repro"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
+
+// Options configures the observability behaviour of a Server.
+type Options struct {
+	// Registry receives the server's metrics; nil creates a fresh one.
+	// Pass a shared registry to combine server metrics with process-level
+	// collectors.
+	Registry *telemetry.Registry
+	// Logger receives access-log and slow-query lines. nil disables
+	// logging (the default keeps the library quiet; cmd/tklus-server
+	// always passes a real logger).
+	Logger *slog.Logger
+	// SlowQueryThreshold makes /search queries at or above this duration
+	// emit a WARN log line with the full query shape and per-stage
+	// breakdown. Zero disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Keep it off on untrusted networks; cmd/tklus-server gates it behind
+	// -debug.
+	EnablePprof bool
+}
 
 // Server routes HTTP requests to one TkLUS system.
 type Server struct {
-	sys *tklus.System
-	mux *http.ServeMux
+	sys     *tklus.System
+	mux     *http.ServeMux
+	opts    Options
+	log     *slog.Logger
+	metrics *serverMetrics
+	started time.Time
 }
 
-// New creates a server over a built system.
+// New creates a server over a built system with default options: fresh
+// registry, no logging, no slow-query log, no pprof.
 func New(sys *tklus.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+	return NewWith(sys, Options{})
+}
+
+// NewWith creates a server with explicit observability options.
+func NewWith(sys *tklus.System, opts Options) *Server {
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		sys:     sys,
+		mux:     http.NewServeMux(),
+		opts:    opts,
+		log:     opts.Logger,
+		metrics: newServerMetrics(opts.Registry, sys),
+		started: time.Now(),
+	}
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("GET /evidence", s.handleEvidence)
 	s.mux.HandleFunc("GET /thread", s.handleThread)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
-}
+// Registry returns the server's metrics registry, for callers that want to
+// add their own collectors or flush a final snapshot at shutdown.
+func (s *Server) Registry() *telemetry.Registry { return s.opts.Registry }
 
 // searchResponse is the /search reply.
 type searchResponse struct {
@@ -59,14 +122,35 @@ type userJSON struct {
 }
 
 type statsJSON struct {
-	Cells           int    `json:"cells"`
-	PostingsFetched int64  `json:"postings_fetched"`
-	Candidates      int    `json:"candidates"`
-	ThreadsBuilt    int64  `json:"threads_built"`
-	ThreadsPruned   int64  `json:"threads_pruned"`
-	ElapsedMicros   int64  `json:"elapsed_us"`
-	Ranking         string `json:"ranking"`
-	Semantic        string `json:"semantic"`
+	Cells           int        `json:"cells"`
+	PostingsFetched int64      `json:"postings_fetched"`
+	Candidates      int        `json:"candidates"`
+	ThreadsBuilt    int64      `json:"threads_built"`
+	ThreadsPruned   int64      `json:"threads_pruned"`
+	ElapsedMicros   int64      `json:"elapsed_us"`
+	Ranking         string     `json:"ranking"`
+	Semantic        string     `json:"semantic"`
+	Spans           []spanJSON `json:"spans"`
+}
+
+// spanJSON is one pipeline-stage timing in the /search reply. start_us is
+// the offset from query start; us is the stage's accumulated duration.
+type spanJSON struct {
+	Stage       string `json:"stage"`
+	StartMicros int64  `json:"start_us"`
+	Micros      int64  `json:"us"`
+}
+
+func spansJSON(spans []telemetry.Span) []spanJSON {
+	out := make([]spanJSON, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, spanJSON{
+			Stage:       sp.Stage,
+			StartMicros: sp.Start.Microseconds(),
+			Micros:      sp.Duration.Microseconds(),
+		})
+	}
+	return out
 }
 
 // parseQuery builds a tklus.Query from URL parameters.
@@ -142,17 +226,28 @@ func parseWindow(from, to string) (*tklus.TimeWindow, error) {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q, err := parseQuery(r)
 	if err != nil {
+		s.metrics.countQuery(outcomeBadRequest)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	results, stats, err := s.sys.SearchContext(r.Context(), q)
 	if err != nil {
 		if r.Context().Err() != nil {
+			s.metrics.countQuery(outcomeCanceled)
 			return // client went away; nothing to write
 		}
+		// The engine validates the query before doing any work, so errors
+		// here are bad requests (invalid location, empty keyword set, ...),
+		// not server faults.
+		s.metrics.countQuery(outcomeBadRequest)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.metrics.countQuery(outcomeOK)
+	s.metrics.observeQuery(stats)
+	s.maybeLogSlowQuery(&q, stats, time.Since(start))
+
 	resp := searchResponse{
 		Results: make([]userJSON, 0, len(results)),
 		Stats: statsJSON{
@@ -164,6 +259,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			ElapsedMicros:   stats.Elapsed.Microseconds(),
 			Ranking:         rankingName(q.Ranking),
 			Semantic:        semanticName(q.Semantic),
+			Spans:           spansJSON(stats.Spans),
 		},
 	}
 	for _, res := range results {
@@ -174,6 +270,31 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, resp)
+}
+
+// maybeLogSlowQuery emits the slow-query log line: full query shape plus
+// the per-stage breakdown, at WARN so it stands out from access logs.
+func (s *Server) maybeLogSlowQuery(q *tklus.Query, stats *tklus.QueryStats, elapsed time.Duration) {
+	if s.opts.SlowQueryThreshold <= 0 || elapsed < s.opts.SlowQueryThreshold {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.Duration("elapsed", elapsed),
+		slog.Duration("threshold", s.opts.SlowQueryThreshold),
+		slog.String("keywords", strings.Join(q.Keywords, " ")),
+		slog.Float64("lat", q.Loc.Lat),
+		slog.Float64("lon", q.Loc.Lon),
+		slog.Float64("radius_km", q.RadiusKm),
+		slog.Int("k", q.K),
+		slog.String("semantic", semanticName(q.Semantic)),
+		slog.String("ranking", rankingName(q.Ranking)),
+		slog.Int("candidates", stats.Candidates),
+		slog.Int64("threads_built", stats.ThreadsBuilt),
+	}
+	for _, sp := range stats.Spans {
+		attrs = append(attrs, slog.Duration("stage_"+sp.Stage, sp.Duration))
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
 }
 
 func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
@@ -246,7 +367,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"dfs_bytes_read":   fsStats.BytesRead,
 		"dfs_seeks":        fsStats.Seeks,
 		"rows":             s.sys.DB.Len(),
+		"uptime_seconds":   time.Since(s.started).Seconds(),
+		"queries":          s.metrics.queryOutcomes(),
+		"stage_latency_us": s.metrics.stageSummaries(),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	s.opts.Registry.WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -67,6 +67,30 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// SummaryOf is the serving-path variant of Summarize: it never panics.
+// Unlike Percentile — which panics on an empty sample and is meant for
+// experiment harnesses where that is a bug worth crashing on — SummaryOf
+// accepts any input, returning the zero Summary for an empty or nil sample
+// (a freshly started server has empty histograms and must render zeros).
+// The input is not modified.
+func SummaryOf(sample []float64) Summary {
+	return Summarize(sample)
+}
+
+// PercentileOf is the non-panicking variant of Percentile for unsorted
+// serving-path samples: it returns 0 for an empty sample and clamps p into
+// [0, 100] instead of panicking. The input is not modified.
+func PercentileOf(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	p = math.Max(0, math.Min(100, p))
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	return Percentile(sorted, p)
+}
+
 // DurationSummary summarizes a sample of durations in seconds.
 func DurationSummary(durations []time.Duration) Summary {
 	sample := make([]float64, len(durations))

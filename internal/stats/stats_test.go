@@ -83,6 +83,37 @@ func TestSummarizeNotDestructive(t *testing.T) {
 	}
 }
 
+// TestSummaryOfNeverPanics pins the serving-path contract: empty and nil
+// samples yield the zero Summary instead of the panic Percentile raises.
+func TestSummaryOfNeverPanics(t *testing.T) {
+	for _, sample := range [][]float64{nil, {}} {
+		s := SummaryOf(sample)
+		if s != (Summary{}) {
+			t.Errorf("SummaryOf(%v) = %+v, want zero Summary", sample, s)
+		}
+	}
+	s := SummaryOf([]float64{3, 1, 2}) // unsorted input is fine
+	if s.N != 3 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("SummaryOf unsorted = %+v", s)
+	}
+}
+
+func TestPercentileOfClampsAndHandlesEmpty(t *testing.T) {
+	if got := PercentileOf(nil, 50); got != 0 {
+		t.Errorf("PercentileOf(nil) = %v, want 0", got)
+	}
+	sample := []float64{30, 10, 20} // unsorted and unmodified
+	if got := PercentileOf(sample, 150); got != 30 {
+		t.Errorf("PercentileOf(clamped 150) = %v, want 30", got)
+	}
+	if got := PercentileOf(sample, -10); got != 10 {
+		t.Errorf("PercentileOf(clamped -10) = %v, want 10", got)
+	}
+	if sample[0] != 30 || sample[1] != 10 || sample[2] != 20 {
+		t.Errorf("PercentileOf modified its input: %v", sample)
+	}
+}
+
 func TestDurationSummary(t *testing.T) {
 	s := DurationSummary([]time.Duration{time.Second, 3 * time.Second})
 	if s.N != 2 || math.Abs(s.Mean-2) > 1e-12 {

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// DefBuckets are the default latency buckets in seconds: 100 µs up to 10 s,
+// sized for the query latencies the paper's Figures 7–10 report (single to
+// hundreds of milliseconds on the evaluation corpus).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// reservoirSize bounds the raw-sample window each histogram keeps for exact
+// percentile extraction (the Prometheus buckets only support interpolated
+// quantiles). 1024 recent queries is enough for a stable p99.
+const reservoirSize = 1024
+
+// Histogram is a fixed-bucket latency histogram. Observe is safe for
+// concurrent use; bucket and sum updates are lock-free, the raw-sample
+// reservoir takes a short mutex.
+type Histogram struct {
+	upper   []float64      // ascending bucket upper bounds; +Inf is implicit
+	buckets []atomic.Int64 // len(upper)+1, last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+
+	mu   sync.Mutex
+	ring []float64 // last reservoirSize observations
+	next int       // ring write cursor
+	full bool
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := slices.Clone(buckets)
+	slices.Sort(upper)
+	return &Histogram{
+		upper:   upper,
+		buckets: make([]atomic.Int64, len(upper)+1),
+	}
+}
+
+// Observe records one measurement (in seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	i, ok := slices.BinarySearch(h.upper, v)
+	_ = ok // v == bound lands in that bound's bucket (le is inclusive)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.mu.Lock()
+	if len(h.ring) < reservoirSize {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.next] = v
+		h.full = true
+	}
+	h.next = (h.next + 1) % reservoirSize
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCount is one cumulative bucket of a histogram snapshot.
+type BucketCount struct {
+	UpperBound float64 // +Inf for the last bucket
+	Count      int64   // cumulative count of observations ≤ UpperBound
+}
+
+// Snapshot returns the cumulative bucket counts, sum, and count as one
+// consistent-enough view for exposition (Prometheus tolerates scrapes that
+// race individual observations).
+func (h *Histogram) Snapshot() ([]BucketCount, float64, int64) {
+	out := make([]BucketCount, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.upper) {
+			bound = h.upper[i]
+		}
+		out[i] = BucketCount{UpperBound: bound, Count: cum}
+	}
+	return out, h.Sum(), h.count.Load()
+}
+
+// Summary returns exact percentiles over the histogram's recent-sample
+// window via the non-panicking stats.SummaryOf: an empty histogram yields
+// the zero Summary (all zeros) instead of the panic stats.Percentile would
+// raise on an empty sample — serving-path code must never panic on a
+// freshly started server.
+func (h *Histogram) Summary() stats.Summary {
+	h.mu.Lock()
+	sample := slices.Clone(h.ring)
+	h.mu.Unlock()
+	return stats.SummaryOf(sample)
+}

@@ -1,0 +1,280 @@
+// Package telemetry is the stdlib-only observability layer of the serving
+// stack: a concurrency-safe metrics registry (counters, gauges, read-at-
+// scrape functions, and fixed-bucket latency histograms) rendered in the
+// Prometheus text exposition format, plus the lightweight span recorder the
+// query engine uses to time each pipeline stage.
+//
+// The paper's evaluation (Section VI) is entirely latency- and I/O-driven;
+// this package makes the same quantities observable on a live server — per
+// stage, per outcome, and at the tail — instead of only in offline
+// experiment harnesses.
+//
+// Design constraints:
+//
+//   - no third-party dependencies: the exposition writer emits the subset
+//     of the Prometheus text format that counters, gauges and classic
+//     histograms need;
+//   - hot-path writes are lock-free (atomics); registration and scraping
+//     take the registry lock;
+//   - metric families are get-or-create, so handlers can register label
+//     variants (e.g. a new HTTP status code) on first use.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is one metric's constant label set. A nil or empty map means the
+// unlabeled series.
+type Labels map[string]string
+
+// render formats labels in the canonical `{k="v",...}` form with sorted
+// keys, or "" for the unlabeled series.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing counter. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// kind is the Prometheus metric type of a family.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance inside a family. Exactly one of the value
+// fields is set, matching the family kind.
+type series struct {
+	labels  string // rendered label string, "" for unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	read    func() float64 // read-at-scrape counters/gauges
+}
+
+// family groups every label variant of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series
+	index  map[string]int // labels → position in series
+}
+
+func (f *family) get(labels string) *series {
+	if i, ok := f.index[labels]; ok {
+		return f.series[i]
+	}
+	return nil
+}
+
+func (f *family) add(s *series) {
+	f.index[s.labels] = len(f.series)
+	f.series = append(f.series, s)
+}
+
+// Registry holds metric families and renders them for scraping. The zero
+// value is unusable; call NewRegistry.
+//
+// Lookups of already-registered series take only a read lock, so handlers
+// may call Counter/Histogram on every request; the write lock is taken on
+// first registration of a series and while rendering a scrape.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	index    map[string]int // name → position in families
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+// lookup returns the existing series for name+labels under a read lock,
+// verifying the family kind. It reports whether the series exists.
+func (r *Registry) lookup(name string, k kind, labels string) (*series, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.index[name]
+	if !ok {
+		return nil, false
+	}
+	f := r.families[i]
+	if f.kind != k {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	s := f.get(labels)
+	return s, s != nil
+}
+
+// familyFor returns (creating if needed) the family for name, enforcing
+// kind consistency. The caller must hold r.mu for writing.
+func (r *Registry) familyFor(name, help string, k kind) *family {
+	if i, ok := r.index[name]; ok {
+		f := r.families[i]
+		if f.kind != k {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, k))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, index: make(map[string]int)}
+	r.index[name] = len(r.families)
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+// Calling again with the same name and labels returns the same counter;
+// requesting an existing name with a different metric kind panics, which
+// flags the programming error at registration rather than at scrape.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	ls := labels.render()
+	if s, ok := r.lookup(name, counterKind, ls); ok {
+		return s.counter
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, counterKind)
+	if s := f.get(ls); s != nil {
+		return s.counter
+	}
+	s := &series{labels: ls, counter: &Counter{}}
+	f.add(s)
+	return s.counter
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	ls := labels.render()
+	if s, ok := r.lookup(name, gaugeKind, ls); ok {
+		return s.gauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, gaugeKind)
+	if s := f.get(ls); s != nil {
+		return s.gauge
+	}
+	s := &series{labels: ls, gauge: &Gauge{}}
+	f.add(s)
+	return s.gauge
+}
+
+// CounterFunc registers a cumulative counter whose value is read at scrape
+// time — the hook for pre-existing atomic counters (postings fetches,
+// B⁺-tree node accesses, DFS block reads) that already live in lower
+// layers. Re-registering the same name+labels replaces the reader.
+func (r *Registry) CounterFunc(name, help string, labels Labels, read func() float64) {
+	r.registerFunc(name, help, counterKind, labels, read)
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, read func() float64) {
+	r.registerFunc(name, help, gaugeKind, labels, read)
+}
+
+func (r *Registry) registerFunc(name, help string, k kind, labels Labels, read func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, k)
+	ls := labels.render()
+	if s := f.get(ls); s != nil {
+		s.read = read
+		return
+	}
+	f.add(&series{labels: ls, read: read})
+}
+
+// Histogram returns (creating on first use) the histogram for name+labels.
+// buckets are ascending upper bounds in seconds; nil selects DefBuckets.
+// The bucket layout of an existing histogram is not changed by later calls.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	ls := labels.render()
+	if s, ok := r.lookup(name, histogramKind, ls); ok {
+		return s.hist
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, histogramKind)
+	if s := f.get(ls); s != nil {
+		return s.hist
+	}
+	s := &series{labels: ls, hist: newHistogram(buckets)}
+	f.add(s)
+	return s.hist
+}
