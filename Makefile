@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench clean
+.PHONY: all build test short race vet fmt bench bench-compare clean
 
 all: build test
 
@@ -14,8 +14,11 @@ short:
 	$(GO) test -short ./...
 
 # Race lane: the serving path (engine + HTTP server + telemetry registry)
-# must stay safe under concurrent queries and scrapes.
+# and the parallel query pipeline (worker pools + popularity cache) must
+# stay safe under concurrent queries, ingests and scrapes. Vet runs first
+# so the race build never chases bugs vet would have named.
 race:
+	$(GO) vet ./...
 	$(GO) test -race ./...
 
 vet:
@@ -27,5 +30,17 @@ fmt:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Perf gate: run the sequential-vs-parallel comparison and fail if the
+# parallel pipeline's overall p95 regresses past the sequential baseline.
+# GOMAXPROCS is pinned so the pool width is reproducible on any box, and
+# the simulated I/O latency sits in the sleep regime (>= 100us) so
+# parallel workers can actually overlap it. BENCH_parallel.json is the
+# evidence artifact.
+bench-compare:
+	GOMAXPROCS=4 $(GO) run ./cmd/tklus-bench -fig parallel \
+		-posts 20000 -users 2000 -queries 8 -iolat 100us \
+		-telemetry "" -parallel BENCH_parallel.json
+	$(GO) run ./cmd/tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
+
 clean:
-	rm -f BENCH_telemetry.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json

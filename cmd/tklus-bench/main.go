@@ -42,6 +42,10 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		telemetry = flag.String("telemetry", "BENCH_telemetry.json",
 			"write a per-stage latency snapshot to this file (empty disables)")
+		popcache = flag.Int("popcache", 4096,
+			"thread-popularity cache capacity for the parallel comparison (entries)")
+		parallel = flag.String("parallel", "BENCH_parallel.json",
+			"write the sequential-vs-parallel comparison to this file (empty disables)")
 	)
 	flag.Parse()
 
@@ -55,6 +59,7 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, NumUsers: *users, NumPosts: *posts,
 		QueryPerClass: *queries, K: *k, IOLatency: *iolat,
+		PopCacheSize: *popcache,
 	}
 	fmt.Fprintf(os.Stderr, "generating corpus (%d posts, %d users, seed %d)...\n",
 		cfg.NumPosts, cfg.NumUsers, cfg.Seed)
@@ -81,6 +86,26 @@ func main() {
 	}
 	if ran == 0 {
 		log.Fatalf("unknown experiment %q (use -list)", *fig)
+	}
+
+	if *parallel != "" {
+		t0 := time.Now()
+		snap, err := setup.ParallelCompare() // memoized if the runner already ran
+		if err != nil {
+			log.Fatalf("parallel comparison: %v", err)
+		}
+		f, err := os.Create(*parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[parallel comparison (p95 speedup %.2fx) written to %s in %v]\n",
+			snap.OverallSpeedupP95, *parallel, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *telemetry != "" {

@@ -1,0 +1,63 @@
+// Command tklus-benchcheck gates the parallel-pipeline benchmark: it reads
+// the BENCH_parallel.json snapshot written by tklus-bench and exits
+// non-zero when the parallel configuration's overall p95 latency fails to
+// beat the sequential baseline by the required factor. Wire it after
+// tklus-bench in CI (the Makefile's bench-compare lane) so a change that
+// silently serializes the pipeline or breaks the popularity cache fails
+// the build instead of shipping.
+//
+// Usage:
+//
+//	tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tklus-benchcheck: ")
+
+	var (
+		in = flag.String("in", "BENCH_parallel.json",
+			"parallel comparison snapshot written by tklus-bench")
+		minSpeedup = flag.Float64("min-p95-speedup", 1.0,
+			"fail unless overall p95 speedup (sequential/parallel) is at least this")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := experiments.ReadParallelSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Classes) == 0 {
+		log.Fatalf("%s holds no query classes — empty benchmark run?", *in)
+	}
+
+	fmt.Printf("workers=%d cache_cap=%d classes=%d\n",
+		snap.Workers, snap.PopCacheCap, len(snap.Classes))
+	for _, c := range snap.Classes {
+		fmt.Printf("  %dkw r=%.0fkm %s/%s: seq p95 %.2fms, par p95 %.2fms (%.2fx, %d cache hits)\n",
+			c.Keywords, c.RadiusKm, c.Semantic, c.Ranking,
+			c.SeqP95Ms, c.ParP95Ms, c.SpeedupP95, c.CacheHits)
+	}
+	fmt.Printf("overall: seq p95 %.2fms, par p95 %.2fms, speedup %.2fx (required >= %.2fx)\n",
+		snap.OverallSeqP95Ms, snap.OverallParP95Ms, snap.OverallSpeedupP95, *minSpeedup)
+
+	if snap.OverallSpeedupP95 < *minSpeedup {
+		log.Fatalf("REGRESSION: overall p95 speedup %.2fx below required %.2fx",
+			snap.OverallSpeedupP95, *minSpeedup)
+	}
+	fmt.Println("ok")
+}

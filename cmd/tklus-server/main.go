@@ -44,6 +44,8 @@ func main() {
 		debug  = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		slowQ  = flag.Duration("slow-query", 250*time.Millisecond,
 			"log queries at or above this duration (0 disables the slow-query log)")
+		popCache = flag.Int("popcache", 4096,
+			"thread-popularity cache capacity in entries (0 disables the cache)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
 			"how long to drain in-flight queries on SIGINT/SIGTERM")
 	)
@@ -66,6 +68,10 @@ func main() {
 	if err != nil {
 		logger.Error("building system", "err", err)
 		os.Exit(1)
+	}
+	if *popCache > 0 {
+		c := sys.EnablePopCache(*popCache)
+		logger.Info("popularity cache enabled", "capacity", c.Capacity())
 	}
 
 	handler := server.NewWith(sys, server.Options{

@@ -129,6 +129,12 @@ type Options struct {
 	// fraction of the corpus time span (future-work extension: "give
 	// priority to more recent tweets").
 	RecencyHalfLife float64
+	// Parallelism is the worker-pool width for the parallel pipeline
+	// stages (postings fetch, candidate filter, sum-score thread
+	// construction). 0 means GOMAXPROCS; 1 runs everything sequentially on
+	// the query goroutine. Results are identical at any setting — parallel
+	// stages assemble their outputs in job order.
+	Parallelism int
 }
 
 // DefaultOptions enables pruning and specific bounds, the paper's standard
@@ -219,6 +225,14 @@ func NewPartitionedEngine(parts []Partition, db *metadb.DB, bounds *thread.Bound
 	}, nil
 }
 
+// SetPopularityCache attaches (or, with nil, detaches) a cross-query
+// thread-popularity cache to the engine's thread builder. The caller owns
+// invalidation: any ingested post whose reply chain reaches a cached root
+// must evict that root before the next query.
+func (e *Engine) SetPopularityCache(c thread.PopularityCache) {
+	e.builder.Cache = c
+}
+
 // UserResult is one ranked user.
 type UserResult struct {
 	UID   social.UserID
@@ -233,6 +247,7 @@ type QueryStats struct {
 	ThreadsBuilt    int64 // Algorithm 1 invocations
 	ThreadsPruned   int64 // candidates skipped by the upper bound
 	TweetsPulled    int64 // rows fetched during thread expansion
+	PopCacheHits    int64 // thread constructions answered by the popularity cache
 	Elapsed         time.Duration
 
 	// Spans are the per-stage timings of the query pipeline (cell cover →

@@ -19,23 +19,26 @@ type candidate struct {
 // termPostings gathers, for one query term, the postings of every cover
 // cell (Algorithm 4/5 lines 4–7) from one postings source, merged into a
 // TID-sorted list. Cells are disjoint, so concatenation never duplicates
-// a TID within one source.
-func termPostings(src PostingsSource, cells []string, term string, stats *QueryStats) ([]invindex.Posting, error) {
+// a TID within one source. The number of non-empty postings lists pulled is
+// returned rather than written into QueryStats so concurrent callers need
+// no shared counter.
+func termPostings(src PostingsSource, cells []string, term string) ([]invindex.Posting, int64, error) {
 	var merged []invindex.Posting
+	var fetched int64
 	for _, cell := range cells {
 		ps, err := src.FetchPostings(cell, term)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if ps != nil {
-			stats.PostingsFetched++
+			fetched++
 			merged = append(merged, ps...)
 		}
 	}
 	slices.SortFunc(merged, func(a, b invindex.Posting) int {
 		return cmp.Compare(a.TID, b.TID)
 	})
-	return merged, nil
+	return merged, fetched, nil
 }
 
 // intersectPostings implements the AND semantic (Algorithm 4 lines 9–11):

@@ -52,7 +52,7 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]UserResult, *Que
 		return nil, nil, fmt.Errorf("core: keywords %v reduce to no terms", q.Keywords)
 	}
 
-	cands, err := e.gatherCandidates(&q, terms, stats, rec)
+	cands, err := e.gatherCandidates(ctx, &q, terms, stats, rec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -92,15 +92,20 @@ const cancelCheckInterval = 64
 // gatherCandidates runs the shared front half of Algorithms 4 and 5:
 // circle cover (line 1), postings retrieval (lines 4–7), AND/OR merging
 // (lines 8–14), and the radius filter (lines 15–17), plus the optional
-// time-window filter of the temporal extension. Each phase is recorded as
-// a span on rec (which may be nil for un-instrumented callers).
-func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats, rec *telemetry.SpanRecorder) ([]scoredCandidate, error) {
+// time-window filter of the temporal extension. Postings retrieval and the
+// candidate filter fan out across the engine's worker pool; results are
+// assembled in job order, so candidate lists — and therefore every
+// downstream score — are identical to the sequential path's. Each phase is
+// recorded as a span on rec (which may be nil for un-instrumented
+// callers); spans around parallel phases measure wall time, not summed
+// worker time.
+func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string, stats *QueryStats, rec *telemetry.SpanRecorder) ([]scoredCandidate, error) {
 	// Stage 1 — cell cover: computed once per geohash precision in use
 	// (partitions normally share one precision). Windowed queries prune
 	// partitions entirely outside the window here.
 	stopCover := rec.Start(telemetry.StageCellCover)
 	parts := make([]*Partition, 0, len(e.Partitions))
-	covers := make(map[int][]string)
+	var covers coverSet
 	for i := range e.Partitions {
 		part := &e.Partitions[i]
 		if !part.overlapsWindow(q.TimeWindow) {
@@ -108,27 +113,40 @@ func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats, r
 		}
 		parts = append(parts, part)
 		precision := part.Source.GeohashLen()
-		if _, ok := covers[precision]; !ok {
+		if !covers.has(precision) {
 			c := geo.CircleCover(q.Loc, q.RadiusKm, precision)
-			covers[precision] = c
+			covers.add(precision, c)
 			stats.Cells += len(c)
 		}
 	}
 	stopCover()
 
-	// Stage 2 — postings fetch (the DFS round trips).
+	// Stage 2 — postings fetch: every ⟨partition, term⟩ pair is one
+	// independent batch of DFS round trips, fanned across the pool. The
+	// per-term lists are concatenated in (partition, term) order below, so
+	// the AND/OR merge sees exactly the sequential path's input.
 	stopFetch := rec.Start(telemetry.StagePostingsFetch)
-	termLists := make([][]invindex.Posting, len(terms))
-	for _, part := range parts {
-		cells := covers[part.Source.GeohashLen()]
-		for ti, term := range terms {
-			ps, err := termPostings(part.Source, cells, term, stats)
-			if err != nil {
-				stopFetch()
-				return nil, err
-			}
-			termLists[ti] = append(termLists[ti], ps...)
+	nJobs := len(parts) * len(terms)
+	fetched := make([][]invindex.Posting, nJobs)
+	counts := make([]int64, nJobs)
+	err := runJobs(ctx, e.workers(), nJobs, func(ctx context.Context, i int) error {
+		part := parts[i/len(terms)]
+		ps, n, err := termPostings(part.Source, covers.get(part.Source.GeohashLen()), terms[i%len(terms)])
+		if err != nil {
+			return err
 		}
+		fetched[i], counts[i] = ps, n
+		return nil
+	})
+	if err != nil {
+		stopFetch()
+		return nil, err
+	}
+	termLists := make([][]invindex.Posting, len(terms))
+	for i, ps := range fetched {
+		stats.PostingsFetched += counts[i]
+		ti := i % len(terms)
+		termLists[ti] = append(termLists[ti], ps...)
 	}
 	// Partitions are time-disjoint, so concatenation has no duplicate
 	// TIDs, but ordering across partitions must be restored.
@@ -141,8 +159,10 @@ func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats, r
 	}
 	stopFetch()
 
-	// Stage 3 — candidate filter: AND/OR merge, window filter, metadata
-	// lookup, exact radius check.
+	// Stage 3 — candidate filter: AND/OR merge, then the window filter,
+	// metadata lookup and exact radius check sharded across the pool. Each
+	// worker writes only its own slots; the in-order compaction afterwards
+	// reproduces the sequential candidate order exactly.
 	defer rec.Start(telemetry.StageCandidateFilter)()
 	var merged []candidate
 	if q.Semantic == And {
@@ -151,63 +171,98 @@ func (e *Engine) gatherCandidates(q *Query, terms []string, stats *QueryStats, r
 		merged = unionPostings(termLists)
 	}
 
-	out := make([]scoredCandidate, 0, len(merged))
-	for _, c := range merged {
+	type filtered struct {
+		sc   scoredCandidate
+		keep bool
+	}
+	results := make([]filtered, len(merged))
+	err = runJobs(ctx, e.workers(), len(merged), func(ctx context.Context, i int) error {
+		c := merged[i]
 		if q.TimeWindow != nil && !q.TimeWindow.contains(c.tid) {
-			continue
+			return nil
 		}
 		row, ok := e.DB.GetBySID(c.tid)
 		if !ok {
-			return nil, fmt.Errorf("core: indexed tweet %d missing from metadata db", c.tid)
+			return fmt.Errorf("core: indexed tweet %d missing from metadata db", c.tid)
+		}
+		if e.Opts.Params.Metric.DistanceKm(q.Loc, row.Loc()) > q.RadiusKm {
+			return nil // cover cells may stick out of the circle
 		}
 		delta := score.TweetDistance(row.Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
-		if e.Opts.Params.Metric.DistanceKm(q.Loc, row.Loc()) > q.RadiusKm {
-			continue // cover cells may stick out of the circle
+		results[i] = filtered{
+			sc:   scoredCandidate{tid: c.tid, matches: c.matches, row: row, delta: delta},
+			keep: true,
 		}
-		out = append(out, scoredCandidate{tid: c.tid, matches: c.matches, row: row, delta: delta})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]scoredCandidate, 0, len(merged))
+	for i := range results {
+		if results[i].keep {
+			out = append(out, results[i].sc)
+		}
 	}
 	return out, nil
 }
 
 // rankSum is the back half of Algorithm 4: per-candidate thread scoring
 // accumulated per user (Definition 7), then the combined user score
-// (Definition 10), sort, top k.
+// (Definition 10), sort, top k. Thread constructions are mutually
+// independent, so the scoring phase fans across the worker pool with each
+// worker confined to its candidate's slot; the per-user reduction then runs
+// sequentially in candidate order, making the float accumulation — and so
+// every score — bit-identical to the sequential path.
 func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate, stats *QueryStats, rec *telemetry.SpanRecorder) ([]UserResult, error) {
 	p := e.Opts.Params
+
+	// Phase 1 — thread scoring (the per-candidate Algorithm 1 runs).
+	type scored struct {
+		rho float64 // ρ(p,q) · recency
+		ts  thread.Stats
+	}
+	sc := make([]scored, len(cands))
+	buildStart := time.Now()
+	err := runJobs(ctx, e.workers(), len(cands), func(ctx context.Context, i int) error {
+		c := &cands[i]
+		pop, _ := e.builder.Popularity(c.tid, p.Epsilon, &sc[i].ts)
+		sc[i].rho = score.KeywordRelevance(c.matches, pop, p.N) * e.recencyFactor(c.tid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) > 0 {
+		// Wall time of the whole scoring phase, not summed worker time.
+		rec.Observe(telemetry.StageThreadBuild, buildStart, time.Since(buildStart))
+	}
+
+	// Phase 2 — per-user reduction in candidate order.
 	type agg struct {
 		rs       float64 // Σ ρ(p,q), Definition 7
 		deltaSum float64 // Σ δ(p,q) over this user's candidates
 	}
 	users := make(map[social.UserID]*agg)
 	var tstats threadStats
-	var threads threadClock
 	for i, c := range cands {
-		if i%cancelCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		t0 := threads.begin()
-		pop, _ := e.builder.Popularity(c.tid, p.Epsilon, &tstats.s)
-		threads.end(t0)
-		rho := score.KeywordRelevance(c.matches, pop, p.N) * e.recencyFactor(c.tid)
+		tstats.add(&sc[i].ts)
 		a := users[c.row.UID]
 		if a == nil {
 			a = &agg{}
 			users[c.row.UID] = a
 		}
-		a.rs += rho
+		a.rs += sc[i].rho
 		a.deltaSum += c.delta
 	}
 	tstats.fold(stats)
-	threads.fold(rec)
 
+	udc := newUserDistCache(e, q)
 	results := make([]UserResult, 0, len(users))
 	for uid, a := range users {
-		du := e.userDistance(q, uid, a.deltaSum)
 		results = append(results, UserResult{
 			UID:   uid,
-			Score: score.Combine(p.Alpha, a.rs, du),
+			Score: score.Combine(p.Alpha, a.rs, udc.get(uid, a.deltaSum)),
 		})
 	}
 	sortResults(results)
@@ -226,7 +281,7 @@ func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []
 	popBound := e.Bounds.ForQuery(terms, q.Semantic == And, e.Opts.UseSpecificBounds)
 
 	tk := newTopK(q.K)
-	userDelta := make(map[social.UserID]float64) // δ(u,q) cache
+	udc := newUserDistCache(e, q)
 	candDelta := make(map[social.UserID]float64) // candidate-only Σδ per user
 	if !e.Opts.ExactUserDistance {
 		for _, c := range cands {
@@ -242,11 +297,7 @@ func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []
 			}
 		}
 		uid := c.row.UID
-		du, ok := userDelta[uid]
-		if !ok {
-			du = e.userDistance(q, uid, candDelta[uid])
-			userDelta[uid] = du
-		}
+		du := udc.get(uid, candDelta[uid])
 		if e.Opts.UsePruning && tk.full() {
 			// Optimistic user score: maximal keyword relevance under the
 			// popularity bound, combined with the user's distance score.
@@ -307,7 +358,7 @@ func (e *Engine) CandidateTweets(q Query) ([]CandidateTweet, *QueryStats, error)
 	stats := &QueryStats{}
 	start := time.Now()
 	rec := telemetry.NewSpanRecorder()
-	cands, err := e.gatherCandidates(&q, terms, stats, rec)
+	cands, err := e.gatherCandidates(context.Background(), &q, terms, stats, rec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -341,6 +392,29 @@ func (e *Engine) Evidence(q Query, uid social.UserID, limit int) ([]social.PostI
 		}
 	}
 	return out, nil
+}
+
+// userDistCache memoizes δ(u,q) for one query. Definition 9 is a property
+// of the user, not of any individual candidate, so both ranking algorithms
+// compute it at most once per user — in exact mode each computation fetches
+// every post of the user, which this cache keeps off the per-candidate path.
+type userDistCache struct {
+	e *Engine
+	q *Query
+	d map[social.UserID]float64
+}
+
+func newUserDistCache(e *Engine, q *Query) *userDistCache {
+	return &userDistCache{e: e, q: q, d: make(map[social.UserID]float64)}
+}
+
+func (c *userDistCache) get(uid social.UserID, candDeltaSum float64) float64 {
+	if du, ok := c.d[uid]; ok {
+		return du
+	}
+	du := c.e.userDistance(c.q, uid, candDeltaSum)
+	c.d[uid] = du
+	return du
 }
 
 // userDistance computes δ(u,q) (Definition 9). In exact mode it averages
@@ -380,9 +454,16 @@ func (e *Engine) recencyFactor(sid social.PostID) float64 {
 // threadStats adapts thread.Stats into QueryStats.
 type threadStats struct{ s thread.Stats }
 
+func (t *threadStats) add(other *thread.Stats) {
+	t.s.ThreadsBuilt += other.ThreadsBuilt
+	t.s.TweetsPulled += other.TweetsPulled
+	t.s.CacheHits += other.CacheHits
+}
+
 func (t *threadStats) fold(qs *QueryStats) {
 	qs.ThreadsBuilt += t.s.ThreadsBuilt
 	qs.TweetsPulled += t.s.TweetsPulled
+	qs.PopCacheHits += t.s.CacheHits
 }
 
 // threadClock accumulates the wall time of the thread constructions that

@@ -137,6 +137,7 @@ func Runners() []Runner {
 		{"ablation-irtree", "Ablation: hybrid index vs IR-tree retrieval", (*Setup).AblationIRTree},
 		{"ablation-depth", "Ablation: thread depth", (*Setup).AblationThreadDepth},
 		{"ablation-cache", "Ablation: page cache", (*Setup).AblationPageCache},
+		{"parallel", "Parallel pipeline vs sequential baseline", (*Setup).ParallelPipeline},
 		{"latency", "Latency distribution summary", (*Setup).LatencySummary},
 		{"scale", "Scalability: corpus size sweep", (*Setup).ScaleSweep},
 		{"effectiveness", "Effectiveness: latent expert recovery", (*Setup).ExpertRecovery},

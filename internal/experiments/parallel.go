@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/popcache"
+	"repro/internal/stats"
+)
+
+// ParallelClass is one query class of the sequential-vs-parallel
+// comparison: identical queries, identical results, two engine
+// configurations.
+type ParallelClass struct {
+	Keywords   int     `json:"keywords"`
+	RadiusKm   float64 `json:"radius_km"`
+	Semantic   string  `json:"semantic"`
+	Ranking    string  `json:"ranking"`
+	Queries    int     `json:"queries"`
+	SeqP50Ms   float64 `json:"seq_p50_ms"`
+	SeqP95Ms   float64 `json:"seq_p95_ms"`
+	ParP50Ms   float64 `json:"par_p50_ms"`
+	ParP95Ms   float64 `json:"par_p95_ms"`
+	SpeedupP95 float64 `json:"speedup_p95"`
+	CacheHits  int64   `json:"pop_cache_hits"`
+}
+
+// ParallelSnapshot is the machine-readable comparison cmd/tklus-bench
+// writes to BENCH_parallel.json. The sequential side runs Parallelism=1
+// with no popularity cache (the pre-parallel engine); the parallel side
+// runs the default pool width with a warmed popularity cache. Both sides
+// return identical results on every query — the snapshot is only about
+// time. cmd/tklus-benchcheck gates regressions on OverallSpeedupP95.
+type ParallelSnapshot struct {
+	Posts             int             `json:"posts"`
+	Users             int             `json:"users"`
+	Seed              int64           `json:"seed"`
+	K                 int             `json:"k"`
+	Workers           int             `json:"workers"`
+	PopCacheCap       int             `json:"pop_cache_capacity"`
+	IOLatency         string          `json:"io_latency"`
+	Classes           []ParallelClass `json:"classes"`
+	OverallSeqP95Ms   float64         `json:"overall_seq_p95_ms"`
+	OverallParP95Ms   float64         `json:"overall_par_p95_ms"`
+	OverallSpeedupP95 float64         `json:"overall_speedup_p95"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (p *ParallelSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadParallelSnapshot parses a snapshot written by WriteJSON.
+func ReadParallelSnapshot(r io.Reader) (*ParallelSnapshot, error) {
+	var snap ParallelSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("experiments: parsing parallel snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// parallelClasses are the workload slices compared. The headline class the
+// acceptance gate cares about is multi-keyword at the largest radius —
+// many candidates, many thread constructions — where both the worker pool
+// and the popularity cache have the most to overlap and to reuse.
+var parallelClasses = []struct {
+	keywords int
+	radiusKm float64
+	sem      core.Semantic
+	ranking  core.Ranking
+}{
+	{1, 10, core.Or, core.SumScore},
+	{2, 30, core.Or, core.SumScore},
+	{3, 30, core.Or, core.SumScore},
+	{3, 30, core.And, core.SumScore},
+	{2, 30, core.Or, core.MaxScore},
+}
+
+// ParallelCompare measures the sequential baseline against the parallel
+// pipeline with a warm popularity cache, verifying on every query that
+// the two configurations return identical results. The result is memoized
+// on the Setup so the table runner and the JSON emitter share one run.
+func (s *Setup) ParallelCompare() (*ParallelSnapshot, error) {
+	if s.parallelSnap != nil {
+		return s.parallelSnap, nil
+	}
+	sys, err := s.System(4)
+	if err != nil {
+		return nil, err
+	}
+	seqEng, err := engineWith(sys, func(o *core.Options) { o.Parallelism = 1 })
+	if err != nil {
+		return nil, err
+	}
+	parEng, err := engineWith(sys, func(o *core.Options) { o.Parallelism = 0 })
+	if err != nil {
+		return nil, err
+	}
+	cache := popcache.New(s.Cfg.PopCacheSize)
+	parEng.SetPopularityCache(cache)
+
+	snap := &ParallelSnapshot{
+		Posts: s.Cfg.NumPosts, Users: s.Cfg.NumUsers, Seed: s.Cfg.Seed,
+		K: s.Cfg.K, Workers: runtime.GOMAXPROCS(0),
+		PopCacheCap: cache.Capacity(), IOLatency: s.Cfg.IOLatency.String(),
+	}
+	var allSeq, allPar []float64
+	for _, class := range parallelClasses {
+		specs := s.queriesWithKeywordCount(class.keywords)
+		if len(specs) == 0 {
+			continue
+		}
+		// Warm pass: fills the popularity cache with this class's thread
+		// roots, the steady state of a serving deployment.
+		for _, spec := range specs {
+			q := toQuery(spec, class.radiusKm, s.Cfg.K, class.sem, class.ranking)
+			if _, _, err := parEng.Search(q); err != nil {
+				return nil, err
+			}
+		}
+		seqTimes := make([]float64, 0, len(specs))
+		parTimes := make([]float64, 0, len(specs))
+		var hits int64
+		for _, spec := range specs {
+			q := toQuery(spec, class.radiusKm, s.Cfg.K, class.sem, class.ranking)
+			seqRes, seqStats, err := seqEng.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			parRes, parStats, err := parEng.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			if err := sameResults(seqRes, parRes); err != nil {
+				return nil, fmt.Errorf("experiments: parallel/sequential divergence on %v: %w",
+					q.Keywords, err)
+			}
+			seqTimes = append(seqTimes, seqStats.Elapsed.Seconds())
+			parTimes = append(parTimes, parStats.Elapsed.Seconds())
+			hits += parStats.PopCacheHits
+		}
+		allSeq = append(allSeq, seqTimes...)
+		allPar = append(allPar, parTimes...)
+		seqSum, parSum := stats.SummaryOf(seqTimes), stats.SummaryOf(parTimes)
+		snap.Classes = append(snap.Classes, ParallelClass{
+			Keywords: class.keywords, RadiusKm: class.radiusKm,
+			Semantic: class.sem.String(), Ranking: class.ranking.String(),
+			Queries:  len(specs),
+			SeqP50Ms: seqSum.P50 * 1000, SeqP95Ms: seqSum.P95 * 1000,
+			ParP50Ms: parSum.P50 * 1000, ParP95Ms: parSum.P95 * 1000,
+			SpeedupP95: speedup(seqSum.P95, parSum.P95),
+			CacheHits:  hits,
+		})
+	}
+	seqAll, parAll := stats.SummaryOf(allSeq), stats.SummaryOf(allPar)
+	snap.OverallSeqP95Ms = seqAll.P95 * 1000
+	snap.OverallParP95Ms = parAll.P95 * 1000
+	snap.OverallSpeedupP95 = speedup(seqAll.P95, parAll.P95)
+	s.parallelSnap = snap
+	return snap, nil
+}
+
+// ParallelPipeline renders ParallelCompare as a bench table.
+func (s *Setup) ParallelPipeline() (*Table, error) {
+	snap, err := s.ParallelCompare()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Parallel pipeline — sequential vs parallel + warm popularity cache",
+		Note: fmt.Sprintf("identical results on every query; %d workers, cache cap %d; overall p95 speedup %.2fx",
+			snap.Workers, snap.PopCacheCap, snap.OverallSpeedupP95),
+		Headers: []string{"kw", "radius (km)", "semantic", "ranking", "queries",
+			"seq p50", "seq p95", "par p50", "par p95", "speedup p95", "cache hits"},
+	}
+	for _, c := range snap.Classes {
+		t.AddRow(fmt.Sprintf("%d", c.Keywords), fmt.Sprintf("%.0f", c.RadiusKm),
+			c.Semantic, c.Ranking, fmt.Sprintf("%d", c.Queries),
+			ms(c.SeqP50Ms/1000), ms(c.SeqP95Ms/1000), ms(c.ParP50Ms/1000), ms(c.ParP95Ms/1000),
+			fmt.Sprintf("%.2fx", c.SpeedupP95), fmt.Sprintf("%d", c.CacheHits))
+	}
+	return t, nil
+}
+
+// sameResults asserts two result lists are identical — same users, same
+// scores, same order. The parallel pipeline is deterministic by design;
+// any divergence is a bug worth failing the bench for.
+func sameResults(a, b []core.UserResult) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("rank %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+func speedup(seq, par float64) float64 {
+	if par <= 0 {
+		return 1
+	}
+	return seq / par
+}

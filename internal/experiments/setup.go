@@ -28,6 +28,10 @@ type Config struct {
 	// (several I/Os per thread, Section V-B) dominates query time; a small
 	// simulated latency reproduces that regime. Zero measures pure CPU.
 	IOLatency time.Duration
+	// PopCacheSize is the thread-popularity cache capacity (entries) used
+	// by the parallel-pipeline comparison; non-positive selects the
+	// popcache default.
+	PopCacheSize int
 }
 
 // DefaultConfig is the configuration used by cmd/tklus-bench.
@@ -49,7 +53,8 @@ type Setup struct {
 	Corpus  *datagen.Corpus
 	Queries []datagen.QuerySpec
 
-	systems map[int]*tklus.System // by geohash length
+	systems      map[int]*tklus.System // by geohash length
+	parallelSnap *ParallelSnapshot     // memoized ParallelCompare result
 }
 
 // NewSetup generates the corpus and the 90-query-style workload.

@@ -63,11 +63,19 @@ type Stats struct {
 }
 
 // DB is the centralized metadata database. After Freeze, reads are safe
-// for concurrent use: the statistics counters and the page cache are
-// guarded by a mutex.
+// for concurrent use, and Append may ingest new rows concurrently with
+// readers: the row pages and indexes are guarded by an RWMutex (readers
+// share it), while the statistics counters and the page cache keep their
+// own mutex.
 type DB struct {
-	opts  Options
-	pages [][]Row
+	opts Options
+
+	// structMu guards pages, the three indexes, and the row/SID/fanout
+	// bookkeeping below against live Appends. Read paths take the read
+	// lock once per public call (never nested — helpers assume it is
+	// held) so a writer cannot deadlock behind a recursive RLock.
+	structMu sync.RWMutex
+	pages    [][]Row
 
 	sidIndex  *btree.Tree // sid -> row ordinal
 	rsidIndex *btree.Tree // rsid -> sids of posts reacting to it
@@ -137,8 +145,11 @@ func (db *DB) Insert(p *social.Post) error {
 
 // Freeze sorts the staged rows by SID (clustered on the primary key, as a
 // timestamp-keyed tweet store naturally is), paginates them, and builds
-// both B⁺-tree indexes. After Freeze the database is read-only.
+// both B⁺-tree indexes. After Freeze the database is read-only except for
+// Append, the live-ingest path.
 func (db *DB) Freeze() {
+	db.structMu.Lock()
+	defer db.structMu.Unlock()
 	if db.frozen {
 		return
 	}
@@ -177,15 +188,84 @@ func (db *DB) Freeze() {
 	db.frozen = true
 }
 
+// Append inserts one post into a frozen database — the live-ingest path
+// between batch index builds (Section IV-A collects tweets periodically;
+// the metadata relation is centralized, so replies and forwards can land
+// as they happen and immediately count toward thread popularity). Posts
+// must arrive in timestamp order: the SID has to exceed every stored SID,
+// which keeps the relation clustered on the primary key. Append is safe to
+// run concurrently with readers and with other Appends.
+func (db *DB) Append(p *social.Post) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	db.structMu.Lock()
+	defer db.structMu.Unlock()
+	if !db.frozen {
+		return fmt.Errorf("metadb: append before freeze (stage with Insert instead)")
+	}
+	if db.totalRows > 0 && p.SID <= db.maxSID {
+		return fmt.Errorf("metadb: append SID %d is not beyond max SID %d (posts arrive in timestamp order)",
+			p.SID, db.maxSID)
+	}
+	row := Row{
+		SID: p.SID, UID: p.UID,
+		Lat: p.Loc.Lat, Lon: p.Loc.Lon,
+		RUID: p.RUID, RSID: p.RSID,
+	}
+	ordinal := db.totalRows
+	last := len(db.pages) - 1
+	if last >= 0 && len(db.pages[last]) < db.opts.RowsPerPage {
+		// Copy-on-append: the page may alias the bulk-load backing array,
+		// and slices already handed to readers must never see new writes.
+		grown := make([]Row, len(db.pages[last]), len(db.pages[last])+1)
+		copy(grown, db.pages[last])
+		db.pages[last] = append(grown, row)
+		db.mu.Lock()
+		if db.cache != nil {
+			db.cache.invalidate(last) // drop the stale cached copy
+		}
+		db.mu.Unlock()
+	} else {
+		db.pages = append(db.pages, []Row{row})
+	}
+	db.sidIndex.Insert(int64(p.SID), int64(ordinal))
+	db.uidIndex.Insert(int64(p.UID), int64(p.SID))
+	if p.RSID != social.NoPost {
+		db.rsidIndex.Insert(int64(p.RSID), int64(p.SID))
+		if sids, _ := db.rsidIndex.GetCounted(int64(p.RSID)); len(sids) > db.maxFanout {
+			db.maxFanout = len(sids)
+		}
+	}
+	if db.totalRows == 0 {
+		db.minSID = p.SID
+	}
+	db.maxSID = p.SID
+	db.totalRows++
+	return nil
+}
+
 // Len returns the number of rows.
-func (db *DB) Len() int { return db.totalRows }
+func (db *DB) Len() int {
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
+	return db.totalRows
+}
 
 // SIDRange returns the smallest and largest SID stored.
-func (db *DB) SIDRange() (min, max social.PostID) { return db.minSID, db.maxSID }
+func (db *DB) SIDRange() (min, max social.PostID) {
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
+	return db.minSID, db.maxSID
+}
 
 // MaxReplyFanout returns t_m, the maximum number of replied/forwarded posts
 // any single post has in the database (Definition 11).
-func (db *DB) MaxReplyFanout() int { return db.maxFanout }
+func (db *DB) MaxReplyFanout() int {
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
+	return db.maxFanout
+}
 
 // Stats returns a copy of the I/O counters, folding in index accesses.
 func (db *DB) Stats() Stats {
@@ -241,6 +321,14 @@ func (db *DB) rowByOrdinal(ordinal int64) Row {
 // the page fetch itself.
 func (db *DB) GetBySID(sid social.PostID) (Row, bool) {
 	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
+	return db.getBySIDLocked(sid)
+}
+
+// getBySIDLocked is GetBySID for callers already holding structMu's read
+// lock (RLock is not recursive-safe while a writer waits).
+func (db *DB) getBySIDLocked(sid social.PostID) (Row, bool) {
 	vals, visited := db.sidIndex.GetCounted(int64(sid))
 	db.chargeIndexIO(visited)
 	if len(vals) == 0 {
@@ -270,6 +358,8 @@ func (db *DB) UserOf(sid social.PostID) (social.UserID, bool) {
 // given post (Algorithm 1 line 7), via the rsid secondary index.
 func (db *DB) SelectByRSID(rsid social.PostID) []Row {
 	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
 	sids, visited := db.rsidIndex.GetCounted(int64(rsid))
 	db.chargeIndexIO(visited)
 	if len(sids) == 0 {
@@ -277,7 +367,7 @@ func (db *DB) SelectByRSID(rsid social.PostID) []Row {
 	}
 	out := make([]Row, 0, len(sids))
 	for _, sid := range sids {
-		if r, ok := db.GetBySID(social.PostID(sid)); ok {
+		if r, ok := db.getBySIDLocked(social.PostID(sid)); ok {
 			out = append(out, r)
 		}
 	}
@@ -290,6 +380,8 @@ func (db *DB) SelectByRSID(rsid social.PostID) []Row {
 // modified.
 func (db *DB) PostsOfUser(uid social.UserID) []social.PostID {
 	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
 	sids, visited := db.uidIndex.GetCounted(int64(uid))
 	db.chargeIndexIO(visited)
 	if len(sids) == 0 {
@@ -305,6 +397,8 @@ func (db *DB) PostsOfUser(uid social.UserID) []social.PostID {
 // PostCountOfUser returns |P_u|.
 func (db *DB) PostCountOfUser(uid social.UserID) int {
 	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
 	sids, visited := db.uidIndex.GetCounted(int64(uid))
 	db.chargeIndexIO(visited)
 	return len(sids)
@@ -313,6 +407,8 @@ func (db *DB) PostCountOfUser(uid social.UserID) int {
 // UserIDs returns every distinct user with at least one post, ascending.
 func (db *DB) UserIDs() []social.UserID {
 	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
 	keys := db.uidIndex.Keys()
 	out := make([]social.UserID, len(keys))
 	for i, k := range keys {
@@ -323,9 +419,12 @@ func (db *DB) UserIDs() []social.UserID {
 
 // Scan iterates every row in SID order; fn returning false stops the scan.
 // Each page touched counts as one I/O, so a full scan models the sequential
-// read cost the baseline (index-free) ranker pays.
+// read cost the baseline (index-free) ranker pays. fn must not call back
+// into the database (the scan holds the structure read lock).
 func (db *DB) Scan(fn func(Row) bool) {
 	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
 	for i := range db.pages {
 		for _, r := range db.readPage(i) {
 			if !fn(r) {

@@ -49,4 +49,13 @@ func (c *pageCache) put(page int, rows []Row) {
 	c.entries[page] = c.order.PushFront(&cacheEntry{page: page, rows: rows})
 }
 
+// invalidate drops one page if resident — Append grows the tail page, so
+// its cached copy would otherwise serve rows without the new one.
+func (c *pageCache) invalidate(page int) {
+	if el, ok := c.entries[page]; ok {
+		c.order.Remove(el)
+		delete(c.entries, page)
+	}
+}
+
 func (c *pageCache) len() int { return c.order.Len() }

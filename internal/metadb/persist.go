@@ -17,6 +17,8 @@ var rowsMagic = []byte("TKROW1")
 // and per-user post lists are rebuilt on load.
 func (db *DB) SaveRows(w io.Writer) error {
 	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(rowsMagic); err != nil {
 		return err

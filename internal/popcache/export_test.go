@@ -1,0 +1,13 @@
+package popcache
+
+import "repro/internal/social"
+
+// Test hooks exposing the shard layout, so external tests can construct
+// same-shard collisions deterministically.
+
+func ShardCount() int { return numShards }
+
+func ShardIndex(root social.PostID) int {
+	h := uint64(root) * 0x9E3779B97F4A7C15
+	return int(h >> (64 - 4))
+}

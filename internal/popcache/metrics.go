@@ -1,0 +1,27 @@
+package popcache
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics hooks the cache's counters and occupancy into a telemetry
+// registry as read-at-scrape metrics, following the layer-metric idiom of
+// metadb/invindex/dfs.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("tklus_popcache_hits_total",
+		"Thread popularity lookups served from the cache.", nil,
+		func() float64 { return float64(c.hits.Load()) })
+	reg.CounterFunc("tklus_popcache_misses_total",
+		"Thread popularity lookups that had to run Algorithm 1.", nil,
+		func() float64 { return float64(c.misses.Load()) })
+	reg.CounterFunc("tklus_popcache_evictions_total",
+		"Cache entries displaced by capacity pressure.", nil,
+		func() float64 { return float64(c.evictions.Load()) })
+	reg.CounterFunc("tklus_popcache_invalidations_total",
+		"Cache entries evicted because an ingested post reached their root.", nil,
+		func() float64 { return float64(c.invalidations.Load()) })
+	reg.GaugeFunc("tklus_popcache_entries",
+		"Resident thread popularity entries.", nil,
+		func() float64 { return float64(c.Len()) })
+	reg.GaugeFunc("tklus_popcache_capacity",
+		"Configured thread popularity cache capacity in entries.", nil,
+		func() float64 { return float64(c.Capacity()) })
+}

@@ -58,6 +58,9 @@ func newServerMetrics(reg *telemetry.Registry, sys *tklus.System) *serverMetrics
 	if sys.FS != nil {
 		sys.FS.RegisterMetrics(reg)
 	}
+	if sys.PopCache != nil {
+		sys.PopCache.RegisterMetrics(reg)
+	}
 	return m
 }
 

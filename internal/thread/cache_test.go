@@ -1,0 +1,73 @@
+package thread
+
+import (
+	"testing"
+
+	"repro/internal/metadb"
+	"repro/internal/social"
+)
+
+// mapCache is a minimal PopularityCache for unit-testing the builder's
+// cache protocol without pulling in the real sharded implementation.
+type mapCache struct {
+	entries map[social.PostID]struct {
+		pop    float64
+		levels []int
+	}
+	puts int
+}
+
+func newMapCache() *mapCache {
+	return &mapCache{entries: make(map[social.PostID]struct {
+		pop    float64
+		levels []int
+	})}
+}
+
+func (c *mapCache) Get(root social.PostID, epsilon float64, depth int) (float64, []int, bool) {
+	e, ok := c.entries[root]
+	return e.pop, e.levels, ok
+}
+
+func (c *mapCache) Put(root social.PostID, epsilon float64, depth int, pop float64, levels []int) {
+	c.entries[root] = struct {
+		pop    float64
+		levels []int
+	}{pop, levels}
+	c.puts++
+}
+
+// TestBuilderCacheProtocol verifies the builder consults the cache before
+// Algorithm 1, fills it after a miss, and reports hits as CacheHits (not
+// ThreadsBuilt) with zero database I/O.
+func TestBuilderCacheProtocol(t *testing.T) {
+	db, err := metadb.Load(metadb.DefaultOptions(), figure2Posts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newMapCache()
+	b := Builder{DB: db, Depth: 3, Cache: cache}
+
+	var miss Stats
+	pop1, levels1 := b.Popularity(1, 0.1, &miss)
+	if miss.ThreadsBuilt != 1 || miss.CacheHits != 0 {
+		t.Fatalf("miss stats = %+v, want one build, no hits", miss)
+	}
+	if cache.puts != 1 {
+		t.Fatalf("builder did not fill the cache after a miss (puts=%d)", cache.puts)
+	}
+
+	db.ResetStats()
+	var hit Stats
+	pop2, levels2 := b.Popularity(1, 0.1, &hit)
+	if hit.CacheHits != 1 || hit.ThreadsBuilt != 0 || hit.TweetsPulled != 0 {
+		t.Fatalf("hit stats = %+v, want one cache hit and no build work", hit)
+	}
+	if got := db.Stats(); got.PageReads != 0 || got.IndexReads != 0 {
+		t.Errorf("cache hit still touched the database: %+v", got)
+	}
+	if pop1 != pop2 || len(levels1) != len(levels2) {
+		t.Errorf("cached result (%v, %v) differs from computed (%v, %v)",
+			pop2, levels2, pop1, levels1)
+	}
+}

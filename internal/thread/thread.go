@@ -12,23 +12,49 @@ import (
 	"repro/internal/social"
 )
 
+// PopularityCache memoizes Algorithm 1 results across queries. φ(p)
+// (Definition 4) depends only on the reply/forward graph, so a cached
+// (popularity, levels) pair is exact until an ingested post extends the
+// thread — the cache owner is responsible for invalidation on ingest.
+// *popcache.Cache implements it. Implementations must be safe for
+// concurrent use; the levels slice is shared and must not be modified by
+// either side after Put.
+type PopularityCache interface {
+	Get(root social.PostID, epsilon float64, depth int) (pop float64, levels []int, ok bool)
+	Put(root social.PostID, epsilon float64, depth int, pop float64, levels []int)
+}
+
 // Builder constructs tweet threads against the metadata database.
 type Builder struct {
 	DB    *metadb.DB
 	Depth int // thread depth limit d of Algorithm 1
+	// Cache, when non-nil, is consulted before running Algorithm 1 and
+	// filled after; hits skip the level-by-level metadata I/O entirely.
+	Cache PopularityCache
 }
 
 // Stats counts construction work for the experiments.
 type Stats struct {
 	ThreadsBuilt int64
 	TweetsPulled int64 // rows fetched while expanding levels
+	CacheHits    int64 // constructions answered by the popularity cache
 }
 
 // Popularity runs Algorithm 1: starting from the root tweet it expands one
 // level at a time via "select all where rsid = Id" until the depth limit,
 // and scores the thread per Definition 4. It returns the popularity, the
-// level sizes (levels[0] == 1 for the root), and updates stats.
+// level sizes (levels[0] == 1 for the root), and updates stats. When a
+// cache is attached, a hit returns the memoized result without touching the
+// database and counts as a cache hit instead of a thread build.
 func (b *Builder) Popularity(root social.PostID, epsilon float64, stats *Stats) (float64, []int) {
+	if b.Cache != nil {
+		if pop, levels, ok := b.Cache.Get(root, epsilon, b.Depth); ok {
+			if stats != nil {
+				stats.CacheHits++
+			}
+			return pop, levels
+		}
+	}
 	if stats != nil {
 		stats.ThreadsBuilt++
 	}
@@ -50,7 +76,11 @@ func (b *Builder) Popularity(root social.PostID, epsilon float64, stats *Stats) 
 		levels = append(levels, len(next))
 		frontier = next
 	}
-	return score.Popularity(levels, epsilon), levels
+	pop := score.Popularity(levels, epsilon)
+	if b.Cache != nil {
+		b.Cache.Put(root, epsilon, b.Depth, pop, levels)
+	}
+	return pop, levels
 }
 
 // Node is one tweet of a materialized thread tree.

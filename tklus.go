@@ -42,6 +42,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/invindex"
 	"repro/internal/metadb"
+	"repro/internal/popcache"
 	"repro/internal/score"
 	"repro/internal/social"
 	"repro/internal/textutil"
@@ -131,6 +132,9 @@ type System struct {
 	// Contents resolves tweet IDs to their raw texts, stored in the DFS
 	// alongside the index (Figure 3).
 	Contents *contents.Store
+	// PopCache is the cross-query thread-popularity cache, nil until
+	// EnablePopCache attaches one. Ingest keeps it coherent.
+	PopCache *popcache.Cache
 
 	// IndexStats reports MapReduce construction counters and sizes.
 	IndexStats *invindex.BuildStats
@@ -175,6 +179,55 @@ func Build(posts []*Post, cfg Config) (*System, error) {
 		IndexStats: stats,
 		BuildTime:  time.Since(start),
 	}, nil
+}
+
+// EnablePopCache attaches a cross-query thread-popularity cache of the
+// given capacity (entries; non-positive selects the default) to the query
+// engine. φ(p) depends only on the reply/forward graph, so cached results
+// stay exact across queries; Ingest evicts the entries an inserted post
+// invalidates. Calling it again replaces the cache (and so empties it).
+func (s *System) EnablePopCache(capacity int) *popcache.Cache {
+	s.PopCache = popcache.New(capacity)
+	s.Engine.SetPopularityCache(s.PopCache)
+	return s.PopCache
+}
+
+// DisablePopCache detaches the popularity cache.
+func (s *System) DisablePopCache() {
+	s.PopCache = nil
+	s.Engine.SetPopularityCache(nil)
+}
+
+// Ingest appends live posts to the centralized metadata database, in
+// timestamp order (each SID must exceed every stored one — IDs are
+// timestamps, Section IV-A). Ingested replies and forwards extend tweet
+// threads immediately: the next query sees the updated φ(p), and any
+// popularity-cache entry whose thread gains a post is evicted before
+// Ingest returns. Keywords of ingested posts enter the hybrid inverted
+// index only at the next batch build (the paper's periodic index
+// construction), so a brand-new post becomes a *candidate* then — but its
+// effect on existing candidates' thread popularity is immediate.
+func (s *System) Ingest(posts ...*Post) error {
+	for _, p := range posts {
+		if err := s.DB.Append(p); err != nil {
+			return err
+		}
+		if s.PopCache == nil || p.RSID == social.NoPost {
+			continue
+		}
+		// A cached root's φ changes iff the new post lies within the
+		// thread-depth limit below it, i.e. the root is one of the first
+		// Depth ancestors of the new post (its parent is 1 hop up).
+		depth := s.Engine.Opts.Params.ThreadDepth
+		s.PopCache.InvalidateChain(p.RSID, depth, func(sid PostID) (PostID, bool) {
+			row, ok := s.DB.GetBySID(sid)
+			if !ok || row.RSID == social.NoPost {
+				return social.NoPost, false
+			}
+			return row.RSID, true
+		})
+	}
+	return nil
 }
 
 // ThreadNode is one tweet of a materialized tweet thread (Definition 3).
