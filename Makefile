@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench bench-compare clean
+.PHONY: all build test short race vet fmt bench bench-compare bench-sharded clean
 
 all: build test
 
@@ -42,5 +42,16 @@ bench-compare:
 		-telemetry "" -parallel BENCH_parallel.json
 	$(GO) run ./cmd/tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
 
+# Sharded gate: sweep the scatter-gather tier over 1/2/4/8 shards against
+# the monolithic build and fail unless every merged result was identical
+# and no healthy-tier query came back degraded. Latency points land in
+# BENCH_sharded.json for inspection; only correctness is gated, since
+# scatter-gather overhead vs corpus size is machine-dependent.
+bench-sharded:
+	GOMAXPROCS=4 $(GO) run ./cmd/tklus-bench -fig sharded \
+		-posts 20000 -users 2000 -queries 8 -iolat 100us \
+		-telemetry "" -parallel "" -sharded BENCH_sharded.json
+	$(GO) run ./cmd/tklus-benchcheck -in "" -sharded-in BENCH_sharded.json
+
 clean:
-	rm -f BENCH_telemetry.json BENCH_parallel.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json

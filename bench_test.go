@@ -5,6 +5,7 @@
 package tklus_test
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"testing"
@@ -78,7 +79,7 @@ func runBatch(b *testing.B, sys *tklus.System, specs []datagen.QuerySpec,
 	radius float64, sem core.Semantic, ranking core.Ranking) {
 	b.Helper()
 	for _, spec := range specs {
-		if _, _, err := sys.Search(query(spec, radius, 10, sem, ranking)); err != nil {
+		if _, _, err := sys.Search(context.Background(), query(spec, radius, 10, sem, ranking)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,11 +181,11 @@ func BenchmarkFig9KendallTau(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, spec := range specs {
-			sumRes, _, err := e.sys.Search(query(spec, 20, 10, core.Or, core.SumScore))
+			sumRes, _, err := e.sys.Search(context.Background(), query(spec, 20, 10, core.Or, core.SumScore))
 			if err != nil {
 				b.Fatal(err)
 			}
-			maxRes, _, err := e.sys.Search(query(spec, 20, 10, core.Or, core.MaxScore))
+			maxRes, _, err := e.sys.Search(context.Background(), query(spec, 20, 10, core.Or, core.MaxScore))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -249,7 +250,7 @@ func BenchmarkFig13UserStudy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, spec := range specs {
-			res, _, err := e.sys.Search(query(spec, 10, 10, core.Or, core.SumScore))
+			res, _, err := e.sys.Search(context.Background(), query(spec, 10, 10, core.Or, core.SumScore))
 			if err != nil {
 				b.Fatal(err)
 			}

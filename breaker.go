@@ -1,0 +1,115 @@
+package tklus
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the per-shard circuit breaker of the scatter-gather tier: a
+// shard that fails threshold times in a row is taken out of rotation
+// (queries over its region degrade instantly instead of waiting out a
+// timeout each time), and after a cooldown a single probe request is let
+// through — success closes the circuit, failure re-opens it for another
+// cooldown.
+//
+// Failures counted here are whole-request outcomes: a hedged pair counts
+// once, and a request rejected by the open breaker counts not at all.
+type breaker struct {
+	threshold int           // consecutive failures to trip; <= 0 disables
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may proceed. While open it fails fast
+// until the cooldown elapses, then flips to half-open and admits exactly
+// one probe; further requests keep failing fast until the probe reports.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// onSuccess records a successful request, closing the circuit.
+func (b *breaker) onSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+}
+
+// onFailure records a failed request, tripping the circuit at the
+// threshold and re-opening it when a half-open probe fails.
+func (b *breaker) onFailure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	case breakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// snapshot returns the current state name (for metrics and degradation
+// reports).
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,128 @@
+package tklus
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker without real sleeps.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("failure %d: breaker closed early", i)
+		}
+		b.onFailure()
+	}
+	if b.snapshot() != breakerClosed {
+		t.Fatalf("state = %v before threshold, want closed", b.snapshot())
+	}
+	b.allow()
+	b.onFailure() // third consecutive failure trips it
+	if b.snapshot() != breakerOpen {
+		t.Fatalf("state = %v after threshold, want open", b.snapshot())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(2, time.Second, clk.now)
+	b.allow()
+	b.onFailure()
+	b.allow()
+	b.onSuccess() // breaks the streak
+	b.allow()
+	b.onFailure() // 1 consecutive again, not 2
+	if b.snapshot() != breakerClosed {
+		t.Fatalf("state = %v, want closed (streak was reset)", b.snapshot())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 10*time.Second, clk.now)
+	b.allow()
+	b.onFailure()
+	if b.snapshot() != breakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	clk.advance(9 * time.Second)
+	if b.allow() {
+		t.Fatal("breaker admitted a request before the cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: breaker must admit one probe")
+	}
+	if b.snapshot() != breakerHalfOpen {
+		t.Fatalf("state = %v during probe, want half_open", b.snapshot())
+	}
+	// Only one probe at a time.
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second request")
+	}
+	// Probe success closes the circuit.
+	b.onSuccess()
+	if b.snapshot() != breakerClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.snapshot())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker must admit requests")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 5*time.Second, clk.now)
+	b.allow()
+	b.onFailure()
+	clk.advance(6 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.onFailure() // probe fails: back to open for a fresh cooldown
+	if b.snapshot() != breakerOpen {
+		t.Fatalf("state = %v after probe failure, want open", b.snapshot())
+	}
+	clk.advance(4 * time.Second)
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request before the new cooldown")
+	}
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("second probe not admitted after the fresh cooldown")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second, nil)
+	for i := 0; i < 100; i++ {
+		if !b.allow() {
+			t.Fatal("disabled breaker rejected a request")
+		}
+		b.onFailure()
+	}
+	if b.snapshot() != breakerClosed {
+		t.Fatal("disabled breaker changed state")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[breakerState]string{
+		breakerClosed: "closed", breakerOpen: "open", breakerHalfOpen: "half_open",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

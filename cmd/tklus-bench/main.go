@@ -46,6 +46,8 @@ func main() {
 			"thread-popularity cache capacity for the parallel comparison (entries)")
 		parallel = flag.String("parallel", "BENCH_parallel.json",
 			"write the sequential-vs-parallel comparison to this file (empty disables)")
+		sharded = flag.String("sharded", "",
+			"write the sharded scatter-gather scaling run to this file (empty disables; the bench-sharded lane passes BENCH_sharded.json)")
 	)
 	flag.Parse()
 
@@ -106,6 +108,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[parallel comparison (p95 speedup %.2fx) written to %s in %v]\n",
 			snap.OverallSpeedupP95, *parallel, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *sharded != "" {
+		t0 := time.Now()
+		snap, err := setup.ShardedCompare() // memoized if the runner already ran
+		if err != nil {
+			log.Fatalf("sharded comparison: %v", err)
+		}
+		f, err := os.Create(*sharded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[sharded scaling run (%d tiers, identical=%v) written to %s in %v]\n",
+			len(snap.Points), snap.ResultsIdentical, *sharded, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *telemetry != "" {

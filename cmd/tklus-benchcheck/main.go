@@ -1,14 +1,22 @@
-// Command tklus-benchcheck gates the parallel-pipeline benchmark: it reads
-// the BENCH_parallel.json snapshot written by tklus-bench and exits
-// non-zero when the parallel configuration's overall p95 latency fails to
-// beat the sequential baseline by the required factor. Wire it after
-// tklus-bench in CI (the Makefile's bench-compare lane) so a change that
-// silently serializes the pipeline or breaks the popularity cache fails
-// the build instead of shipping.
+// Command tklus-benchcheck gates the benchmark artifacts tklus-bench
+// writes.
+//
+// The parallel gate (-in) reads BENCH_parallel.json and exits non-zero
+// when the parallel configuration's overall p95 latency fails to beat the
+// sequential baseline by the required factor — a change that silently
+// serializes the pipeline or breaks the popularity cache fails the build
+// instead of shipping (the Makefile's bench-compare lane).
+//
+// The sharded gate (-sharded-in) reads BENCH_sharded.json and exits
+// non-zero unless the shard-count sweep held the tier's correctness
+// guarantees: merged results identical to the monolithic build on every
+// query, and zero degraded queries over healthy shards (the bench-sharded
+// lane).
 //
 // Usage:
 //
 //	tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
+//	tklus-benchcheck -in "" -sharded-in BENCH_sharded.json
 package main
 
 import (
@@ -29,8 +37,20 @@ func main() {
 			"parallel comparison snapshot written by tklus-bench")
 		minSpeedup = flag.Float64("min-p95-speedup", 1.0,
 			"fail unless overall p95 speedup (sequential/parallel) is at least this")
+		shardedIn = flag.String("sharded-in", "",
+			"sharded scaling snapshot written by tklus-bench -sharded (empty skips the sharded gate)")
 	)
 	flag.Parse()
+
+	if *in == "" && *shardedIn == "" {
+		log.Fatal("nothing to check: both -in and -sharded-in are empty")
+	}
+	if *shardedIn != "" {
+		checkSharded(*shardedIn)
+	}
+	if *in == "" {
+		return
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -60,4 +80,42 @@ func main() {
 			snap.OverallSpeedupP95, *minSpeedup)
 	}
 	fmt.Println("ok")
+}
+
+// checkSharded gates the shard-scaling snapshot on the tier's correctness
+// guarantees; latency may vary by machine, correctness may not.
+func checkSharded(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := experiments.ReadShardedSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Points) == 0 {
+		log.Fatalf("%s holds no shard counts — empty benchmark run?", path)
+	}
+	if snap.Queries == 0 {
+		log.Fatalf("%s replayed no queries", path)
+	}
+
+	fmt.Printf("sharded sweep: %d queries, prefix_len=%d, mono p95 %.2fms\n",
+		snap.Queries, snap.PrefixLen, snap.MonoP95Ms)
+	for _, p := range snap.Points {
+		fmt.Printf("  %d shards: p50 %.2fms, p95 %.2fms (%.2fx, %d degraded)\n",
+			p.Shards, p.P50Ms, p.P95Ms, p.SpeedupP95, p.Degraded)
+	}
+
+	if !snap.ResultsIdentical {
+		log.Fatal("REGRESSION: sharded results diverged from the monolithic build")
+	}
+	for _, p := range snap.Points {
+		if p.Degraded != 0 {
+			log.Fatalf("REGRESSION: %d-shard tier reported %d degraded queries over healthy shards",
+				p.Shards, p.Degraded)
+		}
+	}
+	fmt.Println("sharded ok")
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -83,7 +84,7 @@ func main() {
 		log.Fatalf("unknown semantic %q (want and or or)", *semantic)
 	}
 
-	results, stats, err := sys.Search(q)
+	results, stats, err := sys.Search(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,8 +6,10 @@
 //
 //	tklus-server -in corpus.jsonl -addr :8080
 //	tklus-server -load ./sysimg  -addr :8080 -debug -slow-query 250ms
+//	tklus-server -in corpus.jsonl -shards 4    # in-process sharded tier
 //
 //	curl 'localhost:8080/search?lat=43.68&lon=-79.37&radius=10&keywords=hotel&k=5'
+//	curl -d '{"lat":43.68,"lon":-79.37,"radius_km":10,"keywords":["hotel"],"k":5}' localhost:8080/v1/search
 //	curl 'localhost:8080/evidence?lat=43.68&lon=-79.37&radius=10&keywords=hotel&uid=1'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'          # Prometheus text exposition
@@ -46,6 +48,8 @@ func main() {
 			"log queries at or above this duration (0 disables the slow-query log)")
 		popCache = flag.Int("popcache", 4096,
 			"thread-popularity cache capacity in entries (0 disables the cache)")
+		shards = flag.Int("shards", 0,
+			"serve an in-process sharded tier with this many geo-shards (0 = monolithic; incompatible with -load)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
 			"how long to drain in-flight queries on SIGINT/SIGTERM")
 	)
@@ -53,32 +57,66 @@ func main() {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	var sys *tklus.System
-	var err error
-	if *load != "" {
-		sys, err = tklus.Load(*load, tklus.DefaultConfig())
-	} else {
-		var posts []*tklus.Post
-		if posts, err = ingest.Load(*in, *format); err != nil {
-			logger.Error("loading corpus", "err", err)
-			os.Exit(1)
-		}
-		sys, err = tklus.Build(posts, tklus.DefaultConfig())
-	}
-	if err != nil {
-		logger.Error("building system", "err", err)
-		os.Exit(1)
-	}
-	if *popCache > 0 {
-		c := sys.EnablePopCache(*popCache)
-		logger.Info("popularity cache enabled", "capacity", c.Capacity())
-	}
-
-	handler := server.NewWith(sys, server.Options{
+	opts := server.Options{
 		Logger:             logger,
 		SlowQueryThreshold: *slowQ,
 		EnablePprof:        *debug,
-	})
+	}
+
+	var handler *server.Server
+	if *shards > 0 {
+		if *load != "" {
+			logger.Error("-shards cannot be combined with -load (images are monolithic)")
+			os.Exit(1)
+		}
+		posts, err := ingest.Load(*in, *format)
+		if err != nil {
+			logger.Error("loading corpus", "err", err)
+			os.Exit(1)
+		}
+		sc := tklus.DefaultShardingConfig()
+		sc.NumShards = *shards
+		ss, err := tklus.BuildSharded(posts, tklus.DefaultConfig(), sc)
+		if err != nil {
+			logger.Error("building sharded tier", "err", err)
+			os.Exit(1)
+		}
+		if *popCache > 0 {
+			for _, sys := range ss.Systems {
+				sys.EnablePopCache(*popCache)
+			}
+			logger.Info("popularity cache enabled per shard", "capacity", *popCache)
+		}
+		handler = server.NewSearcherWith(ss, opts)
+		logger.Info("serving sharded tier",
+			"posts", len(posts), "shards", ss.NumShards(),
+			"addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
+	} else {
+		var sys *tklus.System
+		var err error
+		if *load != "" {
+			sys, err = tklus.Load(*load, tklus.DefaultConfig())
+		} else {
+			var posts []*tklus.Post
+			if posts, err = ingest.Load(*in, *format); err != nil {
+				logger.Error("loading corpus", "err", err)
+				os.Exit(1)
+			}
+			sys, err = tklus.Build(posts, tklus.DefaultConfig())
+		}
+		if err != nil {
+			logger.Error("building system", "err", err)
+			os.Exit(1)
+		}
+		if *popCache > 0 {
+			c := sys.EnablePopCache(*popCache)
+			logger.Info("popularity cache enabled", "capacity", c.Capacity())
+		}
+		handler = server.NewWith(sys, opts)
+		logger.Info("serving",
+			"rows", sys.DB.Len(), "index_keys", sys.Index.NumKeys(),
+			"addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -90,10 +128,6 @@ func main() {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-
-	logger.Info("serving",
-		"rows", sys.DB.Len(), "index_keys", sys.Index.NumKeys(),
-		"addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,7 @@
 package tklus_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,7 +25,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	results, _, err := sys.Search(tklus.Query{
+	results, _, err := sys.Search(context.Background(), tklus.Query{
 		Loc:      downtown,
 		RadiusKm: 10,
 		Keywords: []string{"hotel"},
@@ -57,7 +58,7 @@ func ExampleSystem_Evidence() {
 		panic(err)
 	}
 	q := tklus.Query{Loc: loc, RadiusKm: 5, Keywords: []string{"restaurant"}, K: 1}
-	results, _, _ := sys.Search(q)
+	results, _, _ := sys.Search(context.Background(), q)
 	texts, _ := sys.Evidence(q, results[0].UID, 10)
 	for _, text := range texts {
 		fmt.Println(text)

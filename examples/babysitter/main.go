@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -86,7 +87,7 @@ func main() {
 		Semantic: tklus.And, // both words must appear in a tweet
 		Ranking:  tklus.SumScore,
 	}
-	results, stats, err := sys.Search(q)
+	results, stats, err := sys.Search(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -83,7 +84,7 @@ func main() {
 		if ranking.r == int(tklus.MaxScore) {
 			q.Ranking = tklus.MaxScore
 		}
-		results, _, err := sys.Search(q)
+		results, _, err := sys.Search(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

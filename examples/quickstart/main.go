@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,7 +38,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	results, stats, err := sys.Search(tklus.Query{
+	results, stats, err := sys.Search(context.Background(), tklus.Query{
 		Loc:      downtown,
 		RadiusKm: 10,
 		Keywords: []string{"hotel"},

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,7 +36,7 @@ func main() {
 	fmt.Println("Toronto food-scene locals, month by month (OR semantics, top-3):")
 	for month := time.Date(2012, 9, 1, 0, 0, 0, 0, time.UTC); month.Before(gen.End); month = month.AddDate(0, 1, 0) {
 		window := &tklus.TimeWindow{From: month, To: month.AddDate(0, 1, 0).Add(-time.Nanosecond)}
-		results, _, err := sys.Search(tklus.Query{
+		results, _, err := sys.Search(context.Background(), tklus.Query{
 			Loc:        toronto,
 			RadiusKm:   20,
 			Keywords:   keywords,
@@ -74,7 +75,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	results, _, err := boosted.Search(tklus.Query{
+	results, _, err := boosted.Search(context.Background(), tklus.Query{
 		Loc: toronto, RadiusKm: 20, Keywords: keywords, K: 5,
 		Semantic: tklus.Or, Ranking: tklus.MaxScore,
 	})

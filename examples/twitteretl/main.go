@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -51,7 +52,7 @@ func main() {
 		K:        3,
 		Ranking:  tklus.MaxScore,
 	}
-	results, _, err := sys.Search(q)
+	results, _, err := sys.Search(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

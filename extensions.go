@@ -1,10 +1,12 @@
 package tklus
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/gazetteer"
 )
 
@@ -43,23 +45,55 @@ type FederatedResult struct {
 	UserResult
 }
 
-// FederatedSearch runs one TkLUS query against several platforms' systems
-// and merges their rankings into a single top-k ("make the search for
-// local users across the platform boundary"). Scores are comparable
-// because every platform uses the same scoring model; ties break by
-// platform name then user ID for determinism.
-func FederatedSearch(platforms map[string]*System, q Query) ([]FederatedResult, error) {
-	if len(platforms) == 0 {
-		return nil, fmt.Errorf("tklus: no platforms to search")
-	}
-	var merged []FederatedResult
+// Federation runs TkLUS queries across platform boundaries ("make the
+// search for local users across the platform boundary"): each member is
+// any Searcher — a monolithic System, a sharded tier, even another
+// federation — and one query fans to all of them. Scores are comparable
+// because every platform uses the same scoring model.
+type Federation struct {
+	// Platforms maps each platform's name to its searcher.
+	Platforms map[string]Searcher
+}
+
+// NewFederation wraps per-platform systems into a Federation; the common
+// case where every platform is served by a monolithic System.
+func NewFederation(platforms map[string]*System) *Federation {
+	f := &Federation{Platforms: make(map[string]Searcher, len(platforms))}
 	for name, sys := range platforms {
-		results, _, err := sys.Search(q)
+		f.Platforms[name] = sys
+	}
+	return f
+}
+
+// SearchPlatforms runs the query on every platform and merges the
+// rankings into a single top-k with platform tags. The returned stats sum
+// the per-platform work counters; degraded shards reported by a platform
+// surface with the platform name prefixed, so a federation over sharded
+// tiers keeps its degradation visible. Ties break by platform name then
+// user ID for determinism.
+func (f *Federation) SearchPlatforms(ctx context.Context, q Query) ([]FederatedResult, *QueryStats, error) {
+	if len(f.Platforms) == 0 {
+		return nil, nil, fmt.Errorf("tklus: no platforms to search")
+	}
+	names := make([]string, 0, len(f.Platforms))
+	for name := range f.Platforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	start := time.Now()
+	total := &QueryStats{}
+	var merged []FederatedResult
+	for _, name := range names {
+		results, stats, err := f.Platforms[name].Search(ctx, q)
 		if err != nil {
-			return nil, fmt.Errorf("tklus: platform %q: %w", name, err)
+			return nil, nil, fmt.Errorf("tklus: platform %q: %w", name, err)
 		}
 		for _, r := range results {
 			merged = append(merged, FederatedResult{Platform: name, UserResult: r})
+		}
+		if stats != nil {
+			addStats(total, name, stats)
 		}
 	}
 	sort.Slice(merged, func(i, j int) bool {
@@ -75,5 +109,48 @@ func FederatedSearch(platforms map[string]*System, q Query) ([]FederatedResult, 
 	if len(merged) > q.K {
 		merged = merged[:q.K]
 	}
-	return merged, nil
+	total.Elapsed = time.Since(start)
+	return merged, total, nil
+}
+
+// Search is SearchPlatforms without the platform tags. It implements
+// Searcher, so a federation can stand wherever a single system does —
+// behind the HTTP server included.
+func (f *Federation) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+	tagged, stats, err := f.SearchPlatforms(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]UserResult, len(tagged))
+	for i, r := range tagged {
+		out[i] = r.UserResult
+	}
+	return out, stats, nil
+}
+
+// addStats folds one platform's query stats into the federation total.
+func addStats(total *QueryStats, platform string, s *QueryStats) {
+	total.Cells += s.Cells
+	total.PostingsFetched += s.PostingsFetched
+	total.Candidates += s.Candidates
+	total.ThreadsBuilt += s.ThreadsBuilt
+	total.ThreadsPruned += s.ThreadsPruned
+	total.TweetsPulled += s.TweetsPulled
+	total.PopCacheHits += s.PopCacheHits
+	for _, d := range s.DegradedShards {
+		total.DegradedShards = append(total.DegradedShards, core.ShardFailure{
+			Shard:  platform + "/" + d.Shard,
+			Reason: d.Reason,
+		})
+	}
+}
+
+// FederatedSearch runs one query against per-platform systems and merges
+// the rankings.
+//
+// Deprecated: build a Federation and call SearchPlatforms, which takes a
+// context and reports merged query stats.
+func FederatedSearch(platforms map[string]*System, q Query) ([]FederatedResult, error) {
+	results, _, err := NewFederation(platforms).SearchPlatforms(context.Background(), q)
+	return results, err
 }

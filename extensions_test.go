@@ -1,6 +1,7 @@
 package tklus_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -51,7 +52,7 @@ func TestInferredPostsAreSearchable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := sys.Search(tklus.Query{
+	res, _, err := sys.Search(context.Background(), tklus.Query{
 		Loc: tklus.Point{Lat: 43.6532, Lon: -79.3832}, RadiusKm: 10,
 		Keywords: []string{"pizza"}, K: 5, Ranking: tklus.SumScore,
 	})

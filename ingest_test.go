@@ -1,6 +1,7 @@
 package tklus_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -42,14 +43,14 @@ func TestIngestInvalidatesPopCache(t *testing.T) {
 		Loc: loc, RadiusKm: 5, Keywords: []string{"hotel"},
 		K: 3, Ranking: tklus.SumScore,
 	}
-	before, warmStats, err := sys.Search(q)
+	before, warmStats, err := sys.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cache.Len() == 0 {
 		t.Fatal("search did not warm the popularity cache")
 	}
-	if _, stats, err := sys.Search(q); err != nil {
+	if _, stats, err := sys.Search(context.Background(), q); err != nil {
 		t.Fatal(err)
 	} else if stats.PopCacheHits == 0 {
 		t.Fatalf("repeat search got no cache hits (warm run: %+v)", warmStats)
@@ -65,7 +66,7 @@ func TestIngestInvalidatesPopCache(t *testing.T) {
 		t.Fatal("ingest into a cached thread evicted nothing")
 	}
 
-	after, _, err := sys.Search(q)
+	after, _, err := sys.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestIngestInvalidatesPopCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := fresh.Search(q)
+	want, _, err := fresh.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestIngestRules(t *testing.T) {
 	if err := sys.Ingest(stale); err == nil {
 		t.Error("out-of-order ingest accepted")
 	}
-	if _, _, err := sys.Search(tklus.Query{
+	if _, _, err := sys.Search(context.Background(), tklus.Query{
 		Loc: loc, RadiusKm: 5, Keywords: []string{"hotel"}, K: 3,
 	}); err != nil {
 		t.Errorf("system unqueryable after rejected ingest: %v", err)
@@ -157,7 +158,7 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				if _, _, err := sys.Search(q); err != nil {
+				if _, _, err := sys.Search(context.Background(), q); err != nil {
 					t.Errorf("search: %v", err)
 					return
 				}

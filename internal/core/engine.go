@@ -85,22 +85,24 @@ func (w *TimeWindow) contains(sid social.PostID) bool {
 	return t >= w.From.UnixNano() && t <= w.To.UnixNano()
 }
 
-// Validate rejects malformed queries.
+// Validate rejects malformed queries. Every failure wraps ErrBadQuery so
+// callers (and the HTTP server) classify it with errors.Is rather than by
+// message.
 func (q *Query) Validate() error {
 	if !q.Loc.Valid() {
-		return fmt.Errorf("core: invalid query location %v", q.Loc)
+		return fmt.Errorf("core: %w: invalid query location %v", ErrBadQuery, q.Loc)
 	}
 	if q.RadiusKm <= 0 {
-		return fmt.Errorf("core: query radius %v must be positive", q.RadiusKm)
+		return fmt.Errorf("core: %w: query radius %v must be positive", ErrBadQuery, q.RadiusKm)
 	}
 	if len(q.Keywords) == 0 {
-		return fmt.Errorf("core: query needs at least one keyword")
+		return fmt.Errorf("core: %w: query needs at least one keyword", ErrBadQuery)
 	}
 	if q.K <= 0 {
-		return fmt.Errorf("core: k = %d must be positive", q.K)
+		return fmt.Errorf("core: %w: k = %d must be positive", ErrBadQuery, q.K)
 	}
 	if q.TimeWindow != nil && q.TimeWindow.To.Before(q.TimeWindow.From) {
-		return fmt.Errorf("core: empty time window")
+		return fmt.Errorf("core: %w: empty time window", ErrBadQuery)
 	}
 	return nil
 }
@@ -255,6 +257,24 @@ type QueryStats struct {
 	// first-start order. Serving code returns them in the /search reply and
 	// feeds them into the per-stage latency histograms.
 	Spans []telemetry.Span
+
+	// DegradedShards lists the shards of a scatter-gather query that did
+	// not contribute results (timeout, error, or open circuit breaker).
+	// Empty for single-node queries and for sharded queries where every
+	// overlapping shard answered. Non-empty means the results are merged
+	// from the shards that did answer — correct for their regions, but
+	// possibly missing users whose posts live on a degraded shard.
+	DegradedShards []ShardFailure
+}
+
+// Degraded reports whether any shard failed to contribute to this query.
+func (s *QueryStats) Degraded() bool { return len(s.DegradedShards) > 0 }
+
+// ShardFailure identifies one shard that dropped out of a scatter-gather
+// query and why.
+type ShardFailure struct {
+	Shard  string `json:"shard"`
+	Reason string `json:"reason"`
 }
 
 // StageDuration returns the accumulated duration of one pipeline stage

@@ -1,0 +1,25 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the query API. Callers classify failures with
+// errors.Is instead of matching message substrings; the HTTP server maps
+// them onto status codes (ErrBadQuery → 400, ErrNoResults → 404,
+// ErrShardUnavailable → 503). Wrapped errors carry the specifics.
+var (
+	// ErrBadQuery marks a query rejected by validation before any work ran:
+	// invalid location, non-positive radius or k, empty keyword set, empty
+	// time window, keywords that stem to nothing.
+	ErrBadQuery = errors.New("bad query")
+
+	// ErrNoResults marks a lookup whose subject does not exist — a thread
+	// root or evidence user absent from the corpus. A valid query that
+	// merely matches no users returns an empty result list, not this error.
+	ErrNoResults = errors.New("no results")
+
+	// ErrShardUnavailable marks a scatter-gather query that could not reach
+	// enough shards to produce results: every overlapping shard failed, or
+	// a shard failed while the router was configured to refuse partial
+	// results.
+	ErrShardUnavailable = errors.New("shard unavailable")
+)

@@ -19,7 +19,7 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runJobs executes jobs 0..n-1 on a pool of at most `workers` goroutines
+// RunJobs executes jobs 0..n-1 on a pool of at most `workers` goroutines
 // pulling from a shared cursor — dynamic balancing, because postings
 // fetches and thread constructions have highly variable cost. fn must
 // confine its writes to state owned by job i (typically slot i of a
@@ -29,7 +29,10 @@ func (e *Engine) workers() int {
 // so callers see ctx.Err() for their own cancellations. With one worker
 // (or one job) everything runs on the calling goroutine with periodic
 // context checks, making Parallelism=1 a true sequential baseline.
-func runJobs(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+//
+// Exported because the sharded serving tier fans per-shard sub-queries
+// across the same primitive the in-process pipeline stages use.
+func RunJobs(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n == 0 {
 		return ctx.Err()
 	}

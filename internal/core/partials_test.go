@@ -1,0 +1,220 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/social"
+	"repro/internal/thread"
+)
+
+// TestPartialsSingleShardIdentity checks the degenerate scatter-gather:
+// one shard's SearchPartials merged alone must reproduce SearchContext
+// byte-for-byte (same floats, same order), for every ranking/semantic
+// combination and in both user-distance modes.
+func TestPartialsSingleShardIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	posts, center := randomCorpus(rng, 800)
+
+	for _, exact := range []bool{false, true} {
+		opts := core.DefaultOptions()
+		opts.ExactUserDistance = exact
+		eng := buildEngine(t, posts, opts, 5, []string{"hotel", "pizza"})
+		for _, sem := range []core.Semantic{core.Or, core.And} {
+			for _, rank := range []core.Ranking{core.SumScore, core.MaxScore} {
+				q := core.Query{
+					Loc: center, RadiusKm: 25,
+					Keywords: []string{"hotel", "pizza"},
+					K:        10, Semantic: sem, Ranking: rank,
+				}
+				want, wantStats, err := eng.SearchContext(context.Background(), q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts, err := eng.SearchPartials(context.Background(), q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, stats, err := core.MergePartials(q, opts.Params.Alpha, []*core.Partials{parts})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("exact=%v %v/%v: merged %v != monolithic %v",
+						exact, sem, rank, got, want)
+				}
+				if stats.Candidates != wantStats.Candidates {
+					t.Errorf("exact=%v %v/%v: candidates %d != %d",
+						exact, sem, rank, stats.Candidates, wantStats.Candidates)
+				}
+			}
+		}
+	}
+}
+
+// splitEngines partitions posts by geohash prefix into nShards engines
+// that mirror BuildSharded's wiring at the core level: every shard shares
+// the full metadata DB and thread bounds (the paper's centralized
+// metadata database, replicated), while indexing only its own region.
+func splitEngines(t *testing.T, posts []*social.Post, opts core.Options, nShards int) []*core.Engine {
+	t.Helper()
+	db, err := metadb.Load(metadb.DefaultOptions(), posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := thread.ComputeBounds(posts, opts.Params.ThreadDepth, opts.Params.Epsilon, nil)
+
+	groups := make([][]*social.Post, nShards)
+	prefixShard := make(map[string]int)
+	for _, p := range posts {
+		pre := geo.Encode(p.Loc, 3)
+		sh, ok := prefixShard[pre]
+		if !ok {
+			sh = len(prefixShard) % nShards
+			prefixShard[pre] = sh
+		}
+		groups[sh] = append(groups[sh], p)
+	}
+
+	engines := make([]*core.Engine, 0, nShards)
+	for _, group := range groups {
+		fsys := dfs.New(dfs.DefaultOptions())
+		bopts := invindex.DefaultBuildOptions()
+		bopts.GeohashLen = 5
+		idx, _, err := invindex.Build(fsys, group, bopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.NewEngine(idx, db, bounds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, eng)
+	}
+	return engines
+}
+
+// TestPartialsSplitCorpusMerge is the core-level equivalence proof behind
+// the sharded tier: a corpus split across several region-local indexes
+// sharing one metadata DB, queried shard by shard through SearchPartials
+// and merged, must equal a monolithic engine over the union corpus
+// exactly — including when threads and users straddle shard boundaries
+// (randomCorpus makes ~35% of posts replies/forwards to arbitrary
+// earlier posts, so cross-shard threads are guaranteed at this size).
+func TestPartialsSplitCorpusMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	posts, center := randomCorpus(rng, 1500)
+	opts := core.DefaultOptions()
+	mono := buildEngine(t, posts, opts, 5, nil)
+
+	for _, nShards := range []int{2, 3, 5} {
+		engines := splitEngines(t, posts, opts, nShards)
+		for _, sem := range []core.Semantic{core.Or, core.And} {
+			for _, rank := range []core.Ranking{core.SumScore, core.MaxScore} {
+				for _, radius := range []float64{12, 45} {
+					q := core.Query{
+						Loc: center, RadiusKm: radius,
+						Keywords: []string{"cafe", "club"},
+						K:        10, Semantic: sem, Ranking: rank,
+					}
+					want, _, err := mono.SearchContext(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					parts := make([]*core.Partials, len(engines))
+					for i, eng := range engines {
+						if parts[i], err = eng.SearchPartials(context.Background(), q); err != nil {
+							t.Fatal(err)
+						}
+					}
+					got, _, err := core.MergePartials(q, opts.Params.Alpha, parts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("shards=%d %v/%v r=%v: merged %v != monolithic %v",
+							nShards, sem, rank, radius, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergePartialsErrors(t *testing.T) {
+	cand := func(tid social.PostID, uid social.UserID) core.CandidateScore {
+		return core.CandidateScore{TID: tid, UID: uid, Delta: 0.5, Rho: 0.3}
+	}
+	user := func(uid social.UserID) core.UserPartial {
+		return core.UserPartial{UID: uid, Posts: 3}
+	}
+	q := core.Query{K: 5, Ranking: core.SumScore}
+
+	t.Run("nil partial", func(t *testing.T) {
+		_, _, err := core.MergePartials(q, 0.5, []*core.Partials{nil})
+		if err == nil {
+			t.Fatal("nil partial accepted")
+		}
+	})
+
+	t.Run("duplicate tweet across shards", func(t *testing.T) {
+		a := &core.Partials{Cands: []core.CandidateScore{cand(7, 1)}, Users: []core.UserPartial{user(1)}}
+		b := &core.Partials{Cands: []core.CandidateScore{cand(7, 1)}, Users: []core.UserPartial{user(1)}}
+		_, _, err := core.MergePartials(q, 0.5, []*core.Partials{a, b})
+		if err == nil || !strings.Contains(err.Error(), "overlapping") {
+			t.Fatalf("err = %v, want overlapping-shards error", err)
+		}
+	})
+
+	t.Run("exact-distance mode mismatch", func(t *testing.T) {
+		a := &core.Partials{ExactDistance: true}
+		b := &core.Partials{ExactDistance: false}
+		_, _, err := core.MergePartials(q, 0.5, []*core.Partials{a, b})
+		if err == nil || !strings.Contains(err.Error(), "ExactUserDistance") {
+			t.Fatalf("err = %v, want mode-mismatch error", err)
+		}
+	})
+
+	t.Run("pruned candidate under sum ranking", func(t *testing.T) {
+		p := &core.Partials{
+			Cands: []core.CandidateScore{{TID: 9, UID: 2, Delta: 0.5, Pruned: true}},
+			Users: []core.UserPartial{user(2)},
+		}
+		_, _, err := core.MergePartials(q, 0.5, []*core.Partials{p})
+		if err == nil || !strings.Contains(err.Error(), "pruned") {
+			t.Fatalf("err = %v, want pruned-in-sum error", err)
+		}
+	})
+
+	t.Run("candidate user missing from user partials", func(t *testing.T) {
+		p := &core.Partials{Cands: []core.CandidateScore{cand(3, 8)}}
+		_, _, err := core.MergePartials(q, 0.5, []*core.Partials{p})
+		if err == nil || !strings.Contains(err.Error(), "missing") {
+			t.Fatalf("err = %v, want missing-user error", err)
+		}
+		qMax := q
+		qMax.Ranking = core.MaxScore
+		_, _, err = core.MergePartials(qMax, 0.5, []*core.Partials{p})
+		if err == nil || !strings.Contains(err.Error(), "missing") {
+			t.Fatalf("max ranking: err = %v, want missing-user error", err)
+		}
+	})
+
+	t.Run("unknown ranking", func(t *testing.T) {
+		bad := q
+		bad.Ranking = core.Ranking(99)
+		_, _, err := core.MergePartials(bad, 0.5, nil)
+		if !errors.Is(err, core.ErrBadQuery) {
+			t.Fatalf("err = %v, want ErrBadQuery", err)
+		}
+	})
+}

@@ -49,7 +49,7 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]UserResult, *Que
 
 	terms := QueryTerms(q.Keywords)
 	if len(terms) == 0 {
-		return nil, nil, fmt.Errorf("core: keywords %v reduce to no terms", q.Keywords)
+		return nil, nil, fmt.Errorf("core: %w: keywords %v reduce to no terms", ErrBadQuery, q.Keywords)
 	}
 
 	cands, err := e.gatherCandidates(ctx, &q, terms, stats, rec)
@@ -129,7 +129,7 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 	nJobs := len(parts) * len(terms)
 	fetched := make([][]invindex.Posting, nJobs)
 	counts := make([]int64, nJobs)
-	err := runJobs(ctx, e.workers(), nJobs, func(ctx context.Context, i int) error {
+	err := RunJobs(ctx, e.workers(), nJobs, func(ctx context.Context, i int) error {
 		part := parts[i/len(terms)]
 		ps, n, err := termPostings(part.Source, covers.get(part.Source.GeohashLen()), terms[i%len(terms)])
 		if err != nil {
@@ -176,7 +176,7 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 		keep bool
 	}
 	results := make([]filtered, len(merged))
-	err = runJobs(ctx, e.workers(), len(merged), func(ctx context.Context, i int) error {
+	err = RunJobs(ctx, e.workers(), len(merged), func(ctx context.Context, i int) error {
 		c := merged[i]
 		if q.TimeWindow != nil && !q.TimeWindow.contains(c.tid) {
 			return nil
@@ -224,7 +224,7 @@ func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate,
 	}
 	sc := make([]scored, len(cands))
 	buildStart := time.Now()
-	err := runJobs(ctx, e.workers(), len(cands), func(ctx context.Context, i int) error {
+	err := RunJobs(ctx, e.workers(), len(cands), func(ctx context.Context, i int) error {
 		c := &cands[i]
 		pop, _ := e.builder.Popularity(c.tid, p.Epsilon, &sc[i].ts)
 		sc[i].rho = score.KeywordRelevance(c.matches, pop, p.N) * e.recencyFactor(c.tid)
@@ -353,7 +353,7 @@ func (e *Engine) CandidateTweets(q Query) ([]CandidateTweet, *QueryStats, error)
 	}
 	terms := QueryTerms(q.Keywords)
 	if len(terms) == 0 {
-		return nil, nil, fmt.Errorf("core: keywords %v reduce to no terms", q.Keywords)
+		return nil, nil, fmt.Errorf("core: %w: keywords %v reduce to no terms", ErrBadQuery, q.Keywords)
 	}
 	stats := &QueryStats{}
 	start := time.Now()

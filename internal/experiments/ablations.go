@@ -141,5 +141,6 @@ func Runners() []Runner {
 		{"latency", "Latency distribution summary", (*Setup).LatencySummary},
 		{"scale", "Scalability: corpus size sweep", (*Setup).ScaleSweep},
 		{"effectiveness", "Effectiveness: latent expert recovery", (*Setup).ExpertRecovery},
+		{"sharded", "Sharded scatter-gather: shard-count sweep", (*Setup).ShardedScaling},
 	}
 }

@@ -173,3 +173,36 @@ func TestSampleDeterministic(t *testing.T) {
 		t.Error("oversized sample should return everything")
 	}
 }
+
+func TestShardedCompareSnapshot(t *testing.T) {
+	s := setup(t)
+	snap, err := s.ShardedCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.ResultsIdentical {
+		t.Error("sweep finished with ResultsIdentical=false")
+	}
+	if len(snap.Points) == 0 || snap.Queries == 0 {
+		t.Fatalf("empty sweep: %+v", snap)
+	}
+	for _, p := range snap.Points {
+		if p.Degraded != 0 {
+			t.Errorf("%d shards: %d degraded queries over healthy shards", p.Shards, p.Degraded)
+		}
+		if p.Shards < 1 {
+			t.Errorf("bad shard count %d", p.Shards)
+		}
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadShardedSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(snap.Points) || back.Queries != snap.Queries {
+		t.Errorf("JSON round-trip mutated the snapshot: %+v vs %+v", back, snap)
+	}
+}

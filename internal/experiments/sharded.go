@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	tklus "repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+// ShardedPoint is one shard count of the scaling sweep: the tier's
+// per-query latency percentiles against the monolithic baseline over the
+// identical workload. Shards is the effective shard count (the builder
+// clamps to the number of distinct geohash prefixes).
+type ShardedPoint struct {
+	Shards     int     `json:"shards"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	SpeedupP95 float64 `json:"speedup_p95"` // monolithic p95 / sharded p95
+	Degraded   int     `json:"degraded"`    // queries that lost a shard (must be 0)
+}
+
+// ShardedSnapshot is the machine-readable shard-scaling run
+// cmd/tklus-bench writes to BENCH_sharded.json. Every tier is checked
+// against the monolithic system on every query — ResultsIdentical records
+// that the byte-identical merge guarantee held across the whole sweep,
+// and cmd/tklus-benchcheck fails the build when it did not (or when any
+// healthy-tier query came back degraded).
+type ShardedSnapshot struct {
+	Posts            int            `json:"posts"`
+	Users            int            `json:"users"`
+	Seed             int64          `json:"seed"`
+	K                int            `json:"k"`
+	PrefixLen        int            `json:"prefix_len"`
+	Queries          int            `json:"queries"`
+	MonoP50Ms        float64        `json:"mono_p50_ms"`
+	MonoP95Ms        float64        `json:"mono_p95_ms"`
+	Points           []ShardedPoint `json:"points"`
+	ResultsIdentical bool           `json:"results_identical"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (p *ShardedSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadShardedSnapshot parses a snapshot written by WriteJSON.
+func ReadShardedSnapshot(r io.Reader) (*ShardedSnapshot, error) {
+	var snap ShardedSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("experiments: parsing sharded snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// shardedPrefixLen is the routing granularity of the sweep: length-4
+// geohash cells (~39x20 km) split each city across several shards, so the
+// scatter-gather path actually fans out instead of degenerating to a
+// single-shard proxy.
+const shardedPrefixLen = 4
+
+// shardedCounts are the tier sizes swept (clamped to the corpus's
+// distinct prefixes by the builder).
+var shardedCounts = []int{1, 2, 4, 8}
+
+// shardedWorkload builds the mixed query set the sweep replays against
+// every tier: multi-keyword max-ranking queries at a wide radius (the
+// scatter-gather stress case — several shards overlap the circle) plus
+// single-keyword sum-ranking queries at a city-scale radius.
+func (s *Setup) shardedWorkload() []core.Query {
+	var qs []core.Query
+	for _, spec := range s.queriesWithKeywordCount(2) {
+		qs = append(qs, toQuery(spec, 30, s.Cfg.K, core.Or, core.MaxScore))
+	}
+	for _, spec := range s.queriesWithKeywordCount(1) {
+		qs = append(qs, toQuery(spec, 15, s.Cfg.K, core.Or, core.SumScore))
+	}
+	return qs
+}
+
+// ShardedCompare sweeps the scatter-gather tier over shardedCounts,
+// verifying on every query that the merged results are identical to the
+// monolithic system's and that no healthy tier reports degradation. The
+// result is memoized on the Setup so the table runner and the JSON
+// emitter share one run.
+func (s *Setup) ShardedCompare() (*ShardedSnapshot, error) {
+	if s.shardedSnap != nil {
+		return s.shardedSnap, nil
+	}
+	mono, err := s.System(tklus.DefaultConfig().Index.GeohashLen)
+	if err != nil {
+		return nil, err
+	}
+	workload := s.shardedWorkload()
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("experiments: sharded sweep has no queries")
+	}
+
+	monoTimes := make([]float64, 0, len(workload))
+	monoResults := make([][]core.UserResult, 0, len(workload))
+	for _, q := range workload {
+		res, st, err := mono.Engine.Search(q)
+		if err != nil {
+			return nil, err
+		}
+		monoResults = append(monoResults, res)
+		monoTimes = append(monoTimes, st.Elapsed.Seconds())
+	}
+	monoSum := stats.SummaryOf(monoTimes)
+
+	snap := &ShardedSnapshot{
+		Posts: s.Cfg.NumPosts, Users: s.Cfg.NumUsers, Seed: s.Cfg.Seed,
+		K: s.Cfg.K, PrefixLen: shardedPrefixLen, Queries: len(workload),
+		MonoP50Ms: monoSum.P50 * 1000, MonoP95Ms: monoSum.P95 * 1000,
+		ResultsIdentical: true,
+	}
+
+	ctx := context.Background()
+	seen := make(map[int]bool)
+	for _, n := range shardedCounts {
+		cfg := tklus.DefaultConfig()
+		cfg.DB.IOLatency = s.Cfg.IOLatency
+		cfg.HotKeywords = datagen.MeaningfulKeywords()
+		cfg.Index.PathPrefix = fmt.Sprintf("sharded-n%d", n)
+		sc := tklus.DefaultShardingConfig()
+		sc.NumShards = n
+		sc.PrefixLen = shardedPrefixLen
+		// The sweep measures pure scatter-gather overhead: no per-shard
+		// deadline (the serving default of 2s is tuned for interactive
+		// queries, not the simulated-I/O bench regime) and no hedging
+		// (every attempt would be a duplicate against the same in-process
+		// backend).
+		sc.ShardTimeout = 0
+		sc.HedgeDelay = 0
+		tier, err := tklus.BuildSharded(s.Corpus.Posts, cfg, sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %d-shard tier: %w", n, err)
+		}
+		if seen[tier.NumShards()] {
+			continue // clamped to the same effective size as a smaller sweep point
+		}
+		seen[tier.NumShards()] = true
+
+		times := make([]float64, 0, len(workload))
+		degraded := 0
+		for i, q := range workload {
+			res, st, err := tier.Search(ctx, q)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %d-shard query %d: %w", n, i, err)
+			}
+			if st.Degraded() {
+				degraded++
+			}
+			if err := sameResults(res, monoResults[i]); err != nil {
+				snap.ResultsIdentical = false
+				return nil, fmt.Errorf("experiments: %d-shard tier diverged from monolithic on %v: %w",
+					n, q.Keywords, err)
+			}
+			times = append(times, st.Elapsed.Seconds())
+		}
+		sum := stats.SummaryOf(times)
+		snap.Points = append(snap.Points, ShardedPoint{
+			Shards: tier.NumShards(),
+			P50Ms:  sum.P50 * 1000, P95Ms: sum.P95 * 1000,
+			SpeedupP95: speedup(monoSum.P95, sum.P95),
+			Degraded:   degraded,
+		})
+	}
+	s.shardedSnap = snap
+	return snap, nil
+}
+
+// ShardedScaling renders ShardedCompare as a bench table.
+func (s *Setup) ShardedScaling() (*Table, error) {
+	snap, err := s.ShardedCompare()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Sharded scatter-gather — shard-count sweep vs monolithic",
+		Note: fmt.Sprintf("identical results on all %d queries; prefix length %d; monolithic p95 %s",
+			snap.Queries, snap.PrefixLen, ms(snap.MonoP95Ms/1000)),
+		Headers: []string{"shards", "p50", "p95", "speedup p95", "degraded"},
+	}
+	for _, p := range snap.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Shards), ms(p.P50Ms/1000), ms(p.P95Ms/1000),
+			fmt.Sprintf("%.2fx", p.SpeedupP95), fmt.Sprintf("%d", p.Degraded))
+	}
+	return t, nil
+}

@@ -10,12 +10,19 @@ import (
 
 // Query outcome label values for tklus_queries_total.
 const (
-	outcomeOK         = "ok"
-	outcomeBadRequest = "bad_request"
-	outcomeCanceled   = "canceled"
+	outcomeOK          = "ok"
+	outcomeDegraded    = "degraded" // merged results missing some shards
+	outcomeBadRequest  = "bad_request"
+	outcomeNotFound    = "not_found"
+	outcomeUnavailable = "unavailable" // ErrShardUnavailable → 503
+	outcomeCanceled    = "canceled"
+	outcomeError       = "error" // unclassified engine failure → 500
 )
 
-var queryOutcomes = []string{outcomeOK, outcomeBadRequest, outcomeCanceled}
+var queryOutcomes = []string{
+	outcomeOK, outcomeDegraded, outcomeBadRequest, outcomeNotFound,
+	outcomeUnavailable, outcomeCanceled, outcomeError,
+}
 
 // serverMetrics bundles the server's own metric handles. Counters and
 // histograms that the request path touches are resolved once here, so
@@ -49,6 +56,11 @@ func newServerMetrics(reg *telemetry.Registry, sys *tklus.System) *serverMetrics
 			telemetry.Labels{"stage": stage}, nil)
 	}
 	// Hook the lower layers' cumulative counters into the same registry.
+	// A Searcher-only server (sharded router, federation) has no single
+	// system to introspect, so sys is nil there.
+	if sys == nil {
+		return m
+	}
 	if sys.DB != nil {
 		sys.DB.RegisterMetrics(reg)
 	}

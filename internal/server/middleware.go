@@ -50,7 +50,8 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // metric cardinality bounded no matter what paths clients probe.
 func routeOf(path string) string {
 	switch path {
-	case "/search", "/evidence", "/thread", "/stats", "/metrics", "/healthz":
+	case "/search", "/v1/search", "/v1/shard/search",
+		"/evidence", "/thread", "/stats", "/metrics", "/healthz":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {

@@ -4,18 +4,35 @@
 //
 // Endpoints:
 //
-//	GET /search    lat, lon, radius, keywords (space separated), k,
-//	               semantic (and|or), ranking (sum|max) → ranked users,
-//	               per-query stats and per-stage span timings
-//	GET /evidence  the same query parameters plus uid and limit →
-//	               the user's matching tweet texts
-//	GET /stats     cumulative I/O counters, query outcomes, and per-stage
-//	               latency summaries
-//	GET /metrics   Prometheus text exposition of every registered metric
-//	GET /healthz   liveness probe
+//	POST /v1/search        versioned JSON search request (SearchRequestV1)
+//	                       → ranked users, per-query stats, span timings
+//	                       and any degraded shards
+//	GET  /search           legacy parameter form (lat, lon, radius,
+//	                       keywords, k, semantic, ranking, from, to);
+//	                       decodes into the same v1 request struct
+//	POST /v1/shard/search  shard half of a scatter-gather query → the
+//	                       shard's partial scores (served when the backend
+//	                       is a shard, i.e. implements tklus.ShardBackend)
+//	GET  /evidence         search parameters plus uid and limit → the
+//	                       user's matching tweet texts
+//	GET  /thread           tweet thread rooted at ?tid=
+//	GET  /stats            cumulative I/O counters, query outcomes, and
+//	                       per-stage latency summaries
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          liveness probe
+//
+// Errors map typed sentinels onto statuses: core.ErrBadQuery → 400,
+// core.ErrNoResults → 404, core.ErrShardUnavailable → 503; anything else
+// is a 500.
+//
+// The server fronts any tklus.Searcher — a monolithic System, a
+// PartitionedSystem, a ShardedSystem router, or a Federation. The
+// system-introspection endpoints (/evidence, /thread, the I/O half of
+// /stats) exist only when the backend is a *tklus.System; a router serves
+// the query endpoints and its own metrics.
 //
 // Every request flows through a middleware that records HTTP metrics and
-// emits one structured access-log line; /search additionally feeds the
+// emits one structured access-log line; searches additionally feed the
 // per-stage latency histograms and the slow-query log (see Options).
 // Options.EnablePprof mounts net/http/pprof under /debug/pprof/.
 package server
@@ -47,7 +64,7 @@ type Options struct {
 	// logging (the default keeps the library quiet; cmd/tklus-server
 	// always passes a real logger).
 	Logger *slog.Logger
-	// SlowQueryThreshold makes /search queries at or above this duration
+	// SlowQueryThreshold makes search queries at or above this duration
 	// emit a WARN log line with the full query shape and per-stage
 	// breakdown. Zero disables the slow-query log.
 	SlowQueryThreshold time.Duration
@@ -57,14 +74,18 @@ type Options struct {
 	EnablePprof bool
 }
 
-// Server routes HTTP requests to one TkLUS system.
+// Server routes HTTP requests to one TkLUS searcher.
 type Server struct {
-	sys     *tklus.System
-	mux     *http.ServeMux
-	opts    Options
-	log     *slog.Logger
-	metrics *serverMetrics
-	started time.Time
+	searcher tklus.Searcher
+	sys      *tklus.System // non-nil only for single-system backends
+	// postCount enriches results with |P_u| when the backend has a
+	// metadata database in reach; nil otherwise (remote-only routers).
+	postCount func(tklus.UserID) int
+	mux       *http.ServeMux
+	opts      Options
+	log       *slog.Logger
+	metrics   *serverMetrics
+	started   time.Time
 }
 
 // New creates a server over a built system with default options: fresh
@@ -73,8 +94,29 @@ func New(sys *tklus.System) *Server {
 	return NewWith(sys, Options{})
 }
 
-// NewWith creates a server with explicit observability options.
+// NewWith creates a server over a built system with explicit
+// observability options. The full endpoint set is available, including
+// the introspection endpoints and the shard protocol.
 func NewWith(sys *tklus.System, opts Options) *Server {
+	return newServer(sys, sys, opts)
+}
+
+// NewSearcher creates a server over any Searcher with default options.
+func NewSearcher(sr tklus.Searcher) *Server {
+	return NewSearcherWith(sr, Options{})
+}
+
+// NewSearcherWith creates a server over any Searcher — a sharded router,
+// a federation, or a plain system. When sr is a *tklus.System the
+// introspection endpoints come along; otherwise only the search, metrics
+// and health endpoints are served. If sr is a *tklus.ShardedSystem its
+// per-shard metrics are registered into the server's registry.
+func NewSearcherWith(sr tklus.Searcher, opts Options) *Server {
+	sys, _ := sr.(*tklus.System)
+	return newServer(sr, sys, opts)
+}
+
+func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 	if opts.Registry == nil {
 		opts.Registry = telemetry.NewRegistry()
 	}
@@ -82,19 +124,34 @@ func NewWith(sys *tklus.System, opts Options) *Server {
 		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		sys:     sys,
-		mux:     http.NewServeMux(),
-		opts:    opts,
-		log:     opts.Logger,
-		metrics: newServerMetrics(opts.Registry, sys),
-		started: time.Now(),
+		searcher: sr,
+		sys:      sys,
+		mux:      http.NewServeMux(),
+		opts:     opts,
+		log:      opts.Logger,
+		metrics:  newServerMetrics(opts.Registry, sys),
+		started:  time.Now(),
 	}
+	if ss, ok := sr.(*tklus.ShardedSystem); ok {
+		ss.RegisterMetrics(opts.Registry)
+	}
+	if sys != nil {
+		s.postCount = sys.DB.PostCountOfUser
+	} else if pc, ok := sr.(interface{ PostCountOfUser(tklus.UserID) int }); ok {
+		s.postCount = pc.PostCountOfUser
+	}
+	s.mux.HandleFunc("POST /v1/search", s.handleSearchV1)
 	s.mux.HandleFunc("GET /search", s.handleSearch)
-	s.mux.HandleFunc("GET /evidence", s.handleEvidence)
-	s.mux.HandleFunc("GET /thread", s.handleThread)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if _, ok := sr.(tklus.ShardBackend); ok {
+		s.mux.HandleFunc("POST /v1/shard/search", s.handleShardSearch)
+	}
+	if sys != nil {
+		s.mux.HandleFunc("GET /evidence", s.handleEvidence)
+		s.mux.HandleFunc("GET /thread", s.handleThread)
+	}
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -109,31 +166,26 @@ func NewWith(sys *tklus.System, opts Options) *Server {
 // add their own collectors or flush a final snapshot at shutdown.
 func (s *Server) Registry() *telemetry.Registry { return s.opts.Registry }
 
-// searchResponse is the /search reply.
-type searchResponse struct {
-	Results []userJSON `json:"results"`
-	Stats   statsJSON  `json:"stats"`
-}
-
 type userJSON struct {
 	UID   int64   `json:"uid"`
 	Score float64 `json:"score"`
-	Posts int     `json:"posts"`
+	Posts int     `json:"posts,omitempty"`
 }
 
 type statsJSON struct {
-	Cells           int        `json:"cells"`
-	PostingsFetched int64      `json:"postings_fetched"`
-	Candidates      int        `json:"candidates"`
-	ThreadsBuilt    int64      `json:"threads_built"`
-	ThreadsPruned   int64      `json:"threads_pruned"`
-	ElapsedMicros   int64      `json:"elapsed_us"`
-	Ranking         string     `json:"ranking"`
-	Semantic        string     `json:"semantic"`
-	Spans           []spanJSON `json:"spans"`
+	Cells           int                  `json:"cells"`
+	PostingsFetched int64                `json:"postings_fetched"`
+	Candidates      int                  `json:"candidates"`
+	ThreadsBuilt    int64                `json:"threads_built"`
+	ThreadsPruned   int64                `json:"threads_pruned"`
+	ElapsedMicros   int64                `json:"elapsed_us"`
+	Ranking         string               `json:"ranking"`
+	Semantic        string               `json:"semantic"`
+	Spans           []spanJSON           `json:"spans"`
+	DegradedShards  []tklus.ShardFailure `json:"degraded_shards,omitempty"`
 }
 
-// spanJSON is one pipeline-stage timing in the /search reply. start_us is
+// spanJSON is one pipeline-stage timing in the search reply. start_us is
 // the offset from query start; us is the stage's accumulated duration.
 type spanJSON struct {
 	Stage       string `json:"stage"`
@@ -153,102 +205,59 @@ func spansJSON(spans []telemetry.Span) []spanJSON {
 	return out
 }
 
-// parseQuery builds a tklus.Query from URL parameters.
-func parseQuery(r *http.Request) (tklus.Query, error) {
-	var q tklus.Query
-	get := r.URL.Query()
-
-	f := func(name string, dst *float64) error {
-		v, err := strconv.ParseFloat(get.Get(name), 64)
-		if err != nil {
-			return fmt.Errorf("parameter %q: %v", name, err)
-		}
-		*dst = v
-		return nil
+// handleSearchV1 serves POST /v1/search: a versioned JSON request body.
+func (s *Server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequestV1
+	if err := decodeJSONBody(r, &req); err != nil {
+		s.metrics.countQuery(outcomeBadRequest)
+		httpError(w, http.StatusBadRequest, err)
+		return
 	}
-	if err := f("lat", &q.Loc.Lat); err != nil {
-		return q, err
-	}
-	if err := f("lon", &q.Loc.Lon); err != nil {
-		return q, err
-	}
-	if err := f("radius", &q.RadiusKm); err != nil {
-		return q, err
-	}
-	q.Keywords = strings.Fields(get.Get("keywords"))
-
-	q.K = 10
-	if raw := get.Get("k"); raw != "" {
-		k, err := strconv.Atoi(raw)
-		if err != nil {
-			return q, fmt.Errorf("parameter %q: %v", "k", err)
-		}
-		q.K = k
-	}
-	switch get.Get("semantic") {
-	case "", "or":
-		q.Semantic = tklus.Or
-	case "and":
-		q.Semantic = tklus.And
-	default:
-		return q, fmt.Errorf("parameter %q: want and|or", "semantic")
-	}
-	switch get.Get("ranking") {
-	case "", "max":
-		q.Ranking = tklus.MaxScore
-	case "sum":
-		q.Ranking = tklus.SumScore
-	default:
-		return q, fmt.Errorf("parameter %q: want sum|max", "ranking")
-	}
-	if from, to := get.Get("from"), get.Get("to"); from != "" || to != "" {
-		window, err := parseWindow(from, to)
-		if err != nil {
-			return q, err
-		}
-		q.TimeWindow = window
-	}
-	return q, nil
+	s.runSearch(w, r, req)
 }
 
-func parseWindow(from, to string) (*tklus.TimeWindow, error) {
-	f, err := time.Parse(time.RFC3339, from)
-	if err != nil {
-		return nil, fmt.Errorf("parameter %q: %v", "from", err)
-	}
-	t, err := time.Parse(time.RFC3339, to)
-	if err != nil {
-		return nil, fmt.Errorf("parameter %q: %v", "to", err)
-	}
-	return &tklus.TimeWindow{From: f, To: t}, nil
-}
-
+// handleSearch serves the legacy GET /search parameter form by decoding
+// it into the v1 request struct; execution is shared with /v1/search.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q, err := parseQuery(r)
+	req, err := requestFromURL(r.URL.Query())
+	if err != nil {
+		s.metrics.countQuery(outcomeBadRequest)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.runSearch(w, r, req)
+}
+
+// runSearch is the one execution path behind both search endpoints.
+func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchRequestV1) {
+	q, err := req.Query()
 	if err != nil {
 		s.metrics.countQuery(outcomeBadRequest)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	start := time.Now()
-	results, stats, err := s.sys.SearchContext(r.Context(), q)
+	results, stats, err := s.searcher.Search(r.Context(), q)
 	if err != nil {
 		if r.Context().Err() != nil {
 			s.metrics.countQuery(outcomeCanceled)
 			return // client went away; nothing to write
 		}
-		// The engine validates the query before doing any work, so errors
-		// here are bad requests (invalid location, empty keyword set, ...),
-		// not server faults.
-		s.metrics.countQuery(outcomeBadRequest)
-		httpError(w, http.StatusBadRequest, err)
+		code, outcome := statusOf(err)
+		s.metrics.countQuery(outcome)
+		httpError(w, code, err)
 		return
 	}
-	s.metrics.countQuery(outcomeOK)
+	if stats.Degraded() {
+		s.metrics.countQuery(outcomeDegraded)
+	} else {
+		s.metrics.countQuery(outcomeOK)
+	}
 	s.metrics.observeQuery(stats)
 	s.maybeLogSlowQuery(&q, stats, time.Since(start))
 
-	resp := searchResponse{
+	resp := SearchResponseV1{
+		Version: ProtocolVersion,
 		Results: make([]userJSON, 0, len(results)),
 		Stats: statsJSON{
 			Cells:           stats.Cells,
@@ -257,19 +266,48 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			ThreadsBuilt:    stats.ThreadsBuilt,
 			ThreadsPruned:   stats.ThreadsPruned,
 			ElapsedMicros:   stats.Elapsed.Microseconds(),
-			Ranking:         rankingName(q.Ranking),
-			Semantic:        semanticName(q.Semantic),
+			Ranking:         q.Ranking.String(),
+			Semantic:        strings.ToLower(q.Semantic.String()),
 			Spans:           spansJSON(stats.Spans),
+			DegradedShards:  stats.DegradedShards,
 		},
 	}
 	for _, res := range results {
-		resp.Results = append(resp.Results, userJSON{
-			UID:   int64(res.UID),
-			Score: res.Score,
-			Posts: s.sys.DB.PostCountOfUser(res.UID),
-		})
+		u := userJSON{UID: int64(res.UID), Score: res.Score}
+		if s.postCount != nil {
+			u.Posts = s.postCount(res.UID)
+		}
+		resp.Results = append(resp.Results, u)
 	}
 	writeJSON(w, resp)
+}
+
+// handleShardSearch serves the shard half of a scatter-gather query: the
+// same v1 request body, answered with the shard's partial scores instead
+// of a merged ranking. Registered only when the backend implements
+// tklus.ShardBackend.
+func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequestV1
+	if err := decodeJSONBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := req.Query()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	backend := s.searcher.(tklus.ShardBackend)
+	parts, err := backend.SearchPartials(r.Context(), q)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // caller hedged away or timed out; nothing to write
+		}
+		code, _ := statusOf(err)
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, shardSearchResponseV1{Version: ProtocolVersion, Partials: parts})
 }
 
 // maybeLogSlowQuery emits the slow-query log line: full query shape plus
@@ -286,8 +324,8 @@ func (s *Server) maybeLogSlowQuery(q *tklus.Query, stats *tklus.QueryStats, elap
 		slog.Float64("lon", q.Loc.Lon),
 		slog.Float64("radius_km", q.RadiusKm),
 		slog.Int("k", q.K),
-		slog.String("semantic", semanticName(q.Semantic)),
-		slog.String("ranking", rankingName(q.Ranking)),
+		slog.String("semantic", strings.ToLower(q.Semantic.String())),
+		slog.String("ranking", q.Ranking.String()),
 		slog.Int("candidates", stats.Candidates),
 		slog.Int64("threads_built", stats.ThreadsBuilt),
 	}
@@ -298,26 +336,34 @@ func (s *Server) maybeLogSlowQuery(q *tklus.Query, stats *tklus.QueryStats, elap
 }
 
 func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
-	q, err := parseQuery(r)
+	req, err := requestFromURL(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := req.Query()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	uid, err := strconv.ParseInt(r.URL.Query().Get("uid"), 10, 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %v", "uid", err))
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: parameter %q: %v", core.ErrBadQuery, "uid", err))
 		return
 	}
 	limit := 10
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		if limit, err = strconv.Atoi(raw); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %v", "limit", err))
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: parameter %q: %v", core.ErrBadQuery, "limit", err))
 			return
 		}
 	}
 	texts, err := s.sys.Evidence(q, tklus.UserID(uid), limit)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		code, _ := statusOf(err)
+		httpError(w, code, err)
 		return
 	}
 	writeJSON(w, map[string]any{"uid": uid, "tweets": texts})
@@ -328,11 +374,13 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleThread(w http.ResponseWriter, r *http.Request) {
 	tid, err := strconv.ParseInt(r.URL.Query().Get("tid"), 10, 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %v", "tid", err))
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: parameter %q: %v", core.ErrBadQuery, "tid", err))
 		return
 	}
 	if _, ok := s.sys.DB.GetBySID(tklus.PostID(tid)); !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("tweet %d not found", tid))
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("%w: tweet %d not found", core.ErrNoResults, tid))
 		return
 	}
 	nodes, popularity := s.sys.Thread(tklus.PostID(tid))
@@ -355,22 +403,29 @@ func (s *Server) handleThread(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	dbStats := s.sys.DB.Stats()
-	fsStats := s.sys.FS.Stats()
-	writeJSON(w, map[string]any{
-		"index_keys":       s.sys.Index.NumKeys(),
-		"postings_fetches": s.sys.Index.Fetches(),
-		"db_page_reads":    dbStats.PageReads,
-		"db_cache_hits":    dbStats.CacheHits,
-		"db_index_reads":   dbStats.IndexReads,
-		"dfs_blocks_read":  fsStats.BlocksRead,
-		"dfs_bytes_read":   fsStats.BytesRead,
-		"dfs_seeks":        fsStats.Seeks,
-		"rows":             s.sys.DB.Len(),
+	out := map[string]any{
 		"uptime_seconds":   time.Since(s.started).Seconds(),
 		"queries":          s.metrics.queryOutcomes(),
 		"stage_latency_us": s.metrics.stageSummaries(),
-	})
+	}
+	if s.sys != nil {
+		dbStats := s.sys.DB.Stats()
+		fsStats := s.sys.FS.Stats()
+		out["index_keys"] = s.sys.Index.NumKeys()
+		out["postings_fetches"] = s.sys.Index.Fetches()
+		out["db_page_reads"] = dbStats.PageReads
+		out["db_cache_hits"] = dbStats.CacheHits
+		out["db_index_reads"] = dbStats.IndexReads
+		out["dfs_blocks_read"] = fsStats.BlocksRead
+		out["dfs_bytes_read"] = fsStats.BytesRead
+		out["dfs_seeks"] = fsStats.Seeks
+		out["rows"] = s.sys.DB.Len()
+	}
+	if ss, ok := s.searcher.(*tklus.ShardedSystem); ok {
+		out["shards"] = ss.ShardNames()
+		out["breakers"] = ss.BreakerStates()
+	}
+	writeJSON(w, out)
 }
 
 // handleMetrics serves the Prometheus text exposition.
@@ -394,8 +449,5 @@ func writeJSON(w http.ResponseWriter, v any) {
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(errorResponseV1{Error: err.Error()})
 }
-
-func rankingName(r core.Ranking) string   { return r.String() }
-func semanticName(s core.Semantic) string { return s.String() }

@@ -68,7 +68,7 @@ func TestSearchEndpoint(t *testing.T) {
 	if stats["candidates"].(float64) < 2 {
 		t.Errorf("stats = %v", stats)
 	}
-	if stats["ranking"] != "max" || stats["semantic"] != "OR" {
+	if stats["ranking"] != "max" || stats["semantic"] != "or" {
 		t.Errorf("echoed config wrong: %v", stats)
 	}
 }

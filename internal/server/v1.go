@@ -1,0 +1,275 @@
+package server
+
+// Wire protocol version 1: the versioned JSON schema spoken by
+// POST /v1/search (application queries) and POST /v1/shard/search (the
+// scatter-gather tier's shard fan-out). The legacy GET /search decodes its
+// URL parameters into the same request struct, so both entry points share
+// one validation and execution path. Fields are explicit and stable;
+// additions must be backward compatible within a version, and semantic
+// changes bump ProtocolVersion.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	tklus "repro"
+	"repro/internal/core"
+)
+
+// ProtocolVersion is the wire schema version this server speaks.
+const ProtocolVersion = 1
+
+// maxRequestBody bounds the request bodies the server reads; a search
+// request is a few hundred bytes, so 1 MiB is generous.
+const maxRequestBody = 1 << 20
+
+// SearchRequestV1 is the v1 search request. Semantic and Ranking travel as
+// strings ("and"/"or", "sum"/"max") so the wire form never depends on Go
+// enum numbering; zero values select the documented defaults.
+type SearchRequestV1 struct {
+	// Version of the schema the client speaks; 0 means 1. The server
+	// rejects versions it does not know.
+	Version int `json:"version,omitempty"`
+
+	Lat      float64  `json:"lat"`
+	Lon      float64  `json:"lon"`
+	RadiusKm float64  `json:"radius_km"`
+	Keywords []string `json:"keywords"`
+	// K is the result size; 0 means 10.
+	K int `json:"k,omitempty"`
+	// Semantic is "and" or "or" (the default when empty).
+	Semantic string `json:"semantic,omitempty"`
+	// Ranking is "sum" or "max" (the default when empty).
+	Ranking string `json:"ranking,omitempty"`
+	// From and To optionally bound the search window, RFC 3339.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+}
+
+// Query converts the wire request into an engine query, applying the
+// documented defaults. Failures wrap core.ErrBadQuery.
+func (req *SearchRequestV1) Query() (tklus.Query, error) {
+	var q tklus.Query
+	if req.Version != 0 && req.Version != ProtocolVersion {
+		return q, fmt.Errorf("%w: unsupported protocol version %d (server speaks %d)",
+			core.ErrBadQuery, req.Version, ProtocolVersion)
+	}
+	q.Loc.Lat = req.Lat
+	q.Loc.Lon = req.Lon
+	q.RadiusKm = req.RadiusKm
+	q.Keywords = req.Keywords
+	q.K = req.K
+	if q.K == 0 {
+		q.K = 10
+	}
+	switch strings.ToLower(req.Semantic) {
+	case "", "or":
+		q.Semantic = tklus.Or
+	case "and":
+		q.Semantic = tklus.And
+	default:
+		return q, fmt.Errorf("%w: semantic %q: want and|or", core.ErrBadQuery, req.Semantic)
+	}
+	switch strings.ToLower(req.Ranking) {
+	case "", "max":
+		q.Ranking = tklus.MaxScore
+	case "sum":
+		q.Ranking = tklus.SumScore
+	default:
+		return q, fmt.Errorf("%w: ranking %q: want sum|max", core.ErrBadQuery, req.Ranking)
+	}
+	if req.From != "" || req.To != "" {
+		from, err := time.Parse(time.RFC3339, req.From)
+		if err != nil {
+			return q, fmt.Errorf("%w: from: %v", core.ErrBadQuery, err)
+		}
+		to, err := time.Parse(time.RFC3339, req.To)
+		if err != nil {
+			return q, fmt.Errorf("%w: to: %v", core.ErrBadQuery, err)
+		}
+		q.TimeWindow = &tklus.TimeWindow{From: from, To: to}
+	}
+	return q, nil
+}
+
+// requestFromQuery is the client-side inverse of Query: it encodes an
+// engine query as a v1 wire request (used by ShardClient).
+func requestFromQuery(q tklus.Query) SearchRequestV1 {
+	req := SearchRequestV1{
+		Version:  ProtocolVersion,
+		Lat:      q.Loc.Lat,
+		Lon:      q.Loc.Lon,
+		RadiusKm: q.RadiusKm,
+		Keywords: q.Keywords,
+		K:        q.K,
+		Semantic: strings.ToLower(q.Semantic.String()),
+		Ranking:  q.Ranking.String(),
+	}
+	if q.TimeWindow != nil {
+		req.From = q.TimeWindow.From.Format(time.RFC3339Nano)
+		req.To = q.TimeWindow.To.Format(time.RFC3339Nano)
+	}
+	return req
+}
+
+// requestFromURL decodes the legacy GET /search parameter set into a v1
+// request, so both entry points share Query()'s validation and defaults.
+func requestFromURL(get url.Values) (SearchRequestV1, error) {
+	req := SearchRequestV1{Version: ProtocolVersion}
+	f := func(name string, dst *float64) error {
+		v, err := strconv.ParseFloat(get.Get(name), 64)
+		if err != nil {
+			return fmt.Errorf("%w: parameter %q: %v", core.ErrBadQuery, name, err)
+		}
+		*dst = v
+		return nil
+	}
+	if err := f("lat", &req.Lat); err != nil {
+		return req, err
+	}
+	if err := f("lon", &req.Lon); err != nil {
+		return req, err
+	}
+	if err := f("radius", &req.RadiusKm); err != nil {
+		return req, err
+	}
+	req.Keywords = strings.Fields(get.Get("keywords"))
+	if raw := get.Get("k"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil {
+			return req, fmt.Errorf("%w: parameter %q: %v", core.ErrBadQuery, "k", err)
+		}
+		req.K = k
+	}
+	req.Semantic = get.Get("semantic")
+	req.Ranking = get.Get("ranking")
+	req.From = get.Get("from")
+	req.To = get.Get("to")
+	return req, nil
+}
+
+// SearchResponseV1 is the v1 search reply.
+type SearchResponseV1 struct {
+	Version int        `json:"version"`
+	Results []userJSON `json:"results"`
+	Stats   statsJSON  `json:"stats"`
+}
+
+// shardSearchResponseV1 is the POST /v1/shard/search reply: the shard's
+// partial scores, merged by the router with core.MergePartials.
+type shardSearchResponseV1 struct {
+	Version  int            `json:"version"`
+	Partials *core.Partials `json:"partials"`
+}
+
+// errorResponseV1 is the error body every endpoint writes.
+type errorResponseV1 struct {
+	Error string `json:"error"`
+}
+
+// decodeJSONBody reads and decodes a bounded JSON request body. Failures
+// wrap core.ErrBadQuery.
+func decodeJSONBody(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		return fmt.Errorf("%w: reading body: %v", core.ErrBadQuery, err)
+	}
+	if len(body) > maxRequestBody {
+		return fmt.Errorf("%w: request body exceeds %d bytes", core.ErrBadQuery, maxRequestBody)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: decoding body: %v", core.ErrBadQuery, err)
+	}
+	return nil
+}
+
+// ShardClient speaks the v1 shard protocol against a remote shard server's
+// POST /v1/shard/search. It implements tklus.ShardBackend, so a
+// ShardedSystem composes remote shards exactly like in-process ones —
+// breaker, hedging and deadlines included. Go encodes float64s in their
+// shortest exact form and decodes them exactly, so merged results stay
+// byte-identical to an in-process merge.
+type ShardClient struct {
+	// BaseURL is the shard server's root, e.g. "http://shard-00:8080".
+	BaseURL string
+	// Client is the HTTP client to use; nil means http.DefaultClient.
+	// Per-request deadlines arrive via the context, so the client itself
+	// needs no Timeout.
+	Client *http.Client
+}
+
+// NewShardClient returns a ShardClient for the given base URL.
+func NewShardClient(baseURL string) *ShardClient {
+	return &ShardClient{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// SearchPartials implements tklus.ShardBackend over HTTP.
+func (c *ShardClient) SearchPartials(ctx context.Context, q tklus.Query) (*core.Partials, error) {
+	body, err := json.Marshal(requestFromQuery(q))
+	if err != nil {
+		return nil, fmt.Errorf("shard client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/shard/search", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("shard client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard client: %w: %v", core.ErrShardUnavailable, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eresp errorResponseV1
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, maxRequestBody)).Decode(&eresp) == nil && eresp.Error != "" {
+			msg = eresp.Error
+		}
+		if resp.StatusCode == http.StatusBadRequest {
+			return nil, fmt.Errorf("shard client: %w: %s", core.ErrBadQuery, msg)
+		}
+		return nil, fmt.Errorf("shard client: %w: status %d: %s",
+			core.ErrShardUnavailable, resp.StatusCode, msg)
+	}
+	var sresp shardSearchResponseV1
+	if err := json.NewDecoder(resp.Body).Decode(&sresp); err != nil {
+		return nil, fmt.Errorf("shard client: %w: decoding response: %v", core.ErrShardUnavailable, err)
+	}
+	if sresp.Version != ProtocolVersion {
+		return nil, fmt.Errorf("shard client: %w: protocol version %d (client speaks %d)",
+			core.ErrShardUnavailable, sresp.Version, ProtocolVersion)
+	}
+	if sresp.Partials == nil {
+		return nil, fmt.Errorf("shard client: %w: response carries no partials", core.ErrShardUnavailable)
+	}
+	return sresp.Partials, nil
+}
+
+// statusOf maps an engine or router error onto the HTTP status and the
+// query-outcome metric label: ErrBadQuery → 400, ErrNoResults → 404,
+// ErrShardUnavailable → 503, anything else → 500.
+func statusOf(err error) (int, string) {
+	switch {
+	case errors.Is(err, core.ErrBadQuery):
+		return http.StatusBadRequest, outcomeBadRequest
+	case errors.Is(err, core.ErrNoResults):
+		return http.StatusNotFound, outcomeNotFound
+	case errors.Is(err, core.ErrShardUnavailable):
+		return http.StatusServiceUnavailable, outcomeUnavailable
+	default:
+		return http.StatusInternalServerError, outcomeError
+	}
+}

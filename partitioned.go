@@ -1,6 +1,7 @@
 package tklus
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -111,9 +112,17 @@ func orDefault(s, def string) string {
 	return s
 }
 
-// Search executes a TkLUS query across the partitions.
-func (ps *PartitionedSystem) Search(q Query) ([]UserResult, *QueryStats, error) {
-	return ps.Engine.Search(q)
+// Search executes a TkLUS query across the partitions. It implements
+// Searcher.
+func (ps *PartitionedSystem) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+	return ps.Engine.SearchContext(ctx, q)
+}
+
+// SearchNoCtx is the old context-free Search.
+//
+// Deprecated: use Search.
+func (ps *PartitionedSystem) SearchNoCtx(q Query) ([]UserResult, *QueryStats, error) {
+	return ps.Search(context.Background(), q)
 }
 
 // NumPartitions returns how many period indexes exist.

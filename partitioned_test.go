@@ -1,6 +1,7 @@
 package tklus_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -44,11 +45,11 @@ func TestPartitionedEquivalence(t *testing.T) {
 			if ranking == 1 {
 				q.Ranking = tklus.MaxScore
 			}
-			a, _, err := mono.Search(q)
+			a, _, err := mono.Search(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, _, err := parted.Search(q)
+			b, _, err := parted.Search(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,12 +80,12 @@ func TestPartitionedWindowPruning(t *testing.T) {
 		K: 10, TimeWindow: window,
 	}
 
-	a, _, err := mono.Search(q)
+	a, _, err := mono.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	parted.Engine.Index = nil // ensure the partitioned path is in use
-	b, bStats, err := parted.Search(q)
+	b, bStats, err := parted.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestPartitionedWindowPruning(t *testing.T) {
 	// more postings lists.
 	qAll := q
 	qAll.TimeWindow = nil
-	_, allStats, err := parted.Search(qAll)
+	_, allStats, err := parted.Search(context.Background(), qAll)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +137,8 @@ func TestPartitionedSinglePeriodDegenerate(t *testing.T) {
 		Loc: corpus.Config.Cities[0].Center, RadiusKm: 20,
 		Keywords: []string{"hotel"}, K: 5,
 	}
-	a, _, _ := mono.Search(q)
-	b, _, _ := parted.Search(q)
+	a, _, _ := mono.Search(context.Background(), q)
+	b, _, _ := parted.Search(context.Background(), q)
 	if len(a) != len(b) {
 		t.Fatalf("degenerate partition differs: %d vs %d", len(a), len(b))
 	}

@@ -1,6 +1,7 @@
 package tklus_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -45,11 +46,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			if sem == int(tklus.And) {
 				q.Semantic = tklus.And
 			}
-			a, _, err := sys.Search(q)
+			a, _, err := sys.Search(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, _, err := loaded.Search(q)
+			b, _, err := loaded.Search(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -66,7 +67,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 	// Evidence (contents store) survives the round trip.
 	q := tklus.Query{Loc: toronto, RadiusKm: 20, Keywords: []string{"restaurant"}, K: 3}
-	res, _, err := loaded.Search(q)
+	res, _, err := loaded.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,11 +146,11 @@ func TestSaveLoadDifferentEngineOptions(t *testing.T) {
 		Loc: corpus.Config.Cities[0].Center, RadiusKm: 15,
 		Keywords: []string{"hotel"}, K: 5, Ranking: tklus.MaxScore,
 	}
-	a, _, err := sys.Search(q)
+	a, _, err := sys.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, stats, err := loaded.Search(q)
+	b, stats, err := loaded.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tklus_test
 
 import (
+	"context"
 	"testing"
 
 	tklus "repro"
@@ -42,7 +43,7 @@ func TestScaleSmoke(t *testing.T) {
 			if sem == int(tklus.And) {
 				q.Semantic = tklus.And
 			}
-			got, _, err := sys.Search(q)
+			got, _, err := sys.Search(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,581 @@
+package tklus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/contents"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/telemetry"
+	"repro/internal/thread"
+)
+
+// This file is the sharded serving tier: posts are partitioned by geohash
+// prefix into independent System shards, and a router fans each query only
+// to the shards whose regions the query circle touches, merging their
+// partial scores into the exact monolithic top-k (core.MergePartials).
+// Robustness is the point — per-shard deadlines derived from the request
+// context, one hedged retry for stragglers, a per-shard circuit breaker,
+// and a partial-results mode that reports degraded shards in QueryStats
+// instead of failing the whole query.
+
+// ShardBackend answers the shard half of a scatter-gather query. *System
+// implements it in process; server.ShardClient implements it over HTTP
+// against a shard server's /v1/shard/search endpoint.
+type ShardBackend interface {
+	SearchPartials(ctx context.Context, q Query) (*core.Partials, error)
+}
+
+// SearchPartials runs the shard side of a scatter-gather query on this
+// system (retrieval + thread scoring, no per-user reduction). It makes
+// *System a ShardBackend.
+func (s *System) SearchPartials(ctx context.Context, q Query) (*core.Partials, error) {
+	return s.Engine.SearchPartials(ctx, q)
+}
+
+// ShardSpec declares one shard of a ShardedSystem: a backend plus the
+// geohash prefixes it owns. Prefixes must all have the router's prefix
+// length and no prefix may be owned by two shards.
+type ShardSpec struct {
+	Name     string
+	Backend  ShardBackend
+	Prefixes []string
+}
+
+// ShardingConfig tunes the router.
+type ShardingConfig struct {
+	// NumShards is how many shards BuildSharded partitions the corpus into
+	// (capped at the number of distinct prefixes actually observed).
+	NumShards int
+	// PrefixLen is the geohash prefix length posts are partitioned by.
+	// The circle cover at this precision decides which shards a query
+	// fans out to, so shorter prefixes mean coarser shards and wider
+	// fan-out per query.
+	PrefixLen int
+	// ShardTimeout bounds each per-shard sub-query. When the request
+	// context carries an earlier deadline, the sub-query gets 90% of the
+	// remaining budget instead, reserving headroom for the merge. Zero
+	// means no per-shard timeout beyond the request context's.
+	ShardTimeout time.Duration
+	// HedgeDelay launches one backup attempt against a shard that has not
+	// answered after this long (and immediately after a failed first
+	// attempt); the first success wins. Zero disables hedging.
+	HedgeDelay time.Duration
+	// BreakerThreshold trips a shard's circuit breaker after this many
+	// consecutive failed requests; while open, queries degrade instantly
+	// instead of waiting out the timeout. Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open probe request.
+	BreakerCooldown time.Duration
+	// FailOnPartial makes any shard failure fail the whole query with
+	// ErrShardUnavailable. The default (false) returns the merged results
+	// of the answering shards and reports the rest in
+	// QueryStats.DegradedShards.
+	FailOnPartial bool
+}
+
+// DefaultShardingConfig returns the serving defaults: 4 shards on
+// 3-character prefixes (~156 km cells, so metro-scale queries touch one or
+// two shards), 2 s shard deadline, 100 ms hedge, breaker tripping after 5
+// consecutive failures with a 5 s cooldown, partial results on.
+func DefaultShardingConfig() ShardingConfig {
+	return ShardingConfig{
+		NumShards:        4,
+		PrefixLen:        3,
+		ShardTimeout:     2 * time.Second,
+		HedgeDelay:       100 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  5 * time.Second,
+	}
+}
+
+// shard is one routed member with its breaker.
+type shard struct {
+	name     string
+	backend  ShardBackend
+	prefixes []string
+	br       *breaker
+}
+
+// ShardedSystem routes TkLUS queries across geohash-partitioned shards.
+// It implements Searcher; results are byte-identical to a monolithic
+// System over the union corpus whenever every overlapping shard answers.
+type ShardedSystem struct {
+	cfg      ShardingConfig
+	alpha    float64
+	shards   []*shard
+	byPrefix map[string]int
+
+	metrics *shardedMetrics // nil until RegisterMetrics
+
+	// Systems holds the in-process shard systems when the tier was built
+	// with BuildSharded (they share one metadata database, popularity
+	// bounds and contents store); empty for remote compositions.
+	Systems []*System
+}
+
+// NewSharded assembles a router over explicit shard backends — the remote
+// composition path (local systems, HTTP shard clients, or a mix). alpha is
+// the scoring model's Definition 10 weight and must match every shard's
+// engine. cfg.NumShards is ignored here; cfg.PrefixLen must match the
+// specs' prefix lengths.
+func NewSharded(alpha float64, cfg ShardingConfig, specs []ShardSpec) (*ShardedSystem, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("tklus: sharded system needs at least one shard")
+	}
+	if cfg.PrefixLen <= 0 {
+		return nil, fmt.Errorf("tklus: sharding prefix length must be positive")
+	}
+	ss := &ShardedSystem{
+		cfg:      cfg,
+		alpha:    alpha,
+		byPrefix: make(map[string]int),
+	}
+	for i, spec := range specs {
+		if spec.Backend == nil {
+			return nil, fmt.Errorf("tklus: shard %d has no backend", i)
+		}
+		if len(spec.Prefixes) == 0 {
+			return nil, fmt.Errorf("tklus: shard %d owns no prefixes", i)
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("shard-%02d", i)
+		}
+		for _, p := range spec.Prefixes {
+			if len(p) != cfg.PrefixLen {
+				return nil, fmt.Errorf("tklus: shard %s prefix %q has length %d, want %d",
+					name, p, len(p), cfg.PrefixLen)
+			}
+			if j, dup := ss.byPrefix[p]; dup {
+				return nil, fmt.Errorf("tklus: prefix %q owned by both %s and %s",
+					p, ss.shards[j].name, name)
+			}
+			ss.byPrefix[p] = i
+		}
+		prefixes := append([]string(nil), spec.Prefixes...)
+		sort.Strings(prefixes)
+		ss.shards = append(ss.shards, &shard{
+			name:     name,
+			backend:  spec.Backend,
+			prefixes: prefixes,
+			br:       newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+		})
+	}
+	return ss, nil
+}
+
+// BuildSharded partitions the posts by geohash prefix into cfg.NumShards
+// in-process shards and wires the router over them. Following Figure 3's
+// centralized metadata database, every shard shares one metadata DB,
+// popularity-bound table and contents store (in production: a replica),
+// while each shard's hybrid index covers only its own region — that shared
+// foundation is what makes cross-shard threads and |P_u| exact, and the
+// merged results byte-identical to a monolithic Build over the same posts.
+func BuildSharded(posts []*Post, cfg Config, sc ShardingConfig) (*ShardedSystem, error) {
+	if len(posts) == 0 {
+		return nil, fmt.Errorf("tklus: no posts to index")
+	}
+	if sc.NumShards <= 0 {
+		return nil, fmt.Errorf("tklus: shard count must be positive")
+	}
+	if sc.PrefixLen <= 0 {
+		return nil, fmt.Errorf("tklus: sharding prefix length must be positive")
+	}
+
+	// Partition by prefix, then balance prefixes across shards greedily by
+	// post count (largest prefix first onto the least-loaded shard) so one
+	// hot metro does not get a shard to itself while others sit empty.
+	byPrefix := make(map[string][]*Post)
+	for _, p := range posts {
+		pre := geo.Encode(p.Loc, sc.PrefixLen)
+		byPrefix[pre] = append(byPrefix[pre], p)
+	}
+	prefixes := make([]string, 0, len(byPrefix))
+	for pre := range byPrefix {
+		prefixes = append(prefixes, pre)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		a, b := prefixes[i], prefixes[j]
+		if len(byPrefix[a]) != len(byPrefix[b]) {
+			return len(byPrefix[a]) > len(byPrefix[b])
+		}
+		return a < b
+	})
+	n := sc.NumShards
+	if n > len(prefixes) {
+		n = len(prefixes)
+	}
+	shardPrefixes := make([][]string, n)
+	shardPosts := make([][]*Post, n)
+	for _, pre := range prefixes {
+		least := 0
+		for i := 1; i < n; i++ {
+			if len(shardPosts[i]) < len(shardPosts[least]) {
+				least = i
+			}
+		}
+		shardPrefixes[least] = append(shardPrefixes[least], pre)
+		shardPosts[least] = append(shardPosts[least], byPrefix[pre]...)
+	}
+
+	// Shared foundation (Figure 3's centralized metadata database,
+	// replicated to every shard in a real deployment).
+	db, err := metadb.Load(cfg.DB, posts)
+	if err != nil {
+		return nil, fmt.Errorf("tklus: loading metadata db: %w", err)
+	}
+	fsys := dfs.New(cfg.DFS)
+	store, err := contents.BuildStore(fsys, posts, "contents")
+	if err != nil {
+		return nil, fmt.Errorf("tklus: storing tweet contents: %w", err)
+	}
+	bounds := thread.ComputeBounds(posts, cfg.Engine.Params.ThreadDepth,
+		cfg.Engine.Params.Epsilon, stemAll(cfg.HotKeywords))
+
+	specs := make([]ShardSpec, 0, n)
+	systems := make([]*System, 0, n)
+	for i := 0; i < n; i++ {
+		iopts := cfg.Index
+		iopts.PathPrefix = fmt.Sprintf("%s/shard-%02d", orDefault(cfg.Index.PathPrefix, "index"), i)
+		idx, istats, err := invindex.Build(fsys, shardPosts[i], iopts)
+		if err != nil {
+			return nil, fmt.Errorf("tklus: building shard %d index: %w", i, err)
+		}
+		engine, err := core.NewEngine(idx, db, bounds, cfg.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("tklus: creating shard %d engine: %w", i, err)
+		}
+		sys := &System{
+			Engine: engine, DB: db, Index: idx, FS: fsys,
+			Bounds: bounds, Contents: store, IndexStats: istats,
+		}
+		systems = append(systems, sys)
+		specs = append(specs, ShardSpec{
+			Name:     fmt.Sprintf("shard-%02d", i),
+			Backend:  sys,
+			Prefixes: shardPrefixes[i],
+		})
+	}
+	ss, err := NewSharded(cfg.Engine.Params.Alpha, sc, specs)
+	if err != nil {
+		return nil, err
+	}
+	ss.Systems = systems
+	return ss, nil
+}
+
+// NumShards returns the number of shards behind the router.
+func (ss *ShardedSystem) NumShards() int { return len(ss.shards) }
+
+// ShardNames returns the shard names in routing order.
+func (ss *ShardedSystem) ShardNames() []string {
+	out := make([]string, len(ss.shards))
+	for i, sh := range ss.shards {
+		out[i] = sh.name
+	}
+	return out
+}
+
+// ShardPrefixes returns each shard's owned geohash prefixes by name —
+// the routing table, for inspection and for composing a new router over
+// the same partitioning (e.g. swapping in remote backends).
+func (ss *ShardedSystem) ShardPrefixes() map[string][]string {
+	out := make(map[string][]string, len(ss.shards))
+	for _, sh := range ss.shards {
+		out[sh.name] = append([]string(nil), sh.prefixes...)
+	}
+	return out
+}
+
+// PostCountOfUser reports the user's global post count |P_u| from the
+// shared metadata database of an in-process build (the HTTP server uses
+// it to enrich results). A remote-only composition holds no metadata
+// replica at the router and reports 0.
+func (ss *ShardedSystem) PostCountOfUser(uid UserID) int {
+	if len(ss.Systems) > 0 {
+		return ss.Systems[0].DB.PostCountOfUser(uid)
+	}
+	return 0
+}
+
+// BreakerStates reports each shard's circuit-breaker state by name
+// (closed, open, half_open) — the operator's view of tier health.
+func (ss *ShardedSystem) BreakerStates() map[string]string {
+	out := make(map[string]string, len(ss.shards))
+	for _, sh := range ss.shards {
+		out[sh.name] = sh.br.snapshot().String()
+	}
+	return out
+}
+
+// errBreakerOpen marks a sub-query rejected without reaching the backend.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// Search executes a TkLUS query across the shards: compute the circle
+// cover at the sharding prefix length, fan the query to the shards owning
+// a covered prefix, and merge their partials into the exact monolithic
+// top-k. Shards that time out, error, or sit behind an open breaker are
+// reported in QueryStats.DegradedShards (unless FailOnPartial); the query
+// fails with ErrShardUnavailable only when no overlapping shard answers.
+// It implements Searcher.
+func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	cover := geo.CircleCover(q.Loc, q.RadiusKm, ss.cfg.PrefixLen)
+	targets := make([]int, 0, len(ss.shards))
+	seen := make(map[int]bool, len(ss.shards))
+	for _, cell := range cover {
+		if i, ok := ss.byPrefix[cell]; ok && !seen[i] {
+			seen[i] = true
+			targets = append(targets, i)
+		}
+	}
+	sort.Ints(targets)
+	if len(targets) == 0 {
+		// No shard owns a covered prefix: no indexed post can lie inside
+		// the circle, the same empty outcome a monolithic search produces.
+		return []UserResult{}, &QueryStats{Cells: len(cover), Elapsed: time.Since(start)}, nil
+	}
+
+	type outcome struct {
+		parts   *core.Partials
+		err     error
+		elapsed time.Duration
+		hedged  bool
+	}
+	outs := make([]outcome, len(targets))
+	_ = core.RunJobs(ctx, len(targets), len(targets), func(ctx context.Context, i int) error {
+		sh := ss.shards[targets[i]]
+		t0 := time.Now()
+		parts, hedged, err := ss.callShard(ctx, sh, q)
+		outs[i] = outcome{parts: parts, err: err, elapsed: time.Since(t0), hedged: hedged}
+		return nil // shard failures degrade the query below, never cancel siblings
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	good := make([]*core.Partials, 0, len(targets))
+	var failures []core.ShardFailure
+	for i, o := range outs {
+		sh := ss.shards[targets[i]]
+		ss.metrics.observeShard(sh.name, o.elapsed, o.err, o.hedged)
+		if o.err != nil {
+			failures = append(failures, core.ShardFailure{Shard: sh.name, Reason: o.err.Error()})
+			continue
+		}
+		good = append(good, o.parts)
+	}
+	if len(good) == 0 {
+		ss.metrics.countQuery("unavailable")
+		return nil, nil, fmt.Errorf("tklus: %w: all %d overlapping shards failed (first: %s)",
+			core.ErrShardUnavailable, len(targets), failures[0].Reason)
+	}
+	if len(failures) > 0 && ss.cfg.FailOnPartial {
+		ss.metrics.countQuery("unavailable")
+		return nil, nil, fmt.Errorf("tklus: %w: shard %s failed and partial results are disabled: %s",
+			core.ErrShardUnavailable, failures[0].Shard, failures[0].Reason)
+	}
+
+	results, stats, err := core.MergePartials(q, ss.alpha, good)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.DegradedShards = failures
+	stats.Elapsed = time.Since(start)
+	if len(failures) > 0 {
+		ss.metrics.countQuery("degraded")
+	} else {
+		ss.metrics.countQuery("ok")
+	}
+	return results, stats, nil
+}
+
+// SearchContext is Search under its pre-redesign name.
+//
+// Deprecated: use Search.
+func (ss *ShardedSystem) SearchContext(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+	return ss.Search(ctx, q)
+}
+
+// callShard runs one shard sub-query through the breaker, the derived
+// deadline, and the hedged attempt pair.
+func (ss *ShardedSystem) callShard(ctx context.Context, sh *shard, q Query) (*core.Partials, bool, error) {
+	if !sh.br.allow() {
+		ss.metrics.countRejected(sh.name)
+		return nil, false, fmt.Errorf("shard %s: %w", sh.name, errBreakerOpen)
+	}
+	// Per-shard deadline derived from the request context: the configured
+	// shard timeout, or 90% of the context's remaining budget if that is
+	// tighter — the headroom pays for the merge.
+	timeout := ss.cfg.ShardTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl) * 9 / 10
+		if timeout <= 0 || remaining < timeout {
+			timeout = remaining
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	parts, hedged, err := ss.attempt(ctx, sh, q)
+	if err != nil {
+		sh.br.onFailure()
+	} else {
+		sh.br.onSuccess()
+	}
+	return parts, hedged, err
+}
+
+// attempt issues the sub-query with at most one backup attempt: the hedge
+// fires after HedgeDelay if the shard has not answered (the straggler
+// case), or immediately when the first attempt fails fast (the transient-
+// error case). The first success wins; the loser's context is canceled.
+func (ss *ShardedSystem) attempt(ctx context.Context, sh *shard, q Query) (*core.Partials, bool, error) {
+	if ss.cfg.HedgeDelay <= 0 {
+		parts, err := sh.backend.SearchPartials(ctx, q)
+		return parts, false, err
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		parts *core.Partials
+		err   error
+	}
+	ch := make(chan res, 2)
+	run := func() {
+		parts, err := sh.backend.SearchPartials(actx, q)
+		ch <- res{parts, err}
+	}
+	go run()
+	timer := time.NewTimer(ss.cfg.HedgeDelay)
+	defer timer.Stop()
+	outstanding := 1
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				return r.parts, hedged, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !hedged {
+				hedged = true
+				outstanding++
+				go run()
+				continue
+			}
+			if outstanding == 0 {
+				return nil, hedged, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				outstanding++
+				go run()
+			}
+		case <-ctx.Done():
+			return nil, hedged, ctx.Err()
+		}
+	}
+}
+
+// shardedMetrics bundles the router's telemetry handles. A nil receiver is
+// a no-op so an unregistered router costs nothing.
+type shardedMetrics struct {
+	reg *telemetry.Registry
+}
+
+// RegisterMetrics hooks the router into a telemetry registry: per-shard
+// request counters by outcome, per-shard latency histograms, hedge
+// counters, breaker-state gauges, and router-level query outcomes.
+func (ss *ShardedSystem) RegisterMetrics(reg *telemetry.Registry) {
+	ss.metrics = &shardedMetrics{reg: reg}
+	for _, sh := range ss.shards {
+		sh := sh
+		// Pre-register the per-shard series so a fresh tier scrapes a
+		// complete all-zero set, matching the server metrics' convention.
+		for _, outcome := range []string{"ok", "error", "rejected"} {
+			reg.Counter("tklus_shard_requests_total",
+				"Per-shard sub-queries by outcome.",
+				telemetry.Labels{"shard": sh.name, "outcome": outcome})
+		}
+		reg.Counter("tklus_shard_hedges_total",
+			"Backup sub-queries launched against straggler or failing shards.",
+			telemetry.Labels{"shard": sh.name})
+		reg.Histogram("tklus_shard_request_seconds",
+			"Per-shard sub-query latency (including hedges and timeouts).",
+			telemetry.Labels{"shard": sh.name}, nil)
+		reg.GaugeFunc("tklus_shard_breaker_state",
+			"Circuit breaker state per shard (0 closed, 1 half-open, 2 open).",
+			telemetry.Labels{"shard": sh.name}, func() float64 {
+				switch sh.br.snapshot() {
+				case breakerOpen:
+					return 2
+				case breakerHalfOpen:
+					return 1
+				default:
+					return 0
+				}
+			})
+	}
+	for _, outcome := range []string{"ok", "degraded", "unavailable"} {
+		reg.Counter("tklus_sharded_queries_total",
+			"Scatter-gather queries by outcome.", telemetry.Labels{"outcome": outcome})
+	}
+}
+
+func (m *shardedMetrics) observeShard(name string, d time.Duration, err error, hedged bool) {
+	if m == nil {
+		return
+	}
+	outcome := "ok"
+	if errors.Is(err, errBreakerOpen) {
+		return // counted by countRejected at the breaker
+	} else if err != nil {
+		outcome = "error"
+	}
+	m.reg.Counter("tklus_shard_requests_total", "Per-shard sub-queries by outcome.",
+		telemetry.Labels{"shard": name, "outcome": outcome}).Inc()
+	m.reg.Histogram("tklus_shard_request_seconds",
+		"Per-shard sub-query latency (including hedges and timeouts).",
+		telemetry.Labels{"shard": name}, nil).Observe(d.Seconds())
+	if hedged {
+		m.reg.Counter("tklus_shard_hedges_total",
+			"Backup sub-queries launched against straggler or failing shards.",
+			telemetry.Labels{"shard": name}).Inc()
+	}
+}
+
+func (m *shardedMetrics) countRejected(name string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("tklus_shard_requests_total", "Per-shard sub-queries by outcome.",
+		telemetry.Labels{"shard": name, "outcome": "rejected"}).Inc()
+}
+
+func (m *shardedMetrics) countQuery(outcome string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("tklus_sharded_queries_total", "Scatter-gather queries by outcome.",
+		telemetry.Labels{"outcome": outcome}).Inc()
+}

@@ -1,0 +1,571 @@
+package tklus_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	tklus "repro"
+	"repro/internal/datagen"
+	"repro/internal/geo"
+)
+
+// buildBoth builds a monolithic system and a sharded tier over the same
+// corpus and configuration.
+func buildMonoAndSharded(t testing.TB, posts, shards int) (*tklus.System, *tklus.ShardedSystem, *datagen.Corpus) {
+	t.Helper()
+	sc := tklus.DefaultShardingConfig()
+	sc.NumShards = shards
+	return buildMonoAndShardedCfg(t, posts, sc)
+}
+
+func buildMonoAndShardedCfg(t testing.TB, posts int, sc tklus.ShardingConfig) (*tklus.System, *tklus.ShardedSystem, *datagen.Corpus) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 500
+	cfg.NumPosts = posts
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := tklus.Build(corpus.Posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := tklus.BuildSharded(corpus.Posts, tklus.DefaultConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mono, sharded, corpus
+}
+
+// corpusWindow returns a time window covering the middle half of the
+// corpus's time span.
+func corpusWindow(corpus *datagen.Corpus) *tklus.TimeWindow {
+	lo, hi := corpus.Posts[0].Time, corpus.Posts[0].Time
+	for _, p := range corpus.Posts {
+		if p.Time.Before(lo) {
+			lo = p.Time
+		}
+		if p.Time.After(hi) {
+			hi = p.Time
+		}
+	}
+	span := hi.Sub(lo)
+	return &tklus.TimeWindow{From: lo.Add(span / 4), To: hi.Add(-span / 4)}
+}
+
+// TestShardedMatchesMonolithic is the tier's core guarantee: when every
+// shard answers, the merged scatter-gather results are byte-identical to
+// a monolithic build over the same corpus — same users, same float64
+// scores, same order — across semantics, rankings, radii and windows.
+func TestShardedMatchesMonolithic(t *testing.T) {
+	mono, sharded, corpus := buildMonoAndSharded(t, 6000, 4)
+	window := corpusWindow(corpus)
+	ctx := context.Background()
+
+	for _, city := range []int{0, 1} {
+		for _, sem := range []tklus.Query{{Semantic: tklus.Or}, {Semantic: tklus.And}} {
+			for _, ranking := range []int{0, 1} {
+				for _, radius := range []float64{8, 40} {
+					for _, win := range []*tklus.TimeWindow{nil, window} {
+						q := tklus.Query{
+							Loc:        corpus.Config.Cities[city].Center,
+							RadiusKm:   radius,
+							Keywords:   []string{"pizza", "restaurant"},
+							K:          10,
+							Semantic:   sem.Semantic,
+							TimeWindow: win,
+						}
+						if ranking == 1 {
+							q.Ranking = tklus.MaxScore
+						}
+						name := fmt.Sprintf("city%d/%v/%v/r%.0f/win%v",
+							city, q.Semantic, q.Ranking, radius, win != nil)
+						want, _, err := mono.Search(ctx, q)
+						if err != nil {
+							t.Fatalf("%s: mono: %v", name, err)
+						}
+						got, stats, err := sharded.Search(ctx, q)
+						if err != nil {
+							t.Fatalf("%s: sharded: %v", name, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("%s: sharded results differ\n got: %v\nwant: %v", name, got, want)
+						}
+						if stats.Degraded() {
+							t.Errorf("%s: unexpected degradation: %v", name, stats.DegradedShards)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMatchesMonolithicShardCounts varies the partitioning: the
+// merge must be exact no matter how many shards the corpus splits into.
+func TestShardedMatchesMonolithicShardCounts(t *testing.T) {
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 400
+	cfg.NumPosts = 4000
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := tklus.Build(corpus.Posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tklus.Query{
+		Loc: corpus.Config.Cities[0].Center, RadiusKm: 25,
+		Keywords: []string{"hotel", "pizza"}, K: 10, Ranking: tklus.MaxScore,
+	}
+	want, _, err := mono.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 5, 9} {
+		sc := tklus.DefaultShardingConfig()
+		sc.NumShards = n
+		sharded, err := tklus.BuildSharded(corpus.Posts, tklus.DefaultConfig(), sc)
+		if err != nil {
+			t.Fatalf("%d shards: %v", n, err)
+		}
+		got, _, err := sharded.Search(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%d shards: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%d shards: results differ\n got: %v\nwant: %v", n, got, want)
+		}
+	}
+}
+
+// TestShardedExactDistance covers the merge's exact-δ(u,q) path
+// (Options.ExactUserDistance), where shards ship the whole-corpus user
+// distance instead of candidate deltas.
+func TestShardedExactDistance(t *testing.T) {
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 300
+	cfg.NumPosts = 3000
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := tklus.DefaultConfig()
+	scfg.Engine.ExactUserDistance = true
+	mono, err := tklus.Build(corpus.Posts, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tklus.DefaultShardingConfig()
+	sc.NumShards = 3
+	sharded, err := tklus.BuildSharded(corpus.Posts, scfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranking := range []int{0, 1} {
+		q := tklus.Query{
+			Loc: corpus.Config.Cities[0].Center, RadiusKm: 20,
+			Keywords: []string{"restaurant"}, K: 8,
+		}
+		if ranking == 1 {
+			q.Ranking = tklus.MaxScore
+		}
+		want, _, err := mono.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sharded.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ranking %v: exact-distance results differ\n got: %v\nwant: %v",
+				q.Ranking, got, want)
+		}
+	}
+}
+
+// TestShardedEmptyRegion queries a circle no shard owns: the router must
+// answer empty like a monolithic system, not error.
+func TestShardedEmptyRegion(t *testing.T) {
+	_, sharded, _ := buildMonoAndSharded(t, 2000, 3)
+	res, stats, err := sharded.Search(context.Background(), tklus.Query{
+		Loc: tklus.Point{Lat: -47.2, Lon: 9.5}, RadiusKm: 5,
+		Keywords: []string{"hotel"}, K: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("results from unowned region: %v", res)
+	}
+	if stats.Degraded() {
+		t.Fatalf("unexpected degradation: %v", stats.DegradedShards)
+	}
+}
+
+// faultBackend wraps a shard backend with injectable failures and delays.
+type faultBackend struct {
+	inner tklus.ShardBackend
+
+	mu    sync.Mutex
+	calls int
+	// failAll makes every call return an error.
+	failAll bool
+	// slowFirst makes the first call per query batch hang until the
+	// context is canceled; later calls pass through immediately.
+	slowFirst bool
+}
+
+func (f *faultBackend) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *faultBackend) set(fn func(*faultBackend)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+func (f *faultBackend) SearchPartials(ctx context.Context, q tklus.Query) (*tklus.Partials, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	failAll, slowFirst := f.failAll, f.slowFirst
+	f.mu.Unlock()
+	if failAll {
+		return nil, errors.New("injected fault")
+	}
+	if slowFirst && n == 1 {
+		<-ctx.Done() // straggle until the router gives up on this attempt
+		return nil, ctx.Err()
+	}
+	return f.inner.SearchPartials(ctx, q)
+}
+
+// rewireWithFaults rebuilds a router over the same shard systems and
+// partitioning, wrapping every backend in a faultBackend.
+func rewireWithFaults(t *testing.T, sharded *tklus.ShardedSystem, sc tklus.ShardingConfig) (*tklus.ShardedSystem, []*faultBackend) {
+	t.Helper()
+	prefixes := sharded.ShardPrefixes()
+	names := sharded.ShardNames()
+	specs := make([]tklus.ShardSpec, len(names))
+	faults := make([]*faultBackend, len(names))
+	for i, name := range names {
+		faults[i] = &faultBackend{inner: sharded.Systems[i]}
+		specs[i] = tklus.ShardSpec{Name: name, Backend: faults[i], Prefixes: prefixes[name]}
+	}
+	alpha := tklus.DefaultConfig().Engine.Params.Alpha
+	rewired, err := tklus.NewSharded(alpha, sc, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rewired, faults
+}
+
+// wideQuery returns a query whose circle covers every shard the corpus's
+// first city touches.
+func wideQuery(corpus *datagen.Corpus) tklus.Query {
+	return tklus.Query{
+		Loc: corpus.Config.Cities[0].Center, RadiusKm: 60,
+		Keywords: []string{"pizza"}, K: 10, Ranking: tklus.MaxScore,
+	}
+}
+
+// faultSharding is the partitioning the fault-injection tests use: a
+// 4-character prefix (~39×20 km cells) spreads one city's posts across
+// several shards, so killing one shard still leaves overlapping survivors
+// with candidates.
+func faultSharding() tklus.ShardingConfig {
+	sc := tklus.DefaultShardingConfig()
+	sc.NumShards = 3
+	sc.PrefixLen = 4
+	sc.HedgeDelay = 0 // tests that hedge opt back in explicitly
+	return sc
+}
+
+// shardOwning returns the index of the shard owning the cell of loc — a
+// shard every wideQuery-style query must route to.
+func shardOwning(t *testing.T, ss *tklus.ShardedSystem, loc tklus.Point, prefixLen int) int {
+	t.Helper()
+	pre := geo.Encode(loc, prefixLen)
+	prefixes := ss.ShardPrefixes()
+	for i, name := range ss.ShardNames() {
+		for _, p := range prefixes[name] {
+			if p == pre {
+				return i
+			}
+		}
+	}
+	t.Fatalf("no shard owns prefix %q", pre)
+	return -1
+}
+
+// routerWithout composes a router over the same shard systems minus one —
+// the oracle for what a degraded query should return.
+func routerWithout(t *testing.T, sharded *tklus.ShardedSystem, sc tklus.ShardingConfig, skip int) *tklus.ShardedSystem {
+	t.Helper()
+	prefixes := sharded.ShardPrefixes()
+	var specs []tklus.ShardSpec
+	for i, name := range sharded.ShardNames() {
+		if i == skip {
+			continue
+		}
+		specs = append(specs, tklus.ShardSpec{
+			Name: name, Backend: sharded.Systems[i], Prefixes: prefixes[name],
+		})
+	}
+	alive, err := tklus.NewSharded(tklus.DefaultConfig().Engine.Params.Alpha, sc, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alive
+}
+
+// TestShardedHedgeBeatsStraggler injects a shard whose first attempt
+// hangs: the hedged backup must answer, the query must come back whole
+// (no degradation, byte-identical to the monolithic results), and the
+// backend must have been called exactly twice.
+func TestShardedHedgeBeatsStraggler(t *testing.T) {
+	sc := faultSharding()
+	sc.HedgeDelay = 20 * time.Millisecond
+	sc.ShardTimeout = 10 * time.Second // only the hedge should race the straggler
+	mono, built, corpus := buildMonoAndShardedCfg(t, 3000, sc)
+	sharded, faults := rewireWithFaults(t, built, sc)
+
+	q := wideQuery(corpus)
+	victim := shardOwning(t, sharded, q.Loc, sc.PrefixLen)
+	faults[victim].set(func(f *faultBackend) { f.slowFirst = true })
+
+	want, _, err := mono.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := sharded.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded() {
+		t.Fatalf("hedge should have saved the query, got degradation: %v", stats.DegradedShards)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("hedged results differ\n got: %v\nwant: %v", got, want)
+	}
+	if calls := faults[victim].callCount(); calls != 2 {
+		t.Errorf("straggler shard called %d times, want 2 (original + hedge)", calls)
+	}
+}
+
+// TestShardedDeadShardDegrades kills the shard owning the query's center
+// cell: the query must still return the merged results of the surviving
+// shards — exactly what a router without the dead shard computes — with
+// the dead shard reported in QueryStats.DegradedShards.
+func TestShardedDeadShardDegrades(t *testing.T) {
+	sc := faultSharding()
+	_, built, corpus := buildMonoAndShardedCfg(t, 3000, sc)
+	sharded, faults := rewireWithFaults(t, built, sc)
+
+	q := wideQuery(corpus)
+	victim := shardOwning(t, sharded, q.Loc, sc.PrefixLen)
+	faults[victim].set(func(f *faultBackend) { f.failAll = true })
+
+	want, _, err := routerWithout(t, built, sc, victim).Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := sharded.Search(context.Background(), q)
+	if err != nil {
+		t.Fatalf("partial-results mode must not fail: %v", err)
+	}
+	if !stats.Degraded() {
+		t.Fatal("degradation not reported")
+	}
+	victimName := sharded.ShardNames()[victim]
+	if len(stats.DegradedShards) != 1 || stats.DegradedShards[0].Shard != victimName {
+		t.Fatalf("DegradedShards = %v, want exactly %s", stats.DegradedShards, victimName)
+	}
+	if stats.DegradedShards[0].Reason == "" {
+		t.Fatal("degradation reason empty")
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Errorf("degraded results differ from surviving-shard merge\n got: %v\nwant: %v", res, want)
+	}
+	if len(want) == 0 {
+		t.Error("surviving shards produced no results; the degradation oracle is vacuous")
+	}
+}
+
+// TestShardedFailOnPartial flips the mode: the same dead shard must now
+// fail the whole query with ErrShardUnavailable.
+func TestShardedFailOnPartial(t *testing.T) {
+	sc := faultSharding()
+	sc.FailOnPartial = true
+	_, built, corpus := buildMonoAndShardedCfg(t, 3000, sc)
+	sharded, faults := rewireWithFaults(t, built, sc)
+
+	q := wideQuery(corpus)
+	victim := shardOwning(t, sharded, q.Loc, sc.PrefixLen)
+	faults[victim].set(func(f *faultBackend) { f.failAll = true })
+	_, _, err := sharded.Search(context.Background(), q)
+	if !errors.Is(err, tklus.ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+}
+
+// TestShardedAllShardsDead: with every overlapping shard down the router
+// has nothing to merge and must fail with ErrShardUnavailable.
+func TestShardedAllShardsDead(t *testing.T) {
+	sc := faultSharding()
+	_, built, corpus := buildMonoAndShardedCfg(t, 3000, sc)
+	sharded, faults := rewireWithFaults(t, built, sc)
+
+	for _, f := range faults {
+		f.set(func(f *faultBackend) { f.failAll = true })
+	}
+	_, _, err := sharded.Search(context.Background(), wideQuery(corpus))
+	if !errors.Is(err, tklus.ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+}
+
+// TestShardedBreakerTripsAndRecovers drives the full breaker lifecycle
+// through real queries: consecutive failures trip the breaker (later
+// queries fail fast without touching the backend), and after the cooldown
+// a probe request heals the tier.
+func TestShardedBreakerTripsAndRecovers(t *testing.T) {
+	sc := faultSharding()
+	sc.BreakerThreshold = 2
+	sc.BreakerCooldown = 50 * time.Millisecond
+	mono, built, corpus := buildMonoAndShardedCfg(t, 3000, sc)
+	sharded, faults := rewireWithFaults(t, built, sc)
+
+	q := wideQuery(corpus)
+	victim := shardOwning(t, sharded, q.Loc, sc.PrefixLen)
+	victimName := sharded.ShardNames()[victim]
+	dead := faults[victim]
+	dead.set(func(f *faultBackend) { f.failAll = true })
+
+	// Two failing queries trip the breaker.
+	for i := 0; i < 2; i++ {
+		_, stats, err := sharded.Search(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !stats.Degraded() {
+			t.Fatalf("query %d: degradation not reported", i)
+		}
+	}
+	if calls := dead.callCount(); calls != 2 {
+		t.Fatalf("dead shard called %d times before trip, want 2", calls)
+	}
+	if state := sharded.BreakerStates()[victimName]; state != "open" {
+		t.Fatalf("breaker state = %q, want open", state)
+	}
+
+	// While open, queries degrade instantly: the backend sees no call and
+	// the reason names the breaker.
+	_, stats, err := sharded.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := dead.callCount(); calls != 2 {
+		t.Fatalf("open breaker leaked a call: %d", calls)
+	}
+	if !stats.Degraded() || !strings.Contains(stats.DegradedShards[0].Reason, "circuit breaker open") {
+		t.Fatalf("DegradedShards = %v, want a circuit-breaker reason", stats.DegradedShards)
+	}
+
+	// Heal the shard, wait out the cooldown: the half-open probe closes
+	// the circuit and results come back whole.
+	dead.set(func(f *faultBackend) { f.failAll = false })
+	time.Sleep(sc.BreakerCooldown + 20*time.Millisecond)
+	want, _, err := mono.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := sharded.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded() {
+		t.Fatalf("recovered tier still degraded: %v", stats.DegradedShards)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered results differ\n got: %v\nwant: %v", got, want)
+	}
+	if state := sharded.BreakerStates()[victimName]; state != "closed" {
+		t.Fatalf("breaker state = %q, want closed", state)
+	}
+}
+
+// TestShardedConcurrentQueries hammers the router from many goroutines —
+// the -race lane's coverage of the scatter-gather and breaker paths.
+func TestShardedConcurrentQueries(t *testing.T) {
+	mono, sharded, corpus := buildMonoAndSharded(t, 3000, 4)
+	q := wideQuery(corpus)
+	want, _, err := mono.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := sharded.Search(context.Background(), q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				errs <- fmt.Errorf("concurrent query diverged: %v", got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestShardedSearcherCompliance pins the API redesign: all four serving
+// arrangements satisfy tklus.Searcher at compile time and answer the same
+// query through the one interface.
+func TestShardedSearcherCompliance(t *testing.T) {
+	mono, sharded, corpus := buildMonoAndSharded(t, 2000, 2)
+	fed := tklus.NewFederation(map[string]*tklus.System{"main": mono})
+	parted, err := tklus.BuildPartitioned(corpus.Posts, tklus.DefaultConfig(), 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tklus.Query{
+		Loc: corpus.Config.Cities[0].Center, RadiusKm: 15,
+		Keywords: []string{"hotel"}, K: 5,
+	}
+	for name, sr := range map[string]tklus.Searcher{
+		"system": mono, "partitioned": parted, "sharded": sharded, "federation": fed,
+	} {
+		res, stats, err := sr.Search(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res) == 0 {
+			t.Errorf("%s: no results", name)
+		}
+		if stats == nil {
+			t.Errorf("%s: nil stats", name)
+		}
+	}
+}

@@ -21,7 +21,7 @@
 //
 //	posts := []*tklus.Post{ ... }
 //	sys, err := tklus.Build(posts, tklus.DefaultConfig())
-//	results, stats, err := sys.Search(tklus.Query{
+//	results, stats, err := sys.Search(context.Background(), tklus.Query{
 //	    Loc:      tklus.Point{Lat: 43.68, Lon: -79.37},
 //	    RadiusKm: 10,
 //	    Keywords: []string{"hotel"},
@@ -71,6 +71,51 @@ type (
 	QueryStats = core.QueryStats
 	// Params are the scoring-model parameters of Section III.
 	Params = score.Params
+	// Semantic selects Or / And keyword matching (Section V-A).
+	Semantic = core.Semantic
+	// Ranking selects SumScore / MaxScore user ranking (Definitions 7, 8).
+	Ranking = core.Ranking
+	// ShardFailure identifies one shard that dropped out of a
+	// scatter-gather query (QueryStats.DegradedShards).
+	ShardFailure = core.ShardFailure
+	// Partials is a shard's half-finished answer to a scatter-gather
+	// query: scored candidates plus per-user corpus facts, mergeable into
+	// the exact monolithic top-k.
+	Partials = core.Partials
+	// CandidateScore is one scored candidate tweet inside Partials.
+	CandidateScore = core.CandidateScore
+	// UserPartial carries the per-user corpus facts inside Partials.
+	UserPartial = core.UserPartial
+)
+
+// Re-exported error sentinels. Classify engine and router failures with
+// errors.Is; the HTTP server maps them to 400, 404 and 503.
+var (
+	// ErrBadQuery marks a query that fails validation.
+	ErrBadQuery = core.ErrBadQuery
+	// ErrNoResults marks a lookup whose subject does not exist.
+	ErrNoResults = core.ErrNoResults
+	// ErrShardUnavailable marks a scatter-gather query that could not be
+	// answered because the shards it needed were down.
+	ErrShardUnavailable = core.ErrShardUnavailable
+)
+
+// Searcher is the one query interface every serving arrangement
+// implements: a single monolithic System, a time-partitioned
+// PartitionedSystem, a geo-sharded ShardedSystem, and a cross-platform
+// Federation. Code written against Searcher — the HTTP server included —
+// runs unchanged over any of them. The context carries cancellation and
+// the deadline budget; implementations abort early once it is done.
+type Searcher interface {
+	Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error)
+}
+
+// Every serving arrangement satisfies Searcher.
+var (
+	_ Searcher = (*System)(nil)
+	_ Searcher = (*PartitionedSystem)(nil)
+	_ Searcher = (*ShardedSystem)(nil)
+	_ Searcher = (*Federation)(nil)
 )
 
 // Relation kinds of a post.
@@ -253,15 +298,27 @@ func (s *System) Evidence(q Query, uid UserID, limit int) ([]string, error) {
 	return s.Contents.Collect(sids)
 }
 
-// Search executes a TkLUS query.
-func (s *System) Search(q Query) ([]UserResult, *QueryStats, error) {
-	return s.Engine.Search(q)
+// Search executes a TkLUS query. The query aborts with the context's
+// error at the next candidate boundary once ctx is done. It implements
+// Searcher.
+func (s *System) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+	return s.Engine.SearchContext(ctx, q)
 }
 
-// SearchContext is Search with cancellation: the query aborts with the
-// context's error once ctx is done.
+// SearchContext is Search under its pre-redesign name, from when the
+// context-free variant held the Search name.
+//
+// Deprecated: use Search.
 func (s *System) SearchContext(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
-	return s.Engine.SearchContext(ctx, q)
+	return s.Search(ctx, q)
+}
+
+// SearchNoCtx is the old context-free Search.
+//
+// Deprecated: use Search with a real context so serving deadlines and
+// client disconnects propagate into the query pipeline.
+func (s *System) SearchNoCtx(q Query) ([]UserResult, *QueryStats, error) {
+	return s.Search(context.Background(), q)
 }
 
 // ResetStats zeroes every layer's I/O and work counters, so the next query

@@ -1,6 +1,7 @@
 package tklus_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -41,7 +42,7 @@ func TestBuildAndSearchEndToEnd(t *testing.T) {
 		if ranking == 1 {
 			q.Ranking = tklus.MaxScore
 		}
-		res, stats, err := sys.Search(q)
+		res, stats, err := sys.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestResetStats(t *testing.T) {
 		Loc: corpus.Config.Cities[0].Center, RadiusKm: 10,
 		Keywords: []string{"pizza"}, K: 5,
 	}
-	if _, _, err := sys.Search(q); err != nil {
+	if _, _, err := sys.Search(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	sys.ResetStats()
@@ -125,7 +126,7 @@ func TestEvidenceReturnsMatchingTexts(t *testing.T) {
 		Loc: toronto, RadiusKm: 15, Keywords: []string{"restaurant"}, K: 3,
 		Ranking: tklus.MaxScore,
 	}
-	res, _, err := sys.Search(q)
+	res, _, err := sys.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestEndToEndWithRawTextPosts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := sys.Search(tklus.Query{
+	res, _, err := sys.Search(context.Background(), tklus.Query{
 		Loc: loc, RadiusKm: 5, Keywords: []string{"hotels"}, K: 3, Ranking: tklus.MaxScore,
 	})
 	if err != nil {
