@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench bench-compare bench-sharded clean
+.PHONY: all build test short race vet fmt bench bench-compare bench-sharded bench-batchio clean
 
 all: build test
 
@@ -53,5 +53,16 @@ bench-sharded:
 		-telemetry "" -parallel "" -sharded BENCH_sharded.json
 	$(GO) run ./cmd/tklus-benchcheck -in "" -sharded-in BENCH_sharded.json
 
+# Batched-IO gate: compare point lookups, multi-get batches, and the CSR
+# reply-graph snapshot on the large-radius OR workload, single-threaded so
+# the comparison isolates the IO access pattern. Fails unless results were
+# byte-identical across all three configurations and the snapshot beat the
+# point-lookup p95 by >= 2x. BENCH_batchio.json is the evidence artifact.
+bench-batchio:
+	GOMAXPROCS=4 $(GO) run ./cmd/tklus-bench -fig batchio \
+		-posts 20000 -users 2000 -queries 8 -iolat 100us \
+		-telemetry "" -parallel "" -batchio BENCH_batchio.json
+	$(GO) run ./cmd/tklus-benchcheck -in "" -batchio-in BENCH_batchio.json -min-batchio-speedup 2.0
+
 clean:
-	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json

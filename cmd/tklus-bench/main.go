@@ -48,6 +48,8 @@ func main() {
 			"write the sequential-vs-parallel comparison to this file (empty disables)")
 		sharded = flag.String("sharded", "",
 			"write the sharded scatter-gather scaling run to this file (empty disables; the bench-sharded lane passes BENCH_sharded.json)")
+		batchio = flag.String("batchio", "",
+			"write the point-vs-batched-vs-snapshot IO comparison to this file (empty disables; the bench-batchio lane passes BENCH_batchio.json)")
 	)
 	flag.Parse()
 
@@ -128,6 +130,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[sharded scaling run (%d tiers, identical=%v) written to %s in %v]\n",
 			len(snap.Points), snap.ResultsIdentical, *sharded, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *batchio != "" {
+		t0 := time.Now()
+		snap, err := setup.BatchIOCompare() // memoized if the runner already ran
+		if err != nil {
+			log.Fatalf("batchio comparison: %v", err)
+		}
+		f, err := os.Create(*batchio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[batchio comparison (snapshot p95 speedup %.2fx, identical=%v) written to %s in %v]\n",
+			snap.SnapSpeedupP95, snap.ResultsIdentical, *batchio, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *telemetry != "" {

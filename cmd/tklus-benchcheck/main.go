@@ -13,10 +13,17 @@
 // query, and zero degraded queries over healthy shards (the bench-sharded
 // lane).
 //
+// The batchio gate (-batchio-in) reads BENCH_batchio.json and exits
+// non-zero unless results were byte-identical across the point-lookup,
+// batched, and CSR-snapshot configurations AND the snapshot configuration
+// beat the point-lookup baseline's p95 by the required factor (the
+// bench-batchio lane).
+//
 // Usage:
 //
 //	tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
 //	tklus-benchcheck -in "" -sharded-in BENCH_sharded.json
+//	tklus-benchcheck -in "" -batchio-in BENCH_batchio.json -min-batchio-speedup 2.0
 package main
 
 import (
@@ -39,14 +46,21 @@ func main() {
 			"fail unless overall p95 speedup (sequential/parallel) is at least this")
 		shardedIn = flag.String("sharded-in", "",
 			"sharded scaling snapshot written by tklus-bench -sharded (empty skips the sharded gate)")
+		batchioIn = flag.String("batchio-in", "",
+			"batched-IO snapshot written by tklus-bench -batchio (empty skips the batchio gate)")
+		minBatchioSpeedup = flag.Float64("min-batchio-speedup", 2.0,
+			"fail unless the CSR-snapshot configuration's p95 speedup over point lookups is at least this")
 	)
 	flag.Parse()
 
-	if *in == "" && *shardedIn == "" {
-		log.Fatal("nothing to check: both -in and -sharded-in are empty")
+	if *in == "" && *shardedIn == "" && *batchioIn == "" {
+		log.Fatal("nothing to check: -in, -sharded-in and -batchio-in are all empty")
 	}
 	if *shardedIn != "" {
 		checkSharded(*shardedIn)
+	}
+	if *batchioIn != "" {
+		checkBatchIO(*batchioIn, *minBatchioSpeedup)
 	}
 	if *in == "" {
 		return
@@ -118,4 +132,43 @@ func checkSharded(path string) {
 		}
 	}
 	fmt.Println("sharded ok")
+}
+
+// checkBatchIO gates the batched-IO snapshot: results must be identical
+// across all three IO configurations, and the CSR-snapshot configuration
+// must beat the point-lookup baseline's p95 by the required factor on the
+// large-radius OR workload.
+func checkBatchIO(path string, minSpeedup float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := experiments.ReadBatchIOSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Classes) == 0 {
+		log.Fatalf("%s holds no query classes — empty benchmark run?", path)
+	}
+
+	fmt.Printf("batchio: %d classes, iolat=%s\n", len(snap.Classes), snap.IOLatency)
+	for _, c := range snap.Classes {
+		fmt.Printf("  %dkw r=%.0fkm %s/%s: point p95 %.2fms, batch p95 %.2fms (%.2fx), snap p95 %.2fms (%.2fx), %d pages saved\n",
+			c.Keywords, c.RadiusKm, c.Semantic, c.Ranking,
+			c.PointP95Ms, c.BatchP95Ms, c.BatchSpeedupP95,
+			c.SnapP95Ms, c.SnapSpeedupP95, c.PagesSaved)
+	}
+	fmt.Printf("overall: point p95 %.2fms, batch p95 %.2fms (%.2fx), snap p95 %.2fms (%.2fx, required >= %.2fx)\n",
+		snap.OverallPointP95, snap.OverallBatchP95, snap.BatchSpeedupP95,
+		snap.OverallSnapP95, snap.SnapSpeedupP95, minSpeedup)
+
+	if !snap.ResultsIdentical {
+		log.Fatal("REGRESSION: results diverged across IO configurations")
+	}
+	if snap.SnapSpeedupP95 < minSpeedup {
+		log.Fatalf("REGRESSION: snapshot p95 speedup %.2fx below required %.2fx",
+			snap.SnapSpeedupP95, minSpeedup)
+	}
+	fmt.Println("batchio ok")
 }

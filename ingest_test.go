@@ -105,6 +105,79 @@ func TestIngestInvalidatesPopCache(t *testing.T) {
 	}
 }
 
+// TestIngestRaisesMaxRankingBounds is the regression test for the old
+// known limitation "max-ranking pruning bounds are batch-computed and not
+// raised by live ingest". Two threads grow past the offline MaxObserved
+// after Freeze: the first fills the top-k with a score above the stale
+// bound, so under stale bounds the second (now best) candidate's optimistic
+// upper bound would fall below the kth score and Algorithm 5 would prune
+// the true winner. With Ingest raising the bounds, pruned max-ranking
+// results must stay exact — identical to a pruning-off oracle and to a
+// fresh batch build.
+func TestIngestRaisesMaxRankingBounds(t *testing.T) {
+	posts, loc, roots := ingestCorpus()
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	at := time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	next := func() time.Time { at = at.Add(time.Second); return at }
+	var replies []*tklus.Post
+	for i := 0; i < 10; i++ { // u1's root is the first candidate in SID order
+		replies = append(replies, tklus.NewReply(600+tklus.UserID(i), next(), loc, "still growing", roots[0]))
+	}
+	for i := 0; i < 25; i++ { // u3's root, a later candidate, grows even larger
+		replies = append(replies, tklus.NewReply(700+tklus.UserID(i), next(), loc, "even busier", roots[2]))
+	}
+	if err := sys.Ingest(replies...); err != nil {
+		t.Fatal(err)
+	}
+
+	oracleCfg := tklus.DefaultConfig()
+	oracleCfg.Engine.UsePruning = false
+	oracle, err := tklus.Build(append(append([]*tklus.Post{}, posts...), replies...), oracleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := tklus.Build(append(append([]*tklus.Post{}, posts...), replies...), tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 3} {
+		q := tklus.Query{
+			Loc: loc, RadiusKm: 5, Keywords: []string{"hotel"},
+			K: k, Ranking: tklus.MaxScore,
+		}
+		got, _, err := sys.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: post-ingest results %v, pruning-off oracle %v", k, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("k=%d rank %d: post-ingest %+v, oracle %+v", k, i, got[i], want[i])
+			}
+		}
+		fwant, _, err := fresh.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != fwant[i] {
+				t.Errorf("k=%d rank %d: post-ingest %+v, fresh build %+v", k, i, got[i], fwant[i])
+			}
+		}
+	}
+}
+
 // TestIngestRules covers the Ingest error paths: out-of-order timestamps
 // are rejected and leave the system queryable.
 func TestIngestRules(t *testing.T) {

@@ -1,0 +1,62 @@
+package btree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestGetBatchMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tr := MustNew(8)
+	for i := 0; i < 5000; i++ {
+		k := rng.Int63n(20000)
+		tr.Insert(k, k*10+rng.Int63n(3))
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		keys := make([]int64, n)
+		for i := range keys {
+			if rng.Intn(4) == 0 && i > 0 {
+				keys[i] = keys[rng.Intn(i)] // duplicate query keys
+			} else {
+				keys[i] = rng.Int63n(25000) // present and absent mixed
+			}
+		}
+		got, visited := tr.GetBatchCounted(keys)
+		if len(got) != n {
+			t.Fatalf("batch returned %d slots for %d keys", len(got), n)
+		}
+		for i, k := range keys {
+			if want := tr.Get(k); !reflect.DeepEqual(got[i], want) && !(len(got[i]) == 0 && len(want) == 0) {
+				t.Fatalf("trial %d: batch[%d] for key %d = %v, want %v", trial, i, k, got[i], want)
+			}
+		}
+		if max := n * tr.Height(); visited > max {
+			t.Fatalf("trial %d: batch visited %d nodes, naive bound is %d", trial, visited, max)
+		}
+	}
+}
+
+func TestGetBatchEmptyAndAccessCounting(t *testing.T) {
+	tr := MustNew(4)
+	for k := int64(1); k <= 100; k++ {
+		tr.Insert(k, k)
+	}
+	if out, visited := tr.GetBatchCounted(nil); len(out) != 0 || visited != 0 {
+		t.Errorf("empty batch = %v, %d visited", out, visited)
+	}
+	tr.ResetAccesses()
+	_, visited := tr.GetBatchCounted([]int64{1, 2, 3, 50, 99})
+	if visited <= 0 {
+		t.Fatal("batch visited no nodes")
+	}
+	if acc := tr.Accesses(); acc != int64(visited) {
+		t.Errorf("accesses counter = %d, want %d", acc, visited)
+	}
+	// Sorted adjacent keys should share descents: far cheaper than one
+	// full descent per key.
+	if naive := 5 * tr.Height(); visited >= naive {
+		t.Errorf("adjacent-key batch visited %d nodes, no better than naive %d", visited, naive)
+	}
+}

@@ -198,7 +198,86 @@ func (t *Tree) GetCounted(key int64) ([]int64, int) {
 // Contains reports whether key is present.
 func (t *Tree) Contains(key int64) bool { return t.Get(key) != nil }
 
+// GetBatchCounted looks up every key of a batch and returns the value
+// lists aligned with the input, plus the total number of tree nodes the
+// batch visited. Keys are processed in ascending order regardless of input
+// order, so runs of nearby keys amortize traversal: after one root-to-leaf
+// descent the lookup advances along the leaf chain while the next key's
+// leaf is within a descent's worth of hops, and re-descends from the root
+// only for longer jumps. A batch therefore never visits more nodes than
+// the equivalent single-key loop (len(keys) descents of Height() nodes
+// each), and for clustered keys visits close to one node per touched leaf.
+func (t *Tree) GetBatchCounted(keys []int64) ([][]int64, int) {
+	out := make([][]int64, len(keys))
+	if len(keys) == 0 {
+		return out, 0
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	height := t.Height()
+	visited := 0
+	var lf *leafNode
+	for n, oi := range order {
+		key := keys[oi]
+		if n > 0 && key == keys[order[n-1]] {
+			out[oi] = out[order[n-1]] // duplicate key: reuse, no extra I/O
+			continue
+		}
+		lf, visited = t.seekLeaf(lf, key, height, visited)
+		idx := sort.Search(len(lf.keys), func(i int) bool { return lf.keys[i] >= key })
+		if idx < len(lf.keys) && lf.keys[idx] == key {
+			out[oi] = lf.vals[idx]
+		}
+	}
+	t.accesses.Add(int64(visited))
+	return out, visited
+}
+
+// seekLeaf positions the batch cursor on the leaf that may contain key,
+// either by walking the chain from the current leaf or by re-descending,
+// whichever touches fewer nodes. It returns the leaf and the updated visit
+// count. key must be >= every key sought before it (batch keys are sorted).
+func (t *Tree) seekLeaf(lf *leafNode, key int64, height, visited int) (*leafNode, int) {
+	if lf == nil {
+		target, v := t.descend(key)
+		return target, visited + v
+	}
+	if len(lf.keys) > 0 && key <= lf.keys[len(lf.keys)-1] {
+		return lf, visited // still inside the current leaf: free
+	}
+	// Peek forward along the chain: if the covering leaf is within height
+	// hops, walking there is no more expensive than a fresh descent.
+	cur, hops := lf, 0
+	for cur.next != nil && hops < height {
+		cur = cur.next
+		hops++
+		if len(cur.keys) > 0 && key <= cur.keys[len(cur.keys)-1] {
+			return cur, visited + hops
+		}
+	}
+	if cur.next == nil {
+		// Reached the rightmost leaf within budget: the key is either in it
+		// or beyond every stored key.
+		return cur, visited + hops
+	}
+	target, v := t.descend(key)
+	return target, visited + v
+}
+
 func (t *Tree) findLeaf(key int64) (*leafNode, int) {
+	lf, visited := t.descend(key)
+	t.accesses.Add(int64(visited))
+	return lf, visited
+}
+
+// descend walks root to leaf for key, returning the leaf and the number of
+// nodes on the path. Unlike findLeaf it does not touch the access counter,
+// so batch lookups can account all their visits in one atomic add.
+func (t *Tree) descend(key int64) (*leafNode, int) {
 	visited := 0
 	n := t.root
 	for !n.isLeaf() {
@@ -208,7 +287,6 @@ func (t *Tree) findLeaf(key int64) (*leafNode, int) {
 		n = in.children[idx]
 	}
 	visited++
-	t.accesses.Add(int64(visited))
 	return n.(*leafNode), visited
 }
 

@@ -137,6 +137,13 @@ type Options struct {
 	// the query goroutine. Results are identical at any setting — parallel
 	// stages assemble their outputs in job order.
 	Parallelism int
+	// ThreadExpand selects the metadata access pattern for thread
+	// expansion and candidate fetching. The zero value is
+	// thread.ExpandBatched (multi-get I/O); ExpandPointLookup restores the
+	// one-descent-per-row baseline and ExpandSnapshot expands threads from
+	// the CSR reply-graph snapshot when the DB has one. Results are
+	// byte-identical in every mode.
+	ThreadExpand thread.ExpandMode
 }
 
 // DefaultOptions enables pruning and specific bounds, the paper's standard
@@ -223,7 +230,7 @@ func NewPartitionedEngine(parts []Partition, db *metadb.DB, bounds *thread.Bound
 		DB:         db,
 		Bounds:     bounds,
 		Opts:       opts,
-		builder:    thread.Builder{DB: db, Depth: opts.Params.ThreadDepth},
+		builder:    thread.Builder{DB: db, Depth: opts.Params.ThreadDepth, Mode: opts.ThreadExpand},
 	}, nil
 }
 
@@ -233,6 +240,15 @@ func NewPartitionedEngine(parts []Partition, db *metadb.DB, bounds *thread.Bound
 // must evict that root before the next query.
 func (e *Engine) SetPopularityCache(c thread.PopularityCache) {
 	e.builder.Cache = c
+}
+
+// SetThreadExpand switches the metadata access pattern (see
+// Options.ThreadExpand) on a wired engine — e.g. to ExpandSnapshot right
+// after the DB's CSR snapshot is enabled. Not safe to call concurrently
+// with queries.
+func (e *Engine) SetThreadExpand(m thread.ExpandMode) {
+	e.Opts.ThreadExpand = m
+	e.builder.Mode = m
 }
 
 // UserResult is one ranked user.
@@ -250,6 +266,8 @@ type QueryStats struct {
 	ThreadsPruned   int64 // candidates skipped by the upper bound
 	TweetsPulled    int64 // rows fetched during thread expansion
 	PopCacheHits    int64 // thread constructions answered by the popularity cache
+	DBBatchLookups  int64 // keys this query resolved through multi-get batches
+	DBPagesSaved    int64 // simulated page+node touches the batches avoided
 	Elapsed         time.Duration
 
 	// Spans are the per-stage timings of the query pipeline (cell cover →

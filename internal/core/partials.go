@@ -285,6 +285,8 @@ func MergePartials(q Query, alpha float64, parts []*Partials) ([]UserResult, *Qu
 		stats.ThreadsPruned += p.Stats.ThreadsPruned
 		stats.TweetsPulled += p.Stats.TweetsPulled
 		stats.PopCacheHits += p.Stats.PopCacheHits
+		stats.DBBatchLookups += p.Stats.DBBatchLookups
+		stats.DBPagesSaved += p.Stats.DBPagesSaved
 		if p.Stats.Cells > stats.Cells {
 			stats.Cells = p.Stats.Cells
 		}

@@ -160,9 +160,13 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 	stopFetch()
 
 	// Stage 3 — candidate filter: AND/OR merge, then the window filter,
-	// metadata lookup and exact radius check sharded across the pool. Each
-	// worker writes only its own slots; the in-order compaction afterwards
-	// reproduces the sequential candidate order exactly.
+	// metadata lookup and exact radius check. In the default batched mode
+	// the window filter (a pure SID comparison) runs first so one multi-get
+	// fetches every surviving row — dozens of shared data pages instead of
+	// one descent per posting — and the pool only shards the geometric
+	// check. Point-lookup mode keeps the one-descent-per-candidate pattern.
+	// Either way candidates come out in merge order, so every downstream
+	// score is identical.
 	defer rec.Start(telemetry.StageCandidateFilter)()
 	var merged []candidate
 	if q.Semantic == And {
@@ -175,16 +179,65 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 		sc   scoredCandidate
 		keep bool
 	}
-	results := make([]filtered, len(merged))
-	err = RunJobs(ctx, e.workers(), len(merged), func(ctx context.Context, i int) error {
-		c := merged[i]
-		if q.TimeWindow != nil && !q.TimeWindow.contains(c.tid) {
+
+	if e.Opts.ThreadExpand == thread.ExpandPointLookup {
+		results := make([]filtered, len(merged))
+		err = RunJobs(ctx, e.workers(), len(merged), func(ctx context.Context, i int) error {
+			c := merged[i]
+			if q.TimeWindow != nil && !q.TimeWindow.contains(c.tid) {
+				return nil
+			}
+			row, ok := e.DB.GetBySID(c.tid)
+			if !ok {
+				return fmt.Errorf("core: indexed tweet %d missing from metadata db", c.tid)
+			}
+			if e.Opts.Params.Metric.DistanceKm(q.Loc, row.Loc()) > q.RadiusKm {
+				return nil // cover cells may stick out of the circle
+			}
+			delta := score.TweetDistance(row.Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
+			results[i] = filtered{
+				sc:   scoredCandidate{tid: c.tid, matches: c.matches, row: row, delta: delta},
+				keep: true,
+			}
 			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		row, ok := e.DB.GetBySID(c.tid)
-		if !ok {
-			return fmt.Errorf("core: indexed tweet %d missing from metadata db", c.tid)
+		out := make([]scoredCandidate, 0, len(merged))
+		for i := range results {
+			if results[i].keep {
+				out = append(out, results[i].sc)
+			}
 		}
+		return out, nil
+	}
+
+	survivors := merged
+	if q.TimeWindow != nil {
+		survivors = make([]candidate, 0, len(merged))
+		for _, c := range merged {
+			if q.TimeWindow.contains(c.tid) {
+				survivors = append(survivors, c)
+			}
+		}
+	}
+	sids := make([]social.PostID, len(survivors))
+	for i, c := range survivors {
+		sids[i] = c.tid
+	}
+	rows, found, bs := e.DB.GetBySIDBatch(sids)
+	stats.DBBatchLookups += bs.Lookups
+	stats.DBPagesSaved += bs.PagesSaved
+	for i := range survivors {
+		if !found[i] {
+			return nil, fmt.Errorf("core: indexed tweet %d missing from metadata db", survivors[i].tid)
+		}
+	}
+	results := make([]filtered, len(survivors))
+	err = RunJobs(ctx, e.workers(), len(survivors), func(ctx context.Context, i int) error {
+		c := survivors[i]
+		row := rows[i]
 		if e.Opts.Params.Metric.DistanceKm(q.Loc, row.Loc()) > q.RadiusKm {
 			return nil // cover cells may stick out of the circle
 		}
@@ -198,7 +251,7 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 	if err != nil {
 		return nil, err
 	}
-	out := make([]scoredCandidate, 0, len(merged))
+	out := make([]scoredCandidate, 0, len(survivors))
 	for i := range results {
 		if results[i].keep {
 			out = append(out, results[i].sc)
@@ -427,12 +480,25 @@ func (e *Engine) userDistance(q *Query, uid social.UserID, candidateDeltaSum flo
 		return score.UserDistance(candidateDeltaSum, total)
 	}
 	var sum float64
-	for _, sid := range e.DB.PostsOfUser(uid) {
-		row, ok := e.DB.GetBySID(sid)
-		if !ok {
-			continue
+	sids := e.DB.PostsOfUser(uid)
+	if e.Opts.ThreadExpand == thread.ExpandPointLookup {
+		for _, sid := range sids {
+			row, ok := e.DB.GetBySID(sid)
+			if !ok {
+				continue
+			}
+			sum += score.TweetDistance(row.Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
 		}
-		sum += score.TweetDistance(row.Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
+	} else {
+		// P_u is clustered by SID, so one multi-get touches each of the
+		// user's data pages once.
+		rows, found, _ := e.DB.GetBySIDBatch(sids)
+		for i := range rows {
+			if !found[i] {
+				continue
+			}
+			sum += score.TweetDistance(rows[i].Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
+		}
 	}
 	return score.UserDistance(sum, total)
 }
@@ -458,12 +524,16 @@ func (t *threadStats) add(other *thread.Stats) {
 	t.s.ThreadsBuilt += other.ThreadsBuilt
 	t.s.TweetsPulled += other.TweetsPulled
 	t.s.CacheHits += other.CacheHits
+	t.s.BatchLookups += other.BatchLookups
+	t.s.BatchPagesSaved += other.BatchPagesSaved
 }
 
 func (t *threadStats) fold(qs *QueryStats) {
 	qs.ThreadsBuilt += t.s.ThreadsBuilt
 	qs.TweetsPulled += t.s.TweetsPulled
 	qs.PopCacheHits += t.s.CacheHits
+	qs.DBBatchLookups += t.s.BatchLookups
+	qs.DBPagesSaved += t.s.BatchPagesSaved
 }
 
 // threadClock accumulates the wall time of the thread constructions that

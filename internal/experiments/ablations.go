@@ -142,5 +142,6 @@ func Runners() []Runner {
 		{"scale", "Scalability: corpus size sweep", (*Setup).ScaleSweep},
 		{"effectiveness", "Effectiveness: latent expert recovery", (*Setup).ExpertRecovery},
 		{"sharded", "Sharded scatter-gather: shard-count sweep", (*Setup).ShardedScaling},
+		{"batchio", "Batched IO: point vs batched vs CSR snapshot", (*Setup).BatchIOTable},
 	}
 }

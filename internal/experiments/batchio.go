@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/thread"
+)
+
+// BatchIOClass is one query class of the IO-access-pattern comparison:
+// identical queries against three engine configurations — point lookups
+// (one B⁺-tree descent per row), batched multi-gets (one descent run per
+// level / candidate set), and the CSR reply-graph snapshot (zero B⁺-tree
+// traffic for thread expansion).
+type BatchIOClass struct {
+	Keywords   int     `json:"keywords"`
+	RadiusKm   float64 `json:"radius_km"`
+	Semantic   string  `json:"semantic"`
+	Ranking    string  `json:"ranking"`
+	Queries    int     `json:"queries"`
+	PointP50Ms float64 `json:"point_p50_ms"`
+	PointP95Ms float64 `json:"point_p95_ms"`
+	BatchP50Ms float64 `json:"batch_p50_ms"`
+	BatchP95Ms float64 `json:"batch_p95_ms"`
+	SnapP50Ms  float64 `json:"snap_p50_ms"`
+	SnapP95Ms  float64 `json:"snap_p95_ms"`
+	// BatchSpeedupP95 and SnapSpeedupP95 are point-lookup p95 divided by
+	// the batched / snapshot p95.
+	BatchSpeedupP95 float64 `json:"batch_speedup_p95"`
+	SnapSpeedupP95  float64 `json:"snap_speedup_p95"`
+	// PagesSaved is the simulated page+node touches the batched
+	// configuration's multi-gets avoided across the class, per QueryStats.
+	PagesSaved int64 `json:"pages_saved"`
+}
+
+// BatchIOSnapshot is the machine-readable comparison cmd/tklus-bench
+// writes to BENCH_batchio.json. All three configurations run single-
+// threaded (Parallelism=1, no popularity cache) so the comparison isolates
+// the IO access pattern — removing I/O rather than overlapping it. Every
+// query's results are asserted identical across the three configurations;
+// cmd/tklus-benchcheck gates on SnapSpeedupP95 and ResultsIdentical.
+type BatchIOSnapshot struct {
+	Posts            int            `json:"posts"`
+	Users            int            `json:"users"`
+	Seed             int64          `json:"seed"`
+	K                int            `json:"k"`
+	IOLatency        string         `json:"io_latency"`
+	Classes          []BatchIOClass `json:"classes"`
+	OverallPointP95  float64        `json:"overall_point_p95_ms"`
+	OverallBatchP95  float64        `json:"overall_batch_p95_ms"`
+	OverallSnapP95   float64        `json:"overall_snap_p95_ms"`
+	BatchSpeedupP95  float64        `json:"batch_speedup_p95"`
+	SnapSpeedupP95   float64        `json:"snap_speedup_p95"`
+	ResultsIdentical bool           `json:"results_identical"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (p *BatchIOSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadBatchIOSnapshot parses a snapshot written by WriteJSON.
+func ReadBatchIOSnapshot(r io.Reader) (*BatchIOSnapshot, error) {
+	var snap BatchIOSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("experiments: parsing batchio snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// batchIOClasses are the workload slices compared — large-radius OR
+// queries, where per-candidate and per-thread-node point lookups dominate
+// and batching has the most descents to share. The acceptance gate cares
+// about the snapshot configuration on these classes.
+var batchIOClasses = []struct {
+	keywords int
+	radiusKm float64
+	sem      core.Semantic
+	ranking  core.Ranking
+}{
+	{2, 30, core.Or, core.SumScore},
+	{3, 30, core.Or, core.SumScore},
+	{2, 30, core.Or, core.MaxScore},
+}
+
+// BatchIOCompare measures the three IO configurations on one shared
+// system, verifying on every query that they return identical results. The
+// result is memoized on the Setup so the table runner and the JSON emitter
+// share one run.
+func (s *Setup) BatchIOCompare() (*BatchIOSnapshot, error) {
+	if s.batchioSnap != nil {
+		return s.batchioSnap, nil
+	}
+	sys, err := s.System(4)
+	if err != nil {
+		return nil, err
+	}
+	pointEng, err := engineWith(sys, func(o *core.Options) {
+		o.Parallelism = 1
+		o.ThreadExpand = thread.ExpandPointLookup
+	})
+	if err != nil {
+		return nil, err
+	}
+	batchEng, err := engineWith(sys, func(o *core.Options) {
+		o.Parallelism = 1
+		o.ThreadExpand = thread.ExpandBatched
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.DB.EnableReplySnapshot()
+	snapEng, err := engineWith(sys, func(o *core.Options) {
+		o.Parallelism = 1
+		o.ThreadExpand = thread.ExpandSnapshot
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	snap := &BatchIOSnapshot{
+		Posts: s.Cfg.NumPosts, Users: s.Cfg.NumUsers, Seed: s.Cfg.Seed,
+		K: s.Cfg.K, IOLatency: s.Cfg.IOLatency.String(),
+	}
+	var allPoint, allBatch, allSnap []float64
+	for _, class := range batchIOClasses {
+		specs := s.queriesWithKeywordCount(class.keywords)
+		if len(specs) == 0 {
+			continue
+		}
+		pointTimes := make([]float64, 0, len(specs))
+		batchTimes := make([]float64, 0, len(specs))
+		snapTimes := make([]float64, 0, len(specs))
+		var pagesSaved int64
+		for _, spec := range specs {
+			q := toQuery(spec, class.radiusKm, s.Cfg.K, class.sem, class.ranking)
+			pointRes, pointStats, err := pointEng.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			batchRes, batchStats, err := batchEng.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			snapRes, snapStats, err := snapEng.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			if err := sameResults(pointRes, batchRes); err != nil {
+				return nil, fmt.Errorf("experiments: batched/point divergence on %v: %w", q.Keywords, err)
+			}
+			if err := sameResults(pointRes, snapRes); err != nil {
+				return nil, fmt.Errorf("experiments: snapshot/point divergence on %v: %w", q.Keywords, err)
+			}
+			pointTimes = append(pointTimes, pointStats.Elapsed.Seconds())
+			batchTimes = append(batchTimes, batchStats.Elapsed.Seconds())
+			snapTimes = append(snapTimes, snapStats.Elapsed.Seconds())
+			pagesSaved += batchStats.DBPagesSaved
+		}
+		allPoint = append(allPoint, pointTimes...)
+		allBatch = append(allBatch, batchTimes...)
+		allSnap = append(allSnap, snapTimes...)
+		pSum, bSum, sSum := stats.SummaryOf(pointTimes), stats.SummaryOf(batchTimes), stats.SummaryOf(snapTimes)
+		snap.Classes = append(snap.Classes, BatchIOClass{
+			Keywords: class.keywords, RadiusKm: class.radiusKm,
+			Semantic: class.sem.String(), Ranking: class.ranking.String(),
+			Queries:    len(specs),
+			PointP50Ms: pSum.P50 * 1000, PointP95Ms: pSum.P95 * 1000,
+			BatchP50Ms: bSum.P50 * 1000, BatchP95Ms: bSum.P95 * 1000,
+			SnapP50Ms: sSum.P50 * 1000, SnapP95Ms: sSum.P95 * 1000,
+			BatchSpeedupP95: speedup(pSum.P95, bSum.P95),
+			SnapSpeedupP95:  speedup(pSum.P95, sSum.P95),
+			PagesSaved:      pagesSaved,
+		})
+	}
+	pAll, bAll, sAll := stats.SummaryOf(allPoint), stats.SummaryOf(allBatch), stats.SummaryOf(allSnap)
+	snap.OverallPointP95 = pAll.P95 * 1000
+	snap.OverallBatchP95 = bAll.P95 * 1000
+	snap.OverallSnapP95 = sAll.P95 * 1000
+	snap.BatchSpeedupP95 = speedup(pAll.P95, bAll.P95)
+	snap.SnapSpeedupP95 = speedup(pAll.P95, sAll.P95)
+	snap.ResultsIdentical = true // every query above was asserted identical
+	s.batchioSnap = snap
+	return snap, nil
+}
+
+// BatchIOTable renders BatchIOCompare as a bench table.
+func (s *Setup) BatchIOTable() (*Table, error) {
+	snap, err := s.BatchIOCompare()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Batched IO — point lookups vs multi-get batches vs CSR snapshot",
+		Note: fmt.Sprintf("identical results on every query; single-threaded; overall p95 speedup %.2fx batched, %.2fx snapshot",
+			snap.BatchSpeedupP95, snap.SnapSpeedupP95),
+		Headers: []string{"kw", "radius (km)", "semantic", "ranking", "queries",
+			"point p95", "batch p95", "snap p95", "batch x", "snap x", "pages saved"},
+	}
+	for _, c := range snap.Classes {
+		t.AddRow(fmt.Sprintf("%d", c.Keywords), fmt.Sprintf("%.0f", c.RadiusKm),
+			c.Semantic, c.Ranking, fmt.Sprintf("%d", c.Queries),
+			ms(c.PointP95Ms/1000), ms(c.BatchP95Ms/1000), ms(c.SnapP95Ms/1000),
+			fmt.Sprintf("%.2fx", c.BatchSpeedupP95), fmt.Sprintf("%.2fx", c.SnapSpeedupP95),
+			fmt.Sprintf("%d", c.PagesSaved))
+	}
+	return t, nil
+}

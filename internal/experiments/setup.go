@@ -56,6 +56,7 @@ type Setup struct {
 	systems      map[int]*tklus.System // by geohash length
 	parallelSnap *ParallelSnapshot     // memoized ParallelCompare result
 	shardedSnap  *ShardedSnapshot      // memoized ShardedCompare result
+	batchioSnap  *BatchIOSnapshot      // memoized BatchIOCompare result
 }
 
 // NewSetup generates the corpus and the 90-query-style workload.

@@ -1,0 +1,116 @@
+package metadb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/social"
+)
+
+// replyCorpus builds a corpus with a reply graph: roots plus chains and
+// fans of reactions, SIDs strictly increasing.
+func replyCorpus(rng *rand.Rand, n int) []*social.Post {
+	posts := make([]*social.Post, 0, n)
+	sid := social.PostID(0)
+	for len(posts) < n {
+		sid++
+		root := mkPost(sid, social.UserID(rng.Intn(50)+1), 0, 0)
+		posts = append(posts, root)
+		// Attach a few reactions to random earlier posts.
+		for r := rng.Intn(4); r > 0 && len(posts) < n; r-- {
+			parent := posts[rng.Intn(len(posts))]
+			sid++
+			posts = append(posts, mkPost(sid, social.UserID(rng.Intn(50)+1), parent.SID, parent.UID))
+		}
+	}
+	return posts
+}
+
+func TestGetBySIDBatchMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	posts := replyCorpus(rng, 2000)
+	db := buildDB(t, posts, Options{RowsPerPage: 32, IndexOrder: 8})
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(300)
+		sids := make([]social.PostID, n)
+		for i := range sids {
+			if rng.Intn(5) == 0 {
+				sids[i] = social.PostID(rng.Int63n(5000) + 3000) // mostly absent
+			} else {
+				sids[i] = posts[rng.Intn(len(posts))].SID
+			}
+		}
+		rows, found, bs := db.GetBySIDBatch(sids)
+		if len(rows) != n || len(found) != n {
+			t.Fatalf("batch sizes %d/%d for %d keys", len(rows), len(found), n)
+		}
+		for i, sid := range sids {
+			row, ok := db.GetBySID(sid)
+			if ok != found[i] || row != rows[i] {
+				t.Fatalf("trial %d: batch[%d] for sid %d = %+v,%v; loop says %+v,%v",
+					trial, i, sid, rows[i], found[i], row, ok)
+			}
+		}
+		if bs.Lookups != int64(n) || bs.PagesSaved < 0 {
+			t.Fatalf("trial %d: BatchStats = %+v", trial, bs)
+		}
+	}
+}
+
+func TestSelectByRSIDBatchMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	posts := replyCorpus(rng, 2000)
+	db := buildDB(t, posts, Options{RowsPerPage: 32, IndexOrder: 8})
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(200)
+		rsids := make([]social.PostID, n)
+		for i := range rsids {
+			rsids[i] = posts[rng.Intn(len(posts))].SID
+		}
+		groups, bs := db.SelectByRSIDBatch(rsids)
+		if len(groups) != n {
+			t.Fatalf("batch returned %d groups for %d keys", len(groups), n)
+		}
+		for i, rsid := range rsids {
+			want := db.SelectByRSID(rsid)
+			if len(groups[i]) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(groups[i], want) {
+				t.Fatalf("trial %d: batch group for rsid %d = %v, loop says %v",
+					trial, rsid, groups[i], want)
+			}
+		}
+		if bs.Lookups != int64(n) || bs.PagesSaved < 0 {
+			t.Fatalf("trial %d: BatchStats = %+v", trial, bs)
+		}
+	}
+}
+
+func TestBatchStatsAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	posts := replyCorpus(rng, 500)
+	db := buildDB(t, posts, Options{RowsPerPage: 16, IndexOrder: 8})
+	db.ResetStats()
+	sids := make([]social.PostID, 0, 100)
+	for i := 0; i < 100; i++ {
+		sids = append(sids, posts[rng.Intn(len(posts))].SID)
+	}
+	_, _, bs := db.GetBySIDBatch(sids)
+	s := db.Stats()
+	if s.BatchLookups != 100 || s.BatchLookups != bs.Lookups {
+		t.Errorf("cumulative BatchLookups = %d, call said %d", s.BatchLookups, bs.Lookups)
+	}
+	if s.BatchPagesSaved != bs.PagesSaved || s.BatchPagesSaved < 0 {
+		t.Errorf("cumulative BatchPagesSaved = %d, call said %d", s.BatchPagesSaved, bs.PagesSaved)
+	}
+	// A dense batch over a small corpus must actually save I/O.
+	if bs.PagesSaved == 0 {
+		t.Error("dense batch saved nothing")
+	}
+	db.ResetStats()
+	if s := db.Stats(); s.BatchLookups != 0 || s.BatchPagesSaved != 0 {
+		t.Errorf("ResetStats left batch counters at %+v", s)
+	}
+}

@@ -60,6 +60,28 @@ type Stats struct {
 	PageReads  int64 // pages fetched from "disk"
 	CacheHits  int64 // page requests served by the LRU cache
 	IndexReads int64 // B⁺-tree node accesses
+
+	BatchLookups    int64 // keys resolved through the multi-get APIs
+	BatchPagesSaved int64 // page+node touches the multi-gets avoided vs single-key loops
+}
+
+// BatchStats reports the simulated-I/O work of one multi-get call against
+// what the equivalent single-key loop would have cost. PagesRead counts
+// distinct data pages plus index nodes actually touched; PagesSaved is the
+// number of touches the single-key loop would have added on top (never
+// negative — the batch path plans its traversal from the sorted key run
+// and falls back to per-key descents when keys are far apart).
+type BatchStats struct {
+	Lookups    int64
+	PagesRead  int64
+	PagesSaved int64
+}
+
+// add folds another phase of the same logical batch into bs.
+func (bs *BatchStats) add(other BatchStats) {
+	bs.Lookups += other.Lookups
+	bs.PagesRead += other.PagesRead
+	bs.PagesSaved += other.PagesSaved
 }
 
 // DB is the centralized metadata database. After Freeze, reads are safe
@@ -84,6 +106,8 @@ type DB struct {
 	mu    sync.Mutex // guards cache and stats
 	cache *pageCache
 	stats Stats
+
+	snapshot *ReplySnapshot // CSR reply graph; nil until EnableReplySnapshot
 
 	maxFanout   int // t_m: max replies/forwards observed for one post
 	frozen      bool
@@ -236,6 +260,9 @@ func (db *DB) Append(p *social.Post) error {
 		if sids, _ := db.rsidIndex.GetCounted(int64(p.RSID)); len(sids) > db.maxFanout {
 			db.maxFanout = len(sids)
 		}
+		if db.snapshot != nil {
+			db.snapshot.extend(p.RSID, ChildRef{SID: p.SID, UID: p.UID})
+		}
 	}
 	if db.totalRows == 0 {
 		db.minSID = p.SID
@@ -342,6 +369,148 @@ func (db *DB) chargeIndexIO(nodes int) {
 	if db.opts.IOLatency > 0 && nodes > 0 {
 		simulateLatency(time.Duration(nodes) * db.opts.IOLatency)
 	}
+}
+
+// GetBySIDBatch resolves many post IDs through the primary index in one
+// multi-get: the keys are visited in sorted order so B⁺-tree descents are
+// shared across runs of nearby keys, and every distinct data page is
+// fetched exactly once (in ascending page order, the schedule a disk would
+// choose) no matter how many requested rows live on it. rows and found are
+// aligned with sids — the same rows, in the same order, a GetBySID loop
+// would produce — and the returned BatchStats reports the simulated I/O
+// the batch saved against that loop.
+func (db *DB) GetBySIDBatch(sids []social.PostID) (rows []Row, found []bool, bs BatchStats) {
+	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
+	rows, found, bs = db.getBySIDBatchLocked(sids)
+	db.noteBatch(bs)
+	return rows, found, bs
+}
+
+// getBySIDBatchLocked is GetBySIDBatch for callers already holding
+// structMu's read lock. It does not fold bs into the cumulative counters;
+// public wrappers do, so composed batches count once.
+func (db *DB) getBySIDBatchLocked(sids []social.PostID) ([]Row, []bool, BatchStats) {
+	rows := make([]Row, len(sids))
+	found := make([]bool, len(sids))
+	if len(sids) == 0 {
+		return rows, found, BatchStats{}
+	}
+	keys := make([]int64, len(sids))
+	for i, sid := range sids {
+		keys[i] = int64(sid)
+	}
+	vals, visited := db.sidIndex.GetBatchCounted(keys)
+	db.chargeIndexIO(visited)
+
+	// Collect the distinct pages behind the found ordinals, fetch each
+	// once, then assemble rows in input order.
+	per := db.opts.RowsPerPage
+	ordinals := make([]int64, len(sids))
+	pageRows := make(map[int][]Row)
+	nFound := 0
+	for i, v := range vals {
+		if len(v) == 0 {
+			continue
+		}
+		found[i] = true
+		ordinals[i] = v[0]
+		pageRows[int(v[0])/per] = nil
+		nFound++
+	}
+	pages := make([]int, 0, len(pageRows))
+	for p := range pageRows {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	for _, p := range pages {
+		pageRows[p] = db.readPage(p)
+	}
+	for i := range sids {
+		if found[i] {
+			o := ordinals[i]
+			rows[i] = pageRows[int(o)/per][int(o)%per]
+		}
+	}
+
+	// The single-key loop pays one full descent per key plus one page read
+	// per found row; the batch paid visited nodes plus one read per
+	// distinct page.
+	naive := len(sids)*db.sidIndex.Height() + nFound
+	actual := visited + len(pages)
+	return rows, found, BatchStats{
+		Lookups:    int64(len(sids)),
+		PagesRead:  int64(actual),
+		PagesSaved: int64(naive - actual),
+	}
+}
+
+// SelectByRSIDBatch answers one "select all where rsid = Id" per input key
+// in a single multi-get: the rsid secondary index is probed batch-wise,
+// then every child row across all inputs is fetched through one primary
+// batch so data pages shared between threads are read once. out[i] holds
+// exactly the rows SelectByRSID(rsids[i]) would return, in the same order.
+// One call per thread level turns Algorithm 1's per-node lookup storm into
+// level-sized I/O.
+func (db *DB) SelectByRSIDBatch(rsids []social.PostID) (out [][]Row, bs BatchStats) {
+	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
+	out = make([][]Row, len(rsids))
+	if len(rsids) == 0 {
+		return out, BatchStats{}
+	}
+	keys := make([]int64, len(rsids))
+	for i, rsid := range rsids {
+		keys[i] = int64(rsid)
+	}
+	lists, visited := db.rsidIndex.GetBatchCounted(keys)
+	db.chargeIndexIO(visited)
+
+	var childSIDs []social.PostID
+	for _, sids := range lists {
+		for _, sid := range sids {
+			childSIDs = append(childSIDs, social.PostID(sid))
+		}
+	}
+	childRows, childFound, childBS := db.getBySIDBatchLocked(childSIDs)
+
+	next := 0
+	for i, sids := range lists {
+		if len(sids) == 0 {
+			continue
+		}
+		group := make([]Row, 0, len(sids))
+		for range sids {
+			if childFound[next] {
+				group = append(group, childRows[next])
+			}
+			next++
+		}
+		out[i] = group
+	}
+
+	// Against a SelectByRSID loop: one rsid descent per input key on top of
+	// the per-child primary costs already accounted by the inner batch.
+	naiveIndex := len(rsids) * db.rsidIndex.Height()
+	bs = BatchStats{
+		Lookups:    int64(len(rsids)),
+		PagesRead:  int64(visited),
+		PagesSaved: int64(naiveIndex - visited),
+	}
+	bs.add(childBS)
+	bs.Lookups = int64(len(rsids)) // children are internal work, not caller keys
+	db.noteBatch(bs)
+	return out, bs
+}
+
+// noteBatch folds one multi-get's savings into the cumulative counters.
+func (db *DB) noteBatch(bs BatchStats) {
+	db.mu.Lock()
+	db.stats.BatchLookups += bs.Lookups
+	db.stats.BatchPagesSaved += bs.PagesSaved
+	db.mu.Unlock()
 }
 
 // UserOf returns the author of a post (Algorithm 4 line 20:

@@ -29,6 +29,22 @@ func (db *DB) RegisterMetrics(reg *telemetry.Registry) {
 			telemetry.Labels{"index": t.name},
 			func() float64 { return float64(read()) })
 	}
+	reg.CounterFunc("tklus_db_batch_lookups_total",
+		"Keys resolved through the multi-get batch APIs.", nil,
+		func() float64 { return float64(db.Stats().BatchLookups) })
+	reg.CounterFunc("tklus_db_batch_pages_saved_total",
+		"Simulated page+node touches avoided by multi-gets vs single-key loops.", nil,
+		func() float64 { return float64(db.Stats().BatchPagesSaved) })
+	reg.GaugeFunc("tklus_db_cache_hit_ratio",
+		"Fraction of page requests served by the LRU cache since the last reset.", nil,
+		func() float64 {
+			s := db.Stats()
+			total := s.PageReads + s.CacheHits
+			if total == 0 {
+				return 0
+			}
+			return float64(s.CacheHits) / float64(total)
+		})
 	reg.GaugeFunc("tklus_db_rows",
 		"Rows loaded in the metadata database.", nil,
 		func() float64 { return float64(db.Len()) })

@@ -178,6 +178,8 @@ type statsJSON struct {
 	Candidates      int                  `json:"candidates"`
 	ThreadsBuilt    int64                `json:"threads_built"`
 	ThreadsPruned   int64                `json:"threads_pruned"`
+	DBBatchLookups  int64                `json:"db_batch_lookups"`
+	DBPagesSaved    int64                `json:"db_pages_saved"`
 	ElapsedMicros   int64                `json:"elapsed_us"`
 	Ranking         string               `json:"ranking"`
 	Semantic        string               `json:"semantic"`
@@ -265,6 +267,8 @@ func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchReq
 			Candidates:      stats.Candidates,
 			ThreadsBuilt:    stats.ThreadsBuilt,
 			ThreadsPruned:   stats.ThreadsPruned,
+			DBBatchLookups:  stats.DBBatchLookups,
+			DBPagesSaved:    stats.DBPagesSaved,
 			ElapsedMicros:   stats.Elapsed.Microseconds(),
 			Ranking:         q.Ranking.String(),
 			Semantic:        strings.ToLower(q.Semantic.String()),

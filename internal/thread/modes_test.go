@@ -1,0 +1,149 @@
+package thread
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/metadb"
+	"repro/internal/social"
+)
+
+func randomReplyPosts(rng *rand.Rand, n int) []*social.Post {
+	posts := make([]*social.Post, 0, n)
+	sid := social.PostID(0)
+	for len(posts) < n {
+		sid++
+		p := &social.Post{
+			SID: sid, UID: social.UserID(rng.Intn(40) + 1), Time: time.Unix(int64(sid), 0),
+			Loc: geo.Point{Lat: 43.7, Lon: -79.4}, Words: []string{"hotel"},
+		}
+		if len(posts) > 0 && rng.Intn(3) > 0 {
+			parent := posts[rng.Intn(len(posts))]
+			p.Kind, p.RUID, p.RSID = social.Reply, parent.UID, parent.SID
+		}
+		posts = append(posts, p)
+	}
+	return posts
+}
+
+// TestExpandModesByteIdentical is the mode-equivalence grid: across
+// expansion modes, ε values, depth limits, and post-freeze appends, every
+// thread's popularity and level vector must be byte-identical (exact float
+// equality — all modes visit the same nodes in the same order).
+func TestExpandModesByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	posts := randomReplyPosts(rng, 800)
+	db, err := metadb.Load(metadb.Options{RowsPerPage: 32, IndexOrder: 8}, posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string) {
+		t.Helper()
+		for _, epsilon := range []float64{0.05, 0.1, 0.5} {
+			for _, depth := range []int{1, 2, 6} {
+				for _, p := range posts {
+					ref := &Builder{DB: db, Depth: depth, Mode: ExpandPointLookup}
+					wantPop, wantLevels := ref.Popularity(p.SID, epsilon, nil)
+					for _, mode := range []ExpandMode{ExpandBatched, ExpandSnapshot} {
+						b := &Builder{DB: db, Depth: depth, Mode: mode}
+						pop, levels := b.Popularity(p.SID, epsilon, nil)
+						if pop != wantPop || !reflect.DeepEqual(levels, wantLevels) {
+							t.Fatalf("%s: mode %d ε=%v depth=%d root %d: got %v %v, want %v %v",
+								label, mode, epsilon, depth, p.SID, pop, levels, wantPop, wantLevels)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Without a snapshot, ExpandSnapshot exercises the batched fallback.
+	check("no snapshot")
+	db.EnableReplySnapshot()
+	check("frozen snapshot")
+
+	// Appends after the snapshot land in the overlay; all modes must agree
+	// on the grown threads too.
+	_, maxSID := db.SIDRange()
+	next := maxSID
+	for i := 0; i < 100; i++ {
+		parent := posts[rng.Intn(len(posts))]
+		next++
+		reply := &social.Post{
+			SID: next, UID: social.UserID(rng.Intn(40) + 1), Time: time.Unix(int64(next), 0),
+			Loc: geo.Point{Lat: 43.7, Lon: -79.4}, Words: []string{"hotel"},
+			Kind: social.Reply, RUID: parent.UID, RSID: parent.SID,
+		}
+		if err := db.Append(reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("post-freeze appends")
+}
+
+// TestTreeModesIdentical checks the materialized BFS trees agree too (node
+// identity, parents, and levels).
+func TestTreeModesIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	posts := randomReplyPosts(rng, 400)
+	db, err := metadb.Load(metadb.Options{RowsPerPage: 32, IndexOrder: 8}, posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.EnableReplySnapshot()
+	for _, p := range posts[:50] {
+		ref := &Builder{DB: db, Depth: 6, Mode: ExpandPointLookup}
+		wantNodes, wantPop := ref.Tree(p.SID, 0.1, nil)
+		for _, mode := range []ExpandMode{ExpandBatched, ExpandSnapshot} {
+			b := &Builder{DB: db, Depth: 6, Mode: mode}
+			nodes, pop := b.Tree(p.SID, 0.1, nil)
+			if pop != wantPop || !reflect.DeepEqual(nodes, wantNodes) {
+				t.Fatalf("mode %d root %d: tree differs", mode, p.SID)
+			}
+		}
+	}
+}
+
+// TestBatchedExpansionSavesIO asserts the batched mode's raison d'être:
+// fewer simulated touches than the point-lookup path on the same threads.
+func TestBatchedExpansionSavesIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	posts := randomReplyPosts(rng, 2000)
+	db, err := metadb.Load(metadb.Options{RowsPerPage: 32, IndexOrder: 8}, posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cost := func(mode ExpandMode) (int64, Stats) {
+		db.ResetStats()
+		var st Stats
+		b := &Builder{DB: db, Depth: 6, Mode: mode}
+		for _, p := range posts[:300] {
+			b.Popularity(p.SID, 0.1, &st)
+		}
+		s := db.Stats()
+		return s.PageReads + s.IndexReads, st
+	}
+
+	point, _ := cost(ExpandPointLookup)
+	batched, st := cost(ExpandBatched)
+	if batched > point {
+		t.Errorf("batched expansion cost %d touches, point-lookup %d", batched, point)
+	}
+	if st.BatchLookups == 0 {
+		t.Error("batched mode recorded no batch lookups")
+	}
+	if st.BatchPagesSaved < 0 {
+		t.Errorf("negative pages saved: %d", st.BatchPagesSaved)
+	}
+
+	db.EnableReplySnapshot()
+	snap, _ := cost(ExpandSnapshot)
+	if snap != 0 {
+		t.Errorf("snapshot expansion cost %d touches, want 0", snap)
+	}
+}

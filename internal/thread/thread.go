@@ -7,6 +7,8 @@
 package thread
 
 import (
+	"sync"
+
 	"repro/internal/metadb"
 	"repro/internal/score"
 	"repro/internal/social"
@@ -24,6 +26,26 @@ type PopularityCache interface {
 	Put(root social.PostID, epsilon float64, depth int, pop float64, levels []int)
 }
 
+// ExpandMode selects how a Builder turns one thread level into the next.
+// Every mode visits the identical node sets in the identical order, so
+// φ(p) scores are byte-identical across modes; they differ only in how
+// much simulated metadata I/O the expansion costs.
+type ExpandMode int
+
+const (
+	// ExpandBatched (the default) issues one SelectByRSIDBatch per thread
+	// level T_i: B⁺-tree descents are shared across the frontier and each
+	// data page is read once per level.
+	ExpandBatched ExpandMode = iota
+	// ExpandPointLookup is the legacy Algorithm 1 literal reading: one
+	// SelectByRSID descent per frontier node.
+	ExpandPointLookup
+	// ExpandSnapshot expands through the CSR reply-graph snapshot with
+	// zero B⁺-tree traffic; if the database has no snapshot enabled it
+	// falls back to ExpandBatched.
+	ExpandSnapshot
+)
+
 // Builder constructs tweet threads against the metadata database.
 type Builder struct {
 	DB    *metadb.DB
@@ -31,6 +53,9 @@ type Builder struct {
 	// Cache, when non-nil, is consulted before running Algorithm 1 and
 	// filled after; hits skip the level-by-level metadata I/O entirely.
 	Cache PopularityCache
+	// Mode selects the level-expansion strategy; the zero value is
+	// ExpandBatched.
+	Mode ExpandMode
 }
 
 // Stats counts construction work for the experiments.
@@ -38,6 +63,49 @@ type Stats struct {
 	ThreadsBuilt int64
 	TweetsPulled int64 // rows fetched while expanding levels
 	CacheHits    int64 // constructions answered by the popularity cache
+
+	BatchLookups    int64 // frontier nodes expanded through multi-gets
+	BatchPagesSaved int64 // simulated I/O the multi-gets avoided
+}
+
+// expand maps one frontier to its child lists, groups[i] holding the
+// reactions to frontier[i] in ascending SID order — the rsid index's value
+// order, identical in every mode.
+func (b *Builder) expand(frontier []social.PostID, stats *Stats) [][]metadb.ChildRef {
+	groups := make([][]metadb.ChildRef, len(frontier))
+	switch b.Mode {
+	case ExpandPointLookup:
+		for i, tid := range frontier {
+			rows := b.DB.SelectByRSID(tid)
+			refs := make([]metadb.ChildRef, len(rows))
+			for j, r := range rows {
+				refs[j] = metadb.ChildRef{SID: r.SID, UID: r.UID}
+			}
+			groups[i] = refs
+		}
+		return groups
+	case ExpandSnapshot:
+		if snap := b.DB.ReplySnapshot(); snap != nil {
+			for i, tid := range frontier {
+				groups[i] = snap.Children(tid)
+			}
+			return groups
+		}
+		// No snapshot enabled: fall through to the batched B-tree path.
+	}
+	lists, bs := b.DB.SelectByRSIDBatch(frontier)
+	if stats != nil {
+		stats.BatchLookups += bs.Lookups
+		stats.BatchPagesSaved += bs.PagesSaved
+	}
+	for i, rows := range lists {
+		refs := make([]metadb.ChildRef, len(rows))
+		for j, r := range rows {
+			refs[j] = metadb.ChildRef{SID: r.SID, UID: r.UID}
+		}
+		groups[i] = refs
+	}
+	return groups
 }
 
 // Popularity runs Algorithm 1: starting from the root tweet it expands one
@@ -62,9 +130,9 @@ func (b *Builder) Popularity(root social.PostID, epsilon float64, stats *Stats) 
 	frontier := []social.PostID{root}
 	for depth := 1; depth <= b.Depth && len(frontier) > 0; depth++ {
 		var next []social.PostID
-		for _, tid := range frontier {
-			for _, row := range b.DB.SelectByRSID(tid) {
-				next = append(next, row.SID)
+		for _, refs := range b.expand(frontier, stats) {
+			for _, c := range refs {
+				next = append(next, c.SID)
 			}
 		}
 		if stats != nil {
@@ -106,11 +174,11 @@ func (b *Builder) Tree(root social.PostID, epsilon float64, stats *Stats) ([]Nod
 	frontier := []social.PostID{root}
 	for depth := 1; depth <= b.Depth && len(frontier) > 0; depth++ {
 		var next []social.PostID
-		for _, tid := range frontier {
-			for _, row := range b.DB.SelectByRSID(tid) {
-				next = append(next, row.SID)
+		for i, refs := range b.expand(frontier, stats) {
+			for _, c := range refs {
+				next = append(next, c.SID)
 				nodes = append(nodes, Node{
-					SID: row.SID, UID: row.UID, Parent: tid, Level: depth + 1,
+					SID: c.SID, UID: c.UID, Parent: frontier[i], Level: depth + 1,
 				})
 			}
 		}
@@ -127,7 +195,12 @@ func (b *Builder) Tree(root social.PostID, epsilon float64, stats *Stats) ([]Nod
 }
 
 // Bounds holds the popularity upper bounds available to the max-score
-// algorithm (Section V-B).
+// algorithm (Section V-B). Bounds are batch-computed offline but may be
+// conservatively raised by live ingest (RaiseForRoot), so reads go through
+// ForQuery and an internal RWMutex; the exported fields themselves should
+// only be touched when no queries are in flight. Only exported fields are
+// persisted (gob): a loaded Bounds raises every keyword bound on ingest
+// instead of just the affected ones, which is coarser but equally sound.
 type Bounds struct {
 	// TM is t_m, the maximum number of replied/forwarded tweets any single
 	// tweet has in the database.
@@ -148,6 +221,15 @@ type Bounds struct {
 	// keyword related" bound, precomputed offline for the top-10 frequent
 	// keywords (Table II).
 	PerKeyword map[string]float64
+
+	// mu guards MaxObserved and PerKeyword against concurrent
+	// ForQuery/RaiseForRoot calls once the system serves live ingest.
+	mu sync.RWMutex
+	// rootHot maps every root in the batch corpus to its hot terms (nil
+	// slice for roots containing none), so RaiseForRoot can raise exactly
+	// the keyword bounds a grown thread can violate. nil for Bounds loaded
+	// from disk — then RaiseForRoot raises every keyword bound.
+	rootHot map[social.PostID][]string
 }
 
 // Def11Bound computes the Definition 11 global bound for a given t_m and
@@ -185,12 +267,14 @@ func ComputeBounds(posts []*social.Post, depth int, epsilon float64, hotKeywords
 		Depth:      depth,
 		Def11:      Def11Bound(tm, depth),
 		PerKeyword: make(map[string]float64, len(hotKeywords)),
+		rootHot:    make(map[social.PostID][]string, len(posts)),
 	}
 	for _, p := range posts {
 		pop := popularityInMemory(p.SID, children, depth, epsilon)
 		if pop > b.MaxObserved {
 			b.MaxObserved = pop
 		}
+		var hotTerms []string
 		seen := map[string]struct{}{}
 		for _, w := range p.Words {
 			if _, isHot := hot[w]; !isHot {
@@ -200,10 +284,12 @@ func ComputeBounds(posts []*social.Post, depth int, epsilon float64, hotKeywords
 				continue
 			}
 			seen[w] = struct{}{}
+			hotTerms = append(hotTerms, w)
 			if pop > b.PerKeyword[w] {
 				b.PerKeyword[w] = pop
 			}
 		}
+		b.rootHot[p.SID] = hotTerms
 	}
 	// Keywords never observed still get an explicit (epsilon) entry so the
 	// query-time lookup can distinguish "hot keyword with tiny bound" from
@@ -241,6 +327,8 @@ func popularityInMemory(root social.PostID, children map[social.PostID][]social.
 // specific bound fall back to the global bound; useSpecific=false forces
 // the global bound (the Figure 12 baseline).
 func (b *Bounds) ForQuery(terms []string, and, useSpecific bool) float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	global := b.MaxObserved
 	if !useSpecific || len(terms) == 0 {
 		return global
@@ -263,4 +351,33 @@ func (b *Bounds) ForQuery(terms []string, and, useSpecific bool) float64 {
 		}
 	}
 	return bound
+}
+
+// RaiseForRoot conservatively lifts the bounds after a live-ingested reply
+// grew the thread rooted at root to popularity pop. Raising can only relax
+// pruning, never tighten it, so it is always sound; precision comes from
+// rootHot: when the root's hot terms are known, only those keyword bounds
+// move, otherwise (bounds loaded from disk, or a root outside the batch
+// corpus) every keyword bound is raised. Safe for concurrent use with
+// ForQuery.
+func (b *Bounds) RaiseForRoot(root social.PostID, pop float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if pop > b.MaxObserved {
+		b.MaxObserved = pop
+	}
+	hotTerms, known := b.rootHot[root]
+	if !known {
+		for kw, v := range b.PerKeyword {
+			if pop > v {
+				b.PerKeyword[kw] = pop
+			}
+		}
+		return
+	}
+	for _, kw := range hotTerms {
+		if pop > b.PerKeyword[kw] {
+			b.PerKeyword[kw] = pop
+		}
+	}
 }

@@ -243,34 +243,62 @@ func (s *System) DisablePopCache() {
 	s.Engine.SetPopularityCache(nil)
 }
 
+// EnableReplySnapshot builds the metadata database's CSR reply-graph
+// snapshot and switches the engine's thread expansion onto it: thread
+// construction over the frozen corpus then costs zero B⁺-tree traffic,
+// and posts ingested afterwards extend the snapshot in place, so results
+// stay byte-identical to the B-tree paths. Call it after Build, not
+// concurrently with queries (it flips the engine's expansion mode).
+func (s *System) EnableReplySnapshot() {
+	s.DB.EnableReplySnapshot()
+	s.Engine.SetThreadExpand(thread.ExpandSnapshot)
+}
+
 // Ingest appends live posts to the centralized metadata database, in
 // timestamp order (each SID must exceed every stored one — IDs are
 // timestamps, Section IV-A). Ingested replies and forwards extend tweet
-// threads immediately: the next query sees the updated φ(p), and any
-// popularity-cache entry whose thread gains a post is evicted before
-// Ingest returns. Keywords of ingested posts enter the hybrid inverted
-// index only at the next batch build (the paper's periodic index
-// construction), so a brand-new post becomes a *candidate* then — but its
-// effect on existing candidates' thread popularity is immediate.
+// threads immediately: the next query sees the updated φ(p), any
+// popularity-cache entry whose thread gains a post is evicted, the CSR
+// reply-graph snapshot (if enabled) is extended in place, and the
+// max-ranking pruning bounds are conservatively raised so pruning stays
+// lossless even when the grown thread exceeds the batch-computed maxima.
+// Keywords of ingested posts enter the hybrid inverted index only at the
+// next batch build (the paper's periodic index construction), so a
+// brand-new post becomes a *candidate* then — but its effect on existing
+// candidates' thread popularity is immediate.
 func (s *System) Ingest(posts ...*Post) error {
+	depth := s.Engine.Opts.Params.ThreadDepth
+	eps := s.Engine.Opts.Params.Epsilon
 	for _, p := range posts {
 		if err := s.DB.Append(p); err != nil {
 			return err
 		}
-		if s.PopCache == nil || p.RSID == social.NoPost {
+		if p.RSID == social.NoPost {
 			continue
 		}
-		// A cached root's φ changes iff the new post lies within the
-		// thread-depth limit below it, i.e. the root is one of the first
-		// Depth ancestors of the new post (its parent is 1 hop up).
-		depth := s.Engine.Opts.Params.ThreadDepth
-		s.PopCache.InvalidateChain(p.RSID, depth, func(sid PostID) (PostID, bool) {
+		// A reply changes φ of exactly its first Depth ancestors (those are
+		// the roots whose depth limit still reaches the new post; its parent
+		// is 1 hop up). Walk that chain once: each ancestor's cached entry
+		// is stale, and its thread may now score above the offline bounds.
+		ancestors := make([]PostID, 0, depth)
+		for sid := p.RSID; sid != social.NoPost && len(ancestors) < depth; {
+			ancestors = append(ancestors, sid)
 			row, ok := s.DB.GetBySID(sid)
-			if !ok || row.RSID == social.NoPost {
-				return social.NoPost, false
+			if !ok {
+				break
 			}
-			return row.RSID, true
-		})
+			sid = row.RSID
+		}
+		if s.PopCache != nil {
+			for _, a := range ancestors {
+				s.PopCache.InvalidateRoot(a)
+			}
+		}
+		builder := thread.Builder{DB: s.DB, Depth: depth, Mode: thread.ExpandSnapshot}
+		for _, a := range ancestors {
+			pop, _ := builder.Popularity(a, eps, nil)
+			s.Bounds.RaiseForRoot(a, pop)
+		}
 	}
 	return nil
 }
