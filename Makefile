@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench bench-compare bench-sharded bench-batchio clean
+.PHONY: all build test short race vet fmt bench bench-compare bench-sharded bench-batchio test-crash clean
 
 all: build test
 
@@ -23,6 +23,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Durability lane: crash-inject every filesystem step of Save, corrupt
+# every snapshot artifact, replay the WAL after simulated crashes, race
+# checkpoints against live ingest, and burst client cancellations at the
+# sharded tier's breakers — all under -race. The WAL package's own tests
+# (torn tails, segment rotation, record framing) ride along.
+test-crash:
+	$(GO) test -race -count=1 \
+		-run 'CrashInjection|Corruption|WALRecovery|WALReplay|WALTornTail|SaveRacesIngest|BreakerIgnoresClientCancellation' .
+	$(GO) test -race -count=1 ./internal/wal/ ./internal/fsx/...
 
 fmt:
 	gofmt -l .

@@ -14,6 +14,13 @@ import (
 //
 // Failures counted here are whole-request outcomes: a hedged pair counts
 // once, and a request rejected by the open breaker counts not at all.
+//
+// Classification rule: only errors that say something about the SHARD
+// count. A sub-query that died because the caller canceled (client
+// disconnect) or because the query-wide deadline expired before the
+// shard's own budget is neither a failure nor a success — the breaker
+// does not move. A shard that exhausts its per-shard timeout while the
+// parent context is still healthy counts as a failure.
 type breaker struct {
 	threshold int           // consecutive failures to trip; <= 0 disables
 	cooldown  time.Duration // open → half-open delay

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
@@ -52,6 +53,12 @@ func main() {
 			"serve an in-process sharded tier with this many geo-shards (0 = monolithic; incompatible with -load)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
 			"how long to drain in-flight queries on SIGINT/SIGTERM")
+		data = flag.String("data", "",
+			"durable data directory: load the committed snapshot (or build from -in on first boot), replay and append the ingest WAL, checkpoint periodically and on shutdown (monolithic only)")
+		walSync = flag.String("wal-sync", "record",
+			"ingest WAL fsync policy: record | interval | off")
+		checkpointInterval = flag.Duration("checkpoint-interval", 15*time.Minute,
+			"how often to commit a fresh snapshot of the -data directory (0 disables periodic checkpoints)")
 	)
 	flag.Parse()
 
@@ -64,9 +71,10 @@ func main() {
 	}
 
 	var handler *server.Server
+	var durable *tklus.System // non-nil when -data owns persistence
 	if *shards > 0 {
-		if *load != "" {
-			logger.Error("-shards cannot be combined with -load (images are monolithic)")
+		if *load != "" || *data != "" {
+			logger.Error("-shards cannot be combined with -load or -data (images are monolithic)")
 			os.Exit(1)
 		}
 		posts, err := ingest.Load(*in, *format)
@@ -94,9 +102,12 @@ func main() {
 	} else {
 		var sys *tklus.System
 		var err error
-		if *load != "" {
+		switch {
+		case *data != "":
+			sys, err = openDurable(logger, *data, *in, *format)
+		case *load != "":
 			sys, err = tklus.Load(*load, tklus.DefaultConfig())
-		} else {
+		default:
 			var posts []*tklus.Post
 			if posts, err = ingest.Load(*in, *format); err != nil {
 				logger.Error("loading corpus", "err", err)
@@ -108,11 +119,27 @@ func main() {
 			logger.Error("building system", "err", err)
 			os.Exit(1)
 		}
+		if *data != "" {
+			policy, perr := walPolicy(*walSync)
+			if perr != nil {
+				logger.Error("bad -wal-sync", "err", perr)
+				os.Exit(1)
+			}
+			if _, err := sys.EnableWAL(*data, tklus.WALOptions{Policy: policy}); err != nil {
+				logger.Error("opening ingest WAL", "err", err)
+				os.Exit(1)
+			}
+			durable = sys
+			logger.Info("ingest WAL enabled", "dir", *data, "sync", policy.String())
+		}
 		if *popCache > 0 {
 			c := sys.EnablePopCache(*popCache)
 			logger.Info("popularity cache enabled", "capacity", c.Capacity())
 		}
 		handler = server.NewWith(sys, opts)
+		if durable != nil {
+			durable.RegisterPersistenceMetrics(handler.Registry())
+		}
 		logger.Info("serving",
 			"rows", sys.DB.Len(), "index_keys", sys.Index.NumKeys(),
 			"addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
@@ -135,6 +162,29 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
+	// Periodic checkpoints bound the WAL replay a crash would cost. Save
+	// runs concurrently with serving: it captures a consistent view under
+	// the ingest lock and writes the snapshot outside it.
+	if durable != nil && *checkpointInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(*checkpointInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					t0 := time.Now()
+					if err := durable.Save(*data); err != nil {
+						logger.Error("checkpoint failed", "err", err)
+					} else {
+						logger.Info("checkpoint committed", "dir", *data, "elapsed", time.Since(t0).String())
+					}
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errCh:
 		logger.Error("server failed", "err", err)
@@ -151,6 +201,19 @@ func main() {
 		srv.Close()
 	}
 
+	// Final checkpoint: fold every ingested post into the snapshot so the
+	// next boot replays an empty (or tiny) WAL.
+	if durable != nil {
+		if err := durable.Save(*data); err != nil {
+			logger.Error("final checkpoint failed (WAL still covers the ingests)", "err", err)
+		} else {
+			logger.Info("final checkpoint committed", "dir", *data)
+		}
+		if err := durable.CloseWAL(); err != nil {
+			logger.Warn("closing ingest WAL", "err", err)
+		}
+	}
+
 	// Flush a final metrics snapshot so the last scrape interval is not
 	// lost when the process exits.
 	var snap strings.Builder
@@ -158,4 +221,62 @@ func main() {
 		logger.Info("final metrics snapshot\n" + snap.String())
 	}
 	logger.Info("bye")
+}
+
+// openDurable resolves the -data directory: load the committed snapshot
+// when there is one (the normal restart path, WAL replayed inside Load),
+// otherwise build from the corpus and replay any WAL a first boot left
+// behind before it managed to commit a snapshot.
+func openDurable(logger *slog.Logger, dataDir, in, format string) (*tklus.System, error) {
+	if tklus.SnapshotExists(dataDir) {
+		sys, err := tklus.Load(dataDir, tklus.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("recovered from snapshot",
+			"snapshot", sys.Recovery.Snapshot,
+			"wal_replayed", sys.Recovery.WALRecordsReplayed,
+			"wal_skipped", sys.Recovery.WALRecordsSkipped,
+			"wal_bytes", sys.Recovery.WALBytes,
+			"replay", sys.Recovery.WALReplayDuration.String(),
+			"torn_tail", sys.Recovery.WALTornTail)
+		return sys, nil
+	}
+	posts, err := ingest.Load(in, format)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	rec, err := sys.ReplayWAL(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	if rec.WALRecordsReplayed > 0 || rec.WALRecordsSkipped > 0 {
+		logger.Info("replayed WAL over corpus build",
+			"wal_replayed", rec.WALRecordsReplayed, "wal_skipped", rec.WALRecordsSkipped)
+	}
+	// Commit the base snapshot now: from here on a crash recovers from
+	// disk instead of re-reading the corpus.
+	if err := sys.Save(dataDir); err != nil {
+		return nil, err
+	}
+	logger.Info("initial snapshot committed", "dir", dataDir, "rows", sys.DB.Len())
+	return sys, nil
+}
+
+// walPolicy parses the -wal-sync flag.
+func walPolicy(s string) (tklus.WALSyncPolicy, error) {
+	switch s {
+	case "record":
+		return tklus.WALSyncEveryRecord, nil
+	case "interval":
+		return tklus.WALSyncInterval, nil
+	case "off":
+		return tklus.WALSyncOff, nil
+	default:
+		return 0, fmt.Errorf("unknown WAL sync policy %q: want record|interval|off", s)
+	}
 }

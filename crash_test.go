@@ -1,0 +1,304 @@
+package tklus_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"context"
+
+	tklus "repro"
+	"repro/internal/fsx"
+)
+
+var errInjectedCrash = errors.New("injected crash")
+
+// searchHotel runs the canonical corpus query. Sum ranking over the tiny
+// hand-rolled corpus is fully deterministic, so recovered systems must
+// reproduce these results exactly.
+func searchHotel(t testing.TB, sys *tklus.System, loc tklus.Point) []tklus.UserResult {
+	t.Helper()
+	res, _, err := sys.Search(context.Background(), tklus.Query{
+		Loc: loc, RadiusKm: 5, Keywords: []string{"hotel"},
+		K: 3, Ranking: tklus.SumScore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func equalResults(a, b []tklus.UserResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// extraReplies builds n replies dated after the base corpus, round-robin
+// across the three root threads, to ingest on top of a committed snapshot.
+func extraReplies(roots []*tklus.Post, loc tklus.Point, n int) []*tklus.Post {
+	at := time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
+	var extras []*tklus.Post
+	for i := 0; i < n; i++ {
+		at = at.Add(time.Second)
+		extras = append(extras, tklus.NewReply(800+tklus.UserID(i), at, loc, "crash me maybe", roots[i%len(roots)]))
+	}
+	return extras
+}
+
+// TestSaveCrashInjection kills Save immediately before every single
+// filesystem mutation it performs — create, fsync, rename, mkdir, remove —
+// and asserts the data directory recovers at every kill point: Load must
+// succeed (the old snapshot before the commit rename, the new one after),
+// and because the extra ingests are in the WAL, the recovered query results
+// must be byte-identical to a run that never crashed.
+func TestSaveCrashInjection(t *testing.T) {
+	posts, loc, roots := ingestCorpus()
+	extras := extraReplies(roots, loc, 6)
+
+	oracle, err := tklus.Build(append(append([]*tklus.Post{}, posts...), extras...), tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := searchHotel(t, oracle, loc)
+
+	for kill := 1; ; kill++ {
+		dir := t.TempDir()
+		sys, err := tklus.Build(posts, tklus.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.EnableWAL(dir, tklus.WALOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Save(dir); err != nil {
+			t.Fatalf("base save: %v", err)
+		}
+		if err := sys.Ingest(extras...); err != nil {
+			t.Fatal(err)
+		}
+
+		// Arm the fail-stop hook: die immediately before the kill-th
+		// filesystem operation of the second Save.
+		ops, tripped := 0, false
+		fsx.SetHook(func(op fsx.Op, path string) error {
+			ops++
+			if ops == kill {
+				tripped = true
+				return errInjectedCrash
+			}
+			return nil
+		})
+		saveErr := sys.Save(dir)
+		fsx.SetHook(nil)
+		if err := sys.CloseWAL(); err != nil {
+			t.Fatal(err)
+		}
+
+		if !tripped {
+			// The save ran to completion without reaching operation #kill:
+			// every kill point has been exercised.
+			if saveErr != nil {
+				t.Fatalf("uninterrupted save failed: %v", saveErr)
+			}
+			loaded, err := tklus.Load(dir, tklus.DefaultConfig())
+			if err != nil {
+				t.Fatalf("load after clean save: %v", err)
+			}
+			if got := searchHotel(t, loaded, loc); !equalResults(got, want) {
+				t.Fatalf("clean save: recovered results %v, want %v", got, want)
+			}
+			t.Logf("save performs %d filesystem operations; all kill points recovered", kill-1)
+			return
+		}
+
+		// Post-commit steps (snapshot GC) swallow injected errors by design,
+		// so saveErr may be nil even though the hook tripped. Either way the
+		// directory must load and replay to the uninterrupted results.
+		loaded, err := tklus.Load(dir, tklus.DefaultConfig())
+		if err != nil {
+			t.Fatalf("kill point %d (save err: %v): load failed: %v", kill, saveErr, err)
+		}
+		if got := searchHotel(t, loaded, loc); !equalResults(got, want) {
+			t.Fatalf("kill point %d: recovered results %v, want %v", kill, got, want)
+		}
+	}
+}
+
+// TestWALRecoveryWithoutSave is the plain crash story: a snapshot is
+// committed, more posts are ingested (reaching only the WAL), and the
+// process dies without ever checkpointing again. Load must replay every
+// logged record through the normal Ingest path and land on results
+// byte-identical to the process that never crashed.
+func TestWALRecoveryWithoutSave(t *testing.T) {
+	posts, loc, roots := ingestCorpus()
+	extras := extraReplies(roots, loc, 8)
+	dir := t.TempDir()
+
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.EnableWAL(dir, tklus.WALOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(extras...); err != nil {
+		t.Fatal(err)
+	}
+	want := searchHotel(t, sys, loc)
+	// Crash: abandon sys. Every record was fsynced (default policy), so the
+	// WAL alone carries the extras.
+	if err := sys.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := tklus.Load(dir, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Recovery == nil {
+		t.Fatal("Load reported no recovery stats")
+	}
+	if got := loaded.Recovery.WALRecordsReplayed; got != int64(len(extras)) {
+		t.Errorf("replayed %d WAL records, want %d (stats %+v)", got, len(extras), loaded.Recovery)
+	}
+	if loaded.Recovery.WALRecordsSkipped != 0 {
+		t.Errorf("skipped %d WAL records, want 0", loaded.Recovery.WALRecordsSkipped)
+	}
+	if got := searchHotel(t, loaded, loc); !equalResults(got, want) {
+		t.Errorf("recovered results %v, want %v", got, want)
+	}
+}
+
+// TestWALReplaySkipsSnapshottedRecords pins the idempotence rule: when the
+// process dies after the snapshot commit rename but before the WAL is
+// truncated, the log still holds records the snapshot already contains.
+// Replay must skip them by SID — re-ingesting would fail (or double-count)
+// — and still produce the uninterrupted results.
+func TestWALReplaySkipsSnapshottedRecords(t *testing.T) {
+	posts, loc, roots := ingestCorpus()
+	extras := extraReplies(roots, loc, 5)
+	dir := t.TempDir()
+
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.EnableWAL(dir, tklus.WALOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(extras...); err != nil {
+		t.Fatal(err)
+	}
+	want := searchHotel(t, sys, loc)
+
+	// Kill the second Save at the directory fsync right after the CURRENT
+	// rename: the new snapshot is committed, the WAL was never truncated.
+	dirsyncs := 0
+	fsx.SetHook(func(op fsx.Op, path string) error {
+		if op == fsx.OpDirSync && path == dir {
+			dirsyncs++
+			if dirsyncs == 2 {
+				return errInjectedCrash
+			}
+		}
+		return nil
+	})
+	saveErr := sys.Save(dir)
+	fsx.SetHook(nil)
+	if !errors.Is(saveErr, errInjectedCrash) {
+		t.Fatalf("injected crash did not surface: %v", saveErr)
+	}
+	if err := sys.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := tklus.Load(dir, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Recovery.WALRecordsSkipped; got != int64(len(extras)) {
+		t.Errorf("skipped %d WAL records, want %d (stats %+v)", got, len(extras), loaded.Recovery)
+	}
+	if loaded.Recovery.WALRecordsReplayed != 0 {
+		t.Errorf("replayed %d WAL records, want 0 (all are in the snapshot)",
+			loaded.Recovery.WALRecordsReplayed)
+	}
+	if got := searchHotel(t, loaded, loc); !equalResults(got, want) {
+		t.Errorf("recovered results %v, want %v", got, want)
+	}
+}
+
+// TestWALTornTailRecovered simulates dying mid-append: the last WAL segment
+// ends in a partial record. Load must tolerate it — the torn record was
+// never acknowledged — replay every complete record, and flag the tear in
+// the recovery stats.
+func TestWALTornTailRecovered(t *testing.T) {
+	posts, loc, roots := ingestCorpus()
+	extras := extraReplies(roots, loc, 4)
+	dir := t.TempDir()
+
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.EnableWAL(dir, tklus.WALOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(extras...); err != nil {
+		t.Fatal(err)
+	}
+	want := searchHotel(t, sys, loc)
+	if err := sys.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: append half a record header to the newest segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments (err %v)", err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := tklus.Load(dir, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got: %v", err)
+	}
+	if !loaded.Recovery.WALTornTail {
+		t.Error("recovery stats did not flag the torn tail")
+	}
+	if got := loaded.Recovery.WALRecordsReplayed; got != int64(len(extras)) {
+		t.Errorf("replayed %d WAL records, want %d", got, len(extras))
+	}
+	if got := searchHotel(t, loaded, loc); !equalResults(got, want) {
+		t.Errorf("recovered results %v, want %v", got, want)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/fsx"
 )
 
 // The simulated DFS persists to a host directory as one image file per
@@ -15,10 +17,11 @@ import (
 
 const imageMagic = "TKDFS1\n"
 
-// Save writes every sealed file into dir (created if needed). Unsealed
-// files are an error: persistence happens after construction.
+// Save writes every sealed file into dir (created if needed), fsyncing
+// each image and finally the directory, so a completed Save is durable.
+// Unsealed files are an error: persistence happens after construction.
 func (fs *FS) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsx.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	fs.mu.Lock()
@@ -31,24 +34,25 @@ func (fs *FS) Save(dir string) error {
 			return err
 		}
 	}
-	return nil
+	return fsx.SyncDir(dir)
 }
 
 func saveFile(dir, name string, f *file) error {
-	host, err := os.Create(filepath.Join(dir, encodeName(name)))
+	host, err := fsx.Create(filepath.Join(dir, encodeName(name)))
 	if err != nil {
 		return err
 	}
-	defer host.Close()
 	if _, err := host.WriteString(imageHeader(f)); err != nil {
+		host.Close()
 		return err
 	}
 	for _, block := range f.blocks {
 		if _, err := host.Write(block); err != nil {
+			host.Close()
 			return err
 		}
 	}
-	return host.Close()
+	return fsx.SyncClose(host)
 }
 
 // imageHeader renders the header: magic, then block count, then one

@@ -1,0 +1,131 @@
+// Package fsx wraps the mutating filesystem operations the persistence
+// layer performs — create, sync, rename, mkdir, remove — behind a single
+// test hook, so crash-injection tests can kill a Save after any individual
+// step and assert the on-disk state still loads. Production builds pay one
+// nil check per operation.
+//
+// The crash model is fail-stop: when the hook returns an error for an
+// operation, the operation is NOT performed and the error propagates, as if
+// the process had died immediately before that syscall. Combined with the
+// snapshot writer's ordering (write + fsync everything into a temp
+// directory, fsync, rename, then commit a pointer file), aborting before
+// any single step must leave the previous snapshot fully intact.
+package fsx
+
+import (
+	"os"
+	"sync"
+)
+
+// Op names one mutating filesystem operation class, for hooks that want to
+// fail a specific kind of step.
+type Op string
+
+const (
+	OpMkdir   Op = "mkdir"
+	OpCreate  Op = "create"
+	OpSync    Op = "sync"    // file fsync before close
+	OpDirSync Op = "dirsync" // directory fsync
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+)
+
+var (
+	hookMu sync.RWMutex
+	hook   func(op Op, path string) error
+)
+
+// SetHook installs fn as the crash-injection hook; nil restores direct
+// passthrough. The hook runs before each operation; a non-nil return aborts
+// the operation with that error. Tests must restore the nil hook when done.
+func SetHook(fn func(op Op, path string) error) {
+	hookMu.Lock()
+	hook = fn
+	hookMu.Unlock()
+}
+
+func check(op Op, path string) error {
+	hookMu.RLock()
+	fn := hook
+	hookMu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op, path)
+}
+
+// MkdirAll is os.MkdirAll behind the hook.
+func MkdirAll(path string, perm os.FileMode) error {
+	if err := check(OpMkdir, path); err != nil {
+		return err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// Create is os.Create behind the hook.
+func Create(path string) (*os.File, error) {
+	if err := check(OpCreate, path); err != nil {
+		return nil, err
+	}
+	return os.Create(path)
+}
+
+// SyncClose fsyncs and closes f (in that order), reporting the first error.
+// The fsync is a hook step: durability is exactly what a crash test wants
+// to interrupt.
+func SyncClose(f *os.File) error {
+	if err := check(OpSync, f.Name()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SyncDir fsyncs a directory, making its entries (renames, creates)
+// durable on filesystems that require it.
+func SyncDir(path string) error {
+	if err := check(OpDirSync, path); err != nil {
+		return err
+	}
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Rename is os.Rename behind the hook — the atomic commit step of every
+// snapshot save.
+func Rename(oldpath, newpath string) error {
+	if err := check(OpRename, newpath); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// RemoveAll is os.RemoveAll behind the hook.
+func RemoveAll(path string) error {
+	if err := check(OpRemove, path); err != nil {
+		return err
+	}
+	return os.RemoveAll(path)
+}
+
+// WriteFileSync creates path, writes data, fsyncs and closes — the
+// write-one-artifact primitive of the snapshot writer.
+func WriteFileSync(path string, data []byte) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return SyncClose(f)
+}

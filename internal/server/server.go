@@ -151,6 +151,7 @@ func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 	if sys != nil {
 		s.mux.HandleFunc("GET /evidence", s.handleEvidence)
 		s.mux.HandleFunc("GET /thread", s.handleThread)
+		s.mux.HandleFunc("POST /v1/ingest", s.handleIngestV1)
 	}
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -312,6 +313,37 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, shardSearchResponseV1{Version: ProtocolVersion, Partials: parts})
+}
+
+// handleIngestV1 serves POST /v1/ingest: a batch of live posts appended
+// through System.Ingest, so thread popularity, pruning bounds and the
+// popularity cache update immediately — and, when a WAL is attached, each
+// post is durable before the 200 goes out. Registered only for
+// single-system backends (shard routers don't own a metadata database).
+func (s *Server) handleIngestV1(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequestV1
+	if err := decodeJSONBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	posts, err := req.Decode()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.sys.Ingest(posts...); err != nil {
+		// A rejected append (out-of-order SID, duplicate) is client data;
+		// a WAL write failure is the server's disk.
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "WAL") {
+			code = http.StatusInternalServerError
+		}
+		httpError(w, code, err)
+		return
+	}
+	s.opts.Registry.Counter("tklus_http_ingested_posts_total",
+		"Posts accepted through POST /v1/ingest.", nil).Add(int64(len(posts)))
+	writeJSON(w, IngestResponseV1{Version: ProtocolVersion, Ingested: len(posts)})
 }
 
 // maybeLogSlowQuery emits the slow-query log line: full query shape plus

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -193,5 +194,58 @@ func TestUnknownRouteAndMethod(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Code != 405 {
 		t.Errorf("POST /search status %d, want 405", rec.Code)
+	}
+}
+
+// post sends a JSON body and decodes the JSON reply.
+func post(t *testing.T, s *Server, url, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest("POST", url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 && rec.Header().Get("Content-Type") == "application/json" {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, rec.Body.String())
+		}
+	}
+	return rec.Code, out
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	s, loc := testServer(t)
+	rootSID := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+
+	// The root's thread before the ingest.
+	_, threadBefore := get(t, s, fmt.Sprintf("/thread?tid=%d", rootSID))
+	before := len(threadBefore["nodes"].([]any))
+
+	// Ingest a reply to the root: one more node, immediately visible.
+	newSID := time.Date(2013, 1, 1, 4, 0, 0, 0, time.UTC).UnixNano()
+	body := fmt.Sprintf(`{"posts":[{"sid":%d,"uid":200,"lat":%f,"lon":%f,
+		"text":"late reply","kind":"reply","ruid":1,"rsid":%d}]}`,
+		newSID, loc.Lat, loc.Lon, rootSID)
+	code, resp := post(t, s, "/v1/ingest", body)
+	if code != 200 {
+		t.Fatalf("ingest status %d: %v", code, resp)
+	}
+	if n := resp["ingested"].(float64); n != 1 {
+		t.Fatalf("ingested = %v, want 1", n)
+	}
+	_, threadAfter := get(t, s, fmt.Sprintf("/thread?tid=%d", rootSID))
+	if after := len(threadAfter["nodes"].([]any)); after != before+1 {
+		t.Errorf("thread nodes %d -> %d, want +1", before, after)
+	}
+
+	// Bad batches are 400s: empty, malformed kind, out-of-order SID.
+	for name, bad := range map[string]string{
+		"empty":    `{"posts":[]}`,
+		"bad-kind": fmt.Sprintf(`{"posts":[{"sid":%d,"uid":7,"lat":1,"lon":1,"text":"x","kind":"zap"}]}`, newSID+1),
+		"old-sid":  fmt.Sprintf(`{"posts":[{"sid":%d,"uid":7,"lat":1,"lon":1,"text":"x"}]}`, rootSID),
+	} {
+		if code, resp := post(t, s, "/v1/ingest", bad); code != 400 {
+			t.Errorf("%s: status %d (%v), want 400", name, code, resp)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	tklus "repro"
 	"repro/internal/core"
+	"repro/internal/textutil"
 )
 
 // ProtocolVersion is the wire schema version this server speaks.
@@ -173,6 +174,81 @@ type shardSearchResponseV1 struct {
 // errorResponseV1 is the error body every endpoint writes.
 type errorResponseV1 struct {
 	Error string `json:"error"`
+}
+
+// IngestRequestV1 is the POST /v1/ingest request: a batch of posts to
+// append to the live system. Served only by single-system backends.
+type IngestRequestV1 struct {
+	// Version of the schema the client speaks; 0 means 1.
+	Version int            `json:"version,omitempty"`
+	Posts   []IngestPostV1 `json:"posts"`
+}
+
+// IngestPostV1 is one post on the ingest wire. SIDs are UnixNano
+// timestamps and must arrive in ascending order (Section IV-A: tweet IDs
+// are essentially timestamps); kind is "", "reply" or "forward", with
+// ruid/rsid naming the replied-to user and tweet.
+type IngestPostV1 struct {
+	SID  int64   `json:"sid"`
+	UID  int64   `json:"uid"`
+	Lat  float64 `json:"lat"`
+	Lon  float64 `json:"lon"`
+	Text string  `json:"text,omitempty"`
+	// Words carries pre-stemmed terms; empty derives them from Text with
+	// the indexing pipeline.
+	Words []string `json:"words,omitempty"`
+	Kind  string   `json:"kind,omitempty"`
+	RUID  int64    `json:"ruid,omitempty"`
+	RSID  int64    `json:"rsid,omitempty"`
+}
+
+// Decode validates and converts the wire batch. Failures wrap
+// core.ErrBadQuery.
+func (req *IngestRequestV1) Decode() ([]*tklus.Post, error) {
+	if req.Version != 0 && req.Version != ProtocolVersion {
+		return nil, fmt.Errorf("%w: unsupported protocol version %d (server speaks %d)",
+			core.ErrBadQuery, req.Version, ProtocolVersion)
+	}
+	if len(req.Posts) == 0 {
+		return nil, fmt.Errorf("%w: no posts in ingest request", core.ErrBadQuery)
+	}
+	posts := make([]*tklus.Post, 0, len(req.Posts))
+	for i, wp := range req.Posts {
+		p := &tklus.Post{
+			SID:   tklus.PostID(wp.SID),
+			UID:   tklus.UserID(wp.UID),
+			Time:  time.Unix(0, wp.SID).UTC(),
+			Loc:   tklus.Point{Lat: wp.Lat, Lon: wp.Lon},
+			Words: wp.Words,
+			Text:  wp.Text,
+			RUID:  tklus.UserID(wp.RUID),
+			RSID:  tklus.PostID(wp.RSID),
+		}
+		if len(p.Words) == 0 && wp.Text != "" {
+			p.Words = textutil.Terms(wp.Text)
+		}
+		switch strings.ToLower(wp.Kind) {
+		case "", "none":
+			p.Kind = tklus.None
+		case "reply":
+			p.Kind = tklus.Reply
+		case "forward":
+			p.Kind = tklus.Forward
+		default:
+			return nil, fmt.Errorf("%w: post %d: kind %q: want reply|forward", core.ErrBadQuery, i, wp.Kind)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: post %d: %v", core.ErrBadQuery, i, err)
+		}
+		posts = append(posts, p)
+	}
+	return posts, nil
+}
+
+// IngestResponseV1 is the POST /v1/ingest reply.
+type IngestResponseV1 struct {
+	Version  int `json:"version"`
+	Ingested int `json:"ingested"`
 }
 
 // decodeJSONBody reads and decodes a bounded JSON request body. Failures

@@ -7,6 +7,8 @@
 package thread
 
 import (
+	"encoding/gob"
+	"io"
 	"sync"
 
 	"repro/internal/metadb"
@@ -380,4 +382,52 @@ func (b *Bounds) RaiseForRoot(root social.PostID, pop float64) {
 			b.PerKeyword[kw] = pop
 		}
 	}
+}
+
+// boundsWire is the gob image of Bounds: the exported bound fields only.
+// Gob matches fields by name, so images written by earlier code that
+// encoded *Bounds directly still decode.
+type boundsWire struct {
+	TM          int
+	Depth       int
+	Def11       float64
+	MaxObserved float64
+	PerKeyword  map[string]float64
+}
+
+// EncodeGob writes the bounds to w under the read lock, so a snapshot save
+// racing RaiseForRoot sees a consistent (TM, Depth, Def11, MaxObserved,
+// PerKeyword) tuple instead of gob walking mutating fields unlocked.
+func (b *Bounds) EncodeGob(w io.Writer) error {
+	b.mu.RLock()
+	wire := boundsWire{
+		TM:          b.TM,
+		Depth:       b.Depth,
+		Def11:       b.Def11,
+		MaxObserved: b.MaxObserved,
+		PerKeyword:  make(map[string]float64, len(b.PerKeyword)),
+	}
+	for kw, v := range b.PerKeyword {
+		wire.PerKeyword[kw] = v
+	}
+	b.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// DecodeBoundsGob reads bounds written by EncodeGob (or by older code that
+// gob-encoded *Bounds directly). The rootHot precision map is not
+// persisted: RaiseForRoot on loaded bounds raises every keyword bound,
+// which is sound.
+func DecodeBoundsGob(r io.Reader) (*Bounds, error) {
+	var wire boundsWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	return &Bounds{
+		TM:          wire.TM,
+		Depth:       wire.Depth,
+		Def11:       wire.Def11,
+		MaxObserved: wire.MaxObserved,
+		PerKeyword:  wire.PerKeyword,
+	}, nil
 }

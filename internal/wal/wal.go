@@ -1,0 +1,604 @@
+// Package wal is the ingest write-ahead log: every post accepted by the
+// live-ingest path is appended as one checksummed record before the system
+// acknowledges it, so a crash between batch snapshots loses nothing the
+// configured fsync policy promised to keep.
+//
+// Layout: the log is a directory of numbered segment files
+// (seg-00000001.log, ...). Each segment starts with a magic header and
+// holds length-prefixed records:
+//
+//	[len uint32][crc32c(payload) uint32][payload]
+//
+// The payload is a fixed-field binary encoding of one social.Post. Records
+// never span segments. A snapshot save rotates the log (later appends go to
+// a fresh segment) and, once the snapshot is durably committed, deletes the
+// segments the snapshot absorbed; replay after a crash that interleaves
+// those steps is idempotent because post IDs are monotone — the loader
+// skips records at or below the snapshot's high-water SID.
+//
+// Torn tails: a crash mid-append leaves a final record whose bytes run out
+// before its declared length, or whose checksum fails right at end-of-file.
+// Replay tolerates that — only in the final segment, and only when the bad
+// record reaches end-of-file — and reports it; Open truncates the torn
+// bytes away so the invariant "only the last segment may be torn" survives
+// repeated crashes. A checksum failure anywhere else is ErrCorrupt.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/social"
+)
+
+// ErrCorrupt marks a record that fails its checksum or framing away from a
+// tolerable torn tail.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+var (
+	segMagic = []byte("TKWAL1\n")
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// maxRecord bounds one record's payload; a corrupt length field fails fast
+// instead of allocating gigabytes.
+const maxRecord = 16 << 20
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncEveryRecord fsyncs after each Append — the strongest guarantee:
+	// an acknowledged ingest survives any crash.
+	SyncEveryRecord SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.Interval, amortizing the
+	// fsync over a burst; a crash can lose the records of the last interval.
+	SyncInterval
+	// SyncOff never fsyncs explicitly (the OS flushes on its schedule); a
+	// crash can lose everything since the last rotation or Close.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return "record"
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the fsync policy; the zero value is SyncEveryRecord.
+	Policy SyncPolicy
+	// Interval is the maximum time between fsyncs under SyncInterval;
+	// non-positive defaults to 100ms.
+	Interval time.Duration
+}
+
+// Stats reports a Log's cumulative work counters.
+type Stats struct {
+	Records   int64 // records appended
+	Bytes     int64 // payload + framing bytes appended
+	Syncs     int64 // explicit fsyncs issued
+	Rotations int64 // segment rotations
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	seq      int
+	lastSync time.Time
+	stats    Stats
+}
+
+// segName renders a segment file name.
+func segName(seq int) string { return fmt.Sprintf("seg-%08d.log", seq) }
+
+// segSeq parses a segment file name, reporting whether it is one.
+func segSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	var seq int
+	if _, err := fmt.Sscanf(name, "seg-%08d.log", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the directory's segment sequence numbers ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := segSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// Open creates (or reopens) the log directory and starts a fresh segment
+// after the highest existing one. If the previous process crashed
+// mid-append, the torn tail of the last segment is truncated away first, so
+// "only the final segment may be torn" stays true across restarts. Replay
+// whatever is in the directory before Open if the records must be applied —
+// Open never reads records back into the caller.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if n := len(seqs); n > 0 {
+		next = seqs[n-1] + 1
+		if err := repairTail(filepath.Join(dir, segName(seqs[n-1]))); err != nil {
+			return nil, err
+		}
+	}
+	l := &Log{dir: dir, opts: opts, seq: next}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// openSegment creates the current sequence's segment file with its magic
+// header, synced so an immediately following crash finds a parseable file.
+// Caller holds l.mu (or is the constructor).
+func (l *Log) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.seq)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	return syncDir(l.dir)
+}
+
+// Append logs one post and applies the fsync policy. The record is written
+// with a single Write call, keeping the torn-write window as small as the
+// OS allows.
+func (l *Log) Append(p *social.Post) error {
+	payload := encodePost(p)
+	rec := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, crcTable))
+	copy(rec[8:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: append to closed log")
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	l.stats.Records++
+	l.stats.Bytes += int64(len(rec))
+	switch l.opts.Policy {
+	case SyncEveryRecord:
+		l.stats.Syncs++
+		return l.f.Sync()
+	case SyncInterval:
+		if now := time.Now(); now.Sub(l.lastSync) >= l.opts.Interval {
+			l.lastSync = now
+			l.stats.Syncs++
+			return l.f.Sync()
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	l.stats.Syncs++
+	l.lastSync = time.Now()
+	return l.f.Sync()
+}
+
+// Rotate syncs and closes the current segment and starts the next one,
+// returning the sequence number of the segment just closed. A snapshot save
+// calls it at its capture point: every record at or before the returned
+// sequence is covered by the snapshot being written.
+func (l *Log) Rotate() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: rotate on closed log")
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, err
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, err
+	}
+	closed := l.seq
+	l.seq++
+	l.stats.Syncs++
+	l.stats.Rotations++
+	if err := l.openSegment(); err != nil {
+		l.f = nil
+		return closed, err
+	}
+	return closed, nil
+}
+
+// TruncateThrough deletes every segment with sequence number <= seq — the
+// compaction step after a snapshot commit. Removal is per-file and ordered
+// oldest-first, so a crash mid-truncate leaves a contiguous suffix; leftover
+// segments replay idempotently (their SIDs sit below the snapshot's
+// high-water mark).
+func (l *Log) TruncateThrough(seq int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seqs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range seqs {
+		if s > seq || s == l.seq {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(s))); err != nil {
+			return err
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Stats returns a copy of the cumulative counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the current segment. Further Appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReplayStats reports what a Replay processed.
+type ReplayStats struct {
+	Segments int
+	Records  int64
+	Bytes    int64 // framing + payload bytes of valid records
+	TornTail bool  // the final segment ended in a torn record
+	Elapsed  time.Duration
+}
+
+// Replay streams every record in the log directory, oldest segment first,
+// into fn. A missing directory is an empty log. fn returning an error
+// aborts the replay with that error. Torn tails are tolerated per the
+// package contract; everything else corrupt is ErrCorrupt.
+func Replay(dir string, fn func(*social.Post) error) (ReplayStats, error) {
+	start := time.Now()
+	var stats ReplayStats
+	seqs, err := listSegments(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return stats, nil
+	} else if err != nil {
+		return stats, err
+	}
+	for i, seq := range seqs {
+		last := i == len(seqs)-1
+		torn, n, bytes, err := replaySegment(filepath.Join(dir, segName(seq)), last, fn)
+		stats.Segments++
+		stats.Records += n
+		stats.Bytes += bytes
+		if err != nil {
+			stats.Elapsed = time.Since(start)
+			return stats, fmt.Errorf("segment %d: %w", seq, err)
+		}
+		if torn {
+			stats.TornTail = true
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// replaySegment reads one segment. allowTorn is true for the final segment
+// only: a record whose bytes run out at end-of-file (or whose checksum
+// fails on the very last record) is then a tolerated crash artifact rather
+// than corruption.
+func replaySegment(path string, allowTorn bool, fn func(*social.Post) error) (torn bool, records, bytes int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if len(data) < len(segMagic) {
+		// Crash while creating the segment: no record was ever written, so
+		// there is nothing to lose — tolerated anywhere, flagged as torn
+		// only when it is the tail.
+		return allowTorn, 0, 0, nil
+	}
+	if string(data[:len(segMagic)]) != string(segMagic) {
+		return false, 0, 0, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		if len(data)-off < 8 {
+			if allowTorn {
+				return true, records, bytes, nil
+			}
+			return false, records, bytes, fmt.Errorf("%w: truncated record header", ErrCorrupt)
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxRecord {
+			if allowTorn && !more(data, off) {
+				return true, records, bytes, nil
+			}
+			return false, records, bytes, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, plen)
+		}
+		end := off + 8 + int(plen)
+		if end > len(data) {
+			if allowTorn {
+				return true, records, bytes, nil
+			}
+			return false, records, bytes, fmt.Errorf("%w: record overruns segment", ErrCorrupt)
+		}
+		payload := data[off+8 : end]
+		if crc32.Checksum(payload, crcTable) != want {
+			if allowTorn && end == len(data) {
+				return true, records, bytes, nil
+			}
+			return false, records, bytes, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		p, derr := decodePost(payload)
+		if derr != nil {
+			return false, records, bytes, fmt.Errorf("%w: %v", ErrCorrupt, derr)
+		}
+		if err := fn(p); err != nil {
+			return false, records, bytes, err
+		}
+		records++
+		bytes += int64(end - off)
+		off = end
+	}
+	return false, records, bytes, nil
+}
+
+// more reports whether a sane record header could start beyond off — used
+// to distinguish a garbage length at the tail (torn) from one mid-file.
+func more(data []byte, off int) bool { return off+8+maxRecord < len(data) }
+
+// repairTail truncates a torn final record (and nothing else) off the
+// segment at path. Corruption before the tail is left in place — Replay
+// will name it; silently amputating acknowledged records would turn a
+// detectable fault into data loss.
+func repairTail(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < len(segMagic) {
+		// Crash during creation: the segment never held a record; remove
+		// the stub so it cannot shadow a later segment's torn-tail budget.
+		return os.Remove(path)
+	}
+	if string(data[:len(segMagic)]) != string(segMagic) {
+		return nil // corrupt header: leave for Replay to report
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		if len(data)-off < 8 {
+			break
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		if plen > maxRecord {
+			break
+		}
+		end := off + 8 + int(plen)
+		if end > len(data) {
+			break
+		}
+		if crc32.Checksum(data[off+8:end], crcTable) != binary.LittleEndian.Uint32(data[off+4:]) {
+			if end == len(data) {
+				break // torn tail: checksum died with the crash
+			}
+			return nil // mid-file corruption: preserve evidence
+		}
+		off = end
+	}
+	if off == len(data) {
+		return nil
+	}
+	return os.Truncate(path, int64(off))
+}
+
+// syncDir fsyncs a directory so entry changes are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// encodePost renders one post as a record payload: fixed numeric fields,
+// then the word bag and raw text length-prefixed.
+func encodePost(p *social.Post) []byte {
+	n := 8 + 8 + 8 + 8 + 8 + 1 + 8 + 8
+	for _, w := range p.Words {
+		n += binary.MaxVarintLen64 + len(w)
+	}
+	n += 2*binary.MaxVarintLen64 + len(p.Text)
+	buf := make([]byte, 0, n)
+
+	var u [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u[:], v)
+		buf = append(buf, u[:]...)
+	}
+	put64(uint64(p.SID))
+	put64(uint64(p.UID))
+	put64(uint64(p.Time.UnixNano()))
+	put64(math.Float64bits(p.Loc.Lat))
+	put64(math.Float64bits(p.Loc.Lon))
+	buf = append(buf, byte(p.Kind))
+	put64(uint64(p.RUID))
+	put64(uint64(p.RSID))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Words)))
+	for _, w := range p.Words {
+		buf = binary.AppendUvarint(buf, uint64(len(w)))
+		buf = append(buf, w...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Text)))
+	buf = append(buf, p.Text...)
+	return buf
+}
+
+// decodePost inverts encodePost. Times come back in UTC; SIDs are
+// timestamps, so nothing downstream depends on the location.
+func decodePost(payload []byte) (*social.Post, error) {
+	r := &byteReader{data: payload}
+	p := &social.Post{}
+	p.SID = social.PostID(r.u64())
+	p.UID = social.UserID(r.u64())
+	p.Time = time.Unix(0, int64(r.u64())).UTC()
+	p.Loc.Lat = math.Float64frombits(r.u64())
+	p.Loc.Lon = math.Float64frombits(r.u64())
+	p.Kind = social.RelationKind(r.u8())
+	p.RUID = social.UserID(r.u64())
+	p.RSID = social.PostID(r.u64())
+	nwords := r.uvarint()
+	if r.err == nil && nwords > uint64(len(payload)) {
+		return nil, fmt.Errorf("word count %d exceeds payload", nwords)
+	}
+	for i := uint64(0); i < nwords && r.err == nil; i++ {
+		p.Words = append(p.Words, r.str())
+	}
+	p.Text = r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%d trailing payload bytes", len(r.data)-r.off)
+	}
+	return p, nil
+}
+
+// byteReader is a tiny error-latching cursor over a record payload.
+type byteReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(r.off)+n > uint64(len(r.data)) {
+		r.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}

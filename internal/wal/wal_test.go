@@ -1,0 +1,415 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+func walPost(sid int) *social.Post {
+	p := &social.Post{
+		SID:   social.PostID(sid),
+		UID:   social.UserID(100 + sid%7),
+		Time:  time.Unix(0, int64(sid)*1e9).UTC(),
+		Loc:   geo.Point{Lat: 43.7 + float64(sid%5)*0.001, Lon: -79.4},
+		Words: []string{"great", "hotel"},
+		Text:  "great hotel downtown",
+	}
+	if sid%3 == 0 && sid > 3 {
+		p.Kind = social.Reply
+		p.RUID = social.UserID(100 + (sid-3)%7)
+		p.RSID = social.PostID(sid - 3)
+	}
+	return p
+}
+
+func replayAll(t *testing.T, dir string) ([]*social.Post, ReplayStats) {
+	t.Helper()
+	var got []*social.Post
+	stats, err := Replay(dir, func(p *social.Post) error {
+		got = append(got, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Policy: SyncEveryRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*social.Post
+	for sid := 1; sid <= 20; sid++ {
+		p := walPost(sid)
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append(%d): %v", sid, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !postsEqual(got[i], want[i]) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	if stats.TornTail {
+		t.Error("clean log reported a torn tail")
+	}
+	if s := l.Stats(); s.Records != 20 || s.Syncs < 20 {
+		t.Errorf("stats = %+v, want 20 records and >=20 syncs", s)
+	}
+}
+
+// postsEqual compares posts with Time.Equal so the UTC normalization of the
+// decoder doesn't fail a wall-clock-identical post in another location.
+func postsEqual(a, b *social.Post) bool {
+	if !a.Time.Equal(b.Time) {
+		return false
+	}
+	ac, bc := *a, *b
+	ac.Time, bc.Time = time.Time{}, time.Time{}
+	return reflect.DeepEqual(&ac, &bc)
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	stats, err := Replay(filepath.Join(t.TempDir(), "nope"), func(*social.Post) error {
+		t.Fatal("callback on empty log")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("missing dir: %v", err)
+	}
+	if stats.Records != 0 || stats.Segments != 0 {
+		t.Fatalf("stats = %+v, want zero", stats)
+	}
+}
+
+func TestRotateAndTruncateThrough(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for sid := 1; sid <= 5; sid++ {
+		if err := l.Append(walPost(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid := 6; sid <= 8; sid++ {
+		if err := l.Append(walPost(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _ := replayAll(t, dir)
+	if len(got) != 8 {
+		t.Fatalf("before truncate: %d records, want 8", len(got))
+	}
+	if err := l.TruncateThrough(mark); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = replayAll(t, dir)
+	if len(got) != 3 || got[0].SID != 6 {
+		t.Fatalf("after truncate: %d records (first %v), want 3 starting at SID 6", len(got), got[0].SID)
+	}
+	// Truncating through a sequence that would cover the active segment
+	// must never delete it.
+	if err := l.TruncateThrough(mark + 100); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = replayAll(t, dir)
+	if len(got) != 3 {
+		t.Fatalf("active segment deleted by over-wide truncate: %d records", len(got))
+	}
+}
+
+// lastSegment returns the path of the highest-numbered segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	seqs, err := listSegments(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("listSegments: %v (n=%d)", err, len(seqs))
+	}
+	return filepath.Join(dir, segName(seqs[len(seqs)-1]))
+}
+
+func TestTornTailToleratedAndRepaired(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid := 1; sid <= 3; sid++ {
+		if err := l.Append(walPost(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a record at the tail.
+	seg := lastSegment(t, dir)
+	if err := appendBytes(seg, []byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats := replayAll(t, dir)
+	if len(got) != 3 {
+		t.Fatalf("torn tail: replayed %d, want 3", len(got))
+	}
+	if !stats.TornTail {
+		t.Error("torn tail not reported")
+	}
+
+	// Reopen repairs: the torn bytes are truncated away so the next crash
+	// can only tear the new last segment.
+	before, _ := os.Stat(seg)
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	defer l2.Close()
+	after, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("torn tail not repaired: size %d -> %d", before.Size(), after.Size())
+	}
+	got, stats = replayAll(t, dir)
+	if len(got) != 3 || stats.TornTail {
+		t.Fatalf("after repair: %d records, torn=%v; want 3, false", len(got), stats.TornTail)
+	}
+}
+
+func TestMidFileCorruptionIsError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid := 1; sid <= 3; sid++ {
+		if err := l.Append(walPost(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := lastSegment(t, dir)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte of the FIRST record: checksum fails before EOF.
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+10] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, func(*social.Post) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: err = %v, want ErrCorrupt", err)
+	}
+	// Open must not amputate acknowledged records to "repair" this.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open over corrupt segment: %v", err)
+	}
+	l2.Close()
+	if _, err := Replay(dir, func(*social.Post) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corruption silently repaired: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptTailChecksumTolerated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid := 1; sid <= 3; sid++ {
+		if err := l.Append(walPost(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := lastSegment(t, dir)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the last byte of the file: the final record's checksum fails at
+	// EOF — indistinguishable from a torn write, so tolerated.
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, dir)
+	if len(got) != 2 || !stats.TornTail {
+		t.Fatalf("tail checksum flip: %d records, torn=%v; want 2, true", len(got), stats.TornTail)
+	}
+}
+
+func TestTornTailOnlyAllowedInLastSegment(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(walPost(1)); err != nil {
+		t.Fatal(err)
+	}
+	firstSeg := lastSegment(t, dir)
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(walPost(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the FIRST (non-last) segment: that is corruption, not a crash.
+	if err := appendBytes(firstSeg, []byte{0x10, 0x00, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, func(*social.Post) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn non-last segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenSurvivesCrashDuringSegmentCreation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(walPost(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash while creating the next segment leaves a short/empty file.
+	seqs, _ := listSegments(dir)
+	stub := filepath.Join(dir, segName(seqs[len(seqs)-1]+1))
+	if err := os.WriteFile(stub, []byte("TKW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, dir)
+	if len(got) != 1 || !stats.TornTail {
+		t.Fatalf("stub segment: %d records, torn=%v; want 1, true", len(got), stats.TornTail)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open over stub segment: %v", err)
+	}
+	if err := l2.Append(walPost(2)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	got, _ = replayAll(t, dir)
+	if len(got) != 2 {
+		t.Fatalf("after reopen: %d records, want 2", len(got))
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		opts   Options
+		maxSyn int64 // upper bound on per-Append syncs (excludes open/close)
+	}{
+		{"interval", Options{Policy: SyncInterval, Interval: time.Hour}, 1},
+		{"off", Options{Policy: SyncOff}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "wal")
+			l, err := Open(dir, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sid := 1; sid <= 50; sid++ {
+				if err := l.Append(walPost(sid)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s := l.Stats(); s.Syncs > tc.maxSyn {
+				t.Errorf("policy %s issued %d syncs on 50 appends, want <= %d", tc.name, s.Syncs, tc.maxSyn)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := replayAll(t, dir)
+			if len(got) != 50 {
+				t.Fatalf("replayed %d, want 50", len(got))
+			}
+		})
+	}
+}
+
+func TestRecordCRCActuallyChecked(t *testing.T) {
+	// Sanity-pin the framing: len and crc little-endian, crc over payload.
+	p := walPost(7)
+	payload := encodePost(p)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+
+	dir := filepath.Join(t.TempDir(), "wal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	data := append(append([]byte{}, segMagic...), hdr[:]...)
+	data = append(data, payload...)
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != 1 || got[0].SID != p.SID {
+		t.Fatalf("hand-framed record: got %d records", len(got))
+	}
+}
+
+func appendBytes(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -2,12 +2,24 @@ package tklus_test
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	tklus "repro"
 )
+
+// snapDirOf resolves the committed snapshot directory of a saved system.
+func snapDirOf(t *testing.T, dir string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		t.Fatalf("reading CURRENT: %v", err)
+	}
+	return filepath.Join(dir, strings.TrimSpace(string(data)))
+}
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	sys, corpus := buildSystem(t, 5000)
@@ -29,6 +41,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if loaded.Bounds.MaxObserved != sys.Bounds.MaxObserved ||
 		loaded.Bounds.TM != sys.Bounds.TM {
 		t.Fatalf("bounds differ: %+v vs %+v", loaded.Bounds, sys.Bounds)
+	}
+	if loaded.Recovery == nil || loaded.Recovery.WALRecordsReplayed != 0 {
+		t.Fatalf("recovery stats = %+v, want zero replays with no WAL", loaded.Recovery)
 	}
 
 	// Queries against the loaded system must be byte-identical to the
@@ -82,37 +97,178 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-func TestLoadMissingDirectory(t *testing.T) {
-	if _, err := tklus.Load(filepath.Join(t.TempDir(), "nope"), tklus.DefaultConfig()); err == nil {
-		t.Error("loading a missing directory should fail")
+func TestRepeatedSaveKeepsOneSnapshot(t *testing.T) {
+	sys, _ := buildSystem(t, 500)
+	dir := filepath.Join(t.TempDir(), "saved")
+	for i := 0; i < 3; i++ {
+		if err := sys.Save(dir); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps int
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snap-") {
+			snaps++
+		}
+		if strings.HasPrefix(e.Name(), ".tmp-snap-") {
+			t.Errorf("abandoned temp dir %s survived", e.Name())
+		}
+	}
+	if snaps != 1 {
+		t.Errorf("%d committed snapshots after GC, want 1", snaps)
+	}
+	if _, err := tklus.Load(dir, tklus.DefaultConfig()); err != nil {
+		t.Fatalf("load after repeated saves: %v", err)
 	}
 }
 
-func TestLoadPartialImage(t *testing.T) {
-	// An image missing any one of its files must fail cleanly.
+func TestLoadMissingDirectory(t *testing.T) {
+	_, err := tklus.Load(filepath.Join(t.TempDir(), "nope"), tklus.DefaultConfig())
+	if !errors.Is(err, tklus.ErrPartialSave) {
+		t.Errorf("missing directory: err = %v, want ErrPartialSave", err)
+	}
+}
+
+// TestLoadCorruptionMatrix damages every persisted artifact (plus the
+// manifest and the CURRENT pointer) in every way — delete, truncate, flip
+// a byte — and requires Load to come back with the right typed error,
+// never a panic or a half-loaded system.
+func TestLoadCorruptionMatrix(t *testing.T) {
 	sys, _ := buildSystem(t, 1000)
-	for _, remove := range []string{"forward.bin", "contents.bin", "rows.bin", "bounds.gob"} {
-		dir := t.TempDir()
-		if err := sys.Save(dir); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.Remove(filepath.Join(dir, remove)); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := tklus.Load(dir, tklus.DefaultConfig()); err == nil {
-			t.Errorf("image without %s loaded", remove)
+
+	type mutation struct {
+		name string
+		do   func(t *testing.T, path string)
+	}
+	mutations := []mutation{
+		{"delete", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncate", func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Fatal("empty file")
+			}
+			data[len(data)/2] ^= 0xff
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+
+	// target resolves one artifact path inside a freshly saved directory.
+	type target struct {
+		name string
+		path func(t *testing.T, dir string) string
+		// want maps mutation name -> acceptable sentinels. Deleting a file
+		// is the partial-save shape; damaging bytes is corruption. The few
+		// pointer/manifest cases where the damage can land on either side
+		// of that line accept both.
+		want map[string][]error
+	}
+	inSnap := func(rel string) func(*testing.T, string) string {
+		return func(t *testing.T, dir string) string {
+			return filepath.Join(snapDirOf(t, dir), rel)
 		}
 	}
-	// Corrupt bounds gob.
-	dir := t.TempDir()
+	partial := []error{tklus.ErrPartialSave}
+	corrupt := []error{tklus.ErrCorruptImage}
+	artifactWant := map[string][]error{"delete": partial, "truncate": corrupt, "flip": corrupt}
+	targets := []target{
+		{"forward.bin", inSnap("forward.bin"), artifactWant},
+		{"contents.bin", inSnap("contents.bin"), artifactWant},
+		{"rows.bin", inSnap("rows.bin"), artifactWant},
+		{"bounds.gob", inSnap("bounds.gob"), artifactWant},
+		{"dfs-image", func(t *testing.T, dir string) string {
+			matches, err := filepath.Glob(filepath.Join(snapDirOf(t, dir), "dfs", "*"))
+			if err != nil || len(matches) == 0 {
+				t.Fatalf("no dfs image files: %v", err)
+			}
+			return matches[0]
+		}, artifactWant},
+		{"MANIFEST", inSnap("MANIFEST"), map[string][]error{
+			"delete":   partial,
+			"truncate": corrupt,
+			// A flipped byte can break the JSON, a CRC entry, the version
+			// digit, or a file name (which then reads as a missing file).
+			"flip": {tklus.ErrCorruptImage, tklus.ErrVersionMismatch, tklus.ErrPartialSave},
+		}},
+		{"CURRENT", func(t *testing.T, dir string) string {
+			return filepath.Join(dir, "CURRENT")
+		}, map[string][]error{
+			"delete":   partial,
+			"truncate": {tklus.ErrPartialSave, tklus.ErrCorruptImage},
+			"flip":     {tklus.ErrPartialSave, tklus.ErrCorruptImage},
+		}},
+	}
+
+	for _, tg := range targets {
+		for _, mu := range mutations {
+			t.Run(tg.name+"/"+mu.name, func(t *testing.T) {
+				dir := filepath.Join(t.TempDir(), "saved")
+				if err := sys.Save(dir); err != nil {
+					t.Fatal(err)
+				}
+				mu.do(t, tg.path(t, dir))
+				loaded, err := tklus.Load(dir, tklus.DefaultConfig())
+				if err == nil {
+					t.Fatalf("damaged %s (%s) loaded", tg.name, mu.name)
+				}
+				if loaded != nil {
+					t.Fatalf("Load returned a system alongside error %v", err)
+				}
+				ok := false
+				for _, want := range tg.want[mu.name] {
+					if errors.Is(err, want) {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("%s/%s: err = %v, want one of %v", tg.name, mu.name, err, tg.want[mu.name])
+				}
+			})
+		}
+	}
+}
+
+func TestLoadVersionMismatch(t *testing.T) {
+	sys, _ := buildSystem(t, 500)
+	dir := filepath.Join(t.TempDir(), "saved")
 	if err := sys.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "bounds.gob"), []byte("junk"), 0o644); err != nil {
+	mfPath := filepath.Join(snapDirOf(t, dir), "MANIFEST")
+	data, err := os.ReadFile(mfPath)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tklus.Load(dir, tklus.DefaultConfig()); err == nil {
-		t.Error("corrupt bounds loaded")
+	future := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if future == string(data) {
+		t.Fatal("manifest version field not found")
+	}
+	if err := os.WriteFile(mfPath, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tklus.Load(dir, tklus.DefaultConfig()); !errors.Is(err, tklus.ErrVersionMismatch) {
+		t.Errorf("future-version snapshot: err = %v, want ErrVersionMismatch", err)
 	}
 }
 

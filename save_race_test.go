@@ -1,0 +1,84 @@
+package tklus_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	tklus "repro"
+)
+
+// TestSaveRacesIngest pins the Save/Ingest consistency contract: a
+// checkpoint running concurrently with live ingest (and searches) must
+// neither trip the race detector nor commit a snapshot that fails to load.
+// Before the fix, Save gob-encoded the popularity bounds with no lock while
+// Ingest raised them under the bounds mutex — a data race -race catches
+// here, and a torn map read in production. This file deliberately uses only
+// the Build/Ingest/Save/Search/Load surface so it compiles against the
+// pre-fix code and demonstrates the failure.
+func TestSaveRacesIngest(t *testing.T) {
+	posts, loc, roots := ingestCorpus()
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ingester: keeps appending rows and raising bounds
+		defer wg.Done()
+		at := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			at = at.Add(time.Millisecond)
+			r := tklus.NewReply(800+tklus.UserID(i%50), at, loc, "checkpoint me", roots[i%len(roots)])
+			if err := sys.Ingest(r); err != nil {
+				t.Errorf("ingest %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // searcher rides along: reads everything Save also reads
+		defer wg.Done()
+		q := tklus.Query{
+			Loc: loc, RadiusKm: 5, Keywords: []string{"hotel"},
+			K: 3, Ranking: tklus.MaxScore,
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := sys.Search(context.Background(), q); err != nil {
+				t.Errorf("search: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 6; i++ {
+		if err := sys.Save(dir); err != nil {
+			t.Errorf("save %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Whatever point-in-time view the last checkpoint caught must load.
+	if _, err := tklus.Load(dir, tklus.DefaultConfig()); err != nil {
+		t.Fatalf("snapshot saved during live ingest did not load: %v", err)
+	}
+}

@@ -418,7 +418,10 @@ func (ss *ShardedSystem) callShard(ctx context.Context, sh *shard, q Query) (*co
 	}
 	// Per-shard deadline derived from the request context: the configured
 	// shard timeout, or 90% of the context's remaining budget if that is
-	// tighter — the headroom pays for the merge.
+	// tighter — the headroom pays for the merge. The parent is kept so the
+	// failure classification below can tell "the shard blew its budget"
+	// from "the whole query went away".
+	parent := ctx
 	timeout := ss.cfg.ShardTimeout
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl) * 9 / 10
@@ -432,10 +435,17 @@ func (ss *ShardedSystem) callShard(ctx context.Context, sh *shard, q Query) (*co
 		defer cancel()
 	}
 	parts, hedged, err := ss.attempt(ctx, sh, q)
-	if err != nil {
-		sh.br.onFailure()
-	} else {
+	switch {
+	case err == nil:
 		sh.br.onSuccess()
+	case errors.Is(err, context.Canceled), parent.Err() != nil:
+		// The caller canceled (client disconnect) or the query-wide
+		// deadline expired before the shard's own budget did: the shard
+		// said nothing about its health, so the breaker must not move —
+		// a burst of client disconnects used to trip breakers on
+		// perfectly healthy shards.
+	default:
+		sh.br.onFailure()
 	}
 	return parts, hedged, err
 }
@@ -512,7 +522,7 @@ func (ss *ShardedSystem) RegisterMetrics(reg *telemetry.Registry) {
 		sh := sh
 		// Pre-register the per-shard series so a fresh tier scrapes a
 		// complete all-zero set, matching the server metrics' convention.
-		for _, outcome := range []string{"ok", "error", "rejected"} {
+		for _, outcome := range []string{"ok", "error", "rejected", "canceled"} {
 			reg.Counter("tklus_shard_requests_total",
 				"Per-shard sub-queries by outcome.",
 				telemetry.Labels{"shard": sh.name, "outcome": outcome})
@@ -549,6 +559,8 @@ func (m *shardedMetrics) observeShard(name string, d time.Duration, err error, h
 	outcome := "ok"
 	if errors.Is(err, errBreakerOpen) {
 		return // counted by countRejected at the breaker
+	} else if errors.Is(err, context.Canceled) {
+		outcome = "canceled" // caller went away; not a shard error
 	} else if err != nil {
 		outcome = "error"
 	}

@@ -223,6 +223,9 @@ type faultBackend struct {
 	// slowFirst makes the first call per query batch hang until the
 	// context is canceled; later calls pass through immediately.
 	slowFirst bool
+	// hangAll makes every call hang until the context is canceled —
+	// queries in flight when the client disconnects.
+	hangAll bool
 }
 
 func (f *faultBackend) callCount() int {
@@ -241,8 +244,12 @@ func (f *faultBackend) SearchPartials(ctx context.Context, q tklus.Query) (*tklu
 	f.mu.Lock()
 	f.calls++
 	n := f.calls
-	failAll, slowFirst := f.failAll, f.slowFirst
+	failAll, slowFirst, hangAll := f.failAll, f.slowFirst, f.hangAll
 	f.mu.Unlock()
+	if hangAll {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
 	if failAll {
 		return nil, errors.New("injected fault")
 	}
@@ -505,6 +512,74 @@ func TestShardedBreakerTripsAndRecovers(t *testing.T) {
 	}
 	if state := sharded.BreakerStates()[victimName]; state != "closed" {
 		t.Fatalf("breaker state = %q, want closed", state)
+	}
+}
+
+// TestShardedBreakerIgnoresClientCancellation is the regression test for
+// the breaker miscount: every in-flight sub-query that dies because the
+// CLIENT canceled used to count as a shard failure, so a burst of
+// disconnects tripped breakers on perfectly healthy shards. Cancel a
+// burst of in-flight queries well past the trip threshold, then require
+// every breaker closed and the next query answered whole.
+func TestShardedBreakerIgnoresClientCancellation(t *testing.T) {
+	sc := faultSharding()
+	sc.BreakerThreshold = 2 // any miscounting trips almost immediately
+	sc.ShardTimeout = 0     // only the client's cancellation is in play
+	mono, built, corpus := buildMonoAndShardedCfg(t, 3000, sc)
+	sharded, faults := rewireWithFaults(t, built, sc)
+
+	q := wideQuery(corpus)
+	for _, f := range faults {
+		f.set(func(f *faultBackend) { f.hangAll = true })
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	cancels := make([]context.CancelFunc, clients)
+	for i := 0; i < clients; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels[i] = cancel
+		wg.Add(1)
+		go func(i int, ctx context.Context) {
+			defer wg.Done()
+			_, _, errs[i] = sharded.Search(ctx, q)
+		}(i, ctx)
+	}
+	// Let the queries reach the hanging backends, then disconnect everyone.
+	time.Sleep(20 * time.Millisecond)
+	for _, cancel := range cancels {
+		cancel()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	for name, state := range sharded.BreakerStates() {
+		if state != "closed" {
+			t.Errorf("breaker %s = %q after client disconnects, want closed", name, state)
+		}
+	}
+
+	// The tier is healthy: the next query must come back whole.
+	for _, f := range faults {
+		f.set(func(f *faultBackend) { f.hangAll = false })
+	}
+	want, _, err := mono.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := sharded.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded() {
+		t.Fatalf("healthy tier degraded after disconnect burst: %v", stats.DegradedShards)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-disconnect results differ\n got: %v\nwant: %v", got, want)
 	}
 }
 

@@ -33,6 +33,7 @@ package tklus
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/contents"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/social"
 	"repro/internal/textutil"
 	"repro/internal/thread"
+	"repro/internal/wal"
 )
 
 // Re-exported data-model types.
@@ -86,6 +88,19 @@ type (
 	CandidateScore = core.CandidateScore
 	// UserPartial carries the per-user corpus facts inside Partials.
 	UserPartial = core.UserPartial
+	// WAL is the ingest write-ahead log attached by EnableWAL.
+	WAL = wal.Log
+	// WALOptions configures the ingest WAL's fsync policy.
+	WALOptions = wal.Options
+	// WALSyncPolicy selects when WAL appends reach stable storage.
+	WALSyncPolicy = wal.SyncPolicy
+)
+
+// WAL fsync policies (see wal.SyncPolicy).
+const (
+	WALSyncEveryRecord = wal.SyncEveryRecord
+	WALSyncInterval    = wal.SyncInterval
+	WALSyncOff         = wal.SyncOff
 )
 
 // Re-exported error sentinels. Classify engine and router failures with
@@ -185,6 +200,23 @@ type System struct {
 	IndexStats *invindex.BuildStats
 	// BuildTime is the wall-clock construction duration.
 	BuildTime time.Duration
+	// Recovery reports what Load replayed from the ingest WAL; nil on a
+	// system built fresh from posts. Immutable after Load.
+	Recovery *RecoveryStats
+
+	// ingestMu serializes Ingest against the snapshot capture in Save —
+	// the consistency point that makes "snapshot + remaining WAL" always
+	// equal the live state. Searches never take it.
+	ingestMu sync.Mutex
+	// wal, when attached by EnableWAL, receives every ingested post before
+	// Ingest returns. Guarded by ingestMu.
+	wal *wal.Log
+	// saveMu serializes whole Save calls (snapshot sequencing + GC).
+	saveMu sync.Mutex
+	// snapshotsSaved / lastSnapshotUnix feed the persistence metrics;
+	// accessed atomically.
+	snapshotsSaved   int64
+	lastSnapshotUnix int64
 }
 
 // Build loads the posts into the metadata database, constructs the hybrid
@@ -266,12 +298,26 @@ func (s *System) EnableReplySnapshot() {
 // next batch build (the paper's periodic index construction), so a
 // brand-new post becomes a *candidate* then — but its effect on existing
 // candidates' thread popularity is immediate.
+//
+// When a WAL is attached (EnableWAL), each post is logged after it is
+// applied and before Ingest returns, under the configured fsync policy —
+// the log never holds a post the in-memory state rejected, and a crash
+// can lose at most the post whose Ingest never returned. Ingest holds the
+// ingest lock for the whole batch, so a concurrent Save captures either
+// none or all of it.
 func (s *System) Ingest(posts ...*Post) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
 	depth := s.Engine.Opts.Params.ThreadDepth
 	eps := s.Engine.Opts.Params.Epsilon
 	for _, p := range posts {
 		if err := s.DB.Append(p); err != nil {
 			return err
+		}
+		if s.wal != nil {
+			if err := s.wal.Append(p); err != nil {
+				return fmt.Errorf("tklus: ingest WAL append: %w", err)
+			}
 		}
 		if p.RSID == social.NoPost {
 			continue
