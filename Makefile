@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench bench-compare bench-sharded bench-batchio test-crash clean
+.PHONY: all build test short race vet fmt bench bench-compare bench-sharded bench-batchio bench-tracing test-crash test-obs clean
 
 all: build test
 
@@ -33,6 +33,14 @@ test-crash:
 	$(GO) test -race -count=1 \
 		-run 'CrashInjection|Corruption|WALRecovery|WALReplay|WALTornTail|SaveRacesIngest|BreakerIgnoresClientCancellation' .
 	$(GO) test -race -count=1 ./internal/wal/ ./internal/fsx/...
+
+# Observability lane: the tracing substrate (span trees, tail sampling,
+# ring store, the zero-allocation disabled path) and the server's traced
+# serving surface (traceparent propagation, /debug/traces, trace-
+# correlated logs, readiness) under -race, since spans finish on hedge
+# and straggler goroutines concurrently with the gather path.
+test-obs:
+	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/server/
 
 fmt:
 	gofmt -l .
@@ -74,5 +82,17 @@ bench-batchio:
 		-telemetry "" -parallel "" -batchio BENCH_batchio.json
 	$(GO) run ./cmd/tklus-benchcheck -in "" -batchio-in BENCH_batchio.json -min-batchio-speedup 2.0
 
+# Tracing gate: replay the sharded workload with no tracer, a disabled
+# tracer, and a record-everything tracer, interleaved. Fails unless the
+# disabled path stayed within the run-to-run noise band of the baseline
+# (tracing must cost nothing when off), the enabled path cost < 5% at
+# p95, and traced results were identical. BENCH_tracing.json is the
+# evidence artifact.
+bench-tracing:
+	GOMAXPROCS=4 $(GO) run ./cmd/tklus-bench -fig tracing \
+		-posts 20000 -users 2000 -queries 8 -iolat 100us \
+		-telemetry "" -parallel "" -tracing BENCH_tracing.json
+	$(GO) run ./cmd/tklus-benchcheck -in "" -tracing-in BENCH_tracing.json -max-tracing-overhead 5.0
+
 clean:
-	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json

@@ -50,6 +50,8 @@ func main() {
 			"write the sharded scatter-gather scaling run to this file (empty disables; the bench-sharded lane passes BENCH_sharded.json)")
 		batchio = flag.String("batchio", "",
 			"write the point-vs-batched-vs-snapshot IO comparison to this file (empty disables; the bench-batchio lane passes BENCH_batchio.json)")
+		tracing = flag.String("tracing", "",
+			"write the tracing-overhead comparison to this file (empty disables; the bench-tracing lane passes BENCH_tracing.json)")
 	)
 	flag.Parse()
 
@@ -150,6 +152,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[batchio comparison (snapshot p95 speedup %.2fx, identical=%v) written to %s in %v]\n",
 			snap.SnapSpeedupP95, snap.ResultsIdentical, *batchio, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *tracing != "" {
+		t0 := time.Now()
+		snap, err := setup.TracingCompare() // memoized if the runner already ran
+		if err != nil {
+			log.Fatalf("tracing comparison: %v", err)
+		}
+		f, err := os.Create(*tracing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[tracing comparison (on overhead %+.1f%%, identical=%v) written to %s in %v]\n",
+			snap.OnOverheadPct, snap.ResultsIdentical, *tracing, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *telemetry != "" {

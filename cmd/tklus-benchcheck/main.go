@@ -19,11 +19,18 @@
 // beat the point-lookup baseline's p95 by the required factor (the
 // bench-batchio lane).
 //
+// The tracing gate (-tracing-in) reads BENCH_tracing.json and exits
+// non-zero unless the disabled-tracer pass stayed within the noise band
+// of the no-tracer baseline, the enabled-tracer pass cost less than the
+// overhead budget, and results were identical across all passes (the
+// bench-tracing lane).
+//
 // Usage:
 //
 //	tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
 //	tklus-benchcheck -in "" -sharded-in BENCH_sharded.json
 //	tklus-benchcheck -in "" -batchio-in BENCH_batchio.json -min-batchio-speedup 2.0
+//	tklus-benchcheck -in "" -tracing-in BENCH_tracing.json -max-tracing-overhead 5.0
 package main
 
 import (
@@ -50,17 +57,26 @@ func main() {
 			"batched-IO snapshot written by tklus-bench -batchio (empty skips the batchio gate)")
 		minBatchioSpeedup = flag.Float64("min-batchio-speedup", 2.0,
 			"fail unless the CSR-snapshot configuration's p95 speedup over point lookups is at least this")
+		tracingIn = flag.String("tracing-in", "",
+			"tracing-overhead snapshot written by tklus-bench -tracing (empty skips the tracing gate)")
+		maxTracingOverhead = flag.Float64("max-tracing-overhead", 5.0,
+			"fail when the enabled-tracer p95 overhead over the no-tracer baseline exceeds this percentage")
+		tracingNoise = flag.Float64("tracing-noise", 10.0,
+			"fail when the disabled-tracer p95 drifts from the no-tracer baseline by more than this percentage (run-to-run noise band)")
 	)
 	flag.Parse()
 
-	if *in == "" && *shardedIn == "" && *batchioIn == "" {
-		log.Fatal("nothing to check: -in, -sharded-in and -batchio-in are all empty")
+	if *in == "" && *shardedIn == "" && *batchioIn == "" && *tracingIn == "" {
+		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in and -tracing-in are all empty")
 	}
 	if *shardedIn != "" {
 		checkSharded(*shardedIn)
 	}
 	if *batchioIn != "" {
 		checkBatchIO(*batchioIn, *minBatchioSpeedup)
+	}
+	if *tracingIn != "" {
+		checkTracing(*tracingIn, *maxTracingOverhead, *tracingNoise)
 	}
 	if *in == "" {
 		return
@@ -171,4 +187,49 @@ func checkBatchIO(path string, minSpeedup float64) {
 			snap.SnapSpeedupP95, minSpeedup)
 	}
 	fmt.Println("batchio ok")
+}
+
+// checkTracing gates the tracing-overhead snapshot: the disabled-tracer
+// pass must sit within the noise band of the no-tracer baseline (the
+// zero-cost-when-off contract, measured end to end), the enabled-tracer
+// pass must stay under the overhead budget, and the traced pass must
+// return identical results while actually retaining its traces.
+func checkTracing(path string, maxOverhead, noise float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := experiments.ReadTracingSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if snap.Queries == 0 || snap.Rounds == 0 {
+		log.Fatalf("%s replayed no queries — empty benchmark run?", path)
+	}
+
+	fmt.Printf("tracing: %d shards, %d queries x %d rounds\n",
+		snap.Shards, snap.Queries, snap.Rounds)
+	fmt.Printf("  no tracer:  p50 %.2fms, p95 %.2fms\n", snap.BaselineP50Ms, snap.BaselineP95Ms)
+	fmt.Printf("  tracer off: p50 %.2fms, p95 %.2fms (%+.1f%%, noise band ±%.1f%%)\n",
+		snap.OffP50Ms, snap.OffP95Ms, snap.OffOverheadPct, noise)
+	fmt.Printf("  tracer on:  p50 %.2fms, p95 %.2fms (%+.1f%%, budget %.1f%%), %d traces kept, %.1f spans/trace\n",
+		snap.OnP50Ms, snap.OnP95Ms, snap.OnOverheadPct, maxOverhead,
+		snap.TracesKept, snap.SpansPerTrace)
+
+	if !snap.ResultsIdentical {
+		log.Fatal("REGRESSION: traced pass diverged from the untraced baseline")
+	}
+	if snap.TracesKept == 0 {
+		log.Fatal("REGRESSION: SampleRate-1 tracer retained no traces")
+	}
+	if snap.OffOverheadPct > noise || snap.OffOverheadPct < -noise {
+		log.Fatalf("REGRESSION: disabled-tracer p95 drifted %+.1f%% from baseline (noise band ±%.1f%%)",
+			snap.OffOverheadPct, noise)
+	}
+	if snap.OnOverheadPct > maxOverhead {
+		log.Fatalf("REGRESSION: enabled-tracer p95 overhead %+.1f%% exceeds budget %.1f%%",
+			snap.OnOverheadPct, maxOverhead)
+	}
+	fmt.Println("tracing ok")
 }

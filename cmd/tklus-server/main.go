@@ -30,12 +30,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	tklus "repro"
 	"repro/internal/ingest"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -59,16 +61,50 @@ func main() {
 			"ingest WAL fsync policy: record | interval | off")
 		checkpointInterval = flag.Duration("checkpoint-interval", 15*time.Minute,
 			"how often to commit a fresh snapshot of the -data directory (0 disables periodic checkpoints)")
+		trace = flag.Bool("trace", false,
+			"enable distributed tracing: span trees for searches, shard fan-outs, ingests and checkpoints, served at /debug/traces")
+		traceSample = flag.Float64("trace-sample", 0.05,
+			"probability an unremarkable trace survives tail sampling (slow, errored, hedged and degraded traces are always kept)")
+		traceStore = flag.Int("trace-store", 512,
+			"completed-trace ring buffer capacity")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+	var tracer *telemetry.Tracer
+	if *trace {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{
+			Capacity:      *traceStore,
+			SampleRate:    *traceSample,
+			SlowThreshold: *slowQ,
+		})
+	}
+
 	opts := server.Options{
 		Logger:             logger,
 		SlowQueryThreshold: *slowQ,
 		EnablePprof:        *debug,
+		Tracer:             tracer,
 	}
+
+	// Bind the listener before building the system so probes get answers
+	// during a long snapshot load or WAL replay: /healthz says the process
+	// is alive, /readyz says 503 until the real handler is swapped in.
+	boot := &swapHandler{}
+	boot.Store(http.HandlerFunc(notReady))
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: boot,
+		// Header/body reads are tiny GETs; writes cover the slowest
+		// plausible query against a large corpus.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 
 	var handler *server.Server
 	var durable *tklus.System // non-nil when -data owns persistence
@@ -145,22 +181,17 @@ func main() {
 			"addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
 	}
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: handler,
-		// Header/body reads are tiny GETs; writes cover the slowest
-		// plausible query against a large corpus.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       10 * time.Second,
-		WriteTimeout:      60 * time.Second,
-		IdleTimeout:       120 * time.Second,
+	if tracer != nil {
+		tracer.RegisterMetrics(handler.Registry())
+		logger.Info("tracing enabled", "sample", *traceSample, "store", *traceStore)
 	}
+	// The system is built (or recovered): swap the real handler in. From
+	// here /readyz answers 200.
+	boot.Store(handler)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
 
 	// Periodic checkpoints bound the WAL replay a crash would cost. Save
 	// runs concurrently with serving: it captures a consistent view under
@@ -175,7 +206,7 @@ func main() {
 					return
 				case <-ticker.C:
 					t0 := time.Now()
-					if err := durable.Save(*data); err != nil {
+					if err := checkpoint(tracer, durable, *data); err != nil {
 						logger.Error("checkpoint failed", "err", err)
 					} else {
 						logger.Info("checkpoint committed", "dir", *data, "elapsed", time.Since(t0).String())
@@ -204,7 +235,7 @@ func main() {
 	// Final checkpoint: fold every ingested post into the snapshot so the
 	// next boot replays an empty (or tiny) WAL.
 	if durable != nil {
-		if err := durable.Save(*data); err != nil {
+		if err := checkpoint(tracer, durable, *data); err != nil {
 			logger.Error("final checkpoint failed (WAL still covers the ingests)", "err", err)
 		} else {
 			logger.Info("final checkpoint committed", "dir", *data)
@@ -221,6 +252,49 @@ func main() {
 		logger.Info("final metrics snapshot\n" + snap.String())
 	}
 	logger.Info("bye")
+}
+
+// swapHandler lets the HTTP server start answering probes before the
+// system finishes loading: it serves whatever handler was last stored —
+// notReady during boot, the real server afterwards. The handler is boxed
+// in a struct because atomic.Value requires one concrete stored type,
+// and the two handlers stored over the swap's lifetime differ.
+type swapHandler struct {
+	v atomic.Value // handlerBox
+}
+
+type handlerBox struct{ h http.Handler }
+
+func (h *swapHandler) Store(next http.Handler) {
+	h.v.Store(handlerBox{next})
+}
+
+func (h *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.v.Load().(handlerBox).h.ServeHTTP(w, r)
+}
+
+// notReady is the boot-phase handler: alive but not ready. Kubernetes-style
+// orchestrators keep traffic away on the 503 /readyz while the liveness
+// probe stays green through a long WAL replay.
+func notReady(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "starting: snapshot load / WAL replay in progress", http.StatusServiceUnavailable)
+}
+
+// checkpoint commits one snapshot, under its own trace when tracing is on
+// (checkpoints are background work, so each Save roots a fresh trace; the
+// save/capture/write/commit/gc phases land as its child spans).
+func checkpoint(tracer *telemetry.Tracer, sys *tklus.System, dir string) error {
+	span := tracer.StartTrace("checkpoint")
+	err := sys.SaveContext(telemetry.ContextWithSpan(context.Background(), span), dir)
+	span.SetError(err)
+	span.Finish()
+	return err
 }
 
 // openDurable resolves the -data directory: load the committed snapshot

@@ -3,16 +3,23 @@
 // structure (thread fanout and popularity), keyword frequencies, and the
 // densest geohash cells.
 //
+// With -traces it instead summarizes trace JSON saved from a server's
+// /debug/traces/{id} endpoint (a single trace object or an array of
+// them): per-stage exclusive-time totals and the per-shard critical-path
+// breakdown of each scatter-gather query.
+//
 // Usage:
 //
 //	tklus-stats -in corpus.jsonl
 //	tklus-stats -in statuses.json -format twitter
+//	curl -s host:8080/debug/traces/$ID > t.json && tklus-stats -traces t.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"time"
 
@@ -31,8 +38,17 @@ func main() {
 		format  = flag.String("format", "jsonl", "input format: jsonl | twitter")
 		geohash = flag.Int("geohash", 4, "geohash length for the density report")
 		topN    = flag.Int("top", 10, "rows per ranking table")
+		traces  = flag.String("traces", "",
+			"summarize trace JSON from /debug/traces/{id} instead of a corpus (single object or array)")
 	)
 	flag.Parse()
+
+	if *traces != "" {
+		if err := summarizeTraces(*traces, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	posts, err := ingest.Load(*in, *format)
 	if err != nil {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// buildTrace records a realistic scatter-gather trace — root, router,
+// a clean attempt with folded stages, a failed attempt, and its hedge
+// backup — and returns it as the store retained it.
+func buildTrace(t *testing.T) *telemetry.Trace {
+	t.Helper()
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{SampleRate: 1})
+	root := tracer.StartTrace("server/v1/search")
+	router := root.StartChild("router")
+
+	a0 := router.StartChild("shard.attempt")
+	a0.SetShard("shard-00")
+	a0.Fold("stage.cell_cover", time.Now(), 2*time.Millisecond)
+	a0.Fold("stage.rank_topk", time.Now(), 3*time.Millisecond)
+	a0.Finish()
+
+	a1 := router.StartChild("shard.attempt")
+	a1.SetShard("shard-01")
+	a1.SetError(errors.New("connection refused"))
+	a1.Finish()
+
+	router.Event(telemetry.EventHedge, "shard-01")
+	a2 := router.StartChild("shard.attempt")
+	a2.SetShard("shard-01")
+	a2.SetAttr("hedge", "backup")
+	a2.Finish()
+
+	router.Finish()
+	root.Finish()
+
+	traces := tracer.Store().Recent(telemetry.TraceFilter{})
+	if len(traces) != 1 {
+		t.Fatalf("store retained %d traces, want 1", len(traces))
+	}
+	return traces[0]
+}
+
+func TestSummarizeTraces(t *testing.T) {
+	tr := buildTrace(t)
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := summarizeTraces(path, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace " + tr.TraceID,
+		"server/v1/search",
+		"router",
+		"shard.attempt (shard-00)",
+		"shard.attempt (shard-01)",
+		"[hedge]",
+		"ERROR: connection refused",
+		"hedge_launched: shard-01",
+		"stage.cell_cover",
+		"shard critical path:",
+		"2 attempt(s), 1 failed, 1 hedged",
+		"<- critical",
+		"per-stage exclusive time",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeTracesArray(t *testing.T) {
+	tr := buildTrace(t)
+	raw, err := json.Marshal([]*telemetry.Trace{tr, tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "traces.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := summarizeTraces(path, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "trace "+tr.TraceID); n != 2 {
+		t.Errorf("array input printed %d trace headers, want 2", n)
+	}
+}
+
+func TestSummarizeTracesRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarizeTraces(path, &bytes.Buffer{}); err == nil {
+		t.Error("garbage input did not error")
+	}
+}

@@ -143,5 +143,6 @@ func Runners() []Runner {
 		{"effectiveness", "Effectiveness: latent expert recovery", (*Setup).ExpertRecovery},
 		{"sharded", "Sharded scatter-gather: shard-count sweep", (*Setup).ShardedScaling},
 		{"batchio", "Batched IO: point vs batched vs CSR snapshot", (*Setup).BatchIOTable},
+		{"tracing", "Tracing overhead: disabled vs enabled tracer", (*Setup).TracingOverhead},
 	}
 }

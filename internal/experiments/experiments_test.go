@@ -174,6 +174,41 @@ func TestSampleDeterministic(t *testing.T) {
 	}
 }
 
+func TestTracingCompareSnapshot(t *testing.T) {
+	s := setup(t)
+	snap, err := s.TracingCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.ResultsIdentical {
+		t.Error("traced pass diverged from the untraced baseline")
+	}
+	if snap.Queries == 0 || snap.Rounds == 0 {
+		t.Fatalf("empty run: %+v", snap)
+	}
+	// SampleRate 1 retains every traced query: the ring is sized for the
+	// whole run, so nothing may be sampled out or evicted.
+	if want := snap.Queries * snap.Rounds; snap.TracesKept != want {
+		t.Errorf("kept %d traces, want %d", snap.TracesKept, want)
+	}
+	// Each trace at minimum holds the bench root and the router span;
+	// fan-out adds attempt and stage spans on top.
+	if snap.SpansPerTrace < 2 {
+		t.Errorf("spans/trace %.1f implausibly low — span tree not recorded", snap.SpansPerTrace)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTracingSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TracesKept != snap.TracesKept || back.Queries != snap.Queries {
+		t.Errorf("JSON round-trip mutated the snapshot: %+v vs %+v", back, snap)
+	}
+}
+
 func TestShardedCompareSnapshot(t *testing.T) {
 	s := setup(t)
 	snap, err := s.ShardedCompare()

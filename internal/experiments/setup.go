@@ -57,6 +57,7 @@ type Setup struct {
 	parallelSnap *ParallelSnapshot     // memoized ParallelCompare result
 	shardedSnap  *ShardedSnapshot      // memoized ShardedCompare result
 	batchioSnap  *BatchIOSnapshot      // memoized BatchIOCompare result
+	tracingSnap  *TracingSnapshot      // memoized TracingCompare result
 }
 
 // NewSetup generates the corpus and the 90-query-style workload.

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	tklus "repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// TracingSnapshot is the machine-readable tracing-overhead run
+// cmd/tklus-bench writes to BENCH_tracing.json. Three interleaved passes
+// of the sharded workload run against one scatter-gather tier:
+//
+//   - baseline: no tracer, plain context — the pre-tracing hot path;
+//   - off: the identical disabled-tracer path measured again, so the
+//     off-vs-baseline gap is an empirical bound on run-to-run noise (the
+//     structural zero-allocation guarantee is a unit test; this records
+//     that the nil-span fast path is also unmeasurable end to end);
+//   - on: every query under a root span from a SampleRate-1 tracer, so
+//     router, attempt, and folded stage spans are all recorded and the
+//     trace retained.
+//
+// cmd/tklus-benchcheck fails the build when the off pass drifts outside
+// the noise band, when the on pass costs more than the overhead budget,
+// or when results diverge across passes.
+type TracingSnapshot struct {
+	Posts   int   `json:"posts"`
+	Users   int   `json:"users"`
+	Seed    int64 `json:"seed"`
+	K       int   `json:"k"`
+	Shards  int   `json:"shards"`
+	Queries int   `json:"queries"` // per pass
+	Rounds  int   `json:"rounds"`
+
+	BaselineP50Ms float64 `json:"baseline_p50_ms"`
+	BaselineP95Ms float64 `json:"baseline_p95_ms"`
+	OffP50Ms      float64 `json:"off_p50_ms"`
+	OffP95Ms      float64 `json:"off_p95_ms"`
+	OnP50Ms       float64 `json:"on_p50_ms"`
+	OnP95Ms       float64 `json:"on_p95_ms"`
+
+	// OffOverheadPct is (off p95 / baseline p95 - 1) * 100: the measured
+	// cost of the disabled-tracer instrumentation, i.e. pure noise.
+	OffOverheadPct float64 `json:"off_overhead_pct"`
+	// OnOverheadPct is (on p95 / baseline p95 - 1) * 100: the cost of
+	// recording and retaining a full span tree for every query.
+	OnOverheadPct float64 `json:"on_overhead_pct"`
+
+	TracesKept       int     `json:"traces_kept"`
+	SpansPerTrace    float64 `json:"spans_per_trace"`
+	ResultsIdentical bool    `json:"results_identical"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (p *TracingSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadTracingSnapshot parses a snapshot written by WriteJSON.
+func ReadTracingSnapshot(r io.Reader) (*TracingSnapshot, error) {
+	var snap TracingSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("experiments: parsing tracing snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// tracingShards sizes the tier: four shards give the traced path a real
+// fan-out (root -> router -> several attempts, each folding engine
+// stages) without the sweep cost of the full shard-scaling run.
+const tracingShards = 4
+
+// tracingRounds interleaves the three passes this many times so slow
+// drift (page cache warmup, CPU frequency) lands on all passes equally
+// instead of biasing whichever ran last.
+const tracingRounds = 3
+
+// TracingCompare measures the sharded workload under no tracer, a
+// disabled tracer, and a SampleRate-1 tracer, and verifies the traced
+// pass returns identical results. Memoized on the Setup so the table
+// runner and the JSON emitter share one run.
+func (s *Setup) TracingCompare() (*TracingSnapshot, error) {
+	if s.tracingSnap != nil {
+		return s.tracingSnap, nil
+	}
+	workload := s.shardedWorkload()
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("experiments: tracing comparison has no queries")
+	}
+
+	cfg := tklus.DefaultConfig()
+	cfg.DB.IOLatency = s.Cfg.IOLatency
+	cfg.HotKeywords = datagen.MeaningfulKeywords()
+	cfg.Index.PathPrefix = "tracing"
+	sc := tklus.DefaultShardingConfig()
+	sc.NumShards = tracingShards
+	sc.PrefixLen = shardedPrefixLen
+	// As in the sharded sweep: no per-shard deadline, no hedging — every
+	// in-process attempt would be a duplicate, and the comparison wants
+	// the span-recording cost, not retry scheduling.
+	sc.ShardTimeout = 0
+	sc.HedgeDelay = 0
+	tier, err := tklus.BuildSharded(s.Corpus.Posts, cfg, sc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building tracing tier: %w", err)
+	}
+
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{
+		Capacity:   tracingRounds * len(workload),
+		SampleRate: 1, // tail sampling keeps everything: worst-case recording cost
+	})
+
+	ctx := context.Background()
+	identical := true
+	var baseTimes, offTimes, onTimes []float64
+	var baseResults [][]core.UserResult
+
+	run := func(i int, q core.Query, qctx context.Context) ([]core.UserResult, float64, error) {
+		res, st, err := tier.Search(qctx, q)
+		if err != nil {
+			return nil, 0, fmt.Errorf("experiments: tracing query %d: %w", i, err)
+		}
+		return res, st.Elapsed.Seconds(), nil
+	}
+
+	for round := 0; round < tracingRounds; round++ {
+		for i, q := range workload {
+			res, t, err := run(i, q, ctx)
+			if err != nil {
+				return nil, err
+			}
+			baseTimes = append(baseTimes, t)
+			if round == 0 {
+				baseResults = append(baseResults, res)
+			}
+		}
+		for i, q := range workload {
+			_, t, err := run(i, q, ctx)
+			if err != nil {
+				return nil, err
+			}
+			offTimes = append(offTimes, t)
+		}
+		for i, q := range workload {
+			root := tracer.StartTrace("bench.query")
+			res, t, err := run(i, q, telemetry.ContextWithSpan(ctx, root))
+			root.Finish()
+			if err != nil {
+				return nil, err
+			}
+			onTimes = append(onTimes, t)
+			if round == 0 {
+				if err := sameResults(res, baseResults[i]); err != nil {
+					identical = false
+				}
+			}
+		}
+	}
+
+	kept := tracer.Store().Recent(telemetry.TraceFilter{})
+	spans := 0
+	for _, t := range kept {
+		spans += len(t.Spans)
+	}
+	perTrace := 0.0
+	if len(kept) > 0 {
+		perTrace = float64(spans) / float64(len(kept))
+	}
+
+	baseSum := stats.SummaryOf(baseTimes)
+	offSum := stats.SummaryOf(offTimes)
+	onSum := stats.SummaryOf(onTimes)
+	snap := &TracingSnapshot{
+		Posts: s.Cfg.NumPosts, Users: s.Cfg.NumUsers, Seed: s.Cfg.Seed,
+		K: s.Cfg.K, Shards: tier.NumShards(),
+		Queries: len(workload), Rounds: tracingRounds,
+		BaselineP50Ms: baseSum.P50 * 1000, BaselineP95Ms: baseSum.P95 * 1000,
+		OffP50Ms: offSum.P50 * 1000, OffP95Ms: offSum.P95 * 1000,
+		OnP50Ms: onSum.P50 * 1000, OnP95Ms: onSum.P95 * 1000,
+		OffOverheadPct:   overheadPct(baseSum.P95, offSum.P95),
+		OnOverheadPct:    overheadPct(baseSum.P95, onSum.P95),
+		TracesKept:       len(kept),
+		SpansPerTrace:    perTrace,
+		ResultsIdentical: identical,
+	}
+	s.tracingSnap = snap
+	return snap, nil
+}
+
+// overheadPct is the relative p95 cost of b over a, in percent.
+func overheadPct(a, b float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	return (b/a - 1) * 100
+}
+
+// TracingOverhead renders TracingCompare as a bench table.
+func (s *Setup) TracingOverhead() (*Table, error) {
+	snap, err := s.TracingCompare()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Tracing overhead — disabled vs enabled tracer on the sharded tier",
+		Note: fmt.Sprintf("%d shards, %d queries x %d interleaved rounds; %d traces kept, %.1f spans/trace",
+			snap.Shards, snap.Queries, snap.Rounds, snap.TracesKept, snap.SpansPerTrace),
+		Headers: []string{"mode", "p50", "p95", "overhead p95"},
+	}
+	t.AddRow("no tracer", ms(snap.BaselineP50Ms/1000), ms(snap.BaselineP95Ms/1000), "—")
+	t.AddRow("tracer off", ms(snap.OffP50Ms/1000), ms(snap.OffP95Ms/1000),
+		fmt.Sprintf("%+.1f%%", snap.OffOverheadPct))
+	t.AddRow("tracer on", ms(snap.OnP50Ms/1000), ms(snap.OnP95Ms/1000),
+		fmt.Sprintf("%+.1f%%", snap.OnOverheadPct))
+	return t, nil
+}

@@ -72,6 +72,12 @@ type Options struct {
 	// Keep it off on untrusted networks; cmd/tklus-server gates it behind
 	// -debug.
 	EnablePprof bool
+	// Tracer enables distributed tracing: every search, shard and ingest
+	// request gets a root span (continuing the caller's trace when a
+	// traceparent header arrives), completed traces land in the tracer's
+	// tail-sampled store, and GET /debug/traces (+ /debug/traces/{id})
+	// expose them. nil disables tracing at zero hot-path cost.
+	Tracer *telemetry.Tracer
 }
 
 // Server routes HTTP requests to one TkLUS searcher.
@@ -152,6 +158,11 @@ func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 		s.mux.HandleFunc("GET /evidence", s.handleEvidence)
 		s.mux.HandleFunc("GET /thread", s.handleThread)
 		s.mux.HandleFunc("POST /v1/ingest", s.handleIngestV1)
+	}
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if opts.Tracer != nil {
+		s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+		s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	}
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -240,24 +251,35 @@ func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchReq
 		return
 	}
 	start := time.Now()
+	span := telemetry.SpanFromContext(r.Context())
 	results, stats, err := s.searcher.Search(r.Context(), q)
 	if err != nil {
+		span.SetError(err)
 		if r.Context().Err() != nil {
 			s.metrics.countQuery(outcomeCanceled)
+			span.SetOutcome(outcomeCanceled)
 			return // client went away; nothing to write
 		}
 		code, outcome := statusOf(err)
 		s.metrics.countQuery(outcome)
+		span.SetOutcome(outcome)
 		httpError(w, code, err)
 		return
 	}
 	if stats.Degraded() {
 		s.metrics.countQuery(outcomeDegraded)
+		span.SetOutcome(outcomeDegraded)
 	} else {
 		s.metrics.countQuery(outcomeOK)
+		span.SetOutcome(outcomeOK)
 	}
+	// A monolithic backend returns its engine stage timings unfolded;
+	// attach them as stage.* child spans of the server span. (A sharded
+	// router folds each shard's stages under its attempt span and merges
+	// with nil Spans, so this is a no-op there.)
+	span.FoldStages(start, stats.Spans)
 	s.metrics.observeQuery(stats)
-	s.maybeLogSlowQuery(&q, stats, time.Since(start))
+	s.maybeLogSlowQuery(r.Context(), &q, stats, time.Since(start))
 
 	resp := SearchResponseV1{
 		Version: ProtocolVersion,
@@ -303,8 +325,11 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	backend := s.searcher.(tklus.ShardBackend)
+	span := telemetry.SpanFromContext(r.Context())
+	start := time.Now()
 	parts, err := backend.SearchPartials(r.Context(), q)
 	if err != nil {
+		span.SetError(err)
 		if r.Context().Err() != nil {
 			return // caller hedged away or timed out; nothing to write
 		}
@@ -312,6 +337,9 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, err)
 		return
 	}
+	// The shard's own half of the trace gets its engine stage breakdown
+	// too, so each process's store decomposes the sub-query it served.
+	span.FoldStages(start, parts.Stats.Spans)
 	writeJSON(w, shardSearchResponseV1{Version: ProtocolVersion, Partials: parts})
 }
 
@@ -331,7 +359,7 @@ func (s *Server) handleIngestV1(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.sys.Ingest(posts...); err != nil {
+	if err := s.sys.IngestContext(r.Context(), posts...); err != nil {
 		// A rejected append (out-of-order SID, duplicate) is client data;
 		// a WAL write failure is the server's disk.
 		code := http.StatusBadRequest
@@ -347,8 +375,11 @@ func (s *Server) handleIngestV1(w http.ResponseWriter, r *http.Request) {
 }
 
 // maybeLogSlowQuery emits the slow-query log line: full query shape plus
-// the per-stage breakdown, at WARN so it stands out from access logs.
-func (s *Server) maybeLogSlowQuery(q *tklus.Query, stats *tklus.QueryStats, elapsed time.Duration) {
+// the per-stage breakdown, at WARN so it stands out from access logs. It
+// logs with the request context — not context.Background() — so
+// context-aware slog handlers see the request, and carries the trace ID
+// when the request is traced, making the log line → trace hop a copy-paste.
+func (s *Server) maybeLogSlowQuery(ctx context.Context, q *tklus.Query, stats *tklus.QueryStats, elapsed time.Duration) {
 	if s.opts.SlowQueryThreshold <= 0 || elapsed < s.opts.SlowQueryThreshold {
 		return
 	}
@@ -368,7 +399,10 @@ func (s *Server) maybeLogSlowQuery(q *tklus.Query, stats *tklus.QueryStats, elap
 	for _, sp := range stats.Spans {
 		attrs = append(attrs, slog.Duration("stage_"+sp.Stage, sp.Duration))
 	}
-	s.log.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
+	if span := telemetry.SpanFromContext(ctx); span != nil {
+		attrs = append(attrs, slog.String("trace_id", span.TraceID().String()))
+	}
+	s.log.LogAttrs(ctx, slog.LevelWarn, "slow query", attrs...)
 }
 
 func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
@@ -473,6 +507,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the readiness probe. A constructed Server is by
+// definition ready — its backend is fully built or recovered — so this
+// always answers 200; the not-ready half lives in cmd/tklus-server, which
+// binds the listener with a boot handler answering /readyz with 503 until
+// snapshot load and WAL replay complete, then swaps this Server in.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n"))
+}
+
+// handleTraces serves GET /debug/traces: recent retained trace summaries,
+// newest first. Filters: ?min_duration=250ms, ?outcome=degraded, ?limit=N
+// (default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	f := telemetry.TraceFilter{Limit: 50}
+	qp := r.URL.Query()
+	if raw := qp.Get("min_duration"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: parameter %q: %v", core.ErrBadQuery, "min_duration", err))
+			return
+		}
+		f.MinDuration = d
+	}
+	f.Outcome = qp.Get("outcome")
+	if raw := qp.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: parameter %q: %v", core.ErrBadQuery, "limit", err))
+			return
+		}
+		f.Limit = n
+	}
+	traces := s.opts.Tracer.Store().Recent(f)
+	summaries := make([]telemetry.TraceSummary, 0, len(traces))
+	for _, t := range traces {
+		summaries = append(summaries, t.Summary())
+	}
+	writeJSON(w, map[string]any{"traces": summaries})
+}
+
+// handleTraceByID serves GET /debug/traces/{id}: the full span tree of one
+// retained trace.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.opts.Tracer.Store().Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("%w: trace %s not retained (dropped by sampling, evicted, or never seen)",
+				core.ErrNoResults, id))
+		return
+	}
+	writeJSON(w, t)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -22,6 +22,7 @@ import (
 
 	tklus "repro"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/textutil"
 )
 
@@ -299,6 +300,9 @@ func (c *ShardClient) SearchPartials(ctx context.Context, q tklus.Query) (*core.
 		return nil, fmt.Errorf("shard client: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sp := telemetry.SpanFromContext(ctx); sp != nil {
+		req.Header.Set(telemetry.TraceparentHeader, sp.Context().Traceparent())
+	}
 	hc := c.Client
 	if hc == nil {
 		hc = http.DefaultClient

@@ -2,6 +2,7 @@ package tklus
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -117,6 +118,25 @@ type RecoveryStats struct {
 // rotation happen at a single consistency point under the ingest lock, so
 // the snapshot plus the remaining WAL always replay to the live state.
 func (s *System) Save(dir string) error {
+	return s.SaveContext(context.Background(), dir)
+}
+
+// SaveContext is Save with the caller's context threaded through for
+// tracing: when the context carries a trace span (or the server's
+// checkpoint loop starts one), a "checkpoint.save" child span records the
+// save with its phases — capture (the consistency point under the ingest
+// lock), write_artifacts, commit, and gc — folded in as child spans. The
+// context does not cancel a save; an interrupted commit is exactly what
+// the snapshot protocol exists to avoid.
+func (s *System) SaveContext(ctx context.Context, dir string) error {
+	span := telemetry.SpanFromContext(ctx).StartChild("checkpoint.save")
+	err := s.save(span, dir)
+	span.SetError(err)
+	span.Finish()
+	return err
+}
+
+func (s *System) save(span *telemetry.TraceSpan, dir string) error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
 
@@ -135,6 +155,7 @@ func (s *System) Save(dir string) error {
 	// must re-apply on top of it.
 	var rowsBuf, boundsBuf bytes.Buffer
 	walMark := -1
+	phase := time.Now()
 	s.ingestMu.Lock()
 	err = s.DB.SaveRows(&rowsBuf)
 	if err == nil {
@@ -144,6 +165,7 @@ func (s *System) Save(dir string) error {
 		walMark, err = s.wal.Rotate()
 	}
 	s.ingestMu.Unlock()
+	span.Fold("capture", phase, time.Since(phase))
 	if err != nil {
 		return fmt.Errorf("tklus: capturing snapshot state: %w", err)
 	}
@@ -151,6 +173,7 @@ func (s *System) Save(dir string) error {
 	// Write every artifact into the temp directory, fsynced. The index and
 	// contents store are immutable after Build (ingest reaches them only
 	// at the next batch build), so they stream outside the lock.
+	phase = time.Now()
 	tmp := filepath.Join(dir, fmt.Sprintf("%s%08d", tmpPrefix, seq))
 	if err := fsx.RemoveAll(tmp); err != nil {
 		return err
@@ -179,10 +202,12 @@ func (s *System) Save(dir string) error {
 	if err := fsx.SyncDir(tmp); err != nil {
 		return err
 	}
+	span.Fold("write_artifacts", phase, time.Since(phase))
 
 	// Commit: rename the finished directory into place, then atomically
 	// repoint CURRENT at it. Loaders never look inside .tmp-* or at
 	// snapshots CURRENT does not name, so both renames are safe.
+	phase = time.Now()
 	snapName := fmt.Sprintf("%s%08d", snapPrefix, seq)
 	if err := fsx.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
 		return err
@@ -202,15 +227,18 @@ func (s *System) Save(dir string) error {
 	}
 	atomic.AddInt64(&s.snapshotsSaved, 1)
 	atomic.StoreInt64(&s.lastSnapshotUnix, time.Now().Unix())
+	span.Fold("commit", phase, time.Since(phase))
 
 	// The snapshot is committed; everything below only reclaims space.
 	// Failures here (or a crash) cost bytes, not correctness: leftover
 	// snapshots and tmp dirs are skipped by Load and removed by the next
 	// Save, and WAL records the snapshot absorbed replay idempotently.
+	phase = time.Now()
 	gcSnapshots(dir, seq)
 	if s.wal != nil && walMark >= 0 {
 		_ = s.wal.TruncateThrough(walMark)
 	}
+	span.Fold("gc", phase, time.Since(phase))
 	return nil
 }
 

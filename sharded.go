@@ -332,6 +332,10 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 		return nil, nil, err
 	}
 	start := time.Now()
+	// The router span parents every per-shard attempt; with tracing off it
+	// is nil and every operation on it below is a no-op.
+	rspan := telemetry.SpanFromContext(ctx).StartChild("router")
+	defer rspan.Finish()
 	cover := geo.CircleCover(q.Loc, q.RadiusKm, ss.cfg.PrefixLen)
 	targets := make([]int, 0, len(ss.shards))
 	seen := make(map[int]bool, len(ss.shards))
@@ -342,6 +346,8 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 		}
 	}
 	sort.Ints(targets)
+	rspan.SetAttr("cover_cells", fmt.Sprintf("%d", len(cover)))
+	rspan.SetAttr("fanout", fmt.Sprintf("%d", len(targets)))
 	if len(targets) == 0 {
 		// No shard owns a covered prefix: no indexed post can lie inside
 		// the circle, the same empty outcome a monolithic search produces.
@@ -358,7 +364,7 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 	_ = core.RunJobs(ctx, len(targets), len(targets), func(ctx context.Context, i int) error {
 		sh := ss.shards[targets[i]]
 		t0 := time.Now()
-		parts, hedged, err := ss.callShard(ctx, sh, q)
+		parts, hedged, err := ss.callShard(ctx, rspan, sh, q)
 		outs[i] = outcome{parts: parts, err: err, elapsed: time.Since(t0), hedged: hedged}
 		return nil // shard failures degrade the query below, never cancel siblings
 	})
@@ -373,6 +379,7 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 		ss.metrics.observeShard(sh.name, o.elapsed, o.err, o.hedged)
 		if o.err != nil {
 			failures = append(failures, core.ShardFailure{Shard: sh.name, Reason: o.err.Error()})
+			rspan.Event(telemetry.EventDegradedShard, sh.name+": "+o.err.Error())
 			continue
 		}
 		good = append(good, o.parts)
@@ -411,9 +418,10 @@ func (ss *ShardedSystem) SearchContext(ctx context.Context, q Query) ([]UserResu
 
 // callShard runs one shard sub-query through the breaker, the derived
 // deadline, and the hedged attempt pair.
-func (ss *ShardedSystem) callShard(ctx context.Context, sh *shard, q Query) (*core.Partials, bool, error) {
+func (ss *ShardedSystem) callShard(ctx context.Context, rspan *telemetry.TraceSpan, sh *shard, q Query) (*core.Partials, bool, error) {
 	if !sh.br.allow() {
 		ss.metrics.countRejected(sh.name)
+		rspan.Event(telemetry.EventBreakerOpen, sh.name)
 		return nil, false, fmt.Errorf("shard %s: %w", sh.name, errBreakerOpen)
 	}
 	// Per-shard deadline derived from the request context: the configured
@@ -434,7 +442,7 @@ func (ss *ShardedSystem) callShard(ctx context.Context, sh *shard, q Query) (*co
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	parts, hedged, err := ss.attempt(ctx, sh, q)
+	parts, hedged, err := ss.attempt(ctx, rspan, sh, q)
 	switch {
 	case err == nil:
 		sh.br.onSuccess()
@@ -454,9 +462,31 @@ func (ss *ShardedSystem) callShard(ctx context.Context, sh *shard, q Query) (*co
 // fires after HedgeDelay if the shard has not answered (the straggler
 // case), or immediately when the first attempt fails fast (the transient-
 // error case). The first success wins; the loser's context is canceled.
-func (ss *ShardedSystem) attempt(ctx context.Context, sh *shard, q Query) (*core.Partials, bool, error) {
+//
+// Each issued attempt gets its own span under the router span, so a hedge
+// appears as a sibling of the attempt it backs up; the loser's span stays
+// open and is snapshotted as unfinished when the trace completes. The
+// winner's span absorbs the shard's engine stage timings — Partials
+// carries them over the wire, so remote shards decompose identically.
+func (ss *ShardedSystem) attempt(ctx context.Context, rspan *telemetry.TraceSpan, sh *shard, q Query) (*core.Partials, bool, error) {
+	issue := func(cctx context.Context, backup bool) (*core.Partials, error) {
+		aspan := rspan.StartChild("shard.attempt")
+		aspan.SetShard(sh.name)
+		if backup {
+			aspan.SetAttr("hedge", "backup")
+		}
+		t0 := time.Now()
+		parts, err := sh.backend.SearchPartials(telemetry.ContextWithSpan(cctx, aspan), q)
+		if err != nil {
+			aspan.SetError(err)
+		} else {
+			aspan.FoldStages(t0, parts.Stats.Spans)
+		}
+		aspan.Finish()
+		return parts, err
+	}
 	if ss.cfg.HedgeDelay <= 0 {
-		parts, err := sh.backend.SearchPartials(ctx, q)
+		parts, err := issue(ctx, false)
 		return parts, false, err
 	}
 	actx, cancel := context.WithCancel(ctx)
@@ -466,16 +496,22 @@ func (ss *ShardedSystem) attempt(ctx context.Context, sh *shard, q Query) (*core
 		err   error
 	}
 	ch := make(chan res, 2)
-	run := func() {
-		parts, err := sh.backend.SearchPartials(actx, q)
+	run := func(backup bool) {
+		parts, err := issue(actx, backup)
 		ch <- res{parts, err}
 	}
-	go run()
+	go run(false)
 	timer := time.NewTimer(ss.cfg.HedgeDelay)
 	defer timer.Stop()
 	outstanding := 1
 	hedged := false
 	var firstErr error
+	hedge := func() {
+		hedged = true
+		outstanding++
+		rspan.Event(telemetry.EventHedge, sh.name)
+		go run(true)
+	}
 	for {
 		select {
 		case r := <-ch:
@@ -487,9 +523,7 @@ func (ss *ShardedSystem) attempt(ctx context.Context, sh *shard, q Query) (*core
 				firstErr = r.err
 			}
 			if !hedged {
-				hedged = true
-				outstanding++
-				go run()
+				hedge()
 				continue
 			}
 			if outstanding == 0 {
@@ -497,9 +531,7 @@ func (ss *ShardedSystem) attempt(ctx context.Context, sh *shard, q Query) (*core
 			}
 		case <-timer.C:
 			if !hedged {
-				hedged = true
-				outstanding++
-				go run()
+				hedge()
 			}
 		case <-ctx.Done():
 			return nil, hedged, ctx.Err()

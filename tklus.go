@@ -46,6 +46,7 @@ import (
 	"repro/internal/popcache"
 	"repro/internal/score"
 	"repro/internal/social"
+	"repro/internal/telemetry"
 	"repro/internal/textutil"
 	"repro/internal/thread"
 	"repro/internal/wal"
@@ -306,17 +307,56 @@ func (s *System) EnableReplySnapshot() {
 // ingest lock for the whole batch, so a concurrent Save captures either
 // none or all of it.
 func (s *System) Ingest(posts ...*Post) error {
+	return s.IngestContext(context.Background(), posts...)
+}
+
+// IngestContext is Ingest with the caller's context threaded through for
+// tracing: when the context carries a trace span (the HTTP ingest path), an
+// "ingest" child span records the batch, with the accumulated metadata-DB
+// append and WAL append time attached as folded "db_append" / "wal_append"
+// child spans. The context does not cancel an ingest — a half-applied
+// batch would leave the database and the WAL disagreeing.
+func (s *System) IngestContext(ctx context.Context, posts ...*Post) error {
+	span := telemetry.SpanFromContext(ctx).StartChild("ingest")
+	start := time.Now()
+	var dbDur, walDur time.Duration
+	err := s.ingest(posts, span != nil, &dbDur, &walDur)
+	if span != nil {
+		span.SetAttr("posts", fmt.Sprintf("%d", len(posts)))
+		span.Fold("db_append", start, dbDur)
+		span.Fold("wal_append", start.Add(dbDur), walDur)
+		span.SetError(err)
+		span.Finish()
+	}
+	return err
+}
+
+// ingest applies the batch under the ingest lock. timed gates the per-post
+// clock reads so an untraced ingest pays nothing for instrumentation.
+func (s *System) ingest(posts []*Post, timed bool, dbDur, walDur *time.Duration) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	depth := s.Engine.Opts.Params.ThreadDepth
 	eps := s.Engine.Opts.Params.Epsilon
 	for _, p := range posts {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		if err := s.DB.Append(p); err != nil {
 			return err
+		}
+		if timed {
+			now := time.Now()
+			*dbDur += now.Sub(t0)
+			t0 = now
 		}
 		if s.wal != nil {
 			if err := s.wal.Append(p); err != nil {
 				return fmt.Errorf("tklus: ingest WAL append: %w", err)
+			}
+			if timed {
+				*walDur += time.Since(t0)
 			}
 		}
 		if p.RSID == social.NoPost {
