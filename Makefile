@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench bench-compare bench-sharded bench-batchio bench-tracing test-crash test-obs clean
+.PHONY: all build test short race vet fmt bench bench-compare bench-sharded bench-batchio bench-tracing bench-blockmax test-crash test-obs clean
 
 all: build test
 
@@ -94,5 +94,17 @@ bench-tracing:
 		-telemetry "" -parallel "" -tracing BENCH_tracing.json
 	$(GO) run ./cmd/tklus-benchcheck -in "" -tracing-in BENCH_tracing.json -max-tracing-overhead 5.0
 
+# Block-max gate: compare exhaustive, Def.-11-only, and block-max traversal
+# on the same blocked index, single-threaded so the comparison isolates the
+# traversal strategy. Fails unless results were byte-identical across all
+# three configurations, the block-max engine actually skipped postings
+# blocks, and it beat the exhaustive p95 on sum-ranking city-radius classes
+# by >= 2x. BENCH_blockmax.json is the evidence artifact.
+bench-blockmax:
+	GOMAXPROCS=4 $(GO) run ./cmd/tklus-bench -fig blockmax \
+		-posts 20000 -users 2000 -queries 8 -iolat 100us \
+		-telemetry "" -parallel "" -blockmax BENCH_blockmax.json
+	$(GO) run ./cmd/tklus-benchcheck -in "" -blockmax-in BENCH_blockmax.json -min-blockmax-speedup 2.0
+
 clean:
-	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json BENCH_blockmax.json

@@ -52,6 +52,8 @@ func main() {
 			"write the point-vs-batched-vs-snapshot IO comparison to this file (empty disables; the bench-batchio lane passes BENCH_batchio.json)")
 		tracing = flag.String("tracing", "",
 			"write the tracing-overhead comparison to this file (empty disables; the bench-tracing lane passes BENCH_tracing.json)")
+		blockmax = flag.String("blockmax", "",
+			"write the block-max traversal comparison to this file (empty disables; the bench-blockmax lane passes BENCH_blockmax.json)")
 	)
 	flag.Parse()
 
@@ -172,6 +174,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[tracing comparison (on overhead %+.1f%%, identical=%v) written to %s in %v]\n",
 			snap.OnOverheadPct, snap.ResultsIdentical, *tracing, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *blockmax != "" {
+		t0 := time.Now()
+		snap, err := setup.BlockMaxCompare() // memoized if the runner already ran
+		if err != nil {
+			log.Fatalf("blockmax comparison: %v", err)
+		}
+		f, err := os.Create(*blockmax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[blockmax comparison (sum p95 speedup %.2fx, %d blocks skipped, identical=%v) written to %s in %v]\n",
+			snap.SumSpeedupP95, snap.TotalBlocksSkipped, snap.ResultsIdentical, *blockmax, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *telemetry != "" {

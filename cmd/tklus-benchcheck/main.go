@@ -19,6 +19,13 @@
 // beat the point-lookup baseline's p95 by the required factor (the
 // bench-batchio lane).
 //
+// The blockmax gate (-blockmax-in) reads BENCH_blockmax.json and exits
+// non-zero unless results were byte-identical across the exhaustive,
+// Def.-11-only and block-max configurations, the block-max configuration
+// actually skipped postings blocks, AND it beat the exhaustive baseline's
+// p95 on the sum-ranking classes by the required factor (the bench-blockmax
+// lane).
+//
 // The tracing gate (-tracing-in) reads BENCH_tracing.json and exits
 // non-zero unless the disabled-tracer pass stayed within the noise band
 // of the no-tracer baseline, the enabled-tracer pass cost less than the
@@ -30,6 +37,7 @@
 //	tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
 //	tklus-benchcheck -in "" -sharded-in BENCH_sharded.json
 //	tklus-benchcheck -in "" -batchio-in BENCH_batchio.json -min-batchio-speedup 2.0
+//	tklus-benchcheck -in "" -blockmax-in BENCH_blockmax.json -min-blockmax-speedup 2.0
 //	tklus-benchcheck -in "" -tracing-in BENCH_tracing.json -max-tracing-overhead 5.0
 package main
 
@@ -57,6 +65,10 @@ func main() {
 			"batched-IO snapshot written by tklus-bench -batchio (empty skips the batchio gate)")
 		minBatchioSpeedup = flag.Float64("min-batchio-speedup", 2.0,
 			"fail unless the CSR-snapshot configuration's p95 speedup over point lookups is at least this")
+		blockmaxIn = flag.String("blockmax-in", "",
+			"block-max traversal snapshot written by tklus-bench -blockmax (empty skips the blockmax gate)")
+		minBlockmaxSpeedup = flag.Float64("min-blockmax-speedup", 2.0,
+			"fail unless the block-max configuration's p95 speedup over the exhaustive baseline on sum-ranking classes is at least this")
 		tracingIn = flag.String("tracing-in", "",
 			"tracing-overhead snapshot written by tklus-bench -tracing (empty skips the tracing gate)")
 		maxTracingOverhead = flag.Float64("max-tracing-overhead", 5.0,
@@ -66,14 +78,17 @@ func main() {
 	)
 	flag.Parse()
 
-	if *in == "" && *shardedIn == "" && *batchioIn == "" && *tracingIn == "" {
-		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in and -tracing-in are all empty")
+	if *in == "" && *shardedIn == "" && *batchioIn == "" && *blockmaxIn == "" && *tracingIn == "" {
+		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in, -blockmax-in and -tracing-in are all empty")
 	}
 	if *shardedIn != "" {
 		checkSharded(*shardedIn)
 	}
 	if *batchioIn != "" {
 		checkBatchIO(*batchioIn, *minBatchioSpeedup)
+	}
+	if *blockmaxIn != "" {
+		checkBlockMax(*blockmaxIn, *minBlockmaxSpeedup)
 	}
 	if *tracingIn != "" {
 		checkTracing(*tracingIn, *maxTracingOverhead, *tracingNoise)
@@ -187,6 +202,50 @@ func checkBatchIO(path string, minSpeedup float64) {
 			snap.SnapSpeedupP95, minSpeedup)
 	}
 	fmt.Println("batchio ok")
+}
+
+// checkBlockMax gates the block-max traversal snapshot: results must be
+// identical across the exhaustive, Def.-11-only and block-max
+// configurations, the block-max traversal must have actually skipped
+// postings blocks (proof the lazy intersection is live, not silently
+// falling back to eager decoding), and its p95 on the sum-ranking classes
+// must beat the exhaustive baseline by the required factor.
+func checkBlockMax(path string, minSpeedup float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := experiments.ReadBlockMaxSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Classes) == 0 {
+		log.Fatalf("%s holds no query classes — empty benchmark run?", path)
+	}
+
+	fmt.Printf("blockmax: %d classes, iolat=%s\n", len(snap.Classes), snap.IOLatency)
+	for _, c := range snap.Classes {
+		fmt.Printf("  %dkw r=%.0fkm %s/%s: exh p95 %.2fms, def11 p95 %.2fms (%.2fx), bmax p95 %.2fms (%.2fx), threads %d->%d, %d blocks skipped\n",
+			c.Keywords, c.RadiusKm, c.Semantic, c.Ranking,
+			c.ExhP95Ms, c.Def11P95Ms, c.Def11SpeedupP95,
+			c.BMP95Ms, c.BMSpeedupP95, c.ThreadsBuiltExh, c.ThreadsBuiltBM, c.BlocksSkipped)
+	}
+	fmt.Printf("overall: exh p95 %.2fms, bmax p95 %.2fms (%.2fx), sum-ranking speedup %.2fx (required >= %.2fx), %d blocks (%d postings) skipped\n",
+		snap.OverallExhP95, snap.OverallBMP95, snap.BMSpeedupP95,
+		snap.SumSpeedupP95, minSpeedup, snap.TotalBlocksSkipped, snap.TotalPostingsSkipped)
+
+	if !snap.ResultsIdentical {
+		log.Fatal("REGRESSION: results diverged across traversal configurations")
+	}
+	if snap.TotalBlocksSkipped == 0 {
+		log.Fatal("REGRESSION: block-max traversal skipped no blocks — lazy intersection not engaged")
+	}
+	if snap.SumSpeedupP95 < minSpeedup {
+		log.Fatalf("REGRESSION: sum-ranking p95 speedup %.2fx below required %.2fx",
+			snap.SumSpeedupP95, minSpeedup)
+	}
+	fmt.Println("blockmax ok")
 }
 
 // checkTracing gates the tracing-overhead snapshot: the disabled-tracer

@@ -109,8 +109,9 @@ func main() {
 	}
 	if *verbose {
 		fmt.Printf("\nwork: %d cells, %d postings lists, %d candidates, "+
-			"%d threads built, %d pruned, %v elapsed\n",
+			"%d threads built, %d pruned, %d blocks skipped (%d postings), %v elapsed\n",
 			stats.Cells, stats.PostingsFetched, stats.Candidates,
-			stats.ThreadsBuilt, stats.ThreadsPruned, stats.Elapsed.Round(time.Microsecond))
+			stats.ThreadsBuilt, stats.ThreadsPruned, stats.BlocksSkipped,
+			stats.PostingsSkipped, stats.Elapsed.Round(time.Microsecond))
 	}
 }

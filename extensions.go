@@ -137,6 +137,8 @@ func addStats(total *QueryStats, platform string, s *QueryStats) {
 	total.ThreadsPruned += s.ThreadsPruned
 	total.TweetsPulled += s.TweetsPulled
 	total.PopCacheHits += s.PopCacheHits
+	total.BlocksSkipped += s.BlocksSkipped
+	total.PostingsSkipped += s.PostingsSkipped
 	for _, d := range s.DegradedShards {
 		total.DegradedShards = append(total.DegradedShards, core.ShardFailure{
 			Shard:  platform + "/" + d.Shard,

@@ -1,0 +1,477 @@
+package core
+
+// This file is the dynamic-pruning layer over the blocked postings layout
+// (internal/invindex/blocks.go): lazy block-at-a-time AND/OR merging, the
+// per-block φ bounds that tighten Definition-11 pruning, and MaxScore-style
+// early termination for the sum ranking. Everything here is
+// result-preserving — the candidate set, every score, and the final top-k
+// are byte-identical to the eager paths; only decode work and thread
+// constructions are avoided:
+//
+//   - The AND merge is an exact set intersection. Non-driver terms advance
+//     by SkipTo, and a block whose directory says MinSID > target is ruled
+//     out without decoding, so long lists stay mostly undecoded.
+//   - The per-candidate φ bound comes from thread.Bounds.PhiRangeMax over
+//     the [MinSID, MaxSID] of the block holding the candidate — an upper
+//     bound on the candidate's thread popularity that Ingest keeps exact
+//     through RaiseForRoot. It can only tighten the Section V-B popularity
+//     bound, never replace a score.
+//   - Sum ranking cannot skip candidates (every candidate feeds Σρ and
+//     δ(u,q)), so termination happens at user granularity: users are scored
+//     in descending upper-bound order and scoring stops once the running
+//     kth exact score strictly exceeds the next user's bound.
+
+import (
+	"cmp"
+	"container/heap"
+	"context"
+	"math"
+	"slices"
+	"time"
+
+	"repro/internal/invindex"
+	"repro/internal/score"
+	"repro/internal/social"
+	"repro/internal/telemetry"
+	"repro/internal/thread"
+)
+
+// PostingsOpener is the optional lazy extension of PostingsSource: sources
+// that can serve one postings list as a block-at-a-time iterator (one
+// payload read, decode on demand) implement it. *invindex.Index does;
+// sources that don't are adapted through FetchPostings and a slice
+// iterator, which keeps block-max traversal correct (if skip-free) over
+// any source.
+type PostingsOpener interface {
+	OpenPostings(geohash, term string) (*invindex.PostingsIterator, error)
+}
+
+// openTermIterators opens one iterator per non-empty ⟨cell, term⟩ pair of
+// one source — the lazy counterpart of termPostings. The count mirrors
+// termPostings' "postings lists pulled" figure.
+func openTermIterators(src PostingsSource, cells []string, term string) ([]*invindex.PostingsIterator, int64, error) {
+	opener, lazy := src.(PostingsOpener)
+	var its []*invindex.PostingsIterator
+	var fetched int64
+	for _, cell := range cells {
+		if lazy {
+			it, err := opener.OpenPostings(cell, term)
+			if err != nil {
+				return nil, 0, err
+			}
+			if it != nil {
+				fetched++
+				its = append(its, it)
+			}
+			continue
+		}
+		ps, err := src.FetchPostings(cell, term)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ps != nil {
+			fetched++
+			its = append(its, invindex.NewSliceIterator(ps))
+		}
+	}
+	return its, fetched, nil
+}
+
+// blockIter pairs a postings iterator with the φ table, memoizing the
+// current block's φ bound — every posting in a block shares it, so the
+// range-max query runs once per block, not once per posting.
+type blockIter struct {
+	it      *invindex.PostingsIterator
+	bounds  *thread.Bounds
+	memoIdx int
+	memoPhi float64
+}
+
+func newBlockIter(it *invindex.PostingsIterator, bounds *thread.Bounds) *blockIter {
+	return &blockIter{it: it, bounds: bounds, memoIdx: -1}
+}
+
+// phiBound returns an upper bound on the thread popularity of any posting
+// in the iterator's current block.
+func (b *blockIter) phiBound() float64 {
+	info, ok := b.it.BlockMax()
+	if !ok {
+		return math.Inf(1)
+	}
+	if info.Index != b.memoIdx {
+		b.memoIdx = info.Index
+		b.memoPhi = b.bounds.PhiRangeMax(info.MinSID, info.MaxSID)
+	}
+	return b.memoPhi
+}
+
+// gatherBlockMax is the lazy counterpart of gatherCandidates' stages 2–3a:
+// it opens per-⟨partition, cell, term⟩ iterators across the worker pool and
+// merges them block at a time. The merged candidates — set, order and match
+// counts — are identical to the eager concat-sort-merge; each additionally
+// carries its block's φ bound for the ranking stage.
+func (e *Engine) gatherBlockMax(ctx context.Context, q *Query, parts []*Partition, covers *coverSet, terms []string, stats *QueryStats, rec *telemetry.SpanRecorder) ([]candidate, error) {
+	stopFetch := rec.Start(telemetry.StagePostingsFetch)
+	nJobs := len(parts) * len(terms)
+	opened := make([][]*invindex.PostingsIterator, nJobs)
+	counts := make([]int64, nJobs)
+	err := RunJobs(ctx, e.workers(), nJobs, func(ctx context.Context, i int) error {
+		part := parts[i/len(terms)]
+		its, n, err := openTermIterators(part.Source, covers.get(part.Source.GeohashLen()), terms[i%len(terms)])
+		if err != nil {
+			return err
+		}
+		opened[i], counts[i] = its, n
+		return nil
+	})
+	stopFetch()
+	if err != nil {
+		return nil, err
+	}
+
+	termIts := make([][]*blockIter, len(terms))
+	for i, its := range opened {
+		stats.PostingsFetched += counts[i]
+		ti := i % len(terms)
+		for _, it := range its {
+			termIts[ti] = append(termIts[ti], newBlockIter(it, e.Bounds))
+		}
+	}
+
+	stopMerge := rec.Start(telemetry.StageCandidateFilter)
+	defer stopMerge()
+	var merged []candidate
+	if q.Semantic == And {
+		merged = intersectIterators(termIts)
+	} else {
+		merged = unionIterators(termIts)
+	}
+	// Close every iterator by skipping to the end: blocks the merge never
+	// decoded are credited as skipped, and any decode error surfaces (the
+	// eager path would have hit it in FetchPostings).
+	for _, its := range termIts {
+		for _, b := range its {
+			b.it.SkipTo(social.PostID(math.MaxInt64))
+			if err := b.it.Err(); err != nil {
+				return nil, err
+			}
+			s := b.it.Stats()
+			stats.BlocksSkipped += s.BlocksSkipped
+			stats.PostingsSkipped += s.PostingsSkipped
+		}
+	}
+	return merged, nil
+}
+
+// intersectIterators is the lazy AND merge. The driver is the term with the
+// fewest postings; its blocks all decode (its postings are the candidate
+// superset), while the other terms advance by SkipTo and only decode a
+// block when its directory admits the target TID. Cells and partitions are
+// disjoint, so at most one iterator per term holds any TID.
+func intersectIterators(termIts [][]*blockIter) []candidate {
+	if len(termIts) == 0 {
+		return nil
+	}
+	driver, driverLen := 0, 0
+	for ti, its := range termIts {
+		n := 0
+		for _, b := range its {
+			n += b.it.Len()
+		}
+		if n == 0 {
+			return nil // one term matches nothing: empty intersection
+		}
+		if ti == 0 || n < driverLen {
+			driver, driverLen = ti, n
+		}
+	}
+	var out []candidate
+outer:
+	for {
+		// The driver's smallest current TID across its cell iterators.
+		var drv *blockIter
+		var dp invindex.Posting
+		for _, b := range termIts[driver] {
+			p, ok := b.it.Cur()
+			if !ok {
+				continue
+			}
+			if drv == nil || p.TID < dp.TID {
+				drv, dp = b, p
+			}
+		}
+		if drv == nil {
+			break // driver exhausted
+		}
+		total := int(dp.TF)
+		phiUB := drv.phiBound()
+		for ti, its := range termIts {
+			if ti == driver {
+				continue
+			}
+			found, alive := false, false
+			for _, b := range its {
+				if !b.it.SkipTo(dp.TID) {
+					continue
+				}
+				alive = true
+				info, ok := b.it.BlockMax()
+				if !ok || info.MinSID > dp.TID {
+					continue // provably past the target; leave undecoded
+				}
+				p, ok := b.it.Cur()
+				if !ok {
+					continue
+				}
+				if p.TID == dp.TID {
+					total += int(p.TF)
+					if phi := b.phiBound(); phi < phiUB {
+						phiUB = phi
+					}
+					found = true
+					break
+				}
+			}
+			if !alive {
+				break outer // term exhausted: no further TID can match
+			}
+			if !found {
+				drv.it.Next()
+				continue outer
+			}
+		}
+		out = append(out, candidate{tid: dp.TID, matches: total, phiUB: phiUB})
+		drv.it.Next()
+	}
+	return out
+}
+
+// iterHeap is a min-heap of iterators keyed by current TID, for the k-way
+// OR merge. Every iterator in the heap is positioned on a posting.
+type iterHeap []*blockIter
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	pi, _ := h[i].it.Cur()
+	pj, _ := h[j].it.Cur()
+	return pi.TID < pj.TID
+}
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x any)   { *h = append(*h, x.(*blockIter)) }
+func (h *iterHeap) Pop() (x any) { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+
+// unionIterators is the lazy OR merge: a k-way heap merge folding equal
+// TIDs, term frequencies summing across terms exactly as unionPostings
+// folds its sorted concatenation. Every posting is a candidate, so every
+// block decodes — OR gains no skips, but the φ bounds still feed ranking.
+func unionIterators(termIts [][]*blockIter) []candidate {
+	var h iterHeap
+	for _, its := range termIts {
+		for _, b := range its {
+			if _, ok := b.it.Cur(); ok {
+				h = append(h, b)
+			}
+		}
+	}
+	heap.Init(&h)
+	var out []candidate
+	for h.Len() > 0 {
+		b := h[0]
+		p, _ := b.it.Cur()
+		if n := len(out); n > 0 && out[n-1].tid == p.TID {
+			out[n-1].matches += int(p.TF)
+			if phi := b.phiBound(); phi < out[n-1].phiUB {
+				out[n-1].phiUB = phi
+			}
+		} else {
+			out = append(out, candidate{tid: p.TID, matches: int(p.TF), phiUB: b.phiBound()})
+		}
+		b.it.Next()
+		if _, ok := b.it.Cur(); ok {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+// tighterBound combines the query-level popularity bound with a
+// candidate's per-block φ bound (0 means "no bound"). Both dominate the
+// candidate's true thread popularity, so their minimum does too.
+func tighterBound(popBound, phiUB float64) float64 {
+	if phiUB > 0 && phiUB < popBound {
+		return phiUB
+	}
+	return popBound
+}
+
+// userGroup is one candidate user in the sum-ranking early-termination
+// pass: its candidates (as indexes into the candidate slice, ascending),
+// its exact δ(u,q), and the upper bound on its combined score.
+type userGroup struct {
+	uid      social.UserID
+	cands    []int
+	deltaSum float64
+	du       float64
+	ub       float64
+}
+
+// sumGroupChunk is how many user groups a streaming round scores before
+// re-checking the termination bound. The first round takes enough to fill
+// the top-k outright; once the heap is full every extra build past the
+// termination point is pure waste, so later rounds advance in small steps
+// and re-check often. Derived from the query and the heap state alone —
+// never from the worker count — so the pruning counters are deterministic
+// at any Parallelism.
+func sumGroupChunk(k int, full bool) int {
+	if !full {
+		return max(k, 8)
+	}
+	return max(k/4, 4)
+}
+
+// rankSumPruned is rankSum with MaxScore-style early termination. Phase 1
+// computes, per user, an upper bound on the Definition-10 score: the exact
+// δ(u,q) (same floats as rankSum — candidate-order Σδ through the same
+// cache) combined with Σ over the user's candidates of the keyword
+// relevance under the tightest available popularity bound. Phase 2 scores
+// users exactly in descending-bound order, stopping once the running kth
+// exact score strictly exceeds the next bound.
+//
+// Soundness: each candidate's true thread popularity never exceeds its
+// bound, KeywordRelevance is monotone in popularity and Combine in ρ, and
+// the float sums compare term-wise in identical order, so ub ≥ exact score.
+// The kth exact score only grows, and ties in the final ranking break by
+// ascending UID among *equal* scores — a user strictly below the kth score
+// can never enter. Hence every skipped user is outside the final top-k, and
+// the emitted results are byte-identical to rankSum's sort-and-truncate.
+func (e *Engine) rankSumPruned(ctx context.Context, q *Query, terms []string, cands []scoredCandidate, stats *QueryStats, rec *telemetry.SpanRecorder) ([]UserResult, error) {
+	p := e.Opts.Params
+	popBound := e.Bounds.ForQuery(terms, q.Semantic == And, e.Opts.UseSpecificBounds)
+
+	// Phase 1 — group per user and bound each group's score.
+	stopPrune := rec.Start(telemetry.StagePrune)
+	byUID := make(map[social.UserID]*userGroup)
+	var groups []*userGroup
+	for i, c := range cands {
+		g := byUID[c.uid]
+		if g == nil {
+			g = &userGroup{uid: c.uid}
+			byUID[c.uid] = g
+			groups = append(groups, g)
+		}
+		g.cands = append(g.cands, i)
+		g.deltaSum += c.delta
+	}
+	udc := newUserDistCache(e, q)
+	if !e.Opts.ExactUserDistance {
+		// Every group's δ(u,q) is needed up front for its bound, and in
+		// candidate-only mode δ depends on the DB only through |P_u| — so
+		// fetch every count in one amortized B⁺-tree batch and pre-fill the
+		// cache with the same float userDistance would have produced.
+		uids := make([]social.UserID, len(groups))
+		for i, g := range groups {
+			uids[i] = g.uid
+		}
+		counts := e.DB.PostCountOfUserBatch(uids)
+		for i, g := range groups {
+			udc.d[g.uid] = score.UserDistance(g.deltaSum, counts[i])
+		}
+	}
+	havePhi := e.Bounds.HasPhiTable()
+	for _, g := range groups {
+		g.du = udc.get(g.uid, g.deltaSum)
+		var ubRs float64
+		for _, i := range g.cands {
+			c := &cands[i]
+			// Refine the block-level φ bound to a width-one range query at
+			// the candidate's own SID. The table holds the batch-exact
+			// popularity of every root, raised on ingest, so this bound is
+			// near-exact — it is what lets the termination below fire long
+			// before the candidate list runs out.
+			phi := c.phiUB
+			if havePhi {
+				phi = e.Bounds.PhiRangeMax(c.tid, c.tid)
+			}
+			ubRs += score.KeywordRelevance(c.matches, tighterBound(popBound, phi), p.N) * e.recencyFactor(c.tid)
+		}
+		g.ub = score.Combine(p.Alpha, ubRs, g.du)
+	}
+	slices.SortFunc(groups, func(a, b *userGroup) int {
+		if a.ub != b.ub {
+			if a.ub > b.ub {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.uid, b.uid)
+	})
+	stopPrune()
+
+	// Phase 2 — exact scoring in bound order. Chunks fan thread
+	// construction across the pool; each job scores one user's candidates
+	// sequentially in candidate order, keeping every float identical to
+	// rankSum's reduction.
+	tk := newTopK(q.K)
+	var tstats threadStats
+	maxChunk := sumGroupChunk(q.K, false)
+	rhoSums := make([]float64, maxChunk)
+	tss := make([]thread.Stats, maxChunk)
+	for idx := 0; idx < len(groups); {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if tk.full() && groups[idx].ub < tk.peek() {
+			for _, g := range groups[idx:] {
+				stats.ThreadsPruned += int64(len(g.cands))
+			}
+			break
+		}
+		chunkSize := sumGroupChunk(q.K, tk.full())
+		chunk := append([]*userGroup(nil), groups[idx:min(idx+chunkSize, len(groups))]...)
+		// Build the chunk's threads in SID order, not bound order: thread
+		// expansion walks B⁺-tree leaves, and ascending-SID builds share
+		// pages the way the exhaustive scan does. Safe — admission into the
+		// top-k below is order-independent (the weakest-member rule yields
+		// the k best under (score desc, UID asc) however members arrive).
+		slices.SortFunc(chunk, func(a, b *userGroup) int {
+			return cmp.Compare(cands[a.cands[0]].tid, cands[b.cands[0]].tid)
+		})
+		t0 := time.Now()
+		err := RunJobs(ctx, e.workers(), len(chunk), func(ctx context.Context, j int) error {
+			g := chunk[j]
+			tss[j] = thread.Stats{}
+			var rs float64
+			for _, i := range g.cands {
+				c := &cands[i]
+				pop, _ := e.builder.Popularity(c.tid, p.Epsilon, &tss[j])
+				rs += score.KeywordRelevance(c.matches, pop, p.N) * e.recencyFactor(c.tid)
+			}
+			rhoSums[j] = rs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec.Observe(telemetry.StageThreadBuild, t0, time.Since(t0))
+		for j, g := range chunk {
+			tstats.add(&tss[j])
+			us := score.Combine(p.Alpha, rhoSums[j], g.du)
+			if !tk.full() {
+				tk.add(g.uid, us)
+				continue
+			}
+			// Admit under exactly the sort-then-truncate order: higher
+			// score, or equal score with a smaller UID than the weakest.
+			wuid, ws := tk.weakest()
+			if us > ws || (us == ws && g.uid < wuid) {
+				tk.removeWeakest()
+				tk.add(g.uid, us)
+			}
+		}
+		idx += len(chunk)
+	}
+	tstats.fold(stats)
+	return tk.results(), nil
+}

@@ -1,0 +1,270 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/social"
+	"repro/internal/thread"
+)
+
+// buildEngineIndexed is buildEngine with control over the index build —
+// block size and flat-vs-blocked layout — so equivalence tests can force
+// multi-block postings lists and compare layouts over one corpus.
+func buildEngineIndexed(t testing.TB, posts []*social.Post, opts core.Options, geohashLen int, hotKeywords []string, mutate func(*invindex.BuildOptions)) *core.Engine {
+	t.Helper()
+	db, err := metadb.Load(metadb.DefaultOptions(), posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := dfs.New(dfs.DefaultOptions())
+	bopts := invindex.DefaultBuildOptions()
+	bopts.GeohashLen = geohashLen
+	if mutate != nil {
+		mutate(&bopts)
+	}
+	idx, _, err := invindex.Build(fsys, posts, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := thread.ComputeBounds(posts, opts.Params.ThreadDepth, opts.Params.Epsilon, hotKeywords)
+	eng, err := core.NewEngine(idx, db, bounds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// requireSameResults asserts two rankings are byte-identical: same length,
+// same user and the exact same float at every position. Block-max traversal
+// promises bit-equality, not approximate equality, so no tolerance.
+func requireSameResults(t *testing.T, got, want []core.UserResult, format string, args ...any) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf(format+": result sizes %d vs %d (%v vs %v)",
+			append(args, len(got), len(want), got, want)...)
+	}
+	for i := range got {
+		if got[i].UID != want[i].UID || got[i].Score != want[i].Score {
+			t.Fatalf(format+": result[%d] = {%d %v}, oracle {%d %v}",
+				append(args, i, got[i].UID, got[i].Score, want[i].UID, want[i].Score)...)
+		}
+	}
+}
+
+// TestBlockMaxEquivalenceGrid is the main lossless-traversal check: over a
+// grid of semantics × ranking × ε × radius, the block-max engine (blocked
+// index with 8-posting blocks so every hot list spans many blocks) returns
+// bit-identical results to (a) the exhaustive engine — block-max and
+// pruning both off — over the same blocked index, and (b) a block-max
+// engine over a flat-postings index (the slice-iterator compatibility
+// path). It also checks the work accounting: for the sum ranking, threads
+// built plus threads pruned must equal the exhaustive engine's thread
+// count. (Block skipping itself is pinned by TestBlockMaxSkipsBlocks — a
+// uniform random corpus interleaves the two lists too densely for AND
+// intersection to ever leap a whole block.)
+func TestBlockMaxEquivalenceGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(417))
+	posts, center := randomCorpus(rng, 900)
+	hot := []string{"hotel", "restaur"}
+
+	for _, epsilon := range []float64{0.1, 0.6} {
+		bm := core.DefaultOptions() // UseBlockMax + UsePruning on
+		bm.Params.Epsilon = epsilon
+		exhaustive := core.DefaultOptions()
+		exhaustive.Params.Epsilon = epsilon
+		exhaustive.UseBlockMax = false
+		exhaustive.UsePruning = false
+
+		smallBlocks := func(o *invindex.BuildOptions) { o.BlockSize = 8 }
+		flat := func(o *invindex.BuildOptions) { o.FlatPostings = true }
+		engBM := buildEngineIndexed(t, posts, bm, 3, hot, smallBlocks)
+		engEx := buildEngineIndexed(t, posts, exhaustive, 3, hot, smallBlocks)
+		engFlat := buildEngineIndexed(t, posts, bm, 3, hot, flat)
+
+		for _, ranking := range []core.Ranking{core.SumScore, core.MaxScore} {
+			for _, sem := range []core.Semantic{core.Or, core.And} {
+				for _, radius := range []float64{5, 15, 40} {
+					q := core.Query{
+						Loc: center, RadiusKm: radius,
+						Keywords: []string{"hotel", "restaurant"},
+						K:        5, Semantic: sem, Ranking: ranking,
+					}
+					got, gs, err := engBM.Search(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, ws, err := engEx.Search(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameResults(t, got, want,
+						"blockmax vs exhaustive eps=%v %v %v r=%v", epsilon, ranking, sem, radius)
+					fres, _, err := engFlat.Search(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameResults(t, fres, want,
+						"flat-index blockmax vs exhaustive eps=%v %v %v r=%v", epsilon, ranking, sem, radius)
+
+					if gs.Candidates != ws.Candidates {
+						t.Fatalf("eps=%v %v %v r=%v: candidates %d vs exhaustive %d",
+							epsilon, ranking, sem, radius, gs.Candidates, ws.Candidates)
+					}
+					if gs.PostingsFetched != ws.PostingsFetched {
+						t.Fatalf("eps=%v %v %v r=%v: postings fetched %d vs exhaustive %d",
+							epsilon, ranking, sem, radius, gs.PostingsFetched, ws.PostingsFetched)
+					}
+					if ranking == core.SumScore && gs.ThreadsBuilt+gs.ThreadsPruned != ws.ThreadsBuilt {
+						t.Fatalf("eps=%v %v r=%v: built %d + pruned %d != exhaustive built %d",
+							epsilon, sem, radius, gs.ThreadsBuilt, gs.ThreadsPruned, ws.ThreadsBuilt)
+					}
+					if ws.BlocksSkipped != 0 {
+						t.Fatal("exhaustive engine reported skipped blocks")
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockMaxSkipsBlocks forces the skip machinery to actually fire: a
+// rare term (two postings at the far ends of the SID range) ANDed with a
+// common term whose 400-posting list spans ~50 eight-posting blocks. The
+// rare list drives the intersection, so the common list's middle blocks
+// are provably irrelevant from their headers and must be passed over
+// undecoded — while results stay identical to the exhaustive engine.
+func TestBlockMaxSkipsBlocks(t *testing.T) {
+	base := geo.Point{Lat: 43.7, Lon: -79.4}
+	var posts []*social.Post
+	for i := 0; i < 400; i++ {
+		words := []string{"hotel"}
+		if i == 0 || i == 399 {
+			words = []string{"hotel", "rare"}
+		}
+		posts = append(posts, &social.Post{
+			SID: social.PostID(i + 1), UID: social.UserID(i%50 + 1),
+			Time: time.Unix(int64(i+1), 0), Loc: base, Words: words,
+		})
+	}
+
+	bm := core.DefaultOptions()
+	exhaustive := core.DefaultOptions()
+	exhaustive.UseBlockMax = false
+	exhaustive.UsePruning = false
+	smallBlocks := func(o *invindex.BuildOptions) { o.BlockSize = 8 }
+	engBM := buildEngineIndexed(t, posts, bm, 4, nil, smallBlocks)
+	engEx := buildEngineIndexed(t, posts, exhaustive, 4, nil, smallBlocks)
+
+	q := core.Query{
+		Loc: base, RadiusKm: 5, Keywords: []string{"rare", "hotel"},
+		K: 3, Semantic: core.And, Ranking: core.MaxScore,
+	}
+	got, gs, err := engBM.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := engEx.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, got, want, "rare AND hotel")
+	if gs.BlocksSkipped == 0 {
+		t.Error("no blocks skipped on a rare-driver AND query")
+	}
+	if gs.PostingsSkipped == 0 {
+		t.Error("no postings skipped on a rare-driver AND query")
+	}
+	t.Logf("skipped %d blocks (%d postings)", gs.BlocksSkipped, gs.PostingsSkipped)
+}
+
+// TestBlockMaxSumPruningAblation pins the point of the sum-ranking early
+// termination: with block-max on, city-radius sum queries must build
+// strictly fewer threads than the exhaustive engine while returning the
+// same users, scores and candidate counts.
+func TestBlockMaxSumPruningAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	posts, center := randomCorpus(rng, 900)
+
+	bm := core.DefaultOptions()
+	exhaustive := core.DefaultOptions()
+	exhaustive.UseBlockMax = false
+	exhaustive.UsePruning = false
+	engBM := buildEngineIndexed(t, posts, bm, 3, nil, nil)
+	engEx := buildEngineIndexed(t, posts, exhaustive, 3, nil, nil)
+
+	var pruned int64
+	for _, radius := range []float64{10, 20, 40} {
+		q := core.Query{
+			Loc: center, RadiusKm: radius, Keywords: []string{"hotel"},
+			K: 3, Semantic: core.Or, Ranking: core.SumScore,
+		}
+		got, gs, err := engBM.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ws, err := engEx.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, got, want, "sum ablation r=%v", radius)
+		if gs.ThreadsBuilt > ws.ThreadsBuilt {
+			t.Errorf("r=%v: block-max built more threads (%d) than exhaustive (%d)",
+				radius, gs.ThreadsBuilt, ws.ThreadsBuilt)
+		}
+		pruned += gs.ThreadsPruned
+	}
+	if pruned == 0 {
+		t.Error("sum-ranking early termination never pruned a thread construction")
+	}
+}
+
+// TestDuplicateQueryKeywordsDeduped is the regression test for repeated
+// query keywords: {w, w} must behave exactly like {w} — same results and
+// the same number of postings lists pulled, across semantics and rankings.
+// (A duplicated keyword under AND must also not demand the term twice.)
+func TestDuplicateQueryKeywordsDeduped(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	posts, center := randomCorpus(rng, 600)
+	eng := buildEngineIndexed(t, posts, core.DefaultOptions(), 3, nil, nil)
+
+	cases := [][2][]string{
+		{{"hotel", "hotel"}, {"hotel"}},
+		{{"hotel", "restaurant", "hotel", "restaurants"}, {"hotel", "restaurant"}},
+	}
+	for _, ranking := range []core.Ranking{core.SumScore, core.MaxScore} {
+		for _, sem := range []core.Semantic{core.Or, core.And} {
+			for _, kw := range cases {
+				dup := core.Query{
+					Loc: center, RadiusKm: 20, Keywords: kw[0],
+					K: 5, Semantic: sem, Ranking: ranking,
+				}
+				plain := dup
+				plain.Keywords = kw[1]
+				got, gs, err := eng.Search(dup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, ws, err := eng.Search(plain)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameResults(t, got, want, "dup keywords %v %v %v", kw[0], ranking, sem)
+				if gs.PostingsFetched != ws.PostingsFetched {
+					t.Errorf("%v %v %v: duplicated keywords fetched %d lists, deduped %d",
+						kw[0], ranking, sem, gs.PostingsFetched, ws.PostingsFetched)
+				}
+				if gs.Candidates != ws.Candidates {
+					t.Errorf("%v %v %v: duplicated keywords found %d candidates, deduped %d",
+						kw[0], ranking, sem, gs.Candidates, ws.Candidates)
+				}
+			}
+		}
+	}
+}

@@ -118,6 +118,15 @@ type Options struct {
 	// 18–19. Disabling it is the ablation baseline; results are identical,
 	// only thread-construction work changes.
 	UsePruning bool
+	// UseBlockMax enables block-at-a-time postings traversal: postings
+	// sources that expose a lazy iterator (invindex.Index) are merged one
+	// block at a time, AND queries skip blocks the directory proves cannot
+	// intersect, and the per-block φ bounds feed the ranking stage — a
+	// tighter Definition-11 bound for max ranking and, together with
+	// UsePruning, MaxScore-style early termination for sum ranking. Results
+	// are byte-identical with the flag on or off; only decode and
+	// thread-construction work changes.
+	UseBlockMax bool
 	// ExactUserDistance computes Definition 9 literally — the average
 	// distance score over ALL of a user's posts — which costs one metadata
 	// fetch per post of every candidate user. When false (the default),
@@ -146,10 +155,10 @@ type Options struct {
 	ThreadExpand thread.ExpandMode
 }
 
-// DefaultOptions enables pruning and specific bounds, the paper's standard
-// configuration.
+// DefaultOptions enables pruning, specific bounds and block-max traversal,
+// the paper's standard configuration plus the dynamic-pruning layer on top.
 func DefaultOptions() Options {
-	return Options{Params: score.DefaultParams(), UseSpecificBounds: true, UsePruning: true}
+	return Options{Params: score.DefaultParams(), UseSpecificBounds: true, UsePruning: true, UseBlockMax: true}
 }
 
 // PostingsSource is what the engine needs from a hybrid index: the geohash
@@ -268,6 +277,8 @@ type QueryStats struct {
 	PopCacheHits    int64 // thread constructions answered by the popularity cache
 	DBBatchLookups  int64 // keys this query resolved through multi-get batches
 	DBPagesSaved    int64 // simulated page+node touches the batches avoided
+	BlocksSkipped   int64 // postings blocks passed over without decoding
+	PostingsSkipped int64 // postings inside those skipped blocks
 	Elapsed         time.Duration
 
 	// Spans are the per-stage timings of the query pipeline (cell cover →

@@ -163,7 +163,7 @@ func (e *Engine) partialsScoreAll(ctx context.Context, cands []scoredCandidate, 
 	out.Cands = make([]CandidateScore, len(cands))
 	for i, c := range cands {
 		tstats.add(&sc[i].ts)
-		out.Cands[i] = CandidateScore{TID: c.tid, UID: c.row.UID, Delta: c.delta, Rho: sc[i].rho}
+		out.Cands[i] = CandidateScore{TID: c.tid, UID: c.uid, Delta: c.delta, Rho: sc[i].rho}
 	}
 	tstats.fold(stats)
 	return nil
@@ -183,7 +183,7 @@ func (e *Engine) partialsMaxPruned(ctx context.Context, q *Query, terms []string
 	candDelta := make(map[social.UserID]float64)
 	if !e.Opts.ExactUserDistance {
 		for _, c := range cands {
-			candDelta[c.row.UID] += c.delta
+			candDelta[c.uid] += c.delta
 		}
 	}
 	udc := newUserDistCache(e, q)
@@ -198,13 +198,15 @@ func (e *Engine) partialsMaxPruned(ctx context.Context, q *Query, terms []string
 				return err
 			}
 		}
-		uid := c.row.UID
+		uid := c.uid
 		duLower := udc.get(uid, candDelta[uid])
 		if tk.full() {
 			// Upper bound with the distance part at its maximum 1
 			// (Section V-B's own bound): sound regardless of how the
-			// user's candidates are distributed across shards.
-			ub := score.Combine(p.Alpha, score.KeywordRelevance(c.matches, popBound, p.N), 1)
+			// user's candidates are distributed across shards. Block-max
+			// traversal tightens the popularity part with the candidate's
+			// per-block φ bound.
+			ub := score.Combine(p.Alpha, score.KeywordRelevance(c.matches, tighterBound(popBound, c.phiUB), p.N), 1)
 			if ub <= tk.peek() {
 				stats.ThreadsPruned++
 				out.Cands = append(out.Cands, CandidateScore{
@@ -245,7 +247,7 @@ func (e *Engine) userPartials(q *Query, cands []scoredCandidate) []UserPartial {
 	seen := make(map[social.UserID]struct{}, len(cands))
 	out := make([]UserPartial, 0, len(cands))
 	for _, c := range cands {
-		uid := c.row.UID
+		uid := c.uid
 		if _, dup := seen[uid]; dup {
 			continue
 		}
@@ -287,6 +289,8 @@ func MergePartials(q Query, alpha float64, parts []*Partials) ([]UserResult, *Qu
 		stats.PopCacheHits += p.Stats.PopCacheHits
 		stats.DBBatchLookups += p.Stats.DBBatchLookups
 		stats.DBPagesSaved += p.Stats.DBPagesSaved
+		stats.BlocksSkipped += p.Stats.BlocksSkipped
+		stats.PostingsSkipped += p.Stats.PostingsSkipped
 		if p.Stats.Cells > stats.Cells {
 			stats.Cells = p.Stats.Cells
 		}

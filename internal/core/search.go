@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/invindex"
-	"repro/internal/metadb"
 	"repro/internal/score"
 	"repro/internal/social"
 	"repro/internal/telemetry"
@@ -17,12 +16,13 @@ import (
 )
 
 // scoredCandidate is a keyword-matching tweet that survived the radius and
-// time-window filters, with its metadata row and distance score attached.
+// time-window filters, with its author and distance score attached.
 type scoredCandidate struct {
 	tid     social.PostID
 	matches int
-	row     metadb.Row
+	uid     social.UserID
 	delta   float64 // δ(p,q), Definition 5
+	phiUB   float64 // per-block thread-popularity bound; 0 = none
 }
 
 // Search executes a TkLUS query and returns the top-k users with their
@@ -65,7 +65,7 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]UserResult, *Que
 	rankStart := time.Now()
 	switch q.Ranking {
 	case SumScore:
-		results, err = e.rankSum(ctx, &q, cands, stats, rec)
+		results, err = e.rankSum(ctx, &q, terms, cands, stats, rec)
 	case MaxScore:
 		results, err = e.rankMax(ctx, &q, terms, cands, stats, rec)
 	default:
@@ -74,11 +74,12 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]UserResult, *Que
 	if err != nil {
 		return nil, nil, err
 	}
-	// Thread construction runs interleaved inside the ranking loop and is
-	// recorded as its own stage; the rank span is the remainder, so the
-	// stage durations sum to (approximately) the query's elapsed time.
+	// Thread construction (and the sum ranking's bound pass) run
+	// interleaved inside the ranking loop and are recorded as their own
+	// stages; the rank span is the remainder, so the stage durations sum to
+	// (approximately) the query's elapsed time.
 	rec.Observe(telemetry.StageRank, rankStart,
-		time.Since(rankStart)-rec.Total(telemetry.StageThreadBuild))
+		time.Since(rankStart)-rec.Total(telemetry.StageThreadBuild)-rec.Total(telemetry.StagePrune))
 	stats.Spans = rec.Spans()
 	stats.Elapsed = time.Since(start)
 	return results, stats, nil
@@ -121,58 +122,68 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 	}
 	stopCover()
 
-	// Stage 2 — postings fetch: every ⟨partition, term⟩ pair is one
-	// independent batch of DFS round trips, fanned across the pool. The
-	// per-term lists are concatenated in (partition, term) order below, so
-	// the AND/OR merge sees exactly the sequential path's input.
-	stopFetch := rec.Start(telemetry.StagePostingsFetch)
-	nJobs := len(parts) * len(terms)
-	fetched := make([][]invindex.Posting, nJobs)
-	counts := make([]int64, nJobs)
-	err := RunJobs(ctx, e.workers(), nJobs, func(ctx context.Context, i int) error {
-		part := parts[i/len(terms)]
-		ps, n, err := termPostings(part.Source, covers.get(part.Source.GeohashLen()), terms[i%len(terms)])
-		if err != nil {
-			return err
-		}
-		fetched[i], counts[i] = ps, n
-		return nil
-	})
-	if err != nil {
-		stopFetch()
-		return nil, err
-	}
-	termLists := make([][]invindex.Posting, len(terms))
-	for i, ps := range fetched {
-		stats.PostingsFetched += counts[i]
-		ti := i % len(terms)
-		termLists[ti] = append(termLists[ti], ps...)
-	}
-	// Partitions are time-disjoint, so concatenation has no duplicate
-	// TIDs, but ordering across partitions must be restored.
-	if len(e.Partitions) > 1 {
-		for ti := range termLists {
-			slices.SortFunc(termLists[ti], func(a, b invindex.Posting) int {
-				return cmp.Compare(a.TID, b.TID)
-			})
-		}
-	}
-	stopFetch()
-
-	// Stage 3 — candidate filter: AND/OR merge, then the window filter,
-	// metadata lookup and exact radius check. In the default batched mode
-	// the window filter (a pure SID comparison) runs first so one multi-get
-	// fetches every surviving row — dozens of shared data pages instead of
-	// one descent per posting — and the pool only shards the geometric
-	// check. Point-lookup mode keeps the one-descent-per-candidate pattern.
-	// Either way candidates come out in merge order, so every downstream
-	// score is identical.
-	defer rec.Start(telemetry.StageCandidateFilter)()
+	// Stage 2 — postings retrieval, then stage 3 — candidate filter: the
+	// AND/OR merge, then the window filter, metadata lookup and exact
+	// radius check. Under UseBlockMax retrieval opens lazy iterators and
+	// the merge decodes block at a time (gatherBlockMax); otherwise every
+	// ⟨partition, term⟩ pair is one independent batch of DFS round trips,
+	// fanned across the pool, with per-term lists concatenated in
+	// (partition, term) order so the merge sees exactly the sequential
+	// path's input. Both produce the same candidates in the same order. In
+	// the default batched mode the window filter (a pure SID comparison)
+	// runs first so one multi-get fetches every surviving row — dozens of
+	// shared data pages instead of one descent per posting — and the pool
+	// only shards the geometric check. Point-lookup mode keeps the
+	// one-descent-per-candidate pattern. Either way candidates come out in
+	// merge order, so every downstream score is identical.
 	var merged []candidate
-	if q.Semantic == And {
-		merged = intersectPostings(termLists)
+	if e.Opts.UseBlockMax {
+		var err error
+		merged, err = e.gatherBlockMax(ctx, q, parts, &covers, terms, stats, rec)
+		if err != nil {
+			return nil, err
+		}
+		defer rec.Start(telemetry.StageCandidateFilter)()
 	} else {
-		merged = unionPostings(termLists)
+		stopFetch := rec.Start(telemetry.StagePostingsFetch)
+		nJobs := len(parts) * len(terms)
+		fetched := make([][]invindex.Posting, nJobs)
+		counts := make([]int64, nJobs)
+		err := RunJobs(ctx, e.workers(), nJobs, func(ctx context.Context, i int) error {
+			part := parts[i/len(terms)]
+			ps, n, err := termPostings(part.Source, covers.get(part.Source.GeohashLen()), terms[i%len(terms)])
+			if err != nil {
+				return err
+			}
+			fetched[i], counts[i] = ps, n
+			return nil
+		})
+		if err != nil {
+			stopFetch()
+			return nil, err
+		}
+		termLists := make([][]invindex.Posting, len(terms))
+		for i, ps := range fetched {
+			stats.PostingsFetched += counts[i]
+			ti := i % len(terms)
+			termLists[ti] = append(termLists[ti], ps...)
+		}
+		// Partitions are time-disjoint, so concatenation has no duplicate
+		// TIDs, but ordering across partitions must be restored.
+		if len(e.Partitions) > 1 {
+			for ti := range termLists {
+				slices.SortFunc(termLists[ti], func(a, b invindex.Posting) int {
+					return cmp.Compare(a.TID, b.TID)
+				})
+			}
+		}
+		stopFetch()
+		defer rec.Start(telemetry.StageCandidateFilter)()
+		if q.Semantic == And {
+			merged = intersectPostings(termLists)
+		} else {
+			merged = unionPostings(termLists)
+		}
 	}
 
 	type filtered struct {
@@ -180,9 +191,34 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 		keep bool
 	}
 
+	if ms := e.DB.RowMetaSnapshot(); ms != nil {
+		// Snapshot-served filter: the radius test and δ(p,q) read the same
+		// float64 coordinates the row store holds, just without the per-row
+		// B⁺-tree descent and page read — at city radii most merged
+		// postings are resolved only to be rejected. Sequential: the whole
+		// pass is in-memory arithmetic.
+		out := make([]scoredCandidate, 0, len(merged))
+		for _, c := range merged {
+			if q.TimeWindow != nil && !q.TimeWindow.contains(c.tid) {
+				continue
+			}
+			m, ok := ms.Get(c.tid)
+			if !ok {
+				return nil, fmt.Errorf("core: indexed tweet %d missing from metadata db", c.tid)
+			}
+			loc := geo.Point{Lat: m.Lat, Lon: m.Lon}
+			if e.Opts.Params.Metric.DistanceKm(q.Loc, loc) > q.RadiusKm {
+				continue // cover cells may stick out of the circle
+			}
+			delta := score.TweetDistance(loc, q.Loc, q.RadiusKm, e.Opts.Params.Metric)
+			out = append(out, scoredCandidate{tid: c.tid, matches: c.matches, uid: m.UID, delta: delta, phiUB: c.phiUB})
+		}
+		return out, nil
+	}
+
 	if e.Opts.ThreadExpand == thread.ExpandPointLookup {
 		results := make([]filtered, len(merged))
-		err = RunJobs(ctx, e.workers(), len(merged), func(ctx context.Context, i int) error {
+		err := RunJobs(ctx, e.workers(), len(merged), func(ctx context.Context, i int) error {
 			c := merged[i]
 			if q.TimeWindow != nil && !q.TimeWindow.contains(c.tid) {
 				return nil
@@ -196,7 +232,7 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 			}
 			delta := score.TweetDistance(row.Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
 			results[i] = filtered{
-				sc:   scoredCandidate{tid: c.tid, matches: c.matches, row: row, delta: delta},
+				sc:   scoredCandidate{tid: c.tid, matches: c.matches, uid: row.UID, delta: delta, phiUB: c.phiUB},
 				keep: true,
 			}
 			return nil
@@ -235,7 +271,7 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 		}
 	}
 	results := make([]filtered, len(survivors))
-	err = RunJobs(ctx, e.workers(), len(survivors), func(ctx context.Context, i int) error {
+	err := RunJobs(ctx, e.workers(), len(survivors), func(ctx context.Context, i int) error {
 		c := survivors[i]
 		row := rows[i]
 		if e.Opts.Params.Metric.DistanceKm(q.Loc, row.Loc()) > q.RadiusKm {
@@ -243,7 +279,7 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 		}
 		delta := score.TweetDistance(row.Loc(), q.Loc, q.RadiusKm, e.Opts.Params.Metric)
 		results[i] = filtered{
-			sc:   scoredCandidate{tid: c.tid, matches: c.matches, row: row, delta: delta},
+			sc:   scoredCandidate{tid: c.tid, matches: c.matches, uid: row.UID, delta: delta, phiUB: c.phiUB},
 			keep: true,
 		}
 		return nil
@@ -266,8 +302,13 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 // independent, so the scoring phase fans across the worker pool with each
 // worker confined to its candidate's slot; the per-user reduction then runs
 // sequentially in candidate order, making the float accumulation — and so
-// every score — bit-identical to the sequential path.
-func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate, stats *QueryStats, rec *telemetry.SpanRecorder) ([]UserResult, error) {
+// every score — bit-identical to the sequential path. With block-max
+// traversal and pruning both enabled, rankSumPruned takes over: same
+// results, but users provably outside the top k are never thread-scored.
+func (e *Engine) rankSum(ctx context.Context, q *Query, terms []string, cands []scoredCandidate, stats *QueryStats, rec *telemetry.SpanRecorder) ([]UserResult, error) {
+	if e.Opts.UseBlockMax && e.Opts.UsePruning {
+		return e.rankSumPruned(ctx, q, terms, cands, stats, rec)
+	}
 	p := e.Opts.Params
 
 	// Phase 1 — thread scoring (the per-candidate Algorithm 1 runs).
@@ -300,10 +341,10 @@ func (e *Engine) rankSum(ctx context.Context, q *Query, cands []scoredCandidate,
 	var tstats threadStats
 	for i, c := range cands {
 		tstats.add(&sc[i].ts)
-		a := users[c.row.UID]
+		a := users[c.uid]
 		if a == nil {
 			a = &agg{}
-			users[c.row.UID] = a
+			users[c.uid] = a
 		}
 		a.rs += sc[i].rho
 		a.deltaSum += c.delta
@@ -338,7 +379,7 @@ func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []
 	candDelta := make(map[social.UserID]float64) // candidate-only Σδ per user
 	if !e.Opts.ExactUserDistance {
 		for _, c := range cands {
-			candDelta[c.row.UID] += c.delta
+			candDelta[c.uid] += c.delta
 		}
 	}
 	var tstats threadStats
@@ -349,7 +390,7 @@ func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []
 				return nil, err
 			}
 		}
-		uid := c.row.UID
+		uid := c.uid
 		du := udc.get(uid, candDelta[uid])
 		if e.Opts.UsePruning && tk.full() {
 			// Optimistic user score: maximal keyword relevance under the
@@ -358,8 +399,10 @@ func (e *Engine) rankMax(ctx context.Context, q *Query, terms []string, cands []
 			// (Section V-B); δ(u,q) is independent of the thread being
 			// considered and already computed here, so using it keeps the
 			// bound sound while pruning far more thread constructions —
-			// thread construction being the stated bottleneck.
-			ub := score.Combine(p.Alpha, score.KeywordRelevance(c.matches, popBound, p.N), du)
+			// thread construction being the stated bottleneck. Block-max
+			// traversal tightens the popularity part further with the
+			// candidate's per-block φ bound.
+			ub := score.Combine(p.Alpha, score.KeywordRelevance(c.matches, tighterBound(popBound, c.phiUB), p.N), du)
 			if ub <= tk.peek() {
 				stats.ThreadsPruned++
 				continue
@@ -420,7 +463,7 @@ func (e *Engine) CandidateTweets(q Query) ([]CandidateTweet, *QueryStats, error)
 	stats.Elapsed = time.Since(start)
 	out := make([]CandidateTweet, len(cands))
 	for i, c := range cands {
-		out[i] = CandidateTweet{TID: c.tid, UID: c.row.UID, Matches: c.matches, Delta: c.delta}
+		out[i] = CandidateTweet{TID: c.tid, UID: c.uid, Matches: c.matches, Delta: c.delta}
 	}
 	return out, stats, nil
 }

@@ -73,6 +73,20 @@ func (t *topK) removeWeakest() {
 	t.minCached = false
 }
 
+// weakest returns the member sortResults would rank last — lowest score,
+// largest UID on ties — so callers can admit new users under exactly the
+// sort-then-truncate order. Must not be called on an empty structure.
+func (t *topK) weakest() (social.UserID, float64) {
+	w := t.users[0]
+	ws := t.scores[w]
+	for _, uid := range t.users[1:] {
+		if s := t.scores[uid]; s < ws || (s == ws && uid > w) {
+			w, ws = uid, s
+		}
+	}
+	return w, ws
+}
+
 // raise updates uid's score if the new value is higher (max semantics).
 func (t *topK) raise(uid social.UserID, score float64) {
 	if score > t.scores[uid] {

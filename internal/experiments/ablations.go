@@ -144,5 +144,6 @@ func Runners() []Runner {
 		{"sharded", "Sharded scatter-gather: shard-count sweep", (*Setup).ShardedScaling},
 		{"batchio", "Batched IO: point vs batched vs CSR snapshot", (*Setup).BatchIOTable},
 		{"tracing", "Tracing overhead: disabled vs enabled tracer", (*Setup).TracingOverhead},
+		{"blockmax", "Block-max traversal: exhaustive vs Def.-11 vs block-max", (*Setup).BlockMaxTable},
 	}
 }

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	tklus "repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+// BlockMaxClass is one query class of the block-max traversal comparison:
+// identical queries against three engine configurations — exhaustive (every
+// candidate's thread built, no block metadata consulted), Def.-11 pruning
+// only (the paper's max-ranking bound, flat traversal), and block-max
+// (lazy AND intersection over block headers plus per-block φ bounds
+// feeding both rankings' pruning and the sum ranking's MaxScore-style
+// early termination).
+type BlockMaxClass struct {
+	Keywords   int     `json:"keywords"`
+	RadiusKm   float64 `json:"radius_km"`
+	Semantic   string  `json:"semantic"`
+	Ranking    string  `json:"ranking"`
+	Queries    int     `json:"queries"`
+	ExhP50Ms   float64 `json:"exhaustive_p50_ms"`
+	ExhP95Ms   float64 `json:"exhaustive_p95_ms"`
+	Def11P50Ms float64 `json:"def11_p50_ms"`
+	Def11P95Ms float64 `json:"def11_p95_ms"`
+	BMP50Ms    float64 `json:"blockmax_p50_ms"`
+	BMP95Ms    float64 `json:"blockmax_p95_ms"`
+	// Def11SpeedupP95 and BMSpeedupP95 are exhaustive p95 divided by the
+	// Def.-11-only / block-max p95.
+	Def11SpeedupP95 float64 `json:"def11_speedup_p95"`
+	BMSpeedupP95    float64 `json:"blockmax_speedup_p95"`
+	// Work counters for the block-max configuration vs the exhaustive one.
+	ThreadsBuiltExh int64 `json:"threads_built_exhaustive"`
+	ThreadsBuiltBM  int64 `json:"threads_built_blockmax"`
+	BlocksSkipped   int64 `json:"blocks_skipped"`
+	PostingsSkipped int64 `json:"postings_skipped"`
+}
+
+// BlockMaxSnapshot is the machine-readable comparison cmd/tklus-bench
+// writes to BENCH_blockmax.json. All three configurations run
+// single-threaded (Parallelism=1, no popularity cache) over the same
+// blocked index, so the comparison isolates traversal strategy. Every
+// query's results are asserted identical across the three configurations;
+// cmd/tklus-benchcheck gates on SumSpeedupP95, TotalBlocksSkipped and
+// ResultsIdentical.
+type BlockMaxSnapshot struct {
+	Posts         int             `json:"posts"`
+	Users         int             `json:"users"`
+	Seed          int64           `json:"seed"`
+	K             int             `json:"k"`
+	IOLatency     string          `json:"io_latency"`
+	Classes       []BlockMaxClass `json:"classes"`
+	OverallExhP95 float64         `json:"overall_exhaustive_p95_ms"`
+	OverallDefP95 float64         `json:"overall_def11_p95_ms"`
+	OverallBMP95  float64         `json:"overall_blockmax_p95_ms"`
+	// Def11SpeedupP95 / BMSpeedupP95 cover all classes; SumSpeedupP95 is
+	// the block-max speedup restricted to the sum-ranking classes — the
+	// ranking Def.-11 cannot prune, so every gain there is new.
+	Def11SpeedupP95      float64 `json:"def11_speedup_p95"`
+	BMSpeedupP95         float64 `json:"blockmax_speedup_p95"`
+	SumSpeedupP95        float64 `json:"sum_speedup_p95"`
+	TotalBlocksSkipped   int64   `json:"total_blocks_skipped"`
+	TotalPostingsSkipped int64   `json:"total_postings_skipped"`
+	ResultsIdentical     bool    `json:"results_identical"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (p *BlockMaxSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadBlockMaxSnapshot parses a snapshot written by WriteJSON.
+func ReadBlockMaxSnapshot(r io.Reader) (*BlockMaxSnapshot, error) {
+	var snap BlockMaxSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("experiments: parsing blockmax snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// blockMaxClasses are the workload slices compared. The sum-ranking
+// city-radius classes are the acceptance gate — before this PR the sum
+// ranking built every candidate's thread unconditionally — and the AND
+// classes exercise the skip machinery (lazy intersection over block
+// headers). One max-ranking class shows the tighter per-block φ bounds
+// feeding the existing Def.-11 prune.
+var blockMaxClasses = []struct {
+	keywords int
+	radiusKm float64
+	sem      core.Semantic
+	ranking  core.Ranking
+}{
+	{1, 15, core.Or, core.SumScore},
+	{2, 15, core.Or, core.SumScore},
+	{2, 10, core.And, core.SumScore},
+	{2, 15, core.And, core.MaxScore},
+}
+
+// BlockMaxCompare measures the three traversal configurations on one shared
+// blocked-index system, verifying on every query that they return identical
+// results. The result is memoized on the Setup so the table runner and the
+// JSON emitter share one run.
+//
+// The system is built with 16-posting blocks rather than the production
+// default of 128: per-block bounds only bite when a list spans many
+// blocks, and at bench scale (tens of thousands of posts) a cell's
+// postings list holds tens-to-hundreds of entries, not the millions the
+// default is sized for. Block size scales with list length; the three
+// configurations still read the exact same index. Cells are geohash-5
+// (~4.9 km) rather than the Fig.-7 default of 4 (~39 km): city-radius
+// circles (10–15 km) drown in a single length-4 cell, and the out-of-
+// radius rows every configuration must fetch and reject would swamp the
+// traversal difference the comparison isolates.
+func (s *Setup) BlockMaxCompare() (*BlockMaxSnapshot, error) {
+	if s.blockmaxSnap != nil {
+		return s.blockmaxSnap, nil
+	}
+	cfg := tklus.DefaultConfig()
+	cfg.Index.GeohashLen = 5
+	cfg.Index.PathPrefix = "index-blockmax"
+	cfg.Index.BlockSize = 16
+	cfg.DB.IOLatency = s.Cfg.IOLatency
+	cfg.HotKeywords = datagen.MeaningfulKeywords()
+	sys, err := tklus.Build(s.Corpus.Posts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The row-meta snapshot serves the radius filter for all three
+	// configurations alike: the filter's per-row fetches are identical
+	// shared work, and at bench scale they would swamp the traversal
+	// difference this comparison isolates.
+	sys.EnableRowMetaSnapshot()
+	exhEng, err := engineWith(sys, func(o *core.Options) {
+		o.Parallelism = 1
+		o.UseBlockMax = false
+		o.UsePruning = false
+	})
+	if err != nil {
+		return nil, err
+	}
+	defEng, err := engineWith(sys, func(o *core.Options) {
+		o.Parallelism = 1
+		o.UseBlockMax = false
+		o.UsePruning = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	bmEng, err := engineWith(sys, func(o *core.Options) {
+		o.Parallelism = 1
+		o.UseBlockMax = true
+		o.UsePruning = true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	snap := &BlockMaxSnapshot{
+		Posts: s.Cfg.NumPosts, Users: s.Cfg.NumUsers, Seed: s.Cfg.Seed,
+		K: s.Cfg.K, IOLatency: s.Cfg.IOLatency.String(),
+	}
+	var allExh, allDef, allBM, sumExh, sumBM []float64
+	for _, class := range blockMaxClasses {
+		specs := s.queriesWithKeywordCount(class.keywords)
+		if len(specs) == 0 {
+			continue
+		}
+		exhTimes := make([]float64, 0, len(specs))
+		defTimes := make([]float64, 0, len(specs))
+		bmTimes := make([]float64, 0, len(specs))
+		var builtExh, builtBM, blocksSkipped, postingsSkipped int64
+		for _, spec := range specs {
+			q := toQuery(spec, class.radiusKm, s.Cfg.K, class.sem, class.ranking)
+			exhRes, exhStats, err := exhEng.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			defRes, defStats, err := defEng.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			bmRes, bmStats, err := bmEng.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			if err := sameResults(exhRes, defRes); err != nil {
+				return nil, fmt.Errorf("experiments: def11/exhaustive divergence on %v: %w", q.Keywords, err)
+			}
+			if err := sameResults(exhRes, bmRes); err != nil {
+				return nil, fmt.Errorf("experiments: blockmax/exhaustive divergence on %v: %w", q.Keywords, err)
+			}
+			exhTimes = append(exhTimes, exhStats.Elapsed.Seconds())
+			defTimes = append(defTimes, defStats.Elapsed.Seconds())
+			bmTimes = append(bmTimes, bmStats.Elapsed.Seconds())
+			builtExh += exhStats.ThreadsBuilt
+			builtBM += bmStats.ThreadsBuilt
+			blocksSkipped += bmStats.BlocksSkipped
+			postingsSkipped += bmStats.PostingsSkipped
+		}
+		allExh = append(allExh, exhTimes...)
+		allDef = append(allDef, defTimes...)
+		allBM = append(allBM, bmTimes...)
+		if class.ranking == core.SumScore {
+			sumExh = append(sumExh, exhTimes...)
+			sumBM = append(sumBM, bmTimes...)
+		}
+		eSum, dSum, bSum := stats.SummaryOf(exhTimes), stats.SummaryOf(defTimes), stats.SummaryOf(bmTimes)
+		snap.Classes = append(snap.Classes, BlockMaxClass{
+			Keywords: class.keywords, RadiusKm: class.radiusKm,
+			Semantic: class.sem.String(), Ranking: class.ranking.String(),
+			Queries:  len(specs),
+			ExhP50Ms: eSum.P50 * 1000, ExhP95Ms: eSum.P95 * 1000,
+			Def11P50Ms: dSum.P50 * 1000, Def11P95Ms: dSum.P95 * 1000,
+			BMP50Ms: bSum.P50 * 1000, BMP95Ms: bSum.P95 * 1000,
+			Def11SpeedupP95: speedup(eSum.P95, dSum.P95),
+			BMSpeedupP95:    speedup(eSum.P95, bSum.P95),
+			ThreadsBuiltExh: builtExh, ThreadsBuiltBM: builtBM,
+			BlocksSkipped: blocksSkipped, PostingsSkipped: postingsSkipped,
+		})
+		snap.TotalBlocksSkipped += blocksSkipped
+		snap.TotalPostingsSkipped += postingsSkipped
+	}
+	eAll, dAll, bAll := stats.SummaryOf(allExh), stats.SummaryOf(allDef), stats.SummaryOf(allBM)
+	sExh, sBM := stats.SummaryOf(sumExh), stats.SummaryOf(sumBM)
+	snap.OverallExhP95 = eAll.P95 * 1000
+	snap.OverallDefP95 = dAll.P95 * 1000
+	snap.OverallBMP95 = bAll.P95 * 1000
+	snap.Def11SpeedupP95 = speedup(eAll.P95, dAll.P95)
+	snap.BMSpeedupP95 = speedup(eAll.P95, bAll.P95)
+	snap.SumSpeedupP95 = speedup(sExh.P95, sBM.P95)
+	snap.ResultsIdentical = true // every query above was asserted identical
+	s.blockmaxSnap = snap
+	return snap, nil
+}
+
+// BlockMaxTable renders BlockMaxCompare as a bench table.
+func (s *Setup) BlockMaxTable() (*Table, error) {
+	snap, err := s.BlockMaxCompare()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Block-max traversal — exhaustive vs Def.-11 pruning vs block-max",
+		Note: fmt.Sprintf("identical results on every query; single-threaded; p95 speedup %.2fx overall, %.2fx on sum-ranking classes; %d blocks (%d postings) skipped",
+			snap.BMSpeedupP95, snap.SumSpeedupP95, snap.TotalBlocksSkipped, snap.TotalPostingsSkipped),
+		Headers: []string{"kw", "radius (km)", "semantic", "ranking", "queries",
+			"exh p95", "def11 p95", "bmax p95", "def11 x", "bmax x", "threads exh", "threads bmax", "blocks skipped"},
+	}
+	for _, c := range snap.Classes {
+		t.AddRow(fmt.Sprintf("%d", c.Keywords), fmt.Sprintf("%.0f", c.RadiusKm),
+			c.Semantic, c.Ranking, fmt.Sprintf("%d", c.Queries),
+			ms(c.ExhP95Ms/1000), ms(c.Def11P95Ms/1000), ms(c.BMP95Ms/1000),
+			fmt.Sprintf("%.2fx", c.Def11SpeedupP95), fmt.Sprintf("%.2fx", c.BMSpeedupP95),
+			fmt.Sprintf("%d", c.ThreadsBuiltExh), fmt.Sprintf("%d", c.ThreadsBuiltBM),
+			fmt.Sprintf("%d", c.BlocksSkipped))
+	}
+	return t, nil
+}

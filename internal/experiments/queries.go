@@ -39,6 +39,8 @@ func runBatch(eng *core.Engine, specs []datagen.QuerySpec, radiusKm float64, k i
 		agg.ThreadsBuilt += stats.ThreadsBuilt
 		agg.ThreadsPruned += stats.ThreadsPruned
 		agg.TweetsPulled += stats.TweetsPulled
+		agg.BlocksSkipped += stats.BlocksSkipped
+		agg.PostingsSkipped += stats.PostingsSkipped
 		agg.Elapsed += stats.Elapsed
 	}
 	return agg.Elapsed.Seconds() / float64(len(specs)), agg, nil

@@ -58,6 +58,7 @@ type Setup struct {
 	shardedSnap  *ShardedSnapshot      // memoized ShardedCompare result
 	batchioSnap  *BatchIOSnapshot      // memoized BatchIOCompare result
 	tracingSnap  *TracingSnapshot      // memoized TracingCompare result
+	blockmaxSnap *BlockMaxSnapshot     // memoized BlockMaxCompare result
 }
 
 // NewSetup generates the corpus and the 90-query-style workload.

@@ -24,8 +24,10 @@ func TestTelemetrySnapshot(t *testing.T) {
 		t.Fatalf("stages = %d, want %d", len(snap.Stages), len(telemetry.QueryStages))
 	}
 	for _, st := range snap.Stages {
-		if st.Stage == telemetry.StageThreadBuild {
-			continue // may be empty if every candidate was pruned
+		if st.Stage == telemetry.StageThreadBuild || st.Stage == telemetry.StagePrune {
+			// thread_build may be empty if every candidate was pruned;
+			// prune only runs for sum ranking under block-max traversal.
+			continue
 		}
 		if st.N == 0 {
 			t.Errorf("stage %s has no samples", st.Stage)

@@ -22,6 +22,14 @@ type BuildOptions struct {
 	// PathPrefix places the postings files in the DFS namespace,
 	// e.g. "index" -> index/part-00000.
 	PathPrefix string
+	// BlockSize is the postings-per-block target of the blocked layout
+	// (non-positive selects DefaultBlockSize). Ignored when FlatPostings
+	// is set.
+	BlockSize int
+	// FlatPostings forces the flat varint layout for every list — the
+	// compatibility/oracle configuration with no block directory and no
+	// skipping.
+	FlatPostings bool
 }
 
 // DefaultBuildOptions returns the 4-length-geohash configuration used by
@@ -41,10 +49,11 @@ type BuildStats struct {
 
 // entryRef locates one postings list inside the DFS.
 type entryRef struct {
-	file   string
-	offset int64
-	length int64
-	count  int // number of postings, exposed for stats and planning
+	file    string
+	offset  int64
+	length  int64
+	count   int  // number of postings, exposed for stats and planning
+	blocked bool // payload uses the blocked layout (block directory + bodies)
 }
 
 // Index is the queryable hybrid index. After Build it is read-only and
@@ -105,7 +114,13 @@ func Build(fsys *dfs.FS, posts []*social.Post, opts BuildOptions) (*Index, *Buil
 				ps = append(ps, p)
 			}
 			ps = sortPostings(ps)
-			encoded, err := EncodePostingsList(ps)
+			var encoded []byte
+			var err error
+			if opts.FlatPostings {
+				encoded, err = EncodePostingsList(ps)
+			} else {
+				encoded, err = EncodeBlockedPostingsList(ps, opts.BlockSize)
+			}
 			if err != nil {
 				return err
 			}
@@ -147,7 +162,10 @@ func Build(fsys *dfs.FS, posts []*social.Post, opts BuildOptions) (*Index, *Buil
 			}
 			placements = append(placements, placed{
 				key: kv.Key,
-				ref: entryRef{file: name, offset: off, length: int64(len(kv.Value)), count: count},
+				ref: entryRef{
+					file: name, offset: off, length: int64(len(kv.Value)),
+					count: count, blocked: !opts.FlatPostings,
+				},
 			})
 			postingsBytes += int64(len(kv.Value))
 		}
@@ -210,13 +228,17 @@ func Build(fsys *dfs.FS, posts []*social.Post, opts BuildOptions) (*Index, *Buil
 
 // encodeRef serializes an entryRef for the forward-index job.
 func encodeRef(r entryRef) []byte {
-	buf := []byte(fmt.Sprintf("%s\x00%d\x00%d\x00%d", r.file, r.offset, r.length, r.count))
+	blocked := 0
+	if r.blocked {
+		blocked = 1
+	}
+	buf := []byte(fmt.Sprintf("%s\x00%d\x00%d\x00%d\x00%d", r.file, r.offset, r.length, r.count, blocked))
 	return buf
 }
 
 func decodeRef(b []byte) (entryRef, error) {
 	var r entryRef
-	parts := splitNul(string(b), 4)
+	parts := splitNul(string(b), 5)
 	if parts == nil {
 		return r, fmt.Errorf("invindex: malformed ref %q", b)
 	}
@@ -230,6 +252,11 @@ func decodeRef(b []byte) (entryRef, error) {
 	if _, err := fmt.Sscanf(parts[3], "%d", &r.count); err != nil {
 		return r, err
 	}
+	var blocked int
+	if _, err := fmt.Sscanf(parts[4], "%d", &blocked); err != nil {
+		return r, err
+	}
+	r.blocked = blocked != 0
 	return r, nil
 }
 

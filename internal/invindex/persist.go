@@ -12,9 +12,16 @@ import (
 // The forward index persists as a compact binary stream: a magic header,
 // the geohash length, the entry count, then per entry the key (length-
 // prefixed geohash and term) and the postings-list location (file name,
-// offset, length, count). The postings themselves live in the DFS image.
+// offset, length, count, and — since TKFWD2 — a flags uvarint whose bit 0
+// marks a blocked payload). The postings themselves live in the DFS image.
+// TKFWD1 images (no flags field, every list flat) still load.
 
-var forwardMagic = []byte("TKFWD1")
+var (
+	forwardMagic   = []byte("TKFWD2")
+	forwardMagicV1 = []byte("TKFWD1")
+)
+
+const refFlagBlocked = 1 << 0
 
 // SaveForward writes the in-memory forward index to w.
 func (idx *Index) SaveForward(w io.Writer) error {
@@ -31,6 +38,11 @@ func (idx *Index) SaveForward(w io.Writer) error {
 		writeUvarint(bw, uint64(ref.offset))
 		writeUvarint(bw, uint64(ref.length))
 		writeUvarint(bw, uint64(ref.count))
+		var flags uint64
+		if ref.blocked {
+			flags |= refFlagBlocked
+		}
+		writeUvarint(bw, flags)
 	}
 	return bw.Flush()
 }
@@ -43,7 +55,8 @@ func LoadIndex(fsys *dfs.FS, r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("invindex: reading magic: %w", err)
 	}
-	if string(magic) != string(forwardMagic) {
+	v1 := string(magic) == string(forwardMagicV1)
+	if !v1 && string(magic) != string(forwardMagic) {
 		return nil, fmt.Errorf("invindex: bad forward index magic %q", magic)
 	}
 	geohashLen, err := readUvarint(br)
@@ -81,6 +94,13 @@ func LoadIndex(fsys *dfs.FS, r io.Reader) (*Index, error) {
 			}
 		}
 		ref.offset, ref.length, ref.count = int64(vals[0]), int64(vals[1]), int(vals[2])
+		if !v1 {
+			flags, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ref.blocked = flags&refFlagBlocked != 0
+		}
 		if !fsys.Exists(ref.file) {
 			return nil, fmt.Errorf("invindex: postings file %q missing from DFS", ref.file)
 		}

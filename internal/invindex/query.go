@@ -24,7 +24,8 @@ func (idx *Index) PostingsCount(geohash, term string) int {
 // FetchPostings retrieves the postings list for ⟨geohash, term⟩ from the
 // DFS, or nil if the key has no postings. Each call models one random
 // access to the inverted index ("Random access to inverted index in HDFS
-// is disk-based", Section VI-B1).
+// is disk-based", Section VI-B1). Blocked payloads are decoded eagerly;
+// use OpenPostings to decode lazily under block skipping.
 func (idx *Index) FetchPostings(geohash, term string) ([]Posting, error) {
 	ref, ok := idx.forward[Key{Geohash: geohash, Term: term}]
 	if !ok {
@@ -35,7 +36,36 @@ func (idx *Index) FetchPostings(geohash, term string) ([]Posting, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ref.blocked {
+		return DecodeBlockedPostingsList(raw)
+	}
 	return DecodePostingsList(raw)
+}
+
+// OpenPostings fetches the postings payload for ⟨geohash, term⟩ — one
+// random access, exactly like FetchPostings — but returns a lazy iterator
+// instead of decoding every entry. Blocked payloads decode one block at a
+// time as the cursor touches them; flat payloads fall back to a fully
+// decoded single-block iterator (the compatibility path). Returns nil with
+// no error when the key has no postings.
+func (idx *Index) OpenPostings(geohash, term string) (*PostingsIterator, error) {
+	ref, ok := idx.forward[Key{Geohash: geohash, Term: term}]
+	if !ok {
+		return nil, nil
+	}
+	idx.fetches.Add(1)
+	raw, err := idx.fs.ReadAt(ref.file, ref.offset, ref.length)
+	if err != nil {
+		return nil, err
+	}
+	if ref.blocked {
+		return NewBlockedIterator(raw)
+	}
+	ps, err := DecodePostingsList(raw)
+	if err != nil {
+		return nil, err
+	}
+	return NewSliceIterator(ps), nil
 }
 
 // Keys returns every forward-index key in sorted (geohash-major) order.

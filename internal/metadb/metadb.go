@@ -107,7 +107,8 @@ type DB struct {
 	cache *pageCache
 	stats Stats
 
-	snapshot *ReplySnapshot // CSR reply graph; nil until EnableReplySnapshot
+	snapshot *ReplySnapshot   // CSR reply graph; nil until EnableReplySnapshot
+	rowMeta  *RowMetaSnapshot // SID → (loc, author); nil until EnableRowMetaSnapshot
 
 	maxFanout   int // t_m: max replies/forwards observed for one post
 	frozen      bool
@@ -255,6 +256,9 @@ func (db *DB) Append(p *social.Post) error {
 	}
 	db.sidIndex.Insert(int64(p.SID), int64(ordinal))
 	db.uidIndex.Insert(int64(p.UID), int64(p.SID))
+	if db.rowMeta != nil {
+		db.rowMeta.extend(p.SID, RowMeta{Lat: row.Lat, Lon: row.Lon, UID: row.UID})
+	}
 	if p.RSID != social.NoPost {
 		db.rsidIndex.Insert(int64(p.RSID), int64(p.SID))
 		if sids, _ := db.rsidIndex.GetCounted(int64(p.RSID)); len(sids) > db.maxFanout {
@@ -571,6 +575,28 @@ func (db *DB) PostCountOfUser(uid social.UserID) int {
 	sids, visited := db.uidIndex.GetCounted(int64(uid))
 	db.chargeIndexIO(visited)
 	return len(sids)
+}
+
+// PostCountOfUserBatch returns |P_u| for every user of a batch, aligned
+// with the input. The lookups share one amortized pass over the uid
+// B⁺-tree (btree.GetBatchCounted), so a ranking stage that needs every
+// candidate user's post count pays close to one node visit per touched
+// leaf instead of a root-to-leaf descent per user.
+func (db *DB) PostCountOfUserBatch(uids []social.UserID) []int {
+	db.mustBeFrozen()
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
+	keys := make([]int64, len(uids))
+	for i, uid := range uids {
+		keys[i] = int64(uid)
+	}
+	vals, visited := db.uidIndex.GetBatchCounted(keys)
+	db.chargeIndexIO(visited)
+	counts := make([]int, len(vals))
+	for i, v := range vals {
+		counts[i] = len(v)
+	}
+	return counts
 }
 
 // UserIDs returns every distinct user with at least one post, ascending.

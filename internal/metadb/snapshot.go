@@ -119,3 +119,90 @@ func (db *DB) ReplySnapshot() *ReplySnapshot {
 	defer db.structMu.RUnlock()
 	return db.snapshot
 }
+
+// RowMeta is the slice of a row the spatial candidate filter needs: where
+// the tweet was posted and by whom. It carries the same float64
+// coordinates the row store holds, so a snapshot-served radius test and
+// δ(p,q) are byte-identical to the row-fetching ones.
+type RowMeta struct {
+	Lat float64
+	Lon float64
+	UID social.UserID
+}
+
+// RowMetaSnapshot is an immutable SID → (location, author) image of the
+// row store — the spatial analogue of ReplySnapshot. The candidate filter
+// resolves keyword-matching SIDs against it in memory instead of paying
+// B⁺-tree descents plus data-page reads per merged posting; at city radii
+// most of those rows are fetched only to be rejected by the radius test.
+// Posts appended after the snapshot land in a small mutable overlay, so
+// an enabled snapshot stays current through ingest.
+type RowMetaSnapshot struct {
+	sids  []int64 // ascending SID order, mirroring the row store
+	metas []RowMeta
+
+	mu      sync.RWMutex
+	overlay map[social.PostID]RowMeta
+}
+
+// Get returns the meta slice of one row. Reading is lock-free over the
+// base arrays; only the post-snapshot overlay takes a read lock.
+func (s *RowMetaSnapshot) Get(sid social.PostID) (RowMeta, bool) {
+	key := int64(sid)
+	i := sort.Search(len(s.sids), func(i int) bool { return s.sids[i] >= key })
+	if i < len(s.sids) && s.sids[i] == key {
+		return s.metas[i], true
+	}
+	s.mu.RLock()
+	m, ok := s.overlay[sid]
+	s.mu.RUnlock()
+	return m, ok
+}
+
+// extend records a post appended after the snapshot was built.
+func (s *RowMetaSnapshot) extend(sid social.PostID, m RowMeta) {
+	s.mu.Lock()
+	if s.overlay == nil {
+		s.overlay = make(map[social.PostID]RowMeta)
+	}
+	s.overlay[sid] = m
+	s.mu.Unlock()
+}
+
+// Len returns the number of rows in the base arrays (excluding overlay).
+func (s *RowMetaSnapshot) Len() int { return len(s.sids) }
+
+// EnableRowMetaSnapshot builds the row-meta snapshot from the frozen row
+// store. Like ComputeBounds and EnableReplySnapshot, this is an offline
+// precompute over data already in memory, so it charges no simulated I/O.
+// Idempotent; Append keeps an enabled snapshot current via the overlay.
+func (db *DB) EnableRowMetaSnapshot() *RowMetaSnapshot {
+	db.mustBeFrozen()
+	db.structMu.Lock()
+	defer db.structMu.Unlock()
+	if db.rowMeta != nil {
+		return db.rowMeta
+	}
+	snap := &RowMetaSnapshot{
+		sids:  make([]int64, 0, db.totalRows),
+		metas: make([]RowMeta, 0, db.totalRows),
+	}
+	// Pages hold rows in ascending SID order (posts arrive in timestamp
+	// order), so one scan yields the sorted base arrays.
+	for _, page := range db.pages {
+		for _, r := range page {
+			snap.sids = append(snap.sids, int64(r.SID))
+			snap.metas = append(snap.metas, RowMeta{Lat: r.Lat, Lon: r.Lon, UID: r.UID})
+		}
+	}
+	db.rowMeta = snap
+	return snap
+}
+
+// RowMetaSnapshot returns the row-meta snapshot, or nil if
+// EnableRowMetaSnapshot has not run.
+func (db *DB) RowMetaSnapshot() *RowMetaSnapshot {
+	db.structMu.RLock()
+	defer db.structMu.RUnlock()
+	return db.rowMeta
+}

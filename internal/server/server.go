@@ -192,6 +192,8 @@ type statsJSON struct {
 	ThreadsPruned   int64                `json:"threads_pruned"`
 	DBBatchLookups  int64                `json:"db_batch_lookups"`
 	DBPagesSaved    int64                `json:"db_pages_saved"`
+	BlocksSkipped   int64                `json:"blocks_skipped"`
+	PostingsSkipped int64                `json:"postings_skipped"`
 	ElapsedMicros   int64                `json:"elapsed_us"`
 	Ranking         string               `json:"ranking"`
 	Semantic        string               `json:"semantic"`
@@ -292,6 +294,8 @@ func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchReq
 			ThreadsPruned:   stats.ThreadsPruned,
 			DBBatchLookups:  stats.DBBatchLookups,
 			DBPagesSaved:    stats.DBPagesSaved,
+			BlocksSkipped:   stats.BlocksSkipped,
+			PostingsSkipped: stats.PostingsSkipped,
 			ElapsedMicros:   stats.Elapsed.Microseconds(),
 			Ranking:         q.Ranking.String(),
 			Semantic:        strings.ToLower(q.Semantic.String()),

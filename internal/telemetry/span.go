@@ -12,6 +12,7 @@ const (
 	StageCellCover       = "cell_cover"       // circle cover computation
 	StagePostingsFetch   = "postings_fetch"   // ⟨cell,term⟩ postings retrieval
 	StageCandidateFilter = "candidate_filter" // AND/OR merge + radius/window filter
+	StagePrune           = "prune"            // upper-bound computation + candidate ordering
 	StageThreadBuild     = "thread_build"     // tweet-thread construction (Algorithm 1)
 	StageRank            = "rank_topk"        // scoring + top-k maintenance minus thread time
 )
@@ -19,7 +20,7 @@ const (
 // QueryStages lists the pipeline stages in execution order, for stable
 // iteration when pre-registering histograms or rendering tables.
 var QueryStages = []string{
-	StageCellCover, StagePostingsFetch, StageCandidateFilter, StageThreadBuild, StageRank,
+	StageCellCover, StagePostingsFetch, StageCandidateFilter, StagePrune, StageThreadBuild, StageRank,
 }
 
 // Span is one named, timed stage of a query. Start is the offset from the

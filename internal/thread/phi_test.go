@@ -1,0 +1,218 @@
+package thread
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+// phiOf recomputes a root's popularity from the post set — the oracle the
+// φ table must dominate.
+func phiOf(posts []*social.Post, root social.PostID, depth int, epsilon float64) float64 {
+	children := make(map[social.PostID][]social.PostID)
+	for _, p := range posts {
+		if p.RSID != social.NoPost {
+			children[p.RSID] = append(children[p.RSID], p.SID)
+		}
+	}
+	return popularityInMemory(root, children, depth, epsilon)
+}
+
+func TestPhiRangeMaxExactOnBatchCorpus(t *testing.T) {
+	posts := figure2Posts()
+	const depth, eps = 6, 0.1
+	b := ComputeBounds(posts, depth, eps, nil)
+	if !b.HasPhiTable() {
+		t.Fatal("ComputeBounds built no φ table")
+	}
+	// Point queries: every root's entry is its exact popularity.
+	for _, p := range posts {
+		want := phiOf(posts, p.SID, depth, eps)
+		if got := b.PhiRangeMax(p.SID, p.SID); got != want {
+			t.Errorf("PhiRangeMax(%d,%d) = %v, want %v", p.SID, p.SID, got, want)
+		}
+	}
+	// Range queries: the max over every contained root.
+	for lo := social.PostID(1); lo <= 10; lo++ {
+		for hi := lo; hi <= 10; hi++ {
+			want := eps // floor
+			for _, p := range posts {
+				if p.SID >= lo && p.SID <= hi {
+					if v := phiOf(posts, p.SID, depth, eps); v > want {
+						want = v
+					}
+				}
+			}
+			if got := b.PhiRangeMax(lo, hi); got != want {
+				t.Errorf("PhiRangeMax(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+	// A range holding no table entries bounds only never-scored SIDs, whose
+	// popularity is exactly the floor ε.
+	if got := b.PhiRangeMax(1000, 2000); got != eps {
+		t.Errorf("empty-range PhiRangeMax = %v, want floor %v", got, eps)
+	}
+}
+
+// TestPhiRangeMaxDominatesAfterRandomIngest is the per-block bound
+// property test: after random Ingest-style batches (each reply raising its
+// ≤depth ancestors through RaiseForRoot, exactly as System.ingest does),
+// every [minSID, maxSID] range bound dominates the true max popularity of
+// the posts in that range.
+func TestPhiRangeMaxDominatesAfterRandomIngest(t *testing.T) {
+	const depth, eps = 4, 0.1
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		// Batch corpus: a random forest over SIDs 1..40.
+		posts := make([]*social.Post, 0, 40)
+		for sid := social.PostID(1); sid <= 40; sid++ {
+			p := &social.Post{
+				SID: sid, UID: social.UserID(sid), Time: time.Unix(int64(sid), 0),
+				Loc: geo.Point{Lat: 43.7, Lon: -79.4}, Words: []string{"hotel"},
+			}
+			if sid > 1 && rng.Intn(2) == 0 {
+				p.RSID = social.PostID(1 + rng.Intn(int(sid-1)))
+				p.Kind = social.Reply
+			}
+			posts = append(posts, p)
+		}
+		b := ComputeBounds(posts, depth, eps, nil)
+
+		// Ingest batches: new ascending SIDs, some replying to existing
+		// posts. Mirror System.ingest: walk ≤depth ancestors and raise each
+		// with its recomputed exact popularity.
+		for sid := social.PostID(41); sid <= 80; sid++ {
+			p := &social.Post{
+				SID: sid, UID: social.UserID(sid), Time: time.Unix(int64(sid), 0),
+				Loc: geo.Point{Lat: 43.7, Lon: -79.4}, Words: []string{"hotel"},
+			}
+			if rng.Intn(3) > 0 {
+				p.RSID = social.PostID(1 + rng.Intn(int(sid-1)))
+				p.Kind = social.Reply
+			}
+			posts = append(posts, p)
+			if p.RSID == social.NoPost {
+				continue
+			}
+			bySID := make(map[social.PostID]*social.Post, len(posts))
+			for _, q := range posts {
+				bySID[q.SID] = q
+			}
+			for a, hops := p.RSID, 0; a != social.NoPost && hops < depth; hops++ {
+				b.RaiseForRoot(a, phiOf(posts, a, depth, eps))
+				parent, ok := bySID[a]
+				if !ok {
+					break
+				}
+				a = parent.RSID
+			}
+		}
+
+		// Property: every range bound dominates the true range max.
+		for probe := 0; probe < 200; probe++ {
+			lo := social.PostID(1 + rng.Intn(80))
+			hi := lo + social.PostID(rng.Intn(30))
+			bound := b.PhiRangeMax(lo, hi)
+			for _, p := range posts {
+				if p.SID >= lo && p.SID <= hi {
+					if truth := phiOf(posts, p.SID, depth, eps); truth > bound {
+						t.Fatalf("trial %d: PhiRangeMax(%d,%d) = %v below true φ(%d) = %v",
+							trial, lo, hi, bound, p.SID, truth)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPhiTableGobRoundTrip(t *testing.T) {
+	posts := figure2Posts()
+	b := ComputeBounds(posts, 6, 0.1, []string{"hotel"})
+	b.RaiseForRoot(999, 2.5) // an ingested root the table never saw
+
+	var buf bytes.Buffer
+	if err := b.EncodeGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := DecodeBoundsGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasPhiTable() {
+		t.Fatal("φ table lost in gob round trip")
+	}
+	for lo := social.PostID(1); lo <= 10; lo += 3 {
+		for hi := lo; hi <= 1000; hi += 217 {
+			if got, want := loaded.PhiRangeMax(lo, hi), b.PhiRangeMax(lo, hi); got != want {
+				t.Errorf("after reload PhiRangeMax(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+	if got := loaded.PhiRangeMax(999, 999); got != 2.5 {
+		t.Errorf("ingested entry lost: PhiRangeMax(999,999) = %v, want 2.5", got)
+	}
+}
+
+// TestPhiTableAbsentFallsBack checks Bounds decoded from a pre-φ-table
+// image keep working: PhiRangeMax degrades to the global bound.
+func TestPhiTableAbsentFallsBack(t *testing.T) {
+	b := &Bounds{MaxObserved: 3.25}
+	if got := b.PhiRangeMax(1, 100); got != 3.25 {
+		t.Fatalf("fallback PhiRangeMax = %v, want MaxObserved", got)
+	}
+	if b.HasPhiTable() {
+		t.Fatal("HasPhiTable true with no table")
+	}
+	// RaiseForRoot on table-less bounds must not materialize a partial
+	// (unsound) table.
+	b.RaiseForRoot(7, 1.0)
+	if b.HasPhiTable() {
+		t.Fatal("RaiseForRoot grew a table that misses the batch corpus")
+	}
+	if got := b.PhiRangeMax(1, 100); got != 3.25 {
+		t.Fatalf("fallback after raise = %v, want MaxObserved", got)
+	}
+}
+
+// TestPhiBucketsLargeTable stresses the bucketed range scan across bucket
+// boundaries against a brute-force maximum.
+func TestPhiBucketsLargeTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n = 2000 // ~8 buckets
+	posts := make([]*social.Post, 0, n)
+	for i := 0; i < n; i++ {
+		posts = append(posts, &social.Post{
+			SID: social.PostID(i*3 + 1), UID: 1, Time: time.Unix(int64(i+1), 0),
+			Loc: geo.Point{Lat: 43.7, Lon: -79.4}, Words: []string{"hotel"},
+		})
+	}
+	// Sprinkle replies so popularities vary.
+	for i := 1; i < n; i += 7 {
+		posts[i].RSID = posts[i-1].SID
+		posts[i].Kind = social.Reply
+	}
+	const depth, eps = 4, 0.1
+	b := ComputeBounds(posts, depth, eps, nil)
+	vals := make(map[social.PostID]float64, n)
+	for _, p := range posts {
+		vals[p.SID] = phiOf(posts, p.SID, depth, eps)
+	}
+	for probe := 0; probe < 500; probe++ {
+		lo := social.PostID(rng.Intn(3 * n))
+		hi := lo + social.PostID(rng.Intn(3*n))
+		want := eps
+		for sid, v := range vals {
+			if sid >= lo && sid <= hi && v > want {
+				want = v
+			}
+		}
+		if got := b.PhiRangeMax(lo, hi); got != want {
+			t.Fatalf("PhiRangeMax(%d,%d) = %v, want %v", lo, hi, got, want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package thread
 import (
 	"encoding/gob"
 	"io"
+	"sort"
 	"sync"
 
 	"repro/internal/metadb"
@@ -224,9 +225,26 @@ type Bounds struct {
 	// keywords (Table II).
 	PerKeyword map[string]float64
 
-	// mu guards MaxObserved and PerKeyword against concurrent
-	// ForQuery/RaiseForRoot calls once the system serves live ingest.
+	// mu guards MaxObserved, PerKeyword and the φ table against concurrent
+	// ForQuery/PhiRangeMax/RaiseForRoot calls once the system serves live
+	// ingest.
 	mu sync.RWMutex
+
+	// The φ table answers PhiRangeMax(lo, hi): the largest thread
+	// popularity among roots with SID in [lo, hi]. Postings blocks carry
+	// min/max SID, so this is the per-block popularity bound of the
+	// block-max index — held globally (SID-keyed) rather than per list, so
+	// one RaiseForRoot keeps every list's bounds exact at once. phiSIDs is
+	// ascending; phiVals is parallel; phiBuckets[i] caches the max of
+	// bucket i (phiBucketShift-sized runs) so a range query scans at most
+	// two partial buckets. SIDs absent from the table are threads that
+	// have never been scored above phiFloor (= ε: a just-ingested post
+	// nothing has replied to), because every φ change flows through
+	// RaiseForRoot with the exact recomputed popularity.
+	phiSIDs    []social.PostID
+	phiVals    []float64
+	phiBuckets []float64
+	phiFloor   float64
 	// rootHot maps every root in the batch corpus to its hot terms (nil
 	// slice for roots containing none), so RaiseForRoot can raise exactly
 	// the keyword bounds a grown thread can violate. nil for Bounds loaded
@@ -270,9 +288,16 @@ func ComputeBounds(posts []*social.Post, depth int, epsilon float64, hotKeywords
 		Def11:      Def11Bound(tm, depth),
 		PerKeyword: make(map[string]float64, len(hotKeywords)),
 		rootHot:    make(map[social.PostID][]string, len(posts)),
+		phiFloor:   epsilon,
 	}
+	type sidPop struct {
+		sid social.PostID
+		pop float64
+	}
+	phis := make([]sidPop, 0, len(posts))
 	for _, p := range posts {
 		pop := popularityInMemory(p.SID, children, depth, epsilon)
+		phis = append(phis, sidPop{sid: p.SID, pop: pop})
 		if pop > b.MaxObserved {
 			b.MaxObserved = pop
 		}
@@ -301,7 +326,113 @@ func ComputeBounds(posts []*social.Post, depth int, epsilon float64, hotKeywords
 			b.PerKeyword[kw] = epsilon
 		}
 	}
+	sort.Slice(phis, func(i, j int) bool { return phis[i].sid < phis[j].sid })
+	b.phiSIDs = make([]social.PostID, len(phis))
+	b.phiVals = make([]float64, len(phis))
+	for i, sp := range phis {
+		b.phiSIDs[i] = sp.sid
+		b.phiVals[i] = sp.pop
+	}
+	b.rebuildPhiBuckets(0)
 	return b
+}
+
+// phiBucketShift sizes the φ-table buckets at 1<<8 = 256 entries: small
+// enough that partial-bucket scans stay cheap, large enough that the
+// bucket array is negligible next to the table.
+const phiBucketShift = 8
+
+// rebuildPhiBuckets recomputes the bucket maxima for buckets >= fromBucket.
+// Callers must hold mu (or own the Bounds exclusively).
+func (b *Bounds) rebuildPhiBuckets(fromBucket int) {
+	nb := (len(b.phiVals) + (1 << phiBucketShift) - 1) >> phiBucketShift
+	if cap(b.phiBuckets) < nb {
+		grown := make([]float64, nb)
+		copy(grown, b.phiBuckets[:min(len(b.phiBuckets), nb)])
+		b.phiBuckets = grown
+	}
+	b.phiBuckets = b.phiBuckets[:nb]
+	for bi := fromBucket; bi < nb; bi++ {
+		lo := bi << phiBucketShift
+		hi := min(lo+(1<<phiBucketShift), len(b.phiVals))
+		m := b.phiVals[lo]
+		for _, v := range b.phiVals[lo+1 : hi] {
+			if v > m {
+				m = v
+			}
+		}
+		b.phiBuckets[bi] = m
+	}
+}
+
+// PhiRangeMax returns an upper bound on the popularity φ of any thread
+// rooted at a SID in [lo, hi] — the bound a postings block with that SID
+// range contributes to score pruning. It is exact under live ingest: every
+// φ change flows through RaiseForRoot with the recomputed popularity, and
+// SIDs absent from the table are single-tweet threads at the φ floor (ε).
+// When the Bounds predate the φ table (loaded from an old image) it falls
+// back to the global MaxObserved bound. Safe for concurrent use.
+func (b *Bounds) PhiRangeMax(lo, hi social.PostID) float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(b.phiSIDs) == 0 {
+		return b.MaxObserved
+	}
+	// max with the floor covers SIDs in the range that the table has never
+	// seen (freshly ingested, never replied to — their φ is exactly ε).
+	m := b.phiFloor
+	i := sort.Search(len(b.phiSIDs), func(k int) bool { return b.phiSIDs[k] >= lo })
+	j := sort.Search(len(b.phiSIDs), func(k int) bool { return b.phiSIDs[k] > hi })
+	for i < j {
+		if i&((1<<phiBucketShift)-1) == 0 && i+(1<<phiBucketShift) <= j {
+			if v := b.phiBuckets[i>>phiBucketShift]; v > m {
+				m = v
+			}
+			i += 1 << phiBucketShift
+			continue
+		}
+		if v := b.phiVals[i]; v > m {
+			m = v
+		}
+		i++
+	}
+	return m
+}
+
+// HasPhiTable reports whether per-SID popularity bounds are available
+// (false for Bounds decoded from pre-φ-table images, where PhiRangeMax
+// degrades to the global bound).
+func (b *Bounds) HasPhiTable() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.phiSIDs) > 0
+}
+
+// raisePhi records the exact popularity pop for root in the φ table,
+// inserting the SID if the table has never seen it. Callers hold mu.
+func (b *Bounds) raisePhi(root social.PostID, pop float64) {
+	if b.phiSIDs == nil {
+		return // no table (old image): PhiRangeMax already falls back
+	}
+	i := sort.Search(len(b.phiSIDs), func(k int) bool { return b.phiSIDs[k] >= root })
+	if i < len(b.phiSIDs) && b.phiSIDs[i] == root {
+		if pop > b.phiVals[i] {
+			b.phiVals[i] = pop
+			if pop > b.phiBuckets[i>>phiBucketShift] {
+				b.phiBuckets[i>>phiBucketShift] = pop
+			}
+		}
+		return
+	}
+	// Unseen SID. Ingested SIDs ascend past every batch SID, so this is an
+	// append in practice; the general insert keeps soundness either way.
+	b.phiSIDs = append(b.phiSIDs, 0)
+	copy(b.phiSIDs[i+1:], b.phiSIDs[i:])
+	b.phiSIDs[i] = root
+	b.phiVals = append(b.phiVals, 0)
+	copy(b.phiVals[i+1:], b.phiVals[i:])
+	b.phiVals[i] = pop
+	b.rebuildPhiBuckets(i >> phiBucketShift)
 }
 
 // popularityInMemory scores a thread from a prebuilt adjacency, mirroring
@@ -368,6 +499,7 @@ func (b *Bounds) RaiseForRoot(root social.PostID, pop float64) {
 	if pop > b.MaxObserved {
 		b.MaxObserved = pop
 	}
+	b.raisePhi(root, pop)
 	hotTerms, known := b.rootHot[root]
 	if !known {
 		for kw, v := range b.PerKeyword {
@@ -384,15 +516,20 @@ func (b *Bounds) RaiseForRoot(root social.PostID, pop float64) {
 	}
 }
 
-// boundsWire is the gob image of Bounds: the exported bound fields only.
-// Gob matches fields by name, so images written by earlier code that
-// encoded *Bounds directly still decode.
+// boundsWire is the gob image of Bounds: the exported bound fields plus
+// the φ table. Gob matches fields by name and skips mismatches in either
+// direction, so images written by earlier code that encoded *Bounds
+// directly (or lacked the φ fields) still decode — they just come back
+// without a φ table, and PhiRangeMax degrades to the global bound.
 type boundsWire struct {
 	TM          int
 	Depth       int
 	Def11       float64
 	MaxObserved float64
 	PerKeyword  map[string]float64
+	PhiSIDs     []social.PostID
+	PhiVals     []float64
+	PhiFloor    float64
 }
 
 // EncodeGob writes the bounds to w under the read lock, so a snapshot save
@@ -406,6 +543,9 @@ func (b *Bounds) EncodeGob(w io.Writer) error {
 		Def11:       b.Def11,
 		MaxObserved: b.MaxObserved,
 		PerKeyword:  make(map[string]float64, len(b.PerKeyword)),
+		PhiSIDs:     append([]social.PostID(nil), b.phiSIDs...),
+		PhiVals:     append([]float64(nil), b.phiVals...),
+		PhiFloor:    b.phiFloor,
 	}
 	for kw, v := range b.PerKeyword {
 		wire.PerKeyword[kw] = v
@@ -423,11 +563,21 @@ func DecodeBoundsGob(r io.Reader) (*Bounds, error) {
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, err
 	}
-	return &Bounds{
+	b := &Bounds{
 		TM:          wire.TM,
 		Depth:       wire.Depth,
 		Def11:       wire.Def11,
 		MaxObserved: wire.MaxObserved,
 		PerKeyword:  wire.PerKeyword,
-	}, nil
+		phiSIDs:     wire.PhiSIDs,
+		phiVals:     wire.PhiVals,
+		phiFloor:    wire.PhiFloor,
+	}
+	if len(b.phiSIDs) != len(b.phiVals) {
+		// A φ table with mismatched halves is useless; drop it and fall
+		// back to the global bound rather than index out of range.
+		b.phiSIDs, b.phiVals = nil, nil
+	}
+	b.rebuildPhiBuckets(0)
+	return b, nil
 }

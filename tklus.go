@@ -287,6 +287,16 @@ func (s *System) EnableReplySnapshot() {
 	s.Engine.SetThreadExpand(thread.ExpandSnapshot)
 }
 
+// EnableRowMetaSnapshot builds the metadata database's SID → (location,
+// author) snapshot: the candidate filter's radius test and δ(p,q) then
+// run against in-memory arrays instead of fetching each merged posting's
+// row, and posts ingested afterwards extend the snapshot in place, so
+// results stay byte-identical to the row-fetching path. Call it after
+// Build; it is picked up by every engine sharing the database.
+func (s *System) EnableRowMetaSnapshot() {
+	s.DB.EnableRowMetaSnapshot()
+}
+
 // Ingest appends live posts to the centralized metadata database, in
 // timestamp order (each SID must exceed every stored one — IDs are
 // timestamps, Section IV-A). Ingested replies and forwards extend tweet
