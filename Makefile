@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench bench-compare bench-sharded bench-batchio bench-tracing bench-blockmax test-crash test-obs clean
+.PHONY: all build test short race vet fmt lint bench bench-compare bench-sharded bench-batchio bench-tracing bench-blockmax bench-load test-crash test-obs clean
 
 all: build test
 
@@ -44,6 +44,17 @@ test-obs:
 
 fmt:
 	gofmt -l .
+
+# API-surface lint: the context-free wrappers (SearchNoCtx, SearchContext,
+# FederatedSearch) were removed in favor of the Searcher interface; fail if
+# any Go source reintroduces a call site. \b keeps test names like
+# TestFederatedSearch and prose mentions in comments out of scope.
+lint:
+	@if grep -rnE --include='*.go' '\b(SearchNoCtx|SearchContext|FederatedSearch)\(' .; then \
+		echo 'lint: call sites of removed context-free wrappers found (use the Searcher interface)'; \
+		exit 1; \
+	fi
+	@echo lint ok
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -106,5 +117,21 @@ bench-blockmax:
 		-telemetry "" -parallel "" -blockmax BENCH_blockmax.json
 	$(GO) run ./cmd/tklus-benchcheck -in "" -blockmax-in BENCH_blockmax.json -min-blockmax-speedup 2.0
 
+# Overload gate: offer the same open-loop Poisson workload at 0.5x/1x/2x
+# of measured capacity to the bare system and to the same system behind
+# admission control. Fails unless the 2x run shows the contrast the design
+# promises: the unprotected baseline's p99 collapses under queue wait
+# (>= 2x the admitted arm's) while the admission controller sheds the
+# excess and keeps goodput >= half of capacity. Queries run CPU-bound
+# (-iolat 0): simulated I/O is a sleep, which unbounded concurrency
+# overlaps for free, so only a saturable resource exposes the collapse.
+# BENCH_load.json is the evidence artifact.
+bench-load:
+	GOMAXPROCS=4 $(GO) run ./cmd/tklus-bench -fig load \
+		-posts 20000 -users 2000 -queries 8 -iolat 0 \
+		-telemetry "" -parallel "" -load BENCH_load.json -load-duration 3s
+	$(GO) run ./cmd/tklus-benchcheck -in "" -load-in BENCH_load.json \
+		-min-collapse-ratio 2.0 -min-goodput-frac 0.5
+
 clean:
-	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json BENCH_blockmax.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json BENCH_blockmax.json BENCH_load.json

@@ -1,0 +1,202 @@
+package tklus_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	tklus "repro"
+)
+
+// stubSearcher is a controllable backend: it blocks on release (when
+// non-nil) and returns canned stats, so tests can hold admission slots
+// occupied and feed the cost model known work.
+type stubSearcher struct {
+	release chan struct{}
+	stats   tklus.QueryStats
+}
+
+func (s *stubSearcher) Search(ctx context.Context, q tklus.Query) ([]tklus.UserResult, *tklus.QueryStats, error) {
+	if s.release != nil {
+		select {
+		case <-s.release:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	st := s.stats
+	return nil, &st, nil
+}
+
+// waitForQueued polls until the controller reports n queued queries.
+func waitForQueued(t *testing.T, ac *tklus.AdmissionControl, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for ac.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d queued queries (stats %+v)", n, ac.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionQueueFull fills the single slot and the two queue
+// positions, then checks the next arrival is shed instantly with
+// ErrOverloaded rather than queued — the bounded queue is what keeps the
+// shed path O(1) under arbitrary offered load.
+func TestAdmissionQueueFull(t *testing.T) {
+	stub := &stubSearcher{release: make(chan struct{})}
+	ac := tklus.NewAdmissionControl(stub, tklus.AdmissionOptions{
+		MaxConcurrent: 1, MaxQueue: 1, MaxWait: 5 * time.Second,
+	})
+	q := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel"}}
+
+	// One admitted and blocked in the backend, two waiting: with
+	// MaxConcurrent=1 and MaxQueue=1 the shed threshold is waiters > 2.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ac.Search(context.Background(), q)
+		}()
+	}
+	waitForQueued(t, ac, 2)
+
+	_, _, err := ac.Search(context.Background(), q)
+	if !errors.Is(err, tklus.ErrOverloaded) {
+		t.Fatalf("over-queue arrival error = %v, want ErrOverloaded", err)
+	}
+	if st := ac.Stats(); st.ShedQueueFull != 1 {
+		t.Errorf("ShedQueueFull = %d, want 1 (stats %+v)", st.ShedQueueFull, st)
+	}
+
+	close(stub.release)
+	wg.Wait()
+	if st := ac.Stats(); st.Admitted != 3 {
+		t.Errorf("Admitted = %d, want 3 after release (stats %+v)", st.Admitted, st)
+	}
+}
+
+// TestAdmissionWaitTimeout holds the only slot and checks that a queued
+// query is shed with ErrOverloaded once MaxWait elapses without a slot
+// freeing.
+func TestAdmissionWaitTimeout(t *testing.T) {
+	stub := &stubSearcher{release: make(chan struct{})}
+	defer close(stub.release)
+	ac := tklus.NewAdmissionControl(stub, tklus.AdmissionOptions{
+		MaxConcurrent: 1, MaxQueue: 4, MaxWait: 20 * time.Millisecond,
+	})
+	q := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel"}}
+
+	go ac.Search(context.Background(), q)
+	for ac.Stats().Admitted == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	_, _, err := ac.Search(context.Background(), q)
+	if !errors.Is(err, tklus.ErrOverloaded) {
+		t.Fatalf("timed-out wait error = %v, want ErrOverloaded", err)
+	}
+	if st := ac.Stats(); st.ShedTimeout != 1 {
+		t.Errorf("ShedTimeout = %d, want 1 (stats %+v)", st.ShedTimeout, st)
+	}
+}
+
+// TestAdmissionCancelWhileQueued checks the queued path honors context
+// cancellation: the caller gets its ctx.Err(), not ErrOverloaded, and no
+// shed counter moves.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	stub := &stubSearcher{release: make(chan struct{})}
+	defer close(stub.release)
+	ac := tklus.NewAdmissionControl(stub, tklus.AdmissionOptions{
+		MaxConcurrent: 1, MaxQueue: 4, MaxWait: 5 * time.Second,
+	})
+	q := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel"}}
+
+	go ac.Search(context.Background(), q)
+	for ac.Stats().Admitted == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := ac.Search(ctx, q)
+		errCh <- err
+	}()
+	waitForQueued(t, ac, 1)
+	cancel()
+	err := <-errCh
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled-while-queued error = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, tklus.ErrOverloaded) {
+		t.Error("cancellation misreported as overload")
+	}
+	if st := ac.Stats(); st.ShedQueueFull+st.ShedCost+st.ShedTimeout != 0 {
+		t.Errorf("cancellation moved a shed counter: %+v", st)
+	}
+}
+
+// TestAdmissionCostModel checks the learn-then-shed loop: an unseen
+// query shape is admitted optimistically with estimate zero, its real
+// cost is learned from the QueryStats it produces, and the next query of
+// that shape is shed when the learned cost exceeds the token bucket.
+func TestAdmissionCostModel(t *testing.T) {
+	stub := &stubSearcher{stats: tklus.QueryStats{
+		PostingsFetched: 500, Candidates: 300, ThreadsBuilt: 200, // cost 1000
+	}}
+	ac := tklus.NewAdmissionControl(stub, tklus.AdmissionOptions{
+		MaxConcurrent: 4,
+		CostBudget:    1, // refills 1 unit/s; burst defaults to 2
+	})
+	q := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel"}}
+
+	if est := ac.EstimateFor(q); est != 0 {
+		t.Fatalf("unseen shape estimate = %v, want 0", est)
+	}
+	if _, _, err := ac.Search(context.Background(), q); err != nil {
+		t.Fatalf("first (unseen-shape) query not admitted: %v", err)
+	}
+	if est := ac.EstimateFor(q); est != 1000 {
+		t.Fatalf("learned estimate = %v, want 1000", est)
+	}
+
+	_, _, err := ac.Search(context.Background(), q)
+	if !errors.Is(err, tklus.ErrOverloaded) {
+		t.Fatalf("over-budget shape error = %v, want ErrOverloaded", err)
+	}
+	if st := ac.Stats(); st.ShedCost != 1 {
+		t.Errorf("ShedCost = %d, want 1 (stats %+v)", st.ShedCost, st)
+	}
+
+	// A different shape (two keywords) has its own cell: still admitted.
+	q2 := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel", "pizza"}}
+	if _, _, err := ac.Search(context.Background(), q2); err != nil {
+		t.Errorf("different shape not admitted: %v", err)
+	}
+}
+
+// TestAdmissionEWMALearning checks the estimate tracks a moving cost:
+// after a cheaper observation the EWMA moves toward it with alpha 0.2.
+func TestAdmissionEWMALearning(t *testing.T) {
+	stub := &stubSearcher{stats: tklus.QueryStats{Candidates: 1000}}
+	ac := tklus.NewAdmissionControl(stub, tklus.AdmissionOptions{MaxConcurrent: 1})
+	q := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel"}}
+	ctx := context.Background()
+
+	if _, _, err := ac.Search(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	stub.stats = tklus.QueryStats{Candidates: 500}
+	if _, _, err := ac.Search(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if est := ac.EstimateFor(q); math.Abs(est-900) > 1e-6 {
+		t.Errorf("EWMA after 1000 then 500 = %v, want ~900", est)
+	}
+}

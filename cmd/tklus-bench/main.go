@@ -54,6 +54,10 @@ func main() {
 			"write the tracing-overhead comparison to this file (empty disables; the bench-tracing lane passes BENCH_tracing.json)")
 		blockmax = flag.String("blockmax", "",
 			"write the block-max traversal comparison to this file (empty disables; the bench-blockmax lane passes BENCH_blockmax.json)")
+		load = flag.String("load", "",
+			"write the open-loop load comparison to this file (empty disables; the bench-load lane passes BENCH_load.json)")
+		loadDur = flag.Duration("load-duration", 1500*time.Millisecond,
+			"how long each open-loop load run offers arrivals")
 	)
 	flag.Parse()
 
@@ -67,7 +71,7 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, NumUsers: *users, NumPosts: *posts,
 		QueryPerClass: *queries, K: *k, IOLatency: *iolat,
-		PopCacheSize: *popcache,
+		PopCacheSize: *popcache, LoadDuration: *loadDur,
 	}
 	fmt.Fprintf(os.Stderr, "generating corpus (%d posts, %d users, seed %d)...\n",
 		cfg.NumPosts, cfg.NumUsers, cfg.Seed)
@@ -194,6 +198,27 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[blockmax comparison (sum p95 speedup %.2fx, %d blocks skipped, identical=%v) written to %s in %v]\n",
 			snap.SumSpeedupP95, snap.TotalBlocksSkipped, snap.ResultsIdentical, *blockmax, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *load != "" {
+		t0 := time.Now()
+		snap, err := setup.LoadCompare() // memoized if the runner already ran
+		if err != nil {
+			log.Fatalf("load comparison: %v", err)
+		}
+		f, err := os.Create(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[load comparison (capacity %.0f qps, collapse p99 ratio %.1fx, shed %.0f%%) written to %s in %v]\n",
+			snap.CapacityQPS, snap.CollapseP99Ratio, snap.AdmittedShedRate*100,
+			*load, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *telemetry != "" {

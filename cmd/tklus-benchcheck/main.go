@@ -32,6 +32,14 @@
 // overhead budget, and results were identical across all passes (the
 // bench-tracing lane).
 //
+// The load gate (-load-in) reads BENCH_load.json and exits non-zero
+// unless the open-loop sweep demonstrates the overload contract: at
+// least three offered rates with the top one at ≥2× measured capacity,
+// the admission-controlled arm shedding under overload while the
+// unprotected baseline's p99 collapses to at least the required multiple
+// of the admitted p99, and admitted goodput holding a healthy fraction
+// of capacity (the bench-load lane).
+//
 // Usage:
 //
 //	tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
@@ -39,6 +47,7 @@
 //	tklus-benchcheck -in "" -batchio-in BENCH_batchio.json -min-batchio-speedup 2.0
 //	tklus-benchcheck -in "" -blockmax-in BENCH_blockmax.json -min-blockmax-speedup 2.0
 //	tklus-benchcheck -in "" -tracing-in BENCH_tracing.json -max-tracing-overhead 5.0
+//	tklus-benchcheck -in "" -load-in BENCH_load.json -min-collapse-ratio 2.0
 package main
 
 import (
@@ -75,11 +84,17 @@ func main() {
 			"fail when the enabled-tracer p95 overhead over the no-tracer baseline exceeds this percentage")
 		tracingNoise = flag.Float64("tracing-noise", 10.0,
 			"fail when the disabled-tracer p95 drifts from the no-tracer baseline by more than this percentage (run-to-run noise band)")
+		loadIn = flag.String("load-in", "",
+			"open-loop load snapshot written by tklus-bench -load (empty skips the load gate)")
+		minCollapseRatio = flag.Float64("min-collapse-ratio", 2.0,
+			"fail unless the unprotected baseline's overload p99 is at least this multiple of the admission-controlled p99")
+		minGoodputFrac = flag.Float64("min-goodput-frac", 0.5,
+			"fail unless the admission-controlled arm's overload goodput is at least this fraction of measured capacity")
 	)
 	flag.Parse()
 
-	if *in == "" && *shardedIn == "" && *batchioIn == "" && *blockmaxIn == "" && *tracingIn == "" {
-		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in, -blockmax-in and -tracing-in are all empty")
+	if *in == "" && *shardedIn == "" && *batchioIn == "" && *blockmaxIn == "" && *tracingIn == "" && *loadIn == "" {
+		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in, -blockmax-in, -tracing-in and -load-in are all empty")
 	}
 	if *shardedIn != "" {
 		checkSharded(*shardedIn)
@@ -92,6 +107,9 @@ func main() {
 	}
 	if *tracingIn != "" {
 		checkTracing(*tracingIn, *maxTracingOverhead, *tracingNoise)
+	}
+	if *loadIn != "" {
+		checkLoad(*loadIn, *minCollapseRatio, *minGoodputFrac)
 	}
 	if *in == "" {
 		return
@@ -291,4 +309,62 @@ func checkTracing(path string, maxOverhead, noise float64) {
 			snap.OnOverheadPct, maxOverhead)
 	}
 	fmt.Println("tracing ok")
+}
+
+// checkLoad gates the open-loop load snapshot on the overload contract:
+// the sweep must cover at least three offered rates with the top one at
+// ≥2× measured capacity; at that top rate the admission-controlled arm
+// must have shed traffic, kept goodput at a healthy fraction of
+// capacity, and held p99 low enough that the unprotected baseline's p99
+// is at least minCollapseRatio times worse — the queueing collapse the
+// admission controller exists to prevent.
+func checkLoad(path string, minCollapseRatio, minGoodputFrac float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := experiments.ReadLoadSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Baseline) == 0 || len(snap.Admitted) == 0 {
+		log.Fatalf("%s holds no rate points — empty load run?", path)
+	}
+
+	fmt.Printf("load: capacity %.0f qps (%d workers), %d rate points, run %.1fs\n",
+		snap.CapacityQPS, snap.Workers, len(snap.Baseline), snap.RunSeconds)
+	printArm := func(arm string, pts []experiments.LoadPoint) {
+		for _, p := range pts {
+			fmt.Printf("  %-8s %.1fx (%.0f qps): sent %d, ok %d, shed %d, goodput %.0f qps, p50 %.1fms, p99 %.1fms\n",
+				arm, p.Multiple, p.OfferedQPS, p.Sent, p.OK, p.Shed, p.GoodputQPS, p.P50Ms, p.P99Ms)
+		}
+	}
+	printArm("baseline", snap.Baseline)
+	printArm("admitted", snap.Admitted)
+	fmt.Printf("overload %.1fx: baseline p99 %.1fms vs admitted p99 %.1fms (%.1fx, required >= %.1fx), shed %.0f%%, goodput %.0f qps\n",
+		snap.OverloadMultiple, snap.BaselineP99Ms, snap.AdmittedP99Ms,
+		snap.CollapseP99Ratio, minCollapseRatio,
+		snap.AdmittedShedRate*100, snap.AdmittedGoodputQPS)
+
+	if len(snap.Baseline) < 3 || len(snap.Admitted) < 3 {
+		log.Fatalf("REGRESSION: load sweep covered %d rate points, need >= 3",
+			len(snap.Baseline))
+	}
+	if snap.OverloadMultiple < 2 {
+		log.Fatalf("REGRESSION: top offered rate is %.1fx capacity, need >= 2x to demonstrate overload",
+			snap.OverloadMultiple)
+	}
+	if snap.AdmittedShedRate <= 0 {
+		log.Fatal("REGRESSION: admission control shed nothing at 2x overload — admission path not engaged")
+	}
+	if snap.CollapseP99Ratio < minCollapseRatio {
+		log.Fatalf("REGRESSION: baseline overload p99 only %.1fx the admitted p99 (required >= %.1fx) — either the baseline did not collapse or admission control stopped bounding latency",
+			snap.CollapseP99Ratio, minCollapseRatio)
+	}
+	if snap.AdmittedGoodputQPS < minGoodputFrac*snap.CapacityQPS {
+		log.Fatalf("REGRESSION: admitted overload goodput %.0f qps below %.0f%% of capacity %.0f qps — shedding too aggressively",
+			snap.AdmittedGoodputQPS, minGoodputFrac*100, snap.CapacityQPS)
+	}
+	fmt.Println("load ok")
 }

@@ -51,6 +51,10 @@ func main() {
 			"log queries at or above this duration (0 disables the slow-query log)")
 		popCache = flag.Int("popcache", 4096,
 			"thread-popularity cache capacity in entries (0 disables the cache)")
+		replySnap = flag.Bool("reply-snapshot", false,
+			"serve thread expansion from the CSR reply-graph snapshot")
+		rowMetaSnap = flag.Bool("rowmeta-snapshot", false,
+			"serve the candidate radius filter from the row-meta snapshot")
 		shards = flag.Int("shards", 0,
 			"serve an in-process sharded tier with this many geo-shards (0 = monolithic; incompatible with -load)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
@@ -67,10 +71,34 @@ func main() {
 			"probability an unremarkable trace survives tail sampling (slow, errored, hedged and degraded traces are always kept)")
 		traceStore = flag.Int("trace-store", 512,
 			"completed-trace ring buffer capacity")
+		admission = flag.Bool("admission", false,
+			"enable admission control: bounded queue + bounded wait; excess load answers 429 with Retry-After instead of queueing without bound")
+		admissionConc = flag.Int("admission-concurrent", 0,
+			"admission: max concurrently running searches (0 = GOMAXPROCS)")
+		admissionQueue = flag.Int("admission-queue", 0,
+			"admission: max searches waiting for a slot before arrivals are shed (0 = 4x -admission-concurrent)")
+		admissionWait = flag.Duration("admission-wait", 0,
+			"admission: max time one search may wait for a slot (0 = 500ms)")
+		admissionCost = flag.Float64("admission-cost-budget", 0,
+			"admission: token-bucket refill rate in estimated work units/sec; expensive query shapes are shed when the bucket runs dry (0 disables cost-based shedding)")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// The feature flags map 1:1 onto Config.Features: Build, Load and every
+	// shard of a sharded tier come up with the same serving surface.
+	var featOpts []tklus.Option
+	if *popCache > 0 {
+		featOpts = append(featOpts, tklus.WithPopCache(*popCache))
+	}
+	if *replySnap {
+		featOpts = append(featOpts, tklus.WithReplySnapshot())
+	}
+	if *rowMetaSnap {
+		featOpts = append(featOpts, tklus.WithRowMetaSnapshot())
+	}
+	sysConfig := func() tklus.Config { return tklus.DefaultConfig(featOpts...) }
 
 	var tracer *telemetry.Tracer
 	if *trace {
@@ -86,6 +114,17 @@ func main() {
 		SlowQueryThreshold: *slowQ,
 		EnablePprof:        *debug,
 		Tracer:             tracer,
+	}
+	if *admission {
+		opts.Admission = &tklus.AdmissionOptions{
+			MaxConcurrent: *admissionConc,
+			MaxQueue:      *admissionQueue,
+			MaxWait:       *admissionWait,
+			CostBudget:    *admissionCost,
+		}
+		logger.Info("admission control enabled",
+			"concurrent", *admissionConc, "queue", *admissionQueue,
+			"wait", admissionWait.String(), "cost_budget", *admissionCost)
 	}
 
 	// Bind the listener before building the system so probes get answers
@@ -120,15 +159,12 @@ func main() {
 		}
 		sc := tklus.DefaultShardingConfig()
 		sc.NumShards = *shards
-		ss, err := tklus.BuildSharded(posts, tklus.DefaultConfig(), sc)
+		ss, err := tklus.BuildSharded(posts, sysConfig(), sc)
 		if err != nil {
 			logger.Error("building sharded tier", "err", err)
 			os.Exit(1)
 		}
 		if *popCache > 0 {
-			for _, sys := range ss.Systems {
-				sys.EnablePopCache(*popCache)
-			}
 			logger.Info("popularity cache enabled per shard", "capacity", *popCache)
 		}
 		handler = server.NewSearcherWith(ss, opts)
@@ -140,16 +176,16 @@ func main() {
 		var err error
 		switch {
 		case *data != "":
-			sys, err = openDurable(logger, *data, *in, *format)
+			sys, err = openDurable(logger, *data, *in, *format, sysConfig())
 		case *load != "":
-			sys, err = tklus.Load(*load, tklus.DefaultConfig())
+			sys, err = tklus.Load(*load, sysConfig())
 		default:
 			var posts []*tklus.Post
 			if posts, err = ingest.Load(*in, *format); err != nil {
 				logger.Error("loading corpus", "err", err)
 				os.Exit(1)
 			}
-			sys, err = tklus.Build(posts, tklus.DefaultConfig())
+			sys, err = tklus.Build(posts, sysConfig())
 		}
 		if err != nil {
 			logger.Error("building system", "err", err)
@@ -168,9 +204,8 @@ func main() {
 			durable = sys
 			logger.Info("ingest WAL enabled", "dir", *data, "sync", policy.String())
 		}
-		if *popCache > 0 {
-			c := sys.EnablePopCache(*popCache)
-			logger.Info("popularity cache enabled", "capacity", c.Capacity())
+		if sys.PopCache != nil {
+			logger.Info("popularity cache enabled", "capacity", sys.PopCache.Capacity())
 		}
 		handler = server.NewWith(sys, opts)
 		if durable != nil {
@@ -301,9 +336,9 @@ func checkpoint(tracer *telemetry.Tracer, sys *tklus.System, dir string) error {
 // when there is one (the normal restart path, WAL replayed inside Load),
 // otherwise build from the corpus and replay any WAL a first boot left
 // behind before it managed to commit a snapshot.
-func openDurable(logger *slog.Logger, dataDir, in, format string) (*tklus.System, error) {
+func openDurable(logger *slog.Logger, dataDir, in, format string, cfg tklus.Config) (*tklus.System, error) {
 	if tklus.SnapshotExists(dataDir) {
-		sys, err := tklus.Load(dataDir, tklus.DefaultConfig())
+		sys, err := tklus.Load(dataDir, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +355,7 @@ func openDurable(logger *slog.Logger, dataDir, in, format string) (*tklus.System
 	if err != nil {
 		return nil, err
 	}
-	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	sys, err := tklus.Build(posts, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -129,6 +129,8 @@ func (f *Federation) Search(ctx context.Context, q Query) ([]UserResult, *QueryS
 }
 
 // addStats folds one platform's query stats into the federation total.
+// (The context-free FederatedSearch helper was removed with the rest of
+// the pre-Searcher wrappers; build a Federation and call SearchPlatforms.)
 func addStats(total *QueryStats, platform string, s *QueryStats) {
 	total.Cells += s.Cells
 	total.PostingsFetched += s.PostingsFetched
@@ -145,14 +147,4 @@ func addStats(total *QueryStats, platform string, s *QueryStats) {
 			Reason: d.Reason,
 		})
 	}
-}
-
-// FederatedSearch runs one query against per-platform systems and merges
-// the rankings.
-//
-// Deprecated: build a Federation and call SearchPlatforms, which takes a
-// context and reports merged query stats.
-func FederatedSearch(platforms map[string]*System, q Query) ([]FederatedResult, error) {
-	results, _, err := NewFederation(platforms).SearchPlatforms(context.Background(), q)
-	return results, err
 }

@@ -86,7 +86,7 @@ func TestFederatedSearch(t *testing.T) {
 		"mastodon": build(3, 8),
 	}
 	q := tklus.Query{Loc: loc, RadiusKm: 5, Keywords: []string{"hotel"}, K: 2, Ranking: tklus.MaxScore}
-	res, err := tklus.FederatedSearch(platforms, q)
+	res, _, err := tklus.NewFederation(platforms).SearchPlatforms(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestFederatedSearch(t *testing.T) {
 	if res[0].Score < res[1].Score {
 		t.Error("federated results not sorted")
 	}
-	if _, err := tklus.FederatedSearch(nil, q); err == nil {
+	if _, _, err := tklus.NewFederation(nil).SearchPlatforms(context.Background(), q); err == nil {
 		t.Error("empty federation accepted")
 	}
 }

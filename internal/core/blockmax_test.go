@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -96,17 +97,17 @@ func TestBlockMaxEquivalenceGrid(t *testing.T) {
 						Keywords: []string{"hotel", "restaurant"},
 						K:        5, Semantic: sem, Ranking: ranking,
 					}
-					got, gs, err := engBM.Search(q)
+					got, gs, err := engBM.Search(context.Background(), q)
 					if err != nil {
 						t.Fatal(err)
 					}
-					want, ws, err := engEx.Search(q)
+					want, ws, err := engEx.Search(context.Background(), q)
 					if err != nil {
 						t.Fatal(err)
 					}
 					requireSameResults(t, got, want,
 						"blockmax vs exhaustive eps=%v %v %v r=%v", epsilon, ranking, sem, radius)
-					fres, _, err := engFlat.Search(q)
+					fres, _, err := engFlat.Search(context.Background(), q)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -166,11 +167,11 @@ func TestBlockMaxSkipsBlocks(t *testing.T) {
 		Loc: base, RadiusKm: 5, Keywords: []string{"rare", "hotel"},
 		K: 3, Semantic: core.And, Ranking: core.MaxScore,
 	}
-	got, gs, err := engBM.Search(q)
+	got, gs, err := engBM.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := engEx.Search(q)
+	want, _, err := engEx.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,11 +206,11 @@ func TestBlockMaxSumPruningAblation(t *testing.T) {
 			Loc: center, RadiusKm: radius, Keywords: []string{"hotel"},
 			K: 3, Semantic: core.Or, Ranking: core.SumScore,
 		}
-		got, gs, err := engBM.Search(q)
+		got, gs, err := engBM.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, ws, err := engEx.Search(q)
+		want, ws, err := engEx.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,11 +248,11 @@ func TestDuplicateQueryKeywordsDeduped(t *testing.T) {
 				}
 				plain := dup
 				plain.Keywords = kw[1]
-				got, gs, err := eng.Search(dup)
+				got, gs, err := eng.Search(context.Background(), dup)
 				if err != nil {
 					t.Fatal(err)
 				}
-				want, ws, err := eng.Search(plain)
+				want, ws, err := eng.Search(context.Background(), plain)
 				if err != nil {
 					t.Fatal(err)
 				}

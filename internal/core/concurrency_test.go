@@ -20,15 +20,15 @@ func TestSearchContextCancellation(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := eng.SearchContext(ctx, q); !errors.Is(err, context.Canceled) {
+	if _, _, err := eng.Search(ctx, q); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled search returned %v, want context.Canceled", err)
 	}
 
-	a, _, err := eng.Search(q)
+	a, _, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := eng.SearchContext(context.Background(), q)
+	b, _, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestConcurrentQueries(t *testing.T) {
 	// Single-threaded reference answers.
 	want := make([][]core.UserResult, len(queries))
 	for i, q := range queries {
-		res, _, err := eng.Search(q)
+		res, _, err := eng.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +74,7 @@ func TestConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				qi := (w + i) % len(queries)
-				got, _, err := eng.Search(queries[qi])
+				got, _, err := eng.Search(context.Background(), queries[qi])
 				if err != nil {
 					errs <- err
 					return

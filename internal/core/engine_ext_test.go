@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -104,7 +105,7 @@ func TestPaperRunningExample(t *testing.T) {
 		Loc: queryLoc, RadiusKm: 10, Keywords: []string{"hotel"},
 		K: 1, Semantic: core.Or, Ranking: core.SumScore,
 	}
-	sumRes, _, err := eng.Search(q)
+	sumRes, _, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestPaperRunningExample(t *testing.T) {
 	}
 
 	q.Ranking = core.MaxScore
-	maxRes, _, err := eng.Search(q)
+	maxRes, _, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestEngineMatchesScanOracle(t *testing.T) {
 						Keywords: []string{"hotel", "restaurant"},
 						K:        5, Semantic: sem, Ranking: ranking,
 					}
-					got, _, err := eng.Search(q)
+					got, _, err := eng.Search(context.Background(), q)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -237,11 +238,11 @@ func TestPruningLossless(t *testing.T) {
 			Loc: center, RadiusKm: radius, Keywords: []string{"hotel"},
 			K: 5, Semantic: core.Or, Ranking: core.MaxScore,
 		}
-		a, sa, err := engPruned.Search(q)
+		a, sa, err := engPruned.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, sb, err := engPlain.Search(q)
+		b, sb, err := engPlain.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,12 +265,12 @@ func TestAndStricterThanOr(t *testing.T) {
 		Loc: center, RadiusKm: 20, Keywords: []string{"hotel", "pizza"},
 		K: 10, Semantic: core.And, Ranking: core.SumScore,
 	}
-	_, andStats, err := eng.Search(q)
+	_, andStats, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q.Semantic = core.Or
-	_, orStats, err := eng.Search(q)
+	_, orStats, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestTimeWindowFiltering(t *testing.T) {
 			From: early.Add(-time.Hour), To: early.Add(time.Hour),
 		},
 	}
-	res, _, err := eng.Search(q)
+	res, _, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestTimeWindowFiltering(t *testing.T) {
 	}
 	// Without the window both users appear.
 	q.TimeWindow = nil
-	res, _, err = eng.Search(q)
+	res, _, err = eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestRecencyBoostPrefersNewer(t *testing.T) {
 	opts.RecencyHalfLife = 0.2
 	eng := buildEngine(t, posts, opts, 4, nil)
 	q := core.Query{Loc: base, RadiusKm: 5, Keywords: []string{"hotel"}, K: 2, Ranking: core.MaxScore}
-	res, _, err := eng.Search(q)
+	res, _, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,12 +361,12 @@ func TestQueryValidation(t *testing.T) {
 			TimeWindow: &core.TimeWindow{From: time.Unix(10, 0), To: time.Unix(5, 0)}},
 	}
 	for i, q := range bad {
-		if _, _, err := eng.Search(q); err == nil {
+		if _, _, err := eng.Search(context.Background(), q); err == nil {
 			t.Errorf("bad query %d accepted", i)
 		}
 	}
 	// Keywords that are pure stop words reduce to nothing.
-	if _, _, err := eng.Search(core.Query{
+	if _, _, err := eng.Search(context.Background(), core.Query{
 		Loc: center, RadiusKm: 5, Keywords: []string{"the", "and"}, K: 1,
 	}); err == nil {
 		t.Error("stop-word-only query accepted")
@@ -383,11 +384,11 @@ func TestUserDistanceModes(t *testing.T) {
 	engApprox := buildEngine(t, posts, approx, 3, nil)
 	q := core.Query{Loc: center, RadiusKm: 20, Keywords: []string{"hotel"}, K: 5, Ranking: core.SumScore}
 
-	a, _, err := engExact.Search(q)
+	a, _, err := engExact.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := engApprox.Search(q)
+	b, _, err := engApprox.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

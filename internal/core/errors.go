@@ -5,7 +5,8 @@ import "errors"
 // Sentinel errors of the query API. Callers classify failures with
 // errors.Is instead of matching message substrings; the HTTP server maps
 // them onto status codes (ErrBadQuery → 400, ErrNoResults → 404,
-// ErrShardUnavailable → 503). Wrapped errors carry the specifics.
+// ErrOverloaded → 429, ErrShardUnavailable → 503). Wrapped errors carry
+// the specifics.
 var (
 	// ErrBadQuery marks a query rejected by validation before any work ran:
 	// invalid location, non-positive radius or k, empty keyword set, empty
@@ -22,4 +23,11 @@ var (
 	// a shard failed while the router was configured to refuse partial
 	// results.
 	ErrShardUnavailable = errors.New("shard unavailable")
+
+	// ErrOverloaded marks a query the admission controller refused or shed
+	// to protect the serving tier: the accept queue was full, the query's
+	// estimated cost exceeded the shed budget, or it waited past its
+	// deadline slack. The query did no search work; the caller should back
+	// off and retry (the HTTP layer answers 429 with Retry-After).
+	ErrOverloaded = errors.New("overloaded")
 )

@@ -63,21 +63,21 @@ func TestParallelMatchesSequential(t *testing.T) {
 						}
 						label := fmt.Sprintf("seed=%d %v %v windowed=%v r=%v",
 							seed, ranking, sem, win != nil, radius)
-						want, _, err := seqEng.Search(q)
+						want, _, err := seqEng.Search(context.Background(), q)
 						if err != nil {
 							t.Fatal(err)
 						}
-						got, _, err := parEng.Search(q)
+						got, _, err := parEng.Search(context.Background(), q)
 						if err != nil {
 							t.Fatal(err)
 						}
 						identicalResults(t, got, want, label+" parallel")
-						cold, _, err := cachedEng.Search(q)
+						cold, _, err := cachedEng.Search(context.Background(), q)
 						if err != nil {
 							t.Fatal(err)
 						}
 						identicalResults(t, cold, want, label+" cache-cold")
-						warm, warmStats, err := cachedEng.Search(q)
+						warm, warmStats, err := cachedEng.Search(context.Background(), q)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -106,7 +106,7 @@ func TestParallelCancellation(t *testing.T) {
 		eng := buildEngine(t, posts, opts, 3, nil)
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		_, _, err := eng.SearchContext(ctx, core.Query{
+		_, _, err := eng.Search(ctx, core.Query{
 			Loc: center, RadiusKm: 40, Keywords: []string{"hotel"},
 			K: 5, Ranking: core.SumScore,
 		})

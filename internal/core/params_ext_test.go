@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestParameterSweepMatchesOracle(t *testing.T) {
 				Loc: center, RadiusKm: 25, Keywords: []string{"hotel", "pizza"},
 				K: 5, Semantic: core.Or, Ranking: ranking,
 			}
-			got, _, err := eng.Search(q)
+			got, _, err := eng.Search(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -53,11 +54,11 @@ func TestDuplicateKeywordsCollapse(t *testing.T) {
 	eng := buildEngine(t, posts, core.DefaultOptions(), 3, nil)
 	q1 := core.Query{Loc: center, RadiusKm: 20, Keywords: []string{"hotel"}, K: 5}
 	q2 := core.Query{Loc: center, RadiusKm: 20, Keywords: []string{"hotel", "hotels", "HOTEL"}, K: 5}
-	a, _, err := eng.Search(q1)
+	a, _, err := eng.Search(context.Background(), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := eng.Search(q2)
+	b, _, err := eng.Search(context.Background(), q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestKLargerThanCandidates(t *testing.T) {
 	for _, ranking := range []core.Ranking{core.SumScore, core.MaxScore} {
 		q := core.Query{Loc: center, RadiusKm: 30, Keywords: []string{"hotel"},
 			K: 10000, Ranking: ranking}
-		res, _, err := eng.Search(q)
+		res, _, err := eng.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestNoCandidatesReturnsEmpty(t *testing.T) {
 	// Far away from the corpus entirely.
 	q := core.Query{Loc: geo.Point{Lat: -45, Lon: 100}, RadiusKm: 5,
 		Keywords: []string{"hotel"}, K: 5}
-	res, stats, err := eng.Search(q)
+	res, stats, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestNoCandidatesReturnsEmpty(t *testing.T) {
 	// Known location, unknown keyword.
 	q = core.Query{Loc: geo.Point{Lat: 43.7, Lon: -79.4}, RadiusKm: 20,
 		Keywords: []string{"zzzunknownzzz"}, K: 5}
-	res, _, err = eng.Search(q)
+	res, _, err = eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCandidateTweetsAPI(t *testing.T) {
 	}
 	// Full Search must agree with scoring the candidates: every returned
 	// user must own at least one candidate.
-	res, _, err := eng.Search(q)
+	res, _, err := eng.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

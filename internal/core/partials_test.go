@@ -36,7 +36,7 @@ func TestPartialsSingleShardIdentity(t *testing.T) {
 					Keywords: []string{"hotel", "pizza"},
 					K:        10, Semantic: sem, Ranking: rank,
 				}
-				want, wantStats, err := eng.SearchContext(context.Background(), q)
+				want, wantStats, err := eng.Search(context.Background(), q)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -126,7 +126,7 @@ func TestPartialsSplitCorpusMerge(t *testing.T) {
 						Keywords: []string{"cafe", "club"},
 						K:        10, Semantic: sem, Ranking: rank,
 					}
-					want, _, err := mono.SearchContext(context.Background(), q)
+					want, _, err := mono.Search(context.Background(), q)
 					if err != nil {
 						t.Fatal(err)
 					}

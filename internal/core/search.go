@@ -26,20 +26,15 @@ type scoredCandidate struct {
 }
 
 // Search executes a TkLUS query and returns the top-k users with their
-// scores plus per-query statistics.
-func (e *Engine) Search(q Query) ([]UserResult, *QueryStats, error) {
-	return e.SearchContext(context.Background(), q)
-}
-
-// SearchContext is Search with cancellation: the query aborts with the
-// context's error at the next candidate boundary once ctx is done. Useful
-// for serving large-radius OR queries under a deadline.
+// scores plus per-query statistics. The query aborts with the context's
+// error at the next candidate boundary once ctx is done — useful for
+// serving large-radius OR queries under a deadline.
 //
 // Every query is traced: the returned QueryStats carry one span per
 // pipeline stage (cell cover, postings fetch, candidate filter, thread
 // build, rank/top-k) so callers can see where the time went without
 // re-running the query under a profiler.
-func (e *Engine) SearchContext(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+func (e *Engine) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func TestSearchRecordsStageSpans(t *testing.T) {
 
 	for _, ranking := range []core.Ranking{core.SumScore, core.MaxScore} {
 		q := core.Query{Loc: center, RadiusKm: 40, Keywords: []string{"hotel"}, K: 5, Ranking: ranking}
-		_, stats, err := eng.Search(q)
+		_, stats, err := eng.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strings"
 	"time"
 
 	"repro/internal/geo"
@@ -90,111 +89,28 @@ type Corpus struct {
 	byUID map[social.UserID]*UserProfile
 }
 
-// Generate builds a corpus from the configuration.
+// Generate builds a corpus from the configuration. It is Stream with the
+// posts collected into memory — the right call at laptop scale, where the
+// ground-truth helpers (Profile, KeywordFrequencies, GenerateQueries)
+// want the whole corpus at hand. At million-user scale, call Stream.
 func Generate(cfg Config) (*Corpus, error) {
-	if err := cfg.Validate(); err != nil {
+	posts := make([]*social.Post, 0, cfg.NumPosts)
+	users, err := Stream(cfg, func(p *social.Post) error {
+		posts = append(posts, p)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	users := generateUsers(cfg, rng)
 	corpus := &Corpus{
 		Config: cfg,
+		Posts:  posts,
 		Users:  users,
 		byUID:  make(map[social.UserID]*UserProfile, len(users)),
 	}
 	for i := range users {
 		corpus.byUID[users[i].UID] = &users[i]
 	}
-
-	// Vocabulary pickers. Hot keywords and modifiers share one Zipf-ranked
-	// pool so Table II's frequency ranking emerges; filler words pad tweets.
-	topicPool := MeaningfulKeywords()
-	topicZipf := newZipfPicker(len(topicPool), 0.9)
-	fillerZipf := newZipfPicker(len(fillerWords), 0.7)
-	replyZipf := newZipfPicker(len(replyWords), 0.7)
-
-	// Timestamps advance by step/2 + uniform(0, step) per post — mean step,
-	// so the corpus ends near cfg.End as configured.
-	span := cfg.End.Sub(cfg.Start)
-	step := span / time.Duration(cfg.NumPosts+1)
-	if step < 2 {
-		step = 2
-	}
-
-	// Recent posts eligible as reaction parents, with their depth so the
-	// generated cascades stay within realistic depth. The window is wide
-	// enough for influential posts to keep accumulating reactions over
-	// days of corpus time, which is what produces the heavy-tailed thread
-	// sizes (tens of direct replies on viral tweets) the paper's pruning
-	// analysis presumes.
-	type parentRef struct {
-		post  *social.Post
-		depth int
-	}
-	var recent []parentRef
-	const recentWindow = 16384
-
-	var maxInfluence float64
-	for _, u := range users {
-		if u.Influence > maxInfluence {
-			maxInfluence = u.Influence
-		}
-	}
-
-	posts := make([]*social.Post, 0, cfg.NumPosts)
-	ts := cfg.Start
-	for i := 0; i < cfg.NumPosts; i++ {
-		ts = ts.Add(step/2 + time.Duration(rng.Int63n(int64(step)+1)))
-		author := &users[rng.Intn(len(users))]
-
-		p := &social.Post{
-			SID:  social.PostID(ts.UnixNano()),
-			UID:  author.UID,
-			Time: ts,
-		}
-
-		var parent *parentRef
-		if len(recent) > 0 && rng.Float64() < cfg.ReactionProb {
-			// Rejection-sample a parent proportional to author influence.
-			for tries := 0; tries < 16; tries++ {
-				cand := &recent[rng.Intn(len(recent))]
-				owner := corpus.byUID[cand.post.UID]
-				if rng.Float64() <= owner.Influence/maxInfluence {
-					parent = cand
-					break
-				}
-			}
-		}
-
-		if parent != nil {
-			p.Kind = social.Reply
-			if rng.Float64() < cfg.ForwardFraction {
-				p.Kind = social.Forward
-			}
-			p.RUID = parent.post.UID
-			p.RSID = parent.post.SID
-			// Reactions come from anywhere; bias toward the parent's city.
-			p.Loc = jitterKm(rng, parent.post.Loc, 20)
-			p.Words = reactionWords(rng, replyZipf)
-		} else {
-			topic := pickTopic(rng, author, topicPool, topicZipf)
-			p.Loc = jitterKm(rng, author.Home, 4)
-			p.Words = originalWords(rng, topic, topicPool, topicZipf, fillerZipf)
-		}
-		p.Text = strings.Join(surfaceForms(p.Words), " ")
-
-		posts = append(posts, p)
-		depth := 1
-		if parent != nil {
-			depth = parent.depth + 1
-		}
-		recent = append(recent, parentRef{post: p, depth: depth})
-		if len(recent) > recentWindow {
-			recent = recent[len(recent)-recentWindow:]
-		}
-	}
-	corpus.Posts = posts
 	return corpus, nil
 }
 

@@ -1,0 +1,189 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+// Stream generates the configured corpus one post at a time, in timestamp
+// order, calling emit for each. Nothing but the user profiles and a
+// bounded window of recent-post references is held in memory, so a
+// million-user, ten-million-post corpus streams through in a few hundred
+// megabytes instead of materializing tens of gigabytes of posts. All
+// randomness derives from cfg.Seed: Stream emits byte-identical posts to
+// Generate under the same config (Generate is Stream plus an append).
+// emit returning an error stops generation and surfaces that error.
+//
+// The returned profiles are the latent ground truth (who the experts
+// are), same as Corpus.Users.
+func Stream(cfg Config, emit func(*social.Post) error) ([]UserProfile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	users := generateUsers(cfg, rng)
+
+	topicPool := MeaningfulKeywords()
+	topicZipf := newZipfPicker(len(topicPool), 0.9)
+	fillerZipf := newZipfPicker(len(fillerWords), 0.7)
+	replyZipf := newZipfPicker(len(replyWords), 0.7)
+
+	// Timestamps advance by step/2 + uniform(0, step) per post — mean step,
+	// so the corpus ends near cfg.End as configured.
+	span := cfg.End.Sub(cfg.Start)
+	step := span / time.Duration(cfg.NumPosts+1)
+	if step < 2 {
+		step = 2
+	}
+
+	// Recent posts eligible as reaction parents. Unlike the materializing
+	// path's post pointers, each reference carries just the fields a child
+	// needs (identity, location, depth, and the owner's influence for the
+	// rejection sampling), so emitted posts stay collectable.
+	type parentRef struct {
+		sid       social.PostID
+		uid       social.UserID
+		loc       geo.Point
+		depth     int
+		influence float64
+	}
+	var recent []parentRef
+	const recentWindow = 16384
+
+	var maxInfluence float64
+	for _, u := range users {
+		if u.Influence > maxInfluence {
+			maxInfluence = u.Influence
+		}
+	}
+
+	ts := cfg.Start
+	for i := 0; i < cfg.NumPosts; i++ {
+		ts = ts.Add(step/2 + time.Duration(rng.Int63n(int64(step)+1)))
+		author := &users[rng.Intn(len(users))]
+
+		p := &social.Post{
+			SID:  social.PostID(ts.UnixNano()),
+			UID:  author.UID,
+			Time: ts,
+		}
+
+		var parent *parentRef
+		if len(recent) > 0 && rng.Float64() < cfg.ReactionProb {
+			// Rejection-sample a parent proportional to author influence.
+			for tries := 0; tries < 16; tries++ {
+				cand := &recent[rng.Intn(len(recent))]
+				if rng.Float64() <= cand.influence/maxInfluence {
+					parent = cand
+					break
+				}
+			}
+		}
+
+		if parent != nil {
+			p.Kind = social.Reply
+			if rng.Float64() < cfg.ForwardFraction {
+				p.Kind = social.Forward
+			}
+			p.RUID = parent.uid
+			p.RSID = parent.sid
+			// Reactions come from anywhere; bias toward the parent's city.
+			p.Loc = jitterKm(rng, parent.loc, 20)
+			p.Words = reactionWords(rng, replyZipf)
+		} else {
+			topic := pickTopic(rng, author, topicPool, topicZipf)
+			p.Loc = jitterKm(rng, author.Home, 4)
+			p.Words = originalWords(rng, topic, topicPool, topicZipf, fillerZipf)
+		}
+		p.Text = strings.Join(surfaceForms(p.Words), " ")
+
+		depth := 1
+		if parent != nil {
+			depth = parent.depth + 1
+		}
+		recent = append(recent, parentRef{
+			sid: p.SID, uid: p.UID, loc: p.Loc, depth: depth,
+			influence: author.Influence,
+		})
+		if len(recent) > recentWindow {
+			recent = recent[len(recent)-recentWindow:]
+		}
+
+		if err := emit(p); err != nil {
+			return users, err
+		}
+	}
+	return users, nil
+}
+
+// LocationReservoir uniformly samples post locations while a corpus
+// streams past — the streaming stand-in for GenerateQueries picking "the
+// location of a random corpus post". Algorithm R: item i replaces a
+// reservoir slot with probability capacity/i.
+type LocationReservoir struct {
+	rng  *rand.Rand
+	locs []geo.Point
+	seen int
+}
+
+// NewLocationReservoir samples up to capacity locations, seeded
+// deterministically.
+func NewLocationReservoir(seed int64, capacity int) *LocationReservoir {
+	return &LocationReservoir{
+		rng:  rand.New(rand.NewSource(seed)),
+		locs: make([]geo.Point, 0, capacity),
+	}
+}
+
+// Observe offers one post's location to the reservoir.
+func (r *LocationReservoir) Observe(p geo.Point) {
+	r.seen++
+	if len(r.locs) < cap(r.locs) {
+		r.locs = append(r.locs, p)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < len(r.locs) {
+		r.locs[j] = p
+	}
+}
+
+// Locations returns the sampled locations (fewer than capacity when the
+// stream was shorter).
+func (r *LocationReservoir) Locations() []geo.Point { return r.locs }
+
+// QueriesFromLocations builds the Section VI-B1 evaluation workload —
+// perClass queries each with one, two and three keywords — drawing query
+// locations from the given sample instead of a materialized corpus. With
+// locations from a LocationReservoir over the same posts, the workload
+// has the same spatial distribution GenerateQueries produces.
+func QueriesFromLocations(seed int64, perClass int, locs []geo.Point) []QuerySpec {
+	rng := rand.New(rand.NewSource(seed))
+	meaningful := MeaningfulKeywords()
+	var out []QuerySpec
+	for nKeywords := 1; nKeywords <= 3; nKeywords++ {
+		for i := 0; i < perClass; i++ {
+			var kws []string
+			switch nKeywords {
+			case 1:
+				kws = []string{meaningful[rng.Intn(len(meaningful))]}
+			default:
+				kws = []string{HotKeywords[rng.Intn(len(HotKeywords))]}
+				for len(kws) < nKeywords {
+					m := Modifiers[rng.Intn(len(Modifiers))]
+					if !contains(kws, m) {
+						kws = append(kws, m)
+					}
+				}
+			}
+			out = append(out, QuerySpec{
+				Keywords: kws,
+				Loc:      locs[rng.Intn(len(locs))],
+			})
+		}
+	}
+	return out
+}

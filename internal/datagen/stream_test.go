@@ -1,0 +1,143 @@
+package datagen
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/social"
+)
+
+// TestStreamMatchesGenerate pins the streaming path's defining property:
+// under the same config, Stream emits byte-identical posts (and returns
+// identical profiles) to the materializing Generate — so benchmarks built
+// on either see the same corpus.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumUsers = 300
+	cfg.NumPosts = 5000
+
+	corpus, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*social.Post
+	users, err := Stream(cfg, func(p *social.Post) error {
+		streamed = append(streamed, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(streamed) != len(corpus.Posts) {
+		t.Fatalf("Stream emitted %d posts, Generate %d", len(streamed), len(corpus.Posts))
+	}
+	for i := range streamed {
+		if !reflect.DeepEqual(streamed[i], corpus.Posts[i]) {
+			t.Fatalf("post %d diverged:\nstream   %+v\ngenerate %+v", i, streamed[i], corpus.Posts[i])
+		}
+	}
+	if !reflect.DeepEqual(users, corpus.Users) {
+		t.Error("user profiles diverged between Stream and Generate")
+	}
+}
+
+// TestStreamEmitErrorStops checks emit's error contract: generation stops
+// at the failing post and the error surfaces unwrapped.
+func TestStreamEmitErrorStops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumUsers = 50
+	cfg.NumPosts = 500
+
+	sentinel := errors.New("sink full")
+	emitted := 0
+	_, err := Stream(cfg, func(p *social.Post) error {
+		emitted++
+		if emitted == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Stream error = %v, want the emit error", err)
+	}
+	if emitted != 10 {
+		t.Errorf("emit called %d times after error at 10", emitted)
+	}
+}
+
+// TestLocationReservoir checks the Algorithm-R sample: capacity bounds
+// the sample, every kept point came from the input, and equal seeds keep
+// equal samples (the property query generation leans on).
+func TestLocationReservoir(t *testing.T) {
+	points := make([]geo.Point, 1000)
+	for i := range points {
+		points[i] = geo.Point{Lat: float64(i) * 0.01, Lon: float64(-i) * 0.01}
+	}
+
+	r := NewLocationReservoir(7, 64)
+	for _, p := range points {
+		r.Observe(p)
+	}
+	locs := r.Locations()
+	if len(locs) != 64 {
+		t.Fatalf("reservoir kept %d points, want capacity 64", len(locs))
+	}
+	seen := make(map[geo.Point]bool, len(points))
+	for _, p := range points {
+		seen[p] = true
+	}
+	for _, p := range locs {
+		if !seen[p] {
+			t.Fatalf("reservoir invented point %+v", p)
+		}
+	}
+
+	r2 := NewLocationReservoir(7, 64)
+	for _, p := range points {
+		r2.Observe(p)
+	}
+	if !reflect.DeepEqual(locs, r2.Locations()) {
+		t.Error("equal seeds produced different reservoir samples")
+	}
+
+	// Fewer observations than capacity: keep them all.
+	small := NewLocationReservoir(7, 64)
+	for _, p := range points[:10] {
+		small.Observe(p)
+	}
+	if got := len(small.Locations()); got != 10 {
+		t.Errorf("under-full reservoir kept %d, want 10", got)
+	}
+}
+
+// TestQueriesFromLocations checks the streaming query builder mirrors
+// GenerateQueries' class structure: perClass queries per keyword count
+// 1..3, anchored at sampled locations.
+func TestQueriesFromLocations(t *testing.T) {
+	locs := []geo.Point{{Lat: 43.6, Lon: -79.4}, {Lat: 40.7, Lon: -74.0}}
+	specs := QueriesFromLocations(11, 6, locs)
+	if len(specs) != 18 {
+		t.Fatalf("got %d specs, want 3 classes x 6", len(specs))
+	}
+	counts := map[int]int{}
+	for _, s := range specs {
+		counts[len(s.Keywords)]++
+		found := false
+		for _, l := range locs {
+			if s.Loc == l {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("query anchored off the sampled locations: %+v", s)
+		}
+	}
+	for kw := 1; kw <= 3; kw++ {
+		if counts[kw] != 6 {
+			t.Errorf("keyword class %d has %d queries, want 6", kw, counts[kw])
+		}
+	}
+}

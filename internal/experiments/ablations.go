@@ -145,5 +145,6 @@ func Runners() []Runner {
 		{"batchio", "Batched IO: point vs batched vs CSR snapshot", (*Setup).BatchIOTable},
 		{"tracing", "Tracing overhead: disabled vs enabled tracer", (*Setup).TracingOverhead},
 		{"blockmax", "Block-max traversal: exhaustive vs Def.-11 vs block-max", (*Setup).BlockMaxTable},
+		{"load", "Open-loop load: bare system vs admission control", (*Setup).Load},
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -139,15 +140,15 @@ func (s *Setup) BatchIOCompare() (*BatchIOSnapshot, error) {
 		var pagesSaved int64
 		for _, spec := range specs {
 			q := toQuery(spec, class.radiusKm, s.Cfg.K, class.sem, class.ranking)
-			pointRes, pointStats, err := pointEng.Search(q)
+			pointRes, pointStats, err := pointEng.Search(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
-			batchRes, batchStats, err := batchEng.Search(q)
+			batchRes, batchStats, err := batchEng.Search(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
-			snapRes, snapStats, err := snapEng.Search(q)
+			snapRes, snapStats, err := snapEng.Search(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -178,15 +179,15 @@ func (s *Setup) BlockMaxCompare() (*BlockMaxSnapshot, error) {
 		var builtExh, builtBM, blocksSkipped, postingsSkipped int64
 		for _, spec := range specs {
 			q := toQuery(spec, class.radiusKm, s.Cfg.K, class.sem, class.ranking)
-			exhRes, exhStats, err := exhEng.Search(q)
+			exhRes, exhStats, err := exhEng.Search(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
-			defRes, defStats, err := defEng.Search(q)
+			defRes, defStats, err := defEng.Search(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
-			bmRes, bmStats, err := bmEng.Search(q)
+			bmRes, bmStats, err := bmEng.Search(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}

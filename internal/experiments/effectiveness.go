@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -58,7 +59,7 @@ func (s *Setup) ExpertRecovery() (*Table, error) {
 			var precSum, recSum float64
 			n := 0
 			for _, c := range cases {
-				res, _, err := sys.Engine.Search(core.Query{
+				res, _, err := sys.Engine.Search(context.Background(), core.Query{
 					Loc: c.loc, RadiusKm: radius, Keywords: []string{c.keyword},
 					K: 10, Semantic: core.Or, Ranking: ranking,
 				})

@@ -241,3 +241,50 @@ func TestShardedCompareSnapshot(t *testing.T) {
 		t.Errorf("JSON round-trip mutated the snapshot: %+v vs %+v", back, snap)
 	}
 }
+
+// TestLoadCompareSnapshot checks the open-loop load snapshot's
+// structural invariants: a full sweep for both arms, a 2x overload
+// headline, and a lossless JSON round trip. Latency and shed thresholds
+// are the bench-load gate's business at real scale, not a unit test's —
+// a laptop-sized corpus under `go test` parallelism is too noisy to pin
+// them here.
+func TestLoadCompareSnapshot(t *testing.T) {
+	s := setup(t)
+	snap, err := s.LoadCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Baseline) != len(loadMultiples) || len(snap.Admitted) != len(loadMultiples) {
+		t.Fatalf("sweep covered %d/%d points, want %d per arm",
+			len(snap.Baseline), len(snap.Admitted), len(loadMultiples))
+	}
+	if snap.CapacityQPS <= 0 {
+		t.Fatal("no capacity measured")
+	}
+	if snap.OverloadMultiple < 2 {
+		t.Errorf("top multiple %.1fx, want >= 2x", snap.OverloadMultiple)
+	}
+	for i, p := range snap.Baseline {
+		if p.Sent == 0 {
+			t.Errorf("baseline point %d sent no arrivals", i)
+		}
+		if p.OfferedQPS <= 0 || p.Multiple != loadMultiples[i] {
+			t.Errorf("baseline point %d malformed: %+v", i, p)
+		}
+	}
+	if snap.Admitted[len(snap.Admitted)-1].OK == 0 {
+		t.Error("admission control let nothing through at overload")
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CapacityQPS != snap.CapacityQPS || len(back.Admitted) != len(snap.Admitted) {
+		t.Error("JSON round trip lost fields")
+	}
+}

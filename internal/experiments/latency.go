@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,7 @@ func (s *Setup) LatencySummary() (*Table, error) {
 	for _, c := range classes {
 		var durations []time.Duration
 		for _, spec := range c.specs {
-			_, st, err := sys.Engine.Search(toQuery(spec, 20, s.Cfg.K, c.sem, c.ranking))
+			_, st, err := sys.Engine.Search(context.Background(), toQuery(spec, 20, s.Cfg.K, c.sem, c.ranking))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	tklus "repro"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+)
+
+// LoadPoint is one offered-rate measurement of one arm (unprotected
+// baseline or admission-controlled). Latency percentiles are over
+// completed queries and include open-loop queue wait from the scheduled
+// arrival — the measurement that exposes queueing collapse.
+type LoadPoint struct {
+	Multiple   float64 `json:"multiple"` // of measured capacity
+	OfferedQPS float64 `json:"offered_qps"`
+	Sent       int     `json:"sent"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Deadline   int     `json:"deadline"`
+	Errors     int     `json:"errors"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// LoadSnapshot is the latency-vs-offered-throughput comparison
+// cmd/tklus-bench writes to BENCH_load.json: the same open-loop Poisson
+// workload offered at multiples of measured capacity to the bare system
+// (Baseline) and to the same system behind an AdmissionControl
+// (Admitted). The headline fields compare the two arms at the highest
+// multiple (≥2× capacity): the baseline exhibits the collapse — p99
+// dominated by unbounded queue wait — and the admitted arm sheds the
+// excess as ErrOverloaded and keeps p99 bounded.
+// cmd/tklus-benchcheck -load-in gates on exactly that contrast.
+type LoadSnapshot struct {
+	Posts       int     `json:"posts"`
+	Users       int     `json:"users"`
+	Seed        int64   `json:"seed"`
+	K           int     `json:"k"`
+	Workers     int     `json:"workers"`
+	CapacityQPS float64 `json:"capacity_qps"`
+	RunSeconds  float64 `json:"run_seconds"`
+
+	Baseline []LoadPoint `json:"baseline"`
+	Admitted []LoadPoint `json:"admitted"`
+
+	// The 2×-capacity contrast the gate reads.
+	OverloadMultiple   float64 `json:"overload_multiple"`
+	BaselineP99Ms      float64 `json:"baseline_p99_ms"`
+	AdmittedP99Ms      float64 `json:"admitted_p99_ms"`
+	AdmittedShedRate   float64 `json:"admitted_shed_rate"`
+	AdmittedGoodputQPS float64 `json:"admitted_goodput_qps"`
+	CollapseP99Ratio   float64 `json:"collapse_p99_ratio"` // baseline/admitted p99 at 2x
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (l *LoadSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// ReadLoadSnapshot parses a snapshot written by WriteJSON.
+func ReadLoadSnapshot(r io.Reader) (*LoadSnapshot, error) {
+	var snap LoadSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("experiments: parsing load snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// loadMultiples are the offered rates as multiples of measured capacity:
+// comfortable, critical, and 2× overload.
+var loadMultiples = []float64{0.5, 1.0, 2.0}
+
+// maxArrivals bounds one run's arrival count so a very fast system (tiny
+// test corpus, no simulated IO) does not translate into hundreds of
+// thousands of in-flight goroutines; the run shortens instead.
+const maxArrivals = 40000
+
+// LoadCompare measures latency-vs-offered-throughput curves for the bare
+// system and the admission-controlled one. Capacity is estimated first
+// with a short closed loop; each open-loop run then offers a multiple of
+// it. Memoized on the Setup.
+func (s *Setup) LoadCompare() (*LoadSnapshot, error) {
+	if s.loadSnap != nil {
+		return s.loadSnap, nil
+	}
+	sys, err := s.System(4)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]tklus.Query, 0, len(s.Queries))
+	for _, spec := range s.Queries {
+		queries = append(queries, toQuery(spec, 10, s.Cfg.K, core.Or, core.SumScore))
+	}
+
+	runDur := s.Cfg.LoadDuration
+	if runDur <= 0 {
+		runDur = 1500 * time.Millisecond
+	}
+	workers := runtime.GOMAXPROCS(0)
+	ctx := context.Background()
+
+	// Warm pass so capacity measurement is not paying cold-structure costs.
+	for _, q := range queries {
+		if _, _, err := sys.Search(ctx, q); err != nil {
+			return nil, fmt.Errorf("experiments: load warmup: %w", err)
+		}
+	}
+	capacity := loadgen.MeasureCapacity(ctx, sys, queries, workers, runDur/2)
+	if capacity <= 0 {
+		return nil, fmt.Errorf("experiments: measured zero capacity")
+	}
+
+	// The admission arm: capacity-width slots, a short bounded queue, and
+	// a wait bound well under the baseline's collapse latencies. No cost
+	// budget — the queue and wait bounds alone demonstrate the contract;
+	// the cost model is exercised by its own tests.
+	ac := tklus.NewAdmissionControl(sys, tklus.AdmissionOptions{
+		MaxConcurrent: workers,
+		MaxQueue:      4 * workers,
+		MaxWait:       100 * time.Millisecond,
+	})
+
+	snap := &LoadSnapshot{
+		Posts: s.Cfg.NumPosts, Users: s.Cfg.NumUsers, Seed: s.Cfg.Seed,
+		K: s.Cfg.K, Workers: workers,
+		CapacityQPS: capacity, RunSeconds: runDur.Seconds(),
+	}
+	for i, mult := range loadMultiples {
+		rate := capacity * mult
+		dur := runDur
+		if max := time.Duration(float64(maxArrivals) / rate * float64(time.Second)); dur > max {
+			dur = max
+		}
+		opts := loadgen.Options{
+			TargetQPS: rate,
+			Duration:  dur,
+			Seed:      s.Cfg.Seed + int64(i),
+		}
+		base := loadgen.Run(ctx, sys, queries, opts)
+		admitted := loadgen.Run(ctx, ac, queries, opts)
+		snap.Baseline = append(snap.Baseline, toLoadPoint(mult, base))
+		snap.Admitted = append(snap.Admitted, toLoadPoint(mult, admitted))
+	}
+
+	top := len(loadMultiples) - 1
+	snap.OverloadMultiple = loadMultiples[top]
+	snap.BaselineP99Ms = snap.Baseline[top].P99Ms
+	snap.AdmittedP99Ms = snap.Admitted[top].P99Ms
+	snap.AdmittedShedRate = snap.Admitted[top].ShedRate
+	snap.AdmittedGoodputQPS = snap.Admitted[top].GoodputQPS
+	if snap.AdmittedP99Ms > 0 {
+		snap.CollapseP99Ratio = snap.BaselineP99Ms / snap.AdmittedP99Ms
+	}
+	s.loadSnap = snap
+	return snap, nil
+}
+
+func toLoadPoint(mult float64, r *loadgen.Result) LoadPoint {
+	return LoadPoint{
+		Multiple:   mult,
+		OfferedQPS: r.OfferedQPS,
+		Sent:       r.Sent,
+		OK:         r.OK,
+		Shed:       r.Shed,
+		Deadline:   r.Deadline,
+		Errors:     r.Errors,
+		GoodputQPS: r.GoodputQPS,
+		ShedRate:   r.ShedRate,
+		P50Ms:      float64(r.P50) / float64(time.Millisecond),
+		P90Ms:      float64(r.P90) / float64(time.Millisecond),
+		P99Ms:      float64(r.P99) / float64(time.Millisecond),
+		MaxMs:      float64(r.Max) / float64(time.Millisecond),
+	}
+}
+
+// Load renders LoadCompare as a bench table.
+func (s *Setup) Load() (*Table, error) {
+	snap, err := s.LoadCompare()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Open-loop load — bare system vs admission control",
+		Note: fmt.Sprintf("capacity ≈ %.0f qps (%d workers); at %.0fx overload baseline p99 %.1fms vs admitted %.1fms (%.1fx), shed rate %.0f%%",
+			snap.CapacityQPS, snap.Workers, snap.OverloadMultiple,
+			snap.BaselineP99Ms, snap.AdmittedP99Ms, snap.CollapseP99Ratio,
+			snap.AdmittedShedRate*100),
+		Headers: []string{"offered", "arm", "sent", "ok", "shed", "goodput qps", "p50", "p90", "p99"},
+	}
+	row := func(mult float64, arm string, p LoadPoint) {
+		t.AddRow(fmt.Sprintf("%.1fx", mult), arm,
+			fmt.Sprintf("%d", p.Sent), fmt.Sprintf("%d", p.OK), fmt.Sprintf("%d", p.Shed),
+			fmt.Sprintf("%.0f", p.GoodputQPS),
+			ms(p.P50Ms/1000), ms(p.P90Ms/1000), ms(p.P99Ms/1000))
+	}
+	for i, mult := range loadMultiples {
+		row(mult, "baseline", snap.Baseline[i])
+		row(mult, "admitted", snap.Admitted[i])
+	}
+	return t, nil
+}

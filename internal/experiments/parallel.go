@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -119,7 +120,7 @@ func (s *Setup) ParallelCompare() (*ParallelSnapshot, error) {
 		// roots, the steady state of a serving deployment.
 		for _, spec := range specs {
 			q := toQuery(spec, class.radiusKm, s.Cfg.K, class.sem, class.ranking)
-			if _, _, err := parEng.Search(q); err != nil {
+			if _, _, err := parEng.Search(context.Background(), q); err != nil {
 				return nil, err
 			}
 		}
@@ -128,11 +129,11 @@ func (s *Setup) ParallelCompare() (*ParallelSnapshot, error) {
 		var hits int64
 		for _, spec := range specs {
 			q := toQuery(spec, class.radiusKm, s.Cfg.K, class.sem, class.ranking)
-			seqRes, seqStats, err := seqEng.Search(q)
+			seqRes, seqStats, err := seqEng.Search(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
-			parRes, parStats, err := parEng.Search(q)
+			parRes, parStats, err := parEng.Search(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -29,7 +30,7 @@ func runBatch(eng *core.Engine, specs []datagen.QuerySpec, radiusKm float64, k i
 		return 0, agg, fmt.Errorf("experiments: empty query batch")
 	}
 	for _, spec := range specs {
-		_, stats, serr := eng.Search(toQuery(spec, radiusKm, k, sem, ranking))
+		_, stats, serr := eng.Search(context.Background(), toQuery(spec, radiusKm, k, sem, ranking))
 		if serr != nil {
 			return 0, agg, serr
 		}
@@ -126,11 +127,11 @@ func kendallBatch(eng *core.Engine, specs []datagen.QuerySpec, radiusKm float64,
 	var total float64
 	n := 0
 	for _, spec := range specs {
-		sumRes, _, err := eng.Search(toQuery(spec, radiusKm, k, sem, core.SumScore))
+		sumRes, _, err := eng.Search(context.Background(), toQuery(spec, radiusKm, k, sem, core.SumScore))
 		if err != nil {
 			return 0, err
 		}
-		maxRes, _, err := eng.Search(toQuery(spec, radiusKm, k, sem, core.MaxScore))
+		maxRes, _, err := eng.Search(context.Background(), toQuery(spec, radiusKm, k, sem, core.MaxScore))
 		if err != nil {
 			return 0, err
 		}

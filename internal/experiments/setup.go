@@ -32,6 +32,9 @@ type Config struct {
 	// by the parallel-pipeline comparison; non-positive selects the
 	// popcache default.
 	PopCacheSize int
+	// LoadDuration is how long each open-loop load run offers arrivals;
+	// non-positive selects the LoadCompare default.
+	LoadDuration time.Duration
 }
 
 // DefaultConfig is the configuration used by cmd/tklus-bench.
@@ -43,8 +46,13 @@ func DefaultConfig() Config {
 }
 
 // SmallConfig keeps unit tests fast (and CPU-bound: no simulated I/O).
+// The short LoadDuration keeps the open-loop load runner to a fraction
+// of a second per offered rate.
 func SmallConfig() Config {
-	return Config{Seed: 42, NumUsers: 600, NumPosts: 6000, QueryPerClass: 6, K: 5}
+	return Config{
+		Seed: 42, NumUsers: 600, NumPosts: 6000, QueryPerClass: 6, K: 5,
+		LoadDuration: 300 * time.Millisecond,
+	}
 }
 
 // Setup holds the shared corpus, workload, and lazily built systems.
@@ -59,6 +67,7 @@ type Setup struct {
 	batchioSnap  *BatchIOSnapshot      // memoized BatchIOCompare result
 	tracingSnap  *TracingSnapshot      // memoized TracingCompare result
 	blockmaxSnap *BlockMaxSnapshot     // memoized BlockMaxCompare result
+	loadSnap     *LoadSnapshot         // memoized LoadCompare result
 }
 
 // NewSetup generates the corpus and the 90-query-style workload.

@@ -105,7 +105,7 @@ func (s *Setup) ShardedCompare() (*ShardedSnapshot, error) {
 	monoTimes := make([]float64, 0, len(workload))
 	monoResults := make([][]core.UserResult, 0, len(workload))
 	for _, q := range workload {
-		res, st, err := mono.Engine.Search(q)
+		res, st, err := mono.Engine.Search(context.Background(), q)
 		if err != nil {
 			return nil, err
 		}

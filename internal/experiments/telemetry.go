@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"time"
@@ -57,7 +58,7 @@ func (s *Setup) Telemetry() (*TelemetrySnapshot, error) {
 	}
 
 	for _, spec := range s.Queries {
-		_, qs, err := sys.Engine.Search(toQuery(spec, radiusKm, s.Cfg.K, core.Or, core.MaxScore))
+		_, qs, err := sys.Engine.Search(context.Background(), toQuery(spec, radiusKm, s.Cfg.K, core.Or, core.MaxScore))
 		if err != nil {
 			return nil, err
 		}

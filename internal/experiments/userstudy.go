@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -31,7 +32,7 @@ func (s *Setup) Fig13UserStudy() (*Table, error) {
 				var total float64
 				n := 0
 				for _, spec := range specs {
-					res, _, err := sys.Engine.Search(toQuery(spec, radius, k, core.Or, ranking))
+					res, _, err := sys.Engine.Search(context.Background(), toQuery(spec, radius, k, core.Or, ranking))
 					if err != nil {
 						return nil, err
 					}

@@ -1,0 +1,215 @@
+// Package loadgen is an open-loop load harness for any tklus.Searcher.
+//
+// Open-loop means arrivals follow a schedule the system under test cannot
+// push back on: queries arrive at the target rate with Poisson
+// inter-arrival gaps whether or not earlier queries finished, exactly how
+// independent users hit a public endpoint. A closed-loop harness (N
+// workers, each waiting for its reply) accidentally throttles itself to
+// the system's pace and hides overload entirely — the distinction the
+// T²K² geo-textual benchmark generation literature stresses, and the one
+// that makes this harness able to demonstrate queueing collapse.
+//
+// Latency is measured from each query's *scheduled* arrival, not from
+// when a goroutine got around to sending it, so time a query spends
+// queued behind an overloaded tier is charged to that query
+// (coordinated-omission-free). Under offered load beyond capacity the
+// unprotected p99 therefore grows with test duration — the collapse —
+// while an admission-controlled tier sheds the excess and keeps it flat.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	tklus "repro"
+	"repro/internal/core"
+)
+
+// Options configures one open-loop run.
+type Options struct {
+	// TargetQPS is the offered arrival rate. Required.
+	TargetQPS float64
+	// Duration is how long arrivals are generated. Required.
+	Duration time.Duration
+	// Deadline is each query's end-to-end budget, applied as a context
+	// deadline from its scheduled arrival. Zero means no deadline: queries
+	// wait however long the tier takes (the configuration that lets an
+	// unprotected tier exhibit unbounded queueing delay).
+	Deadline time.Duration
+	// Seed drives the arrival process and query choice; equal seeds give
+	// identical schedules.
+	Seed int64
+}
+
+// Sample outcome classes.
+const (
+	OutcomeOK       = "ok"
+	OutcomeShed     = "shed"     // ErrOverloaded: admission control refused it
+	OutcomeDeadline = "deadline" // its Deadline expired (queued or running)
+	OutcomeError    = "error"    // any other failure
+)
+
+// Result aggregates one run. Latency percentiles are over completed (OK)
+// queries and include scheduled-arrival queue time; shed queries are
+// excluded from them — a fast 429 is not an answer — and reported as
+// ShedRate instead.
+type Result struct {
+	OfferedQPS float64       `json:"offered_qps"`
+	Duration   time.Duration `json:"duration_ns"`
+	Sent       int           `json:"sent"`
+	OK         int           `json:"ok"`
+	Shed       int           `json:"shed"`
+	Deadline   int           `json:"deadline"`
+	Errors     int           `json:"errors"`
+
+	// GoodputQPS is completed-OK queries per second of run wall time.
+	GoodputQPS float64 `json:"goodput_qps"`
+	// ShedRate is the shed fraction of all sent queries.
+	ShedRate float64 `json:"shed_rate"`
+
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+}
+
+// Run offers the workload to the searcher at the configured rate and
+// reports what came back. The queries cycle pseudo-randomly through the
+// given set. ctx cancellation stops the run early (remaining arrivals are
+// not sent; in-flight queries are abandoned to their own deadlines).
+func Run(ctx context.Context, sr tklus.Searcher, queries []tklus.Query, opts Options) *Result {
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Materialize the arrival schedule up front: Poisson arrivals at rate
+	// λ have Exp(λ) inter-arrival gaps. The schedule depends only on the
+	// seed, never on how fast the system answers — that is the open loop.
+	var offsets []time.Duration
+	for t := rng.ExpFloat64() / opts.TargetQPS; t < opts.Duration.Seconds(); t += rng.ExpFloat64() / opts.TargetQPS {
+		offsets = append(offsets, time.Duration(t*float64(time.Second)))
+	}
+	picks := make([]int, len(offsets))
+	for i := range picks {
+		picks[i] = rng.Intn(len(queries))
+	}
+
+	type sample struct {
+		outcome string
+		latency time.Duration
+	}
+	samples := make([]sample, len(offsets))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, off := range offsets {
+		wg.Add(1)
+		go func(i int, off time.Duration) {
+			defer wg.Done()
+			sched := start.Add(off)
+			select {
+			case <-time.After(time.Until(sched)):
+			case <-ctx.Done():
+				samples[i] = sample{outcome: OutcomeError}
+				return
+			}
+			qctx := ctx
+			if opts.Deadline > 0 {
+				var cancel context.CancelFunc
+				qctx, cancel = context.WithDeadline(ctx, sched.Add(opts.Deadline))
+				defer cancel()
+			}
+			_, _, err := sr.Search(qctx, queries[picks[i]])
+			// Latency from the scheduled arrival: queue wait included.
+			lat := time.Since(sched)
+			switch {
+			case err == nil:
+				samples[i] = sample{OutcomeOK, lat}
+			case errors.Is(err, core.ErrOverloaded):
+				samples[i] = sample{outcome: OutcomeShed}
+			case errors.Is(err, context.DeadlineExceeded):
+				samples[i] = sample{outcome: OutcomeDeadline}
+			default:
+				samples[i] = sample{outcome: OutcomeError}
+			}
+		}(i, off)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		OfferedQPS: opts.TargetQPS,
+		Duration:   elapsed,
+		Sent:       len(samples),
+	}
+	var oks []time.Duration
+	for _, s := range samples {
+		switch s.outcome {
+		case OutcomeOK:
+			res.OK++
+			oks = append(oks, s.latency)
+		case OutcomeShed:
+			res.Shed++
+		case OutcomeDeadline:
+			res.Deadline++
+		default:
+			res.Errors++
+		}
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.GoodputQPS = float64(res.OK) / sec
+	}
+	if res.Sent > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Sent)
+	}
+	sort.Slice(oks, func(i, j int) bool { return oks[i] < oks[j] })
+	res.P50 = percentile(oks, 0.50)
+	res.P90 = percentile(oks, 0.90)
+	res.P99 = percentile(oks, 0.99)
+	if n := len(oks); n > 0 {
+		res.Max = oks[n-1]
+	}
+	return res
+}
+
+// percentile reads the p-quantile of an ascending-sorted slice (nearest
+// rank); zero for an empty slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// MeasureCapacity estimates the searcher's saturation throughput with a
+// short closed loop: workers goroutines re-issue queries back to back for
+// the given duration, and completed/second is the capacity estimate. A
+// closed loop is the right tool *here* — it finds the service rate
+// without overloading — and the wrong tool for latency measurement, which
+// is Run's job.
+func MeasureCapacity(ctx context.Context, sr tklus.Searcher, queries []tklus.Query, workers int, d time.Duration) float64 {
+	var done int64
+	var mu sync.Mutex
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			n := int64(0)
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				if _, _, err := sr.Search(ctx, queries[rng.Intn(len(queries))]); err == nil {
+					n++
+				}
+			}
+			mu.Lock()
+			done += n
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return float64(done) / d.Seconds()
+}

@@ -1,0 +1,105 @@
+package loadgen_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	tklus "repro"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+)
+
+// fakeSearcher answers every query with a fixed behavior, so outcome
+// classification can be checked without a real system.
+type fakeSearcher struct {
+	err   error         // returned verbatim (nil answers OK)
+	delay time.Duration // service time; honors ctx expiry while "working"
+}
+
+func (f *fakeSearcher) Search(ctx context.Context, q tklus.Query) ([]tklus.UserResult, *tklus.QueryStats, error) {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	if f.err != nil {
+		return nil, nil, f.err
+	}
+	return []tklus.UserResult{}, &tklus.QueryStats{}, nil
+}
+
+var testQueries = []tklus.Query{
+	{RadiusKm: 10, K: 5, Keywords: []string{"hotel"}},
+	{RadiusKm: 20, K: 5, Keywords: []string{"pizza"}},
+}
+
+// TestRunClassifiesOutcomes drives one run per backend behavior and
+// checks each lands in its own outcome column.
+func TestRunClassifiesOutcomes(t *testing.T) {
+	opts := loadgen.Options{TargetQPS: 200, Duration: 250 * time.Millisecond, Seed: 7}
+	ctx := context.Background()
+
+	ok := loadgen.Run(ctx, &fakeSearcher{}, testQueries, opts)
+	if ok.Sent == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if ok.OK != ok.Sent || ok.Shed+ok.Deadline+ok.Errors != 0 {
+		t.Errorf("healthy backend: %+v, want all OK", ok)
+	}
+	if ok.GoodputQPS <= 0 || ok.P50 <= 0 || ok.P99 < ok.P50 {
+		t.Errorf("healthy backend stats implausible: %+v", ok)
+	}
+
+	shed := loadgen.Run(ctx, &fakeSearcher{err: fmt.Errorf("wrapped: %w", core.ErrOverloaded)}, testQueries, opts)
+	if shed.Shed != shed.Sent || shed.ShedRate != 1 {
+		t.Errorf("overloaded backend: %+v, want all shed", shed)
+	}
+	if shed.P99 != 0 {
+		t.Errorf("shed queries leaked into latency percentiles: %+v", shed)
+	}
+
+	failed := loadgen.Run(ctx, &fakeSearcher{err: fmt.Errorf("disk on fire")}, testQueries, opts)
+	if failed.Errors != failed.Sent {
+		t.Errorf("failing backend: %+v, want all errors", failed)
+	}
+
+	slow := loadgen.Run(ctx, &fakeSearcher{delay: time.Second}, testQueries, loadgen.Options{
+		TargetQPS: 100, Duration: 100 * time.Millisecond, Deadline: 10 * time.Millisecond, Seed: 7,
+	})
+	if slow.Deadline != slow.Sent {
+		t.Errorf("slow backend under deadline: %+v, want all deadline-expired", slow)
+	}
+}
+
+// TestRunScheduleDeterminism checks the open loop's defining property:
+// the arrival schedule depends only on the seed, never on the backend.
+func TestRunScheduleDeterminism(t *testing.T) {
+	opts := loadgen.Options{TargetQPS: 300, Duration: 200 * time.Millisecond, Seed: 42}
+	ctx := context.Background()
+	a := loadgen.Run(ctx, &fakeSearcher{}, testQueries, opts)
+	b := loadgen.Run(ctx, &fakeSearcher{delay: 2 * time.Millisecond}, testQueries, opts)
+	if a.Sent != b.Sent {
+		t.Errorf("same seed sent %d vs %d arrivals — schedule depends on the backend", a.Sent, b.Sent)
+	}
+	c := loadgen.Run(ctx, &fakeSearcher{}, testQueries, loadgen.Options{
+		TargetQPS: 300, Duration: 200 * time.Millisecond, Seed: 43,
+	})
+	if c.Sent == a.Sent {
+		t.Logf("different seeds coincidentally sent the same count (%d) — legal but unusual", a.Sent)
+	}
+}
+
+// TestMeasureCapacity checks the closed-loop estimator against a backend
+// with a known service time: 4 workers over a 5ms service time is ~800
+// qps; the estimate must land the right side of both extremes.
+func TestMeasureCapacity(t *testing.T) {
+	got := loadgen.MeasureCapacity(context.Background(),
+		&fakeSearcher{delay: 5 * time.Millisecond}, testQueries, 4, 250*time.Millisecond)
+	if got < 100 || got > 1600 {
+		t.Errorf("capacity estimate %.0f qps implausible for 4 workers x 5ms service time (~800)", got)
+	}
+}

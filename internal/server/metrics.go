@@ -15,13 +15,14 @@ const (
 	outcomeBadRequest  = "bad_request"
 	outcomeNotFound    = "not_found"
 	outcomeUnavailable = "unavailable" // ErrShardUnavailable → 503
+	outcomeOverloaded  = "overloaded"  // ErrOverloaded (admission shed) → 429
 	outcomeCanceled    = "canceled"
 	outcomeError       = "error" // unclassified engine failure → 500
 )
 
 var queryOutcomes = []string{
 	outcomeOK, outcomeDegraded, outcomeBadRequest, outcomeNotFound,
-	outcomeUnavailable, outcomeCanceled, outcomeError,
+	outcomeUnavailable, outcomeOverloaded, outcomeCanceled, outcomeError,
 }
 
 // serverMetrics bundles the server's own metric handles. Counters and

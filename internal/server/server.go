@@ -21,9 +21,12 @@
 //	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness probe
 //
-// Errors map typed sentinels onto statuses: core.ErrBadQuery → 400,
-// core.ErrNoResults → 404, core.ErrShardUnavailable → 503; anything else
-// is a 500.
+// Every error is the one JSON envelope {"error": {"code", "message"}};
+// typed sentinels map onto statuses through a single table:
+// core.ErrBadQuery → 400 "bad_query", core.ErrNoResults → 404
+// "not_found", core.ErrOverloaded → 429 "overloaded" (with Retry-After),
+// core.ErrShardUnavailable → 503 "shard_unavailable"; anything else is a
+// 500 "internal".
 //
 // The server fronts any tklus.Searcher — a monolithic System, a
 // PartitionedSystem, a ShardedSystem router, or a Federation. The
@@ -78,12 +81,24 @@ type Options struct {
 	// tail-sampled store, and GET /debug/traces (+ /debug/traces/{id})
 	// expose them. nil disables tracing at zero hot-path cost.
 	Tracer *telemetry.Tracer
+	// Admission wraps the query path in a tklus.AdmissionControl with
+	// these options: bounded queue, bounded wait, optional cost-based
+	// shedding. Shed queries answer 429 with Retry-After instead of
+	// queueing without bound. The introspection endpoints bypass the
+	// controller — only searches contend for admission slots. nil serves
+	// every query unconditionally.
+	Admission *tklus.AdmissionOptions
 }
 
 // Server routes HTTP requests to one TkLUS searcher.
 type Server struct {
 	searcher tklus.Searcher
-	sys      *tklus.System // non-nil only for single-system backends
+	// shardBackend serves /v1/shard/search; captured before any admission
+	// wrapping so the scatter-gather protocol keeps working when the
+	// application search path is admission-controlled (shard-level
+	// pushback is the router's breaker machinery, not the door).
+	shardBackend tklus.ShardBackend
+	sys          *tklus.System // non-nil only for single-system backends
 	// postCount enriches results with |P_u| when the backend has a
 	// metadata database in reach; nil otherwise (remote-only routers).
 	postCount func(tklus.UserID) int
@@ -129,21 +144,33 @@ func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := &Server{
-		searcher: sr,
-		sys:      sys,
-		mux:      http.NewServeMux(),
-		opts:     opts,
-		log:      opts.Logger,
-		metrics:  newServerMetrics(opts.Registry, sys),
-		started:  time.Now(),
+	// Interface-based wiring keys off the unwrapped backend: admission
+	// control fronts only the application search path, and must not hide
+	// the backend's other capabilities (shard protocol, shard metrics,
+	// post-count enrichment) behind the wrapper type.
+	backend := sr
+	shardBackend, _ := backend.(tklus.ShardBackend)
+	if opts.Admission != nil {
+		ac := tklus.NewAdmissionControl(sr, *opts.Admission)
+		ac.RegisterMetrics(opts.Registry)
+		sr = ac
 	}
-	if ss, ok := sr.(*tklus.ShardedSystem); ok {
+	s := &Server{
+		searcher:     sr,
+		shardBackend: shardBackend,
+		sys:          sys,
+		mux:          http.NewServeMux(),
+		opts:         opts,
+		log:          opts.Logger,
+		metrics:      newServerMetrics(opts.Registry, sys),
+		started:      time.Now(),
+	}
+	if ss, ok := backend.(*tklus.ShardedSystem); ok {
 		ss.RegisterMetrics(opts.Registry)
 	}
 	if sys != nil {
 		s.postCount = sys.DB.PostCountOfUser
-	} else if pc, ok := sr.(interface{ PostCountOfUser(tklus.UserID) int }); ok {
+	} else if pc, ok := backend.(interface{ PostCountOfUser(tklus.UserID) int }); ok {
 		s.postCount = pc.PostCountOfUser
 	}
 	s.mux.HandleFunc("POST /v1/search", s.handleSearchV1)
@@ -151,7 +178,7 @@ func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	if _, ok := sr.(tklus.ShardBackend); ok {
+	if shardBackend != nil {
 		s.mux.HandleFunc("POST /v1/shard/search", s.handleShardSearch)
 	}
 	if sys != nil {
@@ -328,7 +355,7 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	backend := s.searcher.(tklus.ShardBackend)
+	backend := s.shardBackend
 	span := telemetry.SpanFromContext(r.Context())
 	start := time.Now()
 	parts, err := backend.SearchPartials(r.Context(), q)
@@ -577,8 +604,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// httpError writes the v1 error envelope. The status comes from the
+// caller (usually classify via statusOf); the machine-readable code is
+// always re-derived from the sentinel chain so envelope and sentinel
+// never drift. Overload and unavailability responses carry Retry-After,
+// telling well-behaved clients to back off instead of hammering a tier
+// that is actively shedding.
 func httpError(w http.ResponseWriter, code int, err error) {
+	_, ecode, _ := classify(err)
 	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponseV1{Error: err.Error()})
+	json.NewEncoder(w).Encode(errorResponseV1{
+		Error: errorBodyV1{Code: ecode, Message: err.Error()},
+	})
 }

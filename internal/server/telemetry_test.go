@@ -137,8 +137,16 @@ func TestServerErrorPaths(t *testing.T) {
 		if code != 400 {
 			t.Errorf("%s: status %d, want 400", url, code)
 		}
-		if msg, ok := body["error"].(string); !ok || msg == "" {
-			t.Errorf("%s: missing JSON error body: %v", url, body)
+		env, ok := body["error"].(map[string]any)
+		if !ok {
+			t.Errorf("%s: missing JSON error envelope: %v", url, body)
+			continue
+		}
+		if code, _ := env["code"].(string); code != "bad_query" {
+			t.Errorf("%s: error code %q, want bad_query", url, code)
+		}
+		if msg, _ := env["message"].(string); msg == "" {
+			t.Errorf("%s: empty error message: %v", url, body)
 		}
 	}
 }

@@ -172,9 +172,21 @@ type shardSearchResponseV1 struct {
 	Partials *core.Partials `json:"partials"`
 }
 
-// errorResponseV1 is the error body every endpoint writes.
+// errorResponseV1 is the error envelope every endpoint writes:
+//
+//	{"error": {"code": "bad_query", "message": "bad query: radius must be positive"}}
+//
+// The code is a stable machine-readable name from the sentinel table
+// below; the message is the wrapped error chain for humans. ShardClient
+// decodes the code back into the matching sentinel, so errors.Is works
+// identically against a remote shard and an in-process one.
 type errorResponseV1 struct {
-	Error string `json:"error"`
+	Error errorBodyV1 `json:"error"`
+}
+
+type errorBodyV1 struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 // IngestRequestV1 is the POST /v1/ingest request: a batch of posts to
@@ -313,13 +325,16 @@ func (c *ShardClient) SearchPartials(ctx context.Context, q tklus.Query) (*core.
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		// Decode the error envelope and resolve its code back into the
+		// sentinel the remote classified under, so errors.Is behaves
+		// identically whether the shard is in-process or across the wire.
 		var eresp errorResponseV1
 		msg := resp.Status
-		if json.NewDecoder(io.LimitReader(resp.Body, maxRequestBody)).Decode(&eresp) == nil && eresp.Error != "" {
-			msg = eresp.Error
-		}
-		if resp.StatusCode == http.StatusBadRequest {
-			return nil, fmt.Errorf("shard client: %w: %s", core.ErrBadQuery, msg)
+		if json.NewDecoder(io.LimitReader(resp.Body, maxRequestBody)).Decode(&eresp) == nil && eresp.Error.Message != "" {
+			msg = eresp.Error.Message
+			if sentinel := sentinelOfCode(eresp.Error.Code); sentinel != nil {
+				return nil, fmt.Errorf("shard client: %w: %s", sentinel, msg)
+			}
 		}
 		return nil, fmt.Errorf("shard client: %w: status %d: %s",
 			core.ErrShardUnavailable, resp.StatusCode, msg)
@@ -338,18 +353,51 @@ func (c *ShardClient) SearchPartials(ctx context.Context, q tklus.Query) (*core.
 	return sresp.Partials, nil
 }
 
-// statusOf maps an engine or router error onto the HTTP status and the
-// query-outcome metric label: ErrBadQuery → 400, ErrNoResults → 404,
-// ErrShardUnavailable → 503, anything else → 500.
-func statusOf(err error) (int, string) {
-	switch {
-	case errors.Is(err, core.ErrBadQuery):
-		return http.StatusBadRequest, outcomeBadRequest
-	case errors.Is(err, core.ErrNoResults):
-		return http.StatusNotFound, outcomeNotFound
-	case errors.Is(err, core.ErrShardUnavailable):
-		return http.StatusServiceUnavailable, outcomeUnavailable
-	default:
-		return http.StatusInternalServerError, outcomeError
+// errorTable is the single source of truth mapping the query API's typed
+// sentinels onto the wire: HTTP status, stable envelope code, and the
+// query-outcome metric label. Order matters only in that classification
+// takes the first errors.Is match.
+var errorTable = []struct {
+	sentinel error
+	status   int
+	code     string
+	outcome  string
+}{
+	{core.ErrBadQuery, http.StatusBadRequest, "bad_query", outcomeBadRequest},
+	{core.ErrNoResults, http.StatusNotFound, "not_found", outcomeNotFound},
+	{core.ErrOverloaded, http.StatusTooManyRequests, "overloaded", outcomeOverloaded},
+	{core.ErrShardUnavailable, http.StatusServiceUnavailable, "shard_unavailable", outcomeUnavailable},
+}
+
+// internalCode is the envelope code for errors outside the sentinel table.
+const internalCode = "internal"
+
+// classify resolves an engine or router error against the sentinel table.
+// Unclassified errors are internal server faults: 500/"internal"/error.
+func classify(err error) (status int, code string, outcome string) {
+	for _, e := range errorTable {
+		if errors.Is(err, e.sentinel) {
+			return e.status, e.code, e.outcome
+		}
 	}
+	return http.StatusInternalServerError, internalCode, outcomeError
+}
+
+// statusOf maps an engine or router error onto the HTTP status and the
+// query-outcome metric label (the envelope code is dropped; handlers that
+// write the body use classify via httpError).
+func statusOf(err error) (int, string) {
+	status, _, outcome := classify(err)
+	return status, outcome
+}
+
+// sentinelOfCode inverts the envelope code back into its sentinel; nil
+// when the code names no known sentinel.
+func sentinelOfCode(code string) error {
+	for _, e := range errorTable {
+		if e.code == code {
+			return e.sentinel
+		}
+	}
+	return nil
 }

@@ -398,7 +398,7 @@ func TestSpanRecorderInterleavedSlices(t *testing.T) {
 	}
 
 	// The StageRank pattern: whole-loop elapsed minus interleaved thread
-	// time, exactly as SearchContext computes it.
+	// time, exactly as Engine.Search computes it.
 	rankElapsed := 25 * time.Millisecond
 	rec.Observe(StageRank, base.Add(5*time.Millisecond), rankElapsed-rec.Total(StageThreadBuild))
 	if got, want := rec.Total(StageRank), 15*time.Millisecond; got != want {

@@ -115,14 +115,7 @@ func orDefault(s, def string) string {
 // Search executes a TkLUS query across the partitions. It implements
 // Searcher.
 func (ps *PartitionedSystem) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
-	return ps.Engine.SearchContext(ctx, q)
-}
-
-// SearchNoCtx is the old context-free Search.
-//
-// Deprecated: use Search.
-func (ps *PartitionedSystem) SearchNoCtx(q Query) ([]UserResult, *QueryStats, error) {
-	return ps.Search(context.Background(), q)
+	return ps.Engine.Search(ctx, q)
 }
 
 // NumPartitions returns how many period indexes exist.

@@ -423,6 +423,7 @@ func Load(dir string, cfg Config) (*System, error) {
 		},
 		Recovery: &RecoveryStats{Snapshot: snapName},
 	}
+	sys.applyFeatures(cfg.Features)
 	if err := sys.replayWAL(filepath.Join(dir, walDirName)); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,76 @@
+package tklus_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	tklus "repro"
+	"repro/internal/datagen"
+)
+
+// TestSearcherCancellationContract pins the API-surface contract of the
+// consolidated Searcher interface: every implementation — monolithic
+// system, partitioned system, sharded router, federation, and the
+// admission-control wrapper — observes context cancellation and surfaces
+// it as the context's error, never as a result or a mistyped sentinel.
+func TestSearcherCancellationContract(t *testing.T) {
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 200
+	cfg.NumPosts = 3000
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := tklus.Build(corpus.Posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := tklus.BuildPartitioned(corpus.Posts, tklus.DefaultConfig(), 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tklus.DefaultShardingConfig()
+	sc.NumShards = 2
+	sharded, err := tklus.BuildSharded(corpus.Posts, tklus.DefaultConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := tklus.NewFederation(map[string]*tklus.System{"home": sys})
+	admitted := tklus.NewAdmissionControl(sys, tklus.DefaultAdmissionOptions())
+
+	searchers := map[string]tklus.Searcher{
+		"System":            sys,
+		"PartitionedSystem": part,
+		"ShardedSystem":     sharded,
+		"Federation":        fed,
+		"AdmissionControl":  admitted,
+	}
+	q := tklus.Query{
+		Loc:      corpus.Config.Cities[0].Center,
+		RadiusKm: 15,
+		Keywords: []string{"restaurant"},
+		K:        5,
+		Semantic: tklus.Or,
+		Ranking:  tklus.MaxScore,
+	}
+
+	for name, sr := range searchers {
+		t.Run(name, func(t *testing.T) {
+			// Sanity: the searcher answers a live context.
+			if _, _, err := sr.Search(context.Background(), q); err != nil {
+				t.Fatalf("%s: live-context search failed: %v", name, err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, _, err := sr.Search(ctx, q)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s: canceled-context error = %v, want context.Canceled", name, err)
+			}
+			if errors.Is(err, tklus.ErrOverloaded) {
+				t.Errorf("%s: cancellation misreported as overload", name)
+			}
+		})
+	}
+}

@@ -258,6 +258,7 @@ func BuildSharded(posts []*Post, cfg Config, sc ShardingConfig) (*ShardedSystem,
 			Engine: engine, DB: db, Index: idx, FS: fsys,
 			Bounds: bounds, Contents: store, IndexStats: istats,
 		}
+		sys.applyFeatures(cfg.Features)
 		systems = append(systems, sys)
 		specs = append(specs, ShardSpec{
 			Name:     fmt.Sprintf("shard-%02d", i),
@@ -407,13 +408,6 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 		ss.metrics.countQuery("ok")
 	}
 	return results, stats, nil
-}
-
-// SearchContext is Search under its pre-redesign name.
-//
-// Deprecated: use Search.
-func (ss *ShardedSystem) SearchContext(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
-	return ss.Search(ctx, q)
 }
 
 // callShard runs one shard sub-query through the breaker, the derived

@@ -105,7 +105,7 @@ const (
 )
 
 // Re-exported error sentinels. Classify engine and router failures with
-// errors.Is; the HTTP server maps them to 400, 404 and 503.
+// errors.Is; the HTTP server maps them to 400, 404, 429 and 503.
 var (
 	// ErrBadQuery marks a query that fails validation.
 	ErrBadQuery = core.ErrBadQuery
@@ -114,6 +114,9 @@ var (
 	// ErrShardUnavailable marks a scatter-gather query that could not be
 	// answered because the shards it needed were down.
 	ErrShardUnavailable = core.ErrShardUnavailable
+	// ErrOverloaded marks a query shed by admission control before any
+	// search work ran; back off and retry.
+	ErrOverloaded = core.ErrOverloaded
 )
 
 // Searcher is the one query interface every serving arrangement
@@ -168,19 +171,76 @@ type Config struct {
 	// HotKeywords receive pre-computed specific popularity bounds
 	// (Section V-B). Defaults to the paper's Table II top-10 keywords.
 	HotKeywords []string
+	// Features selects the optional serving accelerators. Build and Load
+	// both honor it, so a freshly built and a recovered system come up with
+	// the same surface; the With* functional options populate it.
+	Features Features
+}
+
+// Features are the optional serving accelerators a system can come up
+// with. Every feature preserves byte-identical results; they only change
+// where reads go. The zero value enables nothing — the paper's baseline
+// configuration. (These replace the ad-hoc Enable* toggle methods, which
+// remain as thin shims so server flags keep mapping 1:1.)
+type Features struct {
+	// PopCacheCapacity attaches the cross-query thread-popularity cache
+	// with this many entries; negative selects the popcache default
+	// capacity, zero disables the cache.
+	PopCacheCapacity int
+	// ReplySnapshot builds the metadata database's CSR reply-graph
+	// snapshot and moves thread expansion onto it (zero B⁺-tree traffic
+	// for thread construction).
+	ReplySnapshot bool
+	// RowMetaSnapshot builds the SID → (location, author) row-meta
+	// snapshot that serves the candidate filter's radius test with zero
+	// per-row IO.
+	RowMetaSnapshot bool
+}
+
+// Option mutates a Config; DefaultConfig applies them in order. Options
+// exist for the feature toggles so call sites read as one line:
+//
+//	sys, err := tklus.Build(posts, tklus.DefaultConfig(
+//	    tklus.WithPopCache(4096), tklus.WithReplySnapshot()))
+type Option func(*Config)
+
+// WithPopCache enables the cross-query thread-popularity cache with the
+// given capacity in entries (non-positive selects the popcache default).
+func WithPopCache(capacity int) Option {
+	return func(c *Config) {
+		if capacity <= 0 {
+			capacity = -1
+		}
+		c.Features.PopCacheCapacity = capacity
+	}
+}
+
+// WithReplySnapshot enables the CSR reply-graph snapshot.
+func WithReplySnapshot() Option {
+	return func(c *Config) { c.Features.ReplySnapshot = true }
+}
+
+// WithRowMetaSnapshot enables the SID → (location, author) row-meta
+// snapshot.
+func WithRowMetaSnapshot() Option {
+	return func(c *Config) { c.Features.RowMetaSnapshot = true }
 }
 
 // DefaultConfig returns the paper's standard configuration: 4-length
 // geohash, α = 0.5, ε = 0.1, N = 40, pruning and hot-keyword bounds on,
-// database caches off.
-func DefaultConfig() Config {
-	return Config{
+// database caches off. Options layer feature toggles on top.
+func DefaultConfig(opts ...Option) Config {
+	cfg := Config{
 		Index:       invindex.DefaultBuildOptions(),
 		DB:          metadb.DefaultOptions(),
 		DFS:         dfs.DefaultOptions(),
 		Engine:      core.DefaultOptions(),
 		HotKeywords: datagen.HotKeywords,
 	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
 }
 
 // System is a fully built TkLUS deployment over one corpus.
@@ -247,7 +307,7 @@ func Build(posts []*Post, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tklus: creating engine: %w", err)
 	}
-	return &System{
+	sys := &System{
 		Engine:     engine,
 		DB:         db,
 		Index:      idx,
@@ -256,12 +316,31 @@ func Build(posts []*Post, cfg Config) (*System, error) {
 		Contents:   store,
 		IndexStats: stats,
 		BuildTime:  time.Since(start),
-	}, nil
+	}
+	sys.applyFeatures(cfg.Features)
+	return sys, nil
+}
+
+// applyFeatures turns on the accelerators the config asks for. Build and
+// Load both funnel through it, so a fresh build and a snapshot recovery
+// come up with the same serving surface.
+func (s *System) applyFeatures(f Features) {
+	if f.PopCacheCapacity != 0 {
+		s.EnablePopCache(f.PopCacheCapacity)
+	}
+	if f.ReplySnapshot {
+		s.EnableReplySnapshot()
+	}
+	if f.RowMetaSnapshot {
+		s.EnableRowMetaSnapshot()
+	}
 }
 
 // EnablePopCache attaches a cross-query thread-popularity cache of the
 // given capacity (entries; non-positive selects the default) to the query
-// engine. φ(p) depends only on the reply/forward graph, so cached results
+// engine. It is the imperative shim behind Features.PopCacheCapacity /
+// WithPopCache — prefer those on new code; this form exists so server
+// flags can toggle features on an already-running system. φ(p) depends only on the reply/forward graph, so cached results
 // stay exact across queries; Ingest evicts the entries an inserted post
 // invalidates. Calling it again replaces the cache (and so empties it).
 func (s *System) EnablePopCache(capacity int) *popcache.Cache {
@@ -426,23 +505,7 @@ func (s *System) Evidence(q Query, uid UserID, limit int) ([]string, error) {
 // error at the next candidate boundary once ctx is done. It implements
 // Searcher.
 func (s *System) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
-	return s.Engine.SearchContext(ctx, q)
-}
-
-// SearchContext is Search under its pre-redesign name, from when the
-// context-free variant held the Search name.
-//
-// Deprecated: use Search.
-func (s *System) SearchContext(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
-	return s.Search(ctx, q)
-}
-
-// SearchNoCtx is the old context-free Search.
-//
-// Deprecated: use Search with a real context so serving deadlines and
-// client disconnects propagate into the query pipeline.
-func (s *System) SearchNoCtx(q Query) ([]UserResult, *QueryStats, error) {
-	return s.Search(context.Background(), q)
+	return s.Engine.Search(ctx, q)
 }
 
 // ResetStats zeroes every layer's I/O and work counters, so the next query
