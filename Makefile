@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt lint bench bench-compare bench-sharded bench-batchio bench-tracing bench-blockmax bench-load test-crash test-obs clean
+.PHONY: all build test short race vet fmt lint bench bench-compare bench-sharded bench-batchio bench-tracing bench-blockmax bench-segments bench-load test-crash test-obs clean
 
 all: build test
 
@@ -24,15 +24,17 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Durability lane: crash-inject every filesystem step of Save, corrupt
-# every snapshot artifact, replay the WAL after simulated crashes, race
-# checkpoints against live ingest, and burst client cancellations at the
-# sharded tier's breakers — all under -race. The WAL package's own tests
-# (torn tails, segment rotation, record framing) ride along.
+# Durability lane: crash-inject every filesystem step of Save, segment
+# seal and compaction, corrupt every snapshot and segment artifact, replay
+# the WAL after simulated crashes, race checkpoints against live ingest,
+# and burst client cancellations at the sharded tier's breakers — all
+# under -race. The WAL and segment packages' own tests (torn tails,
+# segment rotation, record framing, the segment corruption matrix) ride
+# along.
 test-crash:
 	$(GO) test -race -count=1 \
 		-run 'CrashInjection|Corruption|WALRecovery|WALReplay|WALTornTail|SaveRacesIngest|BreakerIgnoresClientCancellation' .
-	$(GO) test -race -count=1 ./internal/wal/ ./internal/fsx/...
+	$(GO) test -race -count=1 ./internal/wal/ ./internal/fsx/... ./internal/segment/
 
 # Observability lane: the tracing substrate (span trees, tail sampling,
 # ring store, the zero-allocation disabled path) and the server's traced
@@ -117,6 +119,19 @@ bench-blockmax:
 		-telemetry "" -parallel "" -blockmax BENCH_blockmax.json
 	$(GO) run ./cmd/tklus-benchcheck -in "" -blockmax-in BENCH_blockmax.json -min-blockmax-speedup 2.0
 
+# Storage-engine gate: compare the paged B⁺-tree baseline against the
+# mmap'd immutable segment store on the same corpus, with database caches
+# off so every paged read is cold — the regime segments are built for.
+# Fails unless results were byte-identical between the arms, the store
+# actually time-partitioned (> 1 segment, windowed queries pruning whole
+# buckets), and the segment store beat the paged cold-read p95 by >= 2x.
+# BENCH_segments.json is the evidence artifact.
+bench-segments:
+	GOMAXPROCS=4 $(GO) run ./cmd/tklus-bench -fig segments \
+		-posts 20000 -users 2000 -queries 8 -iolat 100us \
+		-telemetry "" -parallel "" -segments BENCH_segments.json
+	$(GO) run ./cmd/tklus-benchcheck -in "" -segments-in BENCH_segments.json -min-segments-speedup 2.0
+
 # Overload gate: offer the same open-loop Poisson workload at 0.5x/1x/2x
 # of measured capacity to the bare system and to the same system behind
 # admission control. Fails unless the 2x run shows the contrast the design
@@ -134,4 +149,4 @@ bench-load:
 		-min-collapse-ratio 2.0 -min-goodput-frac 0.5
 
 clean:
-	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json BENCH_blockmax.json BENCH_load.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json BENCH_blockmax.json BENCH_segments.json BENCH_load.json

@@ -54,6 +54,8 @@ func main() {
 			"write the tracing-overhead comparison to this file (empty disables; the bench-tracing lane passes BENCH_tracing.json)")
 		blockmax = flag.String("blockmax", "",
 			"write the block-max traversal comparison to this file (empty disables; the bench-blockmax lane passes BENCH_blockmax.json)")
+		segments = flag.String("segments", "",
+			"write the paged-vs-segments storage comparison to this file (empty disables; the bench-segments lane passes BENCH_segments.json)")
 		load = flag.String("load", "",
 			"write the open-loop load comparison to this file (empty disables; the bench-load lane passes BENCH_load.json)")
 		loadDur = flag.Duration("load-duration", 1500*time.Millisecond,
@@ -198,6 +200,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[blockmax comparison (sum p95 speedup %.2fx, %d blocks skipped, identical=%v) written to %s in %v]\n",
 			snap.SumSpeedupP95, snap.TotalBlocksSkipped, snap.ResultsIdentical, *blockmax, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *segments != "" {
+		t0 := time.Now()
+		snap, err := setup.SegmentsCompare() // memoized if the runner already ran
+		if err != nil {
+			log.Fatalf("segments comparison: %v", err)
+		}
+		f, err := os.Create(*segments)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[segments comparison (cold p95 speedup %.2fx, %d segments, %d partitions pruned, identical=%v) written to %s in %v]\n",
+			snap.ColdSpeedupP95, snap.Segments, snap.TotalPartitionsPruned, snap.ResultsIdentical, *segments, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *load != "" {

@@ -78,6 +78,10 @@ func main() {
 			"block-max traversal snapshot written by tklus-bench -blockmax (empty skips the blockmax gate)")
 		minBlockmaxSpeedup = flag.Float64("min-blockmax-speedup", 2.0,
 			"fail unless the block-max configuration's p95 speedup over the exhaustive baseline on sum-ranking classes is at least this")
+		segmentsIn = flag.String("segments-in", "",
+			"storage-engine snapshot written by tklus-bench -segments (empty skips the segments gate)")
+		minSegmentsSpeedup = flag.Float64("min-segments-speedup", 2.0,
+			"fail unless the segment store's cold-read p95 speedup over the paged baseline is at least this")
 		tracingIn = flag.String("tracing-in", "",
 			"tracing-overhead snapshot written by tklus-bench -tracing (empty skips the tracing gate)")
 		maxTracingOverhead = flag.Float64("max-tracing-overhead", 5.0,
@@ -93,8 +97,8 @@ func main() {
 	)
 	flag.Parse()
 
-	if *in == "" && *shardedIn == "" && *batchioIn == "" && *blockmaxIn == "" && *tracingIn == "" && *loadIn == "" {
-		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in, -blockmax-in, -tracing-in and -load-in are all empty")
+	if *in == "" && *shardedIn == "" && *batchioIn == "" && *blockmaxIn == "" && *segmentsIn == "" && *tracingIn == "" && *loadIn == "" {
+		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in, -blockmax-in, -segments-in, -tracing-in and -load-in are all empty")
 	}
 	if *shardedIn != "" {
 		checkSharded(*shardedIn)
@@ -104,6 +108,9 @@ func main() {
 	}
 	if *blockmaxIn != "" {
 		checkBlockMax(*blockmaxIn, *minBlockmaxSpeedup)
+	}
+	if *segmentsIn != "" {
+		checkSegments(*segmentsIn, *minSegmentsSpeedup)
 	}
 	if *tracingIn != "" {
 		checkTracing(*tracingIn, *maxTracingOverhead, *tracingNoise)
@@ -264,6 +271,52 @@ func checkBlockMax(path string, minSpeedup float64) {
 			snap.SumSpeedupP95, minSpeedup)
 	}
 	fmt.Println("blockmax ok")
+}
+
+// checkSegments gates the storage-engine snapshot: results must be
+// identical between the paged baseline and the segment store, the store
+// must actually be time-partitioned (more than one sealed segment, with
+// windowed queries pruning whole partitions — proof the bucket predicate
+// is live), and the segment store's cold-read p95 must beat the paged
+// baseline by the required factor.
+func checkSegments(path string, minSpeedup float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := experiments.ReadSegmentsSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Classes) == 0 {
+		log.Fatalf("%s holds no query classes — empty benchmark run?", path)
+	}
+
+	fmt.Printf("segments: %d classes, %d segments, iolat=%s, %.1f MiB mapped\n",
+		len(snap.Classes), snap.Segments, snap.IOLatency, float64(snap.MmapBytes)/(1<<20))
+	for _, c := range snap.Classes {
+		fmt.Printf("  %dkw r=%.0fkm %s/%s windowed=%v: paged p95 %.2fms, segments p95 %.2fms (%.2fx), %d partitions pruned\n",
+			c.Keywords, c.RadiusKm, c.Semantic, c.Ranking, c.Windowed,
+			c.PagedP95, c.SegP95, c.SpeedupP95, c.PartitionsPruned)
+	}
+	fmt.Printf("overall: paged p95 %.2fms, segments p95 %.2fms, cold speedup %.2fx (required >= %.2fx), %d partitions pruned\n",
+		snap.OverallPagedP95, snap.OverallSegP95, snap.ColdSpeedupP95, minSpeedup, snap.TotalPartitionsPruned)
+
+	if !snap.ResultsIdentical {
+		log.Fatal("REGRESSION: results diverged between the paged baseline and the segment store")
+	}
+	if snap.Segments < 2 {
+		log.Fatalf("REGRESSION: store holds %d segments — time partitioning not engaged", snap.Segments)
+	}
+	if snap.TotalPartitionsPruned == 0 {
+		log.Fatal("REGRESSION: windowed queries pruned no partitions — bucket predicate not engaged")
+	}
+	if snap.ColdSpeedupP95 < minSpeedup {
+		log.Fatalf("REGRESSION: cold-read p95 speedup %.2fx below required %.2fx",
+			snap.ColdSpeedupP95, minSpeedup)
+	}
+	fmt.Println("segments ok")
 }
 
 // checkTracing gates the tracing-overhead snapshot: the disabled-tracer

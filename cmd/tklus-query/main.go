@@ -109,9 +109,11 @@ func main() {
 	}
 	if *verbose {
 		fmt.Printf("\nwork: %d cells, %d postings lists, %d candidates, "+
-			"%d threads built, %d pruned, %d blocks skipped (%d postings), %v elapsed\n",
+			"%d threads built, %d pruned, %d blocks skipped (%d postings), "+
+			"%d partitions pruned, %v elapsed\n",
 			stats.Cells, stats.PostingsFetched, stats.Candidates,
 			stats.ThreadsBuilt, stats.ThreadsPruned, stats.BlocksSkipped,
-			stats.PostingsSkipped, stats.Elapsed.Round(time.Microsecond))
+			stats.PostingsSkipped, stats.PartitionsPruned,
+			stats.Elapsed.Round(time.Microsecond))
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -65,6 +66,12 @@ func main() {
 			"ingest WAL fsync policy: record | interval | off")
 		checkpointInterval = flag.Duration("checkpoint-interval", 15*time.Minute,
 			"how often to commit a fresh snapshot of the -data directory (0 disables periodic checkpoints)")
+		segments = flag.Bool("segments", false,
+			"serve reads from mmap'd immutable time-bucketed segments with an in-memory memtable for live ingest (monolithic only; persistent under -data, ephemeral otherwise)")
+		segmentBucket = flag.Duration("segment-bucket", 30*24*time.Hour,
+			"segment time-bucket width; ingest seals the memtable when a post crosses a bucket boundary")
+		compactInterval = flag.Duration("compact-interval", 0,
+			"background size-tiered segment compaction period (0 disables; requires -segments)")
 		trace = flag.Bool("trace", false,
 			"enable distributed tracing: span trees for searches, shard fan-outs, ingests and checkpoints, served at /debug/traces")
 		traceSample = flag.Float64("trace-sample", 0.05,
@@ -147,9 +154,19 @@ func main() {
 
 	var handler *server.Server
 	var durable *tklus.System // non-nil when -data owns persistence
+	// saver is what checkpoints call: the segmented wrapper when -segments
+	// is on (it seals the memtable before each snapshot — the crash-safety
+	// ordering), the bare system otherwise.
+	var saver interface {
+		SaveContext(context.Context, string) error
+	}
 	if *shards > 0 {
 		if *load != "" || *data != "" {
 			logger.Error("-shards cannot be combined with -load or -data (images are monolithic)")
+			os.Exit(1)
+		}
+		if *segments {
+			logger.Error("-segments cannot be combined with -shards (the segment store is monolithic)")
 			os.Exit(1)
 		}
 		posts, err := ingest.Load(*in, *format)
@@ -202,12 +219,48 @@ func main() {
 				os.Exit(1)
 			}
 			durable = sys
+			saver = sys
 			logger.Info("ingest WAL enabled", "dir", *data, "sync", policy.String())
 		}
 		if sys.PopCache != nil {
 			logger.Info("popularity cache enabled", "capacity", sys.PopCache.Capacity())
 		}
-		handler = server.NewWith(sys, opts)
+		var segSys *tklus.SegmentedSystem
+		if *segments {
+			segOpts := tklus.SegmentOptions{
+				BucketWidth:     *segmentBucket,
+				CompactInterval: *compactInterval,
+			}
+			if *data != "" {
+				segOpts.Dir = filepath.Join(*data, "segments")
+				segOpts.WALDir = *data
+			} else {
+				tmp, terr := os.MkdirTemp("", "tklus-segments-*")
+				if terr != nil {
+					logger.Error("creating ephemeral segment directory", "err", terr)
+					os.Exit(1)
+				}
+				segOpts.Dir = tmp
+			}
+			segSys, err = tklus.EnableSegments(sys, segOpts)
+			if err != nil {
+				logger.Error("enabling segment store", "err", err)
+				os.Exit(1)
+			}
+			if durable != nil {
+				saver = segSys
+			}
+			logger.Info("segment store enabled",
+				"dir", segOpts.Dir, "segments", segSys.Store.SegmentCount(),
+				"memtable_rows", segSys.Store.Memtable().Len(),
+				"bucket", segmentBucket.String(), "compact_interval", compactInterval.String())
+		}
+		if segSys != nil {
+			handler = server.NewSearcherWith(segSys, opts)
+			segSys.RegisterMetrics(handler.Registry())
+		} else {
+			handler = server.NewWith(sys, opts)
+		}
 		if durable != nil {
 			durable.RegisterPersistenceMetrics(handler.Registry())
 		}
@@ -241,7 +294,7 @@ func main() {
 					return
 				case <-ticker.C:
 					t0 := time.Now()
-					if err := checkpoint(tracer, durable, *data); err != nil {
+					if err := checkpoint(tracer, saver, *data); err != nil {
 						logger.Error("checkpoint failed", "err", err)
 					} else {
 						logger.Info("checkpoint committed", "dir", *data, "elapsed", time.Since(t0).String())
@@ -270,7 +323,7 @@ func main() {
 	// Final checkpoint: fold every ingested post into the snapshot so the
 	// next boot replays an empty (or tiny) WAL.
 	if durable != nil {
-		if err := checkpoint(tracer, durable, *data); err != nil {
+		if err := checkpoint(tracer, saver, *data); err != nil {
 			logger.Error("final checkpoint failed (WAL still covers the ingests)", "err", err)
 		} else {
 			logger.Info("final checkpoint committed", "dir", *data)
@@ -323,10 +376,14 @@ func notReady(w http.ResponseWriter, r *http.Request) {
 
 // checkpoint commits one snapshot, under its own trace when tracing is on
 // (checkpoints are background work, so each Save roots a fresh trace; the
-// save/capture/write/commit/gc phases land as its child spans).
-func checkpoint(tracer *telemetry.Tracer, sys *tklus.System, dir string) error {
+// save/capture/write/commit/gc phases land as its child spans). The saver
+// is the segmented wrapper when -segments is on, so the memtable seals
+// before the snapshot's WAL rotation mark moves.
+func checkpoint(tracer *telemetry.Tracer, saver interface {
+	SaveContext(context.Context, string) error
+}, dir string) error {
 	span := tracer.StartTrace("checkpoint")
-	err := sys.SaveContext(telemetry.ContextWithSpan(context.Background(), span), dir)
+	err := saver.SaveContext(telemetry.ContextWithSpan(context.Background(), span), dir)
 	span.SetError(err)
 	span.Finish()
 	return err

@@ -19,7 +19,7 @@ var errInjectedCrash = errors.New("injected crash")
 // searchHotel runs the canonical corpus query. Sum ranking over the tiny
 // hand-rolled corpus is fully deterministic, so recovered systems must
 // reproduce these results exactly.
-func searchHotel(t testing.TB, sys *tklus.System, loc tklus.Point) []tklus.UserResult {
+func searchHotel(t testing.TB, sys tklus.Searcher, loc tklus.Point) []tklus.UserResult {
 	t.Helper()
 	res, _, err := sys.Search(context.Background(), tklus.Query{
 		Loc: loc, RadiusKm: 5, Keywords: []string{"hotel"},

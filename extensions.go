@@ -141,6 +141,7 @@ func addStats(total *QueryStats, platform string, s *QueryStats) {
 	total.PopCacheHits += s.PopCacheHits
 	total.BlocksSkipped += s.BlocksSkipped
 	total.PostingsSkipped += s.PostingsSkipped
+	total.PartitionsPruned += s.PartitionsPruned
 	for _, d := range s.DegradedShards {
 		total.DegradedShards = append(total.DegradedShards, core.ShardFailure{
 			Shard:  platform + "/" + d.Shard,

@@ -268,18 +268,19 @@ type UserResult struct {
 
 // QueryStats reports the work one query performed.
 type QueryStats struct {
-	Cells           int   // geohash cells in the circle cover
-	PostingsFetched int64 // postings lists pulled from the DFS
-	Candidates      int   // tweets surviving semantics + radius + window
-	ThreadsBuilt    int64 // Algorithm 1 invocations
-	ThreadsPruned   int64 // candidates skipped by the upper bound
-	TweetsPulled    int64 // rows fetched during thread expansion
-	PopCacheHits    int64 // thread constructions answered by the popularity cache
-	DBBatchLookups  int64 // keys this query resolved through multi-get batches
-	DBPagesSaved    int64 // simulated page+node touches the batches avoided
-	BlocksSkipped   int64 // postings blocks passed over without decoding
-	PostingsSkipped int64 // postings inside those skipped blocks
-	Elapsed         time.Duration
+	Cells            int   // geohash cells in the circle cover
+	PostingsFetched  int64 // postings lists pulled from the DFS
+	Candidates       int   // tweets surviving semantics + radius + window
+	ThreadsBuilt     int64 // Algorithm 1 invocations
+	ThreadsPruned    int64 // candidates skipped by the upper bound
+	TweetsPulled     int64 // rows fetched during thread expansion
+	PopCacheHits     int64 // thread constructions answered by the popularity cache
+	DBBatchLookups   int64 // keys this query resolved through multi-get batches
+	DBPagesSaved     int64 // simulated page+node touches the batches avoided
+	BlocksSkipped    int64 // postings blocks passed over without decoding
+	PostingsSkipped  int64 // postings inside those skipped blocks
+	PartitionsPruned int64 // time-partitioned sources skipped by the query window
+	Elapsed          time.Duration
 
 	// Spans are the per-stage timings of the query pipeline (cell cover →
 	// postings fetch → candidate filter → thread build → rank/top-k), in

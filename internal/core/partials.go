@@ -291,6 +291,7 @@ func MergePartials(q Query, alpha float64, parts []*Partials) ([]UserResult, *Qu
 		stats.DBPagesSaved += p.Stats.DBPagesSaved
 		stats.BlocksSkipped += p.Stats.BlocksSkipped
 		stats.PostingsSkipped += p.Stats.PostingsSkipped
+		stats.PartitionsPruned += p.Stats.PartitionsPruned
 		if p.Stats.Cells > stats.Cells {
 			stats.Cells = p.Stats.Cells
 		}

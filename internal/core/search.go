@@ -105,7 +105,8 @@ func (e *Engine) gatherCandidates(ctx context.Context, q *Query, terms []string,
 	for i := range e.Partitions {
 		part := &e.Partitions[i]
 		if !part.overlapsWindow(q.TimeWindow) {
-			continue // batch-partition pruning for windowed queries
+			stats.PartitionsPruned++ // whole time slice outside the window
+			continue
 		}
 		parts = append(parts, part)
 		precision := part.Source.GeohashLen()

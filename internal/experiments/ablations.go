@@ -145,6 +145,7 @@ func Runners() []Runner {
 		{"batchio", "Batched IO: point vs batched vs CSR snapshot", (*Setup).BatchIOTable},
 		{"tracing", "Tracing overhead: disabled vs enabled tracer", (*Setup).TracingOverhead},
 		{"blockmax", "Block-max traversal: exhaustive vs Def.-11 vs block-max", (*Setup).BlockMaxTable},
+		{"segments", "Storage engine: paged B⁺-tree vs mmap'd segments", (*Setup).SegmentsTable},
 		{"load", "Open-loop load: bare system vs admission control", (*Setup).Load},
 	}
 }

@@ -42,6 +42,7 @@ func runBatch(eng *core.Engine, specs []datagen.QuerySpec, radiusKm float64, k i
 		agg.TweetsPulled += stats.TweetsPulled
 		agg.BlocksSkipped += stats.BlocksSkipped
 		agg.PostingsSkipped += stats.PostingsSkipped
+		agg.PartitionsPruned += stats.PartitionsPruned
 		agg.Elapsed += stats.Elapsed
 	}
 	return agg.Elapsed.Seconds() / float64(len(specs)), agg, nil

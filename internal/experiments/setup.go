@@ -68,6 +68,7 @@ type Setup struct {
 	tracingSnap  *TracingSnapshot      // memoized TracingCompare result
 	blockmaxSnap *BlockMaxSnapshot     // memoized BlockMaxCompare result
 	loadSnap     *LoadSnapshot         // memoized LoadCompare result
+	segmentsSnap *SegmentsSnapshot     // memoized SegmentsCompare result
 }
 
 // NewSetup generates the corpus and the 90-query-style workload.

@@ -130,16 +130,28 @@ type RowMeta struct {
 	UID social.UserID
 }
 
+// RowMetaSource is an external resolver of SID → (location, author) —
+// the segment store implements it over mmap'd row records. A snapshot
+// wired to a source (EnableRowMetaSnapshotFrom) consults it between the
+// in-memory arrays and the overlay; all three agree on values wherever
+// they overlap, so lookup order never changes a result.
+type RowMetaSource interface {
+	LookupRowMeta(sid social.PostID) (RowMeta, bool)
+}
+
 // RowMetaSnapshot is an immutable SID → (location, author) image of the
 // row store — the spatial analogue of ReplySnapshot. The candidate filter
 // resolves keyword-matching SIDs against it in memory instead of paying
 // B⁺-tree descents plus data-page reads per merged posting; at city radii
 // most of those rows are fetched only to be rejected by the radius test.
 // Posts appended after the snapshot land in a small mutable overlay, so
-// an enabled snapshot stays current through ingest.
+// an enabled snapshot stays current through ingest. A snapshot may also
+// delegate to an external RowMetaSource (the segment store) instead of
+// carrying heap arrays.
 type RowMetaSnapshot struct {
 	sids  []int64 // ascending SID order, mirroring the row store
 	metas []RowMeta
+	base  RowMetaSource // optional external resolver (segment store)
 
 	mu      sync.RWMutex
 	overlay map[social.PostID]RowMeta
@@ -152,6 +164,11 @@ func (s *RowMetaSnapshot) Get(sid social.PostID) (RowMeta, bool) {
 	i := sort.Search(len(s.sids), func(i int) bool { return s.sids[i] >= key })
 	if i < len(s.sids) && s.sids[i] == key {
 		return s.metas[i], true
+	}
+	if s.base != nil {
+		if m, ok := s.base.LookupRowMeta(sid); ok {
+			return m, ok
+		}
 	}
 	s.mu.RLock()
 	m, ok := s.overlay[sid]
@@ -197,6 +214,23 @@ func (db *DB) EnableRowMetaSnapshot() *RowMetaSnapshot {
 	}
 	db.rowMeta = snap
 	return snap
+}
+
+// EnableRowMetaSnapshotFrom installs a row-meta snapshot that resolves
+// through an external source instead of (or in addition to) heap arrays —
+// the segment store serves lookups straight off mmap'd row records. If a
+// full in-memory snapshot is already enabled the source is attached
+// underneath it; either way Append keeps ingested rows visible through
+// the overlay. Not safe to call concurrently with queries.
+func (db *DB) EnableRowMetaSnapshotFrom(src RowMetaSource) *RowMetaSnapshot {
+	db.mustBeFrozen()
+	db.structMu.Lock()
+	defer db.structMu.Unlock()
+	if db.rowMeta == nil {
+		db.rowMeta = &RowMetaSnapshot{}
+	}
+	db.rowMeta.base = src
+	return db.rowMeta
 }
 
 // RowMetaSnapshot returns the row-meta snapshot, or nil if

@@ -1,0 +1,23 @@
+package segment
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics exports the store's lifecycle counters and the mmap
+// footprint under the tklus_segment_* namespace.
+func (st *Store) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("tklus_segment_seals_total",
+		"Memtable seals into immutable segment files.", nil,
+		func() float64 { return float64(st.Seals()) })
+	reg.CounterFunc("tklus_segment_compactions_total",
+		"Size-tiered compaction merges committed.", nil,
+		func() float64 { return float64(st.Compactions()) })
+	reg.GaugeFunc("tklus_segment_files",
+		"Live sealed segment files referenced by the current MANIFEST.", nil,
+		func() float64 { return float64(st.SegmentCount()) })
+	reg.GaugeFunc("tklus_segment_mmap_bytes",
+		"Bytes of segment files currently memory-mapped (live + retired).", nil,
+		func() float64 { return float64(st.MappedBytes()) })
+	reg.GaugeFunc("tklus_segment_memtable_rows",
+		"Rows buffered in the mutable memtable awaiting seal.", nil,
+		func() float64 { return float64(st.Memtable().Len()) })
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package segment
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without the unix mmap syscall reads the whole file
+// into heap memory — same read contract, one copy, MappedBytes reports 0.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+// unmapFile is a no-op for heap-backed images.
+func unmapFile([]byte) error { return nil }

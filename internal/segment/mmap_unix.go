@@ -1,0 +1,36 @@
+//go:build unix
+
+package segment
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the file read-only. A zero-length file maps to nil
+// (parseSegment rejects it as truncated); a failed mmap falls back to
+// reading the file into heap memory, preserving the read contract at the
+// cost of one copy.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err == nil {
+		return b, true, nil
+	}
+	b, rerr := io.ReadAll(f)
+	if rerr != nil {
+		return nil, false, rerr
+	}
+	return b, false, nil
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,322 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/social"
+)
+
+// testPosts builds a small multi-bucket corpus: n posts stepping `step`
+// apart starting at `start`, cycling through a handful of word sets and
+// two nearby locations.
+func testPosts(n int, start time.Time, step time.Duration) []*social.Post {
+	wordSets := [][]string{
+		{"hotel", "great"},
+		{"hotel", "view", "view"},
+		{"pizza", "downtown"},
+		{"museum"},
+		nil, // posts with no indexable words still carry rows
+	}
+	locs := []geo.Point{{Lat: 43.70, Lon: -79.40}, {Lat: 43.71, Lon: -79.42}}
+	posts := make([]*social.Post, n)
+	for i := range posts {
+		posts[i] = &social.Post{
+			SID:   social.PostID(start.Add(time.Duration(i) * step).UnixNano()),
+			UID:   social.UserID(100 + i%7),
+			Loc:   locs[i%len(locs)],
+			Words: wordSets[i%len(wordSets)],
+		}
+	}
+	return posts
+}
+
+// oraclePostings replicates the batch build's map/reduce over posts: term
+// frequency per post, keys at the given precision, postings ascending by
+// TID.
+func oraclePostings(posts []*social.Post, geohashLen int) map[invindex.Key][]invindex.Posting {
+	out := make(map[invindex.Key][]invindex.Posting)
+	for _, p := range posts {
+		if len(p.Words) == 0 {
+			continue
+		}
+		tf := make(map[string]uint32)
+		for _, w := range p.Words {
+			tf[w]++
+		}
+		cell := geo.Encode(p.Loc, geohashLen)
+		for term, f := range tf {
+			k := invindex.Key{Geohash: cell, Term: term}
+			out[k] = append(out[k], invindex.Posting{TID: p.SID, TF: f})
+		}
+	}
+	return out
+}
+
+// sealedPostings gathers every sealed segment's postings per key, in
+// segment order.
+func sealedPostings(t *testing.T, st *Store) map[invindex.Key][]invindex.Posting {
+	t.Helper()
+	out := make(map[invindex.Key][]invindex.Posting)
+	st.mu.RLock()
+	segs := append([]*Segment{}, st.segs...)
+	st.mu.RUnlock()
+	for _, seg := range segs {
+		for _, k := range seg.Keys() {
+			ps, err := seg.FetchPostings(k.Geohash, k.Term)
+			if err != nil {
+				t.Fatalf("FetchPostings(%v): %v", k, err)
+			}
+			out[k] = append(out[k], ps...)
+		}
+	}
+	return out
+}
+
+func TestSegmentRoundtrip(t *testing.T) {
+	const geohashLen = 5
+	posts := testPosts(200, time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC), time.Second)
+	mt := NewMemtable(geohashLen)
+	for _, p := range posts {
+		if err := mt.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, keys, err := mt.snapshot(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := buildSegment(geohashLen, rows, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(seg *Segment) {
+		t.Helper()
+		if seg.GeohashLen() != geohashLen {
+			t.Fatalf("GeohashLen = %d", seg.GeohashLen())
+		}
+		if seg.NumRows() != len(posts) {
+			t.Fatalf("NumRows = %d, want %d", seg.NumRows(), len(posts))
+		}
+		if seg.MinSID() != posts[0].SID || seg.MaxSID() != posts[len(posts)-1].SID {
+			t.Fatalf("SID range [%d,%d]", seg.MinSID(), seg.MaxSID())
+		}
+		want := oraclePostings(posts, geohashLen)
+		if seg.NumKeys() != len(want) {
+			t.Fatalf("NumKeys = %d, want %d", seg.NumKeys(), len(want))
+		}
+		for k, ps := range want {
+			got, err := seg.FetchPostings(k.Geohash, k.Term)
+			if err != nil {
+				t.Fatalf("FetchPostings(%v): %v", k, err)
+			}
+			if !reflect.DeepEqual(got, ps) {
+				t.Fatalf("postings for %v: got %v, want %v", k, got, ps)
+			}
+			it, err := seg.OpenPostings(k.Geohash, k.Term)
+			if err != nil {
+				t.Fatalf("OpenPostings(%v): %v", k, err)
+			}
+			var lazy []invindex.Posting
+			for it.Valid() {
+				p, ok := it.Cur()
+				if !ok {
+					break
+				}
+				lazy = append(lazy, p)
+				it.Next()
+			}
+			if it.Err() != nil {
+				t.Fatalf("iterator error for %v: %v", k, it.Err())
+			}
+			if !reflect.DeepEqual(lazy, ps) {
+				t.Fatalf("lazy postings for %v: got %v, want %v", k, lazy, ps)
+			}
+		}
+		if ps, err := seg.FetchPostings("zzzzz", "absent"); err != nil || ps != nil {
+			t.Fatalf("absent key: %v, %v", ps, err)
+		}
+		for _, p := range posts {
+			m, ok := seg.LookupRowMeta(p.SID)
+			if !ok || m.UID != p.UID || m.Lat != p.Loc.Lat || m.Lon != p.Loc.Lon {
+				t.Fatalf("LookupRowMeta(%d) = %+v, %v", p.SID, m, ok)
+			}
+		}
+		if _, ok := seg.LookupRowMeta(posts[0].SID + 1); ok {
+			t.Fatal("LookupRowMeta found a SID between rows")
+		}
+	}
+
+	seg, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(seg)
+
+	// Through a file: mmap'd open must serve identical bytes.
+	path := filepath.Join(t.TempDir(), "seg-00000001.tkseg")
+	if err := writeTestFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	mseg, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mseg.Close()
+	check(mseg)
+	if mseg.MappedBytes() != len(data) && mseg.MappedBytes() != 0 {
+		t.Fatalf("MappedBytes = %d", mseg.MappedBytes())
+	}
+}
+
+func TestStoreSealCompactReopen(t *testing.T) {
+	const geohashLen = 5
+	dir := t.TempDir()
+	// One-hour buckets, posts stepping 10 minutes: ~6 posts per bucket.
+	opts := Options{GeohashLen: geohashLen, BucketWidth: time.Hour, BlockSize: 8, CompactFanIn: 2}
+	st, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := testPosts(60, time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC), 10*time.Minute)
+	for _, p := range posts {
+		if _, err := st.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.SealNow(); err != nil {
+		t.Fatal(err)
+	}
+	want := oraclePostings(posts, geohashLen)
+	if got := sealedPostings(t, st); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sealed postings diverge from oracle")
+	}
+	nBefore := st.SegmentCount()
+	if nBefore < 5 {
+		t.Fatalf("expected several bucket segments, got %d", nBefore)
+	}
+
+	merged, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == 0 || st.SegmentCount() >= nBefore {
+		t.Fatalf("compaction merged %d, count %d -> %d", merged, nBefore, st.SegmentCount())
+	}
+	if got := sealedPostings(t, st); !reflect.DeepEqual(got, want) {
+		t.Fatalf("postings changed across compaction")
+	}
+	for _, p := range posts {
+		if m, ok := st.LookupRowMeta(p.SID); !ok || m.UID != p.UID {
+			t.Fatalf("LookupRowMeta(%d) after compaction = %+v, %v", p.SID, m, ok)
+		}
+	}
+	if st.Seals() == 0 || st.Compactions() == 0 {
+		t.Fatalf("counters: seals=%d compactions=%d", st.Seals(), st.Compactions())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk: same contents, same watermark.
+	st2, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := sealedPostings(t, st2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("postings diverge after reopen")
+	}
+	if st2.MaxSealedSID() != posts[len(posts)-1].SID {
+		t.Fatalf("MaxSealedSID = %d", st2.MaxSealedSID())
+	}
+	if st2.MappedBytes() == 0 {
+		t.Fatal("expected reopened segments to be mmap'd")
+	}
+}
+
+func TestStoreBulkLoadMatchesIncremental(t *testing.T) {
+	const geohashLen = 5
+	posts := testPosts(80, time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC), 7*time.Minute)
+	opts := Options{GeohashLen: geohashLen, BucketWidth: time.Hour, BlockSize: 8}
+
+	bulk, err := OpenStore(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bulk.Close()
+	all := oraclePostings(posts, geohashLen)
+	if err := bulk.BulkLoad(rowsOf(posts), all); err != nil {
+		t.Fatal(err)
+	}
+
+	incr, err := OpenStore(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer incr.Close()
+	for _, p := range posts {
+		if _, err := incr.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := incr.SealNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	if bulk.SegmentCount() != incr.SegmentCount() {
+		t.Fatalf("bulk %d segments, incremental %d", bulk.SegmentCount(), incr.SegmentCount())
+	}
+	if !reflect.DeepEqual(sealedPostings(t, bulk), sealedPostings(t, incr)) {
+		t.Fatal("bulk-loaded store diverges from incrementally sealed store")
+	}
+	if !reflect.DeepEqual(sealedPostings(t, bulk), all) {
+		t.Fatal("bulk-loaded store diverges from oracle")
+	}
+}
+
+func TestStoreRejectsWrongGeohashLen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, Options{GeohashLen: 5, BucketWidth: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := testPosts(5, time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC), time.Second)
+	for _, p := range posts {
+		if _, err := st.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.SealNow(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := OpenStore(dir, Options{GeohashLen: 4, BucketWidth: time.Hour}); err == nil {
+		t.Fatal("expected geohash-length mismatch to fail open")
+	}
+}
+
+// rowsOf converts posts to row records the way ingest does.
+func rowsOf(posts []*social.Post) (rows []metadb.Row) {
+	for _, p := range posts {
+		rows = append(rows, metadb.Row{
+			SID: p.SID, UID: p.UID,
+			Lat: p.Loc.Lat, Lon: p.Loc.Lon,
+			RUID: p.RUID, RSID: p.RSID,
+		})
+	}
+	return rows
+}
+
+// writeTestFile writes bytes without the fsx hooks (test fixture setup,
+// not a store operation).
+func writeTestFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,712 @@
+package segment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fsx"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/social"
+)
+
+// File-name vocabulary of a segment directory. The commit discipline is
+// the snapshot store's: artifacts are written under a hidden tmp name,
+// fsync'd, renamed into place, and become live only when CURRENT flips to
+// a MANIFEST that references them; anything not referenced by the current
+// MANIFEST is garbage the next gc pass may remove.
+const (
+	currentName    = "CURRENT"
+	currentTmpName = "CURRENT.tmp"
+	manifestPrefix = "MANIFEST-"
+	segSuffix      = ".tkseg"
+	segFilePrefix  = "seg-"
+	tmpSegPrefix   = ".tmp-seg-"
+
+	manifestVersion = 1
+)
+
+// segFileName renders sealed segment file names; tmpSegName the hidden
+// name a segment is written under before its rename.
+func segFileName(seq uint64) string { return fmt.Sprintf("seg-%08d%s", seq, segSuffix) }
+func tmpSegName(seq uint64) string  { return fmt.Sprintf("%s%08d", tmpSegPrefix, seq) }
+func manifestName(seq uint64) string {
+	return fmt.Sprintf("%s%08d", manifestPrefix, seq)
+}
+
+// Options configures a Store.
+type Options struct {
+	// GeohashLen is the key precision; it must match the index the
+	// engine queries with.
+	GeohashLen int
+	// BucketWidth is the time-bucket width: a memtable seals when ingest
+	// crosses a bucket boundary, so each segment covers at most one
+	// bucket and a query's time window prunes whole segments by their
+	// SID (timestamp) range. Non-positive selects 30 days.
+	BucketWidth time.Duration
+	// BlockSize is the postings block size used when sealing.
+	// Non-positive selects invindex.DefaultBlockSize.
+	BlockSize int
+	// MemtableRows force-seals the memtable when it buffers this many
+	// rows, regardless of bucket boundaries. Non-positive disables
+	// size-based seals.
+	MemtableRows int
+	// CompactFanIn is how many adjacent same-size-class segments a
+	// compaction round merges into one. Non-positive selects 4.
+	CompactFanIn int
+}
+
+func (o *Options) normalize() {
+	if o.BucketWidth <= 0 {
+		o.BucketWidth = 30 * 24 * time.Hour
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = invindex.DefaultBlockSize
+	}
+	if o.CompactFanIn <= 0 {
+		o.CompactFanIn = 4
+	}
+}
+
+// PostingsSource is the read contract a store view serves — structurally
+// identical to the engine's PostingsSource, declared here so the package
+// has no dependency on the engine.
+type PostingsSource interface {
+	GeohashLen() int
+	FetchPostings(geohash, term string) ([]invindex.Posting, error)
+}
+
+// View is one postings source of the store in time order, with the SID
+// range the engine's partition pruning tests query windows against. A
+// zero MaxSID means unbounded (the memtable view: later ingest only
+// appends larger SIDs).
+type View struct {
+	Source PostingsSource
+	MinSID social.PostID
+	MaxSID social.PostID
+}
+
+// manifestSegment is one segment's entry in the MANIFEST.
+type manifestSegment struct {
+	File   string `json:"file"`
+	MinSID int64  `json:"min_sid"`
+	MaxSID int64  `json:"max_sid"`
+	Rows   int    `json:"rows"`
+	Keys   int    `json:"keys"`
+	Size   int64  `json:"size"`
+}
+
+// manifestData is the MANIFEST body: the authoritative list of live
+// segment files in time order.
+type manifestData struct {
+	Version  int               `json:"version"`
+	NextSeq  uint64            `json:"next_seq"`
+	Segments []manifestSegment `json:"segments"`
+}
+
+// Store is the LSM-style segment store: sealed immutable segments in time
+// order plus one mutable memtable at the head. Mutations (ingest, seal,
+// compaction, close) must be serialized by the caller — the segmented
+// system funnels them through one lock; concurrent readers are safe at
+// any point, including across seals and compactions, because replaced
+// segments are retired (kept mapped) rather than unmapped until Close.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.RWMutex
+	segs     []*Segment
+	segFiles []string // file name per live segment, parallel to segs
+	mem      *Memtable
+	nextSeq  uint64
+	manSeq   uint64
+	retired  []*Segment // replaced by compaction; unmapped at Close
+
+	seals       atomic.Int64
+	compactions atomic.Int64
+}
+
+// OpenStore opens (or creates) a segment store. A directory without a
+// CURRENT file is an empty store; otherwise every segment the current
+// MANIFEST references is opened and checksummed — the commit discipline
+// guarantees the set is complete or the previous CURRENT is still in
+// place.
+func OpenStore(dir string, opts Options) (*Store, error) {
+	opts.normalize()
+	if opts.GeohashLen <= 0 {
+		return nil, fmt.Errorf("segment: store needs a geohash length")
+	}
+	if err := fsx.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, opts: opts, mem: NewMemtable(opts.GeohashLen), nextSeq: 1, manSeq: 0}
+	man, manSeq, err := readCurrentManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		return st, nil
+	}
+	st.manSeq = manSeq
+	st.nextSeq = man.NextSeq
+	for _, ms := range man.Segments {
+		seg, err := Open(filepath.Join(dir, ms.File))
+		if err != nil {
+			return nil, fmt.Errorf("segment: opening %s: %w", ms.File, err)
+		}
+		if seg.GeohashLen() != opts.GeohashLen {
+			return nil, fmt.Errorf("%w: %s keyed at geohash length %d, store wants %d",
+				ErrCorrupt, ms.File, seg.GeohashLen(), opts.GeohashLen)
+		}
+		st.segs = append(st.segs, seg)
+		st.segFiles = append(st.segFiles, ms.File)
+	}
+	for i := 1; i < len(st.segs); i++ {
+		if st.segs[i].MinSID() <= st.segs[i-1].MaxSID() {
+			return nil, fmt.Errorf("%w: segments %s and %s overlap in SID range",
+				ErrCorrupt, st.segFiles[i-1], st.segFiles[i])
+		}
+	}
+	return st, nil
+}
+
+// readCurrentManifest loads the manifest CURRENT points at; (nil, 0, nil)
+// when the store is empty.
+func readCurrentManifest(dir string) (*manifestData, uint64, error) {
+	cur, err := os.ReadFile(filepath.Join(dir, currentName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	name := string(bytes.TrimSpace(cur))
+	var seq uint64
+	if _, err := fmt.Sscanf(name, manifestPrefix+"%08d", &seq); err != nil {
+		return nil, 0, fmt.Errorf("%w: CURRENT names %q", ErrCorrupt, name)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, 0, err
+	}
+	var man manifestData
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, 0, fmt.Errorf("%w: manifest %s: %v", ErrCorrupt, name, err)
+	}
+	if man.Version != manifestVersion {
+		return nil, 0, fmt.Errorf("%w: manifest version %d", ErrVersion, man.Version)
+	}
+	return &man, seq, nil
+}
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Empty reports whether the store holds no sealed segments and no
+// buffered rows.
+func (st *Store) Empty() bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.segs) == 0 && st.mem.Len() == 0
+}
+
+// bucketOf maps an SID (a UnixNano timestamp) to its time bucket.
+func (st *Store) bucketOf(sid social.PostID) int64 {
+	return int64(sid) / st.opts.BucketWidth.Nanoseconds()
+}
+
+// Add ingests one post: it lands in the memtable (indexed immediately)
+// and seals the previous bucket's memtable first if the post crosses a
+// time-bucket boundary. Returns whether a seal happened, so the caller
+// knows to refresh any engine built over the previous view set. Mutations
+// are caller-serialized.
+func (st *Store) Add(p *social.Post) (sealed bool, err error) {
+	if min, _, ok := st.mem.bounds(); ok {
+		if st.bucketOf(p.SID) != st.bucketOf(min) {
+			if err := st.SealNow(); err != nil {
+				return false, err
+			}
+			sealed = true
+		}
+	}
+	if err := st.mem.Add(p); err != nil {
+		return sealed, err
+	}
+	if st.opts.MemtableRows > 0 && st.mem.Len() >= st.opts.MemtableRows {
+		if err := st.SealNow(); err != nil {
+			return sealed, err
+		}
+		sealed = true
+	}
+	return sealed, nil
+}
+
+// SealNow seals the memtable into an immutable segment file and commits a
+// MANIFEST referencing it. No-op on an empty memtable. The segment file
+// is written under a tmp name, fsync'd and renamed before the MANIFEST
+// mentions it, so a crash at any filesystem step leaves the store opening
+// either the old segment set or the new one — never a torn mix.
+func (st *Store) SealNow() error {
+	if st.mem.Len() == 0 {
+		return nil
+	}
+	rows, keys, err := st.mem.snapshot(st.opts.BlockSize)
+	if err != nil {
+		return err
+	}
+	seg, file, err := st.writeSegment(rows, keys)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.segs = append(st.segs, seg)
+	st.segFiles = append(st.segFiles, file)
+	st.mu.Unlock()
+	if err := st.commitManifest(); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.mem = NewMemtable(st.opts.GeohashLen)
+	st.mu.Unlock()
+	st.seals.Add(1)
+	return st.gc()
+}
+
+// writeSegment builds the byte image, writes it tmp → fsync → rename →
+// dirsync, and opens the sealed file (mmap'd, checksummed).
+func (st *Store) writeSegment(rows []metadb.Row, keys []keyPostings) (*Segment, string, error) {
+	data, err := buildSegment(st.opts.GeohashLen, rows, keys)
+	if err != nil {
+		return nil, "", err
+	}
+	seq := st.nextSeq
+	st.nextSeq++
+	tmp := filepath.Join(st.dir, tmpSegName(seq))
+	f, err := fsx.Create(tmp)
+	if err != nil {
+		return nil, "", err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return nil, "", err
+	}
+	if err := fsx.SyncClose(f); err != nil {
+		return nil, "", err
+	}
+	file := segFileName(seq)
+	if err := fsx.Rename(tmp, filepath.Join(st.dir, file)); err != nil {
+		return nil, "", err
+	}
+	if err := fsx.SyncDir(st.dir); err != nil {
+		return nil, "", err
+	}
+	seg, err := Open(filepath.Join(st.dir, file))
+	if err != nil {
+		return nil, "", err
+	}
+	return seg, file, nil
+}
+
+// commitManifest writes the next MANIFEST naming the live segment set and
+// flips CURRENT to it — the commit point of every seal and compaction.
+func (st *Store) commitManifest() error {
+	st.mu.RLock()
+	man := manifestData{Version: manifestVersion, NextSeq: st.nextSeq}
+	for i, seg := range st.segs {
+		man.Segments = append(man.Segments, manifestSegment{
+			File:   st.segFiles[i],
+			MinSID: int64(seg.MinSID()),
+			MaxSID: int64(seg.MaxSID()),
+			Rows:   seg.NumRows(),
+			Keys:   seg.NumKeys(),
+			Size:   int64(seg.SizeBytes()),
+		})
+	}
+	seq := st.manSeq + 1
+	st.mu.RUnlock()
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := manifestName(seq)
+	if err := fsx.WriteFileSync(filepath.Join(st.dir, name), raw); err != nil {
+		return err
+	}
+	if err := fsx.WriteFileSync(filepath.Join(st.dir, currentTmpName), []byte(name+"\n")); err != nil {
+		return err
+	}
+	if err := fsx.Rename(filepath.Join(st.dir, currentTmpName), filepath.Join(st.dir, currentName)); err != nil {
+		return err
+	}
+	if err := fsx.SyncDir(st.dir); err != nil {
+		return err
+	}
+	st.manSeq = seq
+	return nil
+}
+
+// gc removes everything the current MANIFEST does not reference: replaced
+// segment files, superseded manifests, tmp leftovers of crashed seals.
+// Runs only after a commit, so nothing live is ever a candidate.
+func (st *Store) gc() error {
+	st.mu.RLock()
+	keep := make(map[string]bool, len(st.segFiles)+2)
+	for _, f := range st.segFiles {
+		keep[f] = true
+	}
+	keep[currentName] = true
+	keep[manifestName(st.manSeq)] = true
+	st.mu.RUnlock()
+	return gcDir(st.dir, keep)
+}
+
+// gcDir removes unreferenced store artifacts from dir. Only names in the
+// store's vocabulary are candidates; foreign files are left alone.
+func gcDir(dir string, keep map[string]bool) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if keep[name] {
+			continue
+		}
+		candidate := strings.HasPrefix(name, tmpSegPrefix) ||
+			strings.HasPrefix(name, manifestPrefix) ||
+			name == currentTmpName ||
+			(strings.HasPrefix(name, segFilePrefix) && strings.HasSuffix(name, segSuffix))
+		if !candidate {
+			continue
+		}
+		if err := fsx.RemoveAll(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GCOrphans removes segment-store artifacts in dir that the current
+// MANIFEST does not reference — leftovers of seals or compactions that
+// crashed between writing a file and committing. It is deliberately
+// conservative: when CURRENT or the manifest cannot be read, nothing is
+// removed. The snapshot store's gc calls this so `snap-N` collection
+// never touches live segment files.
+func GCOrphans(dir string) error {
+	man, seq, err := readCurrentManifest(dir)
+	if err != nil || man == nil {
+		return nil
+	}
+	keep := make(map[string]bool, len(man.Segments)+2)
+	for _, ms := range man.Segments {
+		keep[ms.File] = true
+	}
+	keep[currentName] = true
+	keep[manifestName(seq)] = true
+	return gcDir(dir, keep)
+}
+
+// ReferencedFiles returns the absolute paths of everything the store at
+// dir is currently committed to: CURRENT, the manifest it names, and
+// every segment file that manifest references. Nil when dir holds no
+// store (or its CURRENT chain is unreadable — callers gc'ing around a
+// store must treat "unknown" as "hands off"). The snapshot store's gc
+// consults this list so snap-N collection can never delete a live
+// segment file, wherever the segment directory is nested.
+func ReferencedFiles(dir string) []string {
+	man, seq, err := readCurrentManifest(dir)
+	if err != nil || man == nil {
+		return nil
+	}
+	out := []string{
+		filepath.Join(dir, currentName),
+		filepath.Join(dir, manifestName(seq)),
+	}
+	for _, ms := range man.Segments {
+		out = append(out, filepath.Join(dir, ms.File))
+	}
+	return out
+}
+
+// sizeClass buckets a segment size into base-4 tiers of 16 KiB — the
+// size-tiered compaction policy's notion of "about the same size".
+func sizeClass(n int) int {
+	c := 0
+	for n >>= 14; n > 0; n >>= 2 {
+		c++
+	}
+	return c
+}
+
+// Compact runs size-tiered compaction to a fixed point: any run of
+// CompactFanIn time-adjacent segments in the same size class merges into
+// one segment covering their combined bucket range. Returns how many
+// input segments were merged away. Each merge commits its own MANIFEST,
+// so a crash loses at most the round in flight; replaced segments stay
+// mapped (retired) until Close because readers may still iterate them.
+func (st *Store) Compact() (int, error) {
+	merged := 0
+	for {
+		st.mu.RLock()
+		run := -1
+		fan := st.opts.CompactFanIn
+		for i := 0; i+fan <= len(st.segs); i++ {
+			c := sizeClass(st.segs[i].SizeBytes())
+			ok := true
+			for j := i + 1; j < i+fan; j++ {
+				if sizeClass(st.segs[j].SizeBytes()) != c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				run = i
+				break
+			}
+		}
+		var olds []*Segment
+		if run >= 0 {
+			olds = append(olds, st.segs[run:run+fan]...)
+		}
+		st.mu.RUnlock()
+		if run < 0 {
+			return merged, nil
+		}
+		rows, keys, err := mergeSegments(olds, st.opts.BlockSize)
+		if err != nil {
+			return merged, err
+		}
+		seg, file, err := st.writeSegment(rows, keys)
+		if err != nil {
+			return merged, err
+		}
+		st.mu.Lock()
+		st.retired = append(st.retired, st.segs[run:run+fan]...)
+		segs := append([]*Segment{}, st.segs[:run]...)
+		segs = append(segs, seg)
+		segs = append(segs, st.segs[run+fan:]...)
+		files := append([]string{}, st.segFiles[:run]...)
+		files = append(files, file)
+		files = append(files, st.segFiles[run+fan:]...)
+		st.segs, st.segFiles = segs, files
+		st.mu.Unlock()
+		if err := st.commitManifest(); err != nil {
+			return merged, err
+		}
+		if err := st.gc(); err != nil {
+			return merged, err
+		}
+		st.compactions.Add(1)
+		merged += fan
+	}
+}
+
+// mergeSegments concatenates time-adjacent segments: rows append in
+// order, and each key's postings lists concatenate in segment order —
+// sound because adjacent buckets hold disjoint ascending TID ranges.
+func mergeSegments(segs []*Segment, blockSize int) ([]metadb.Row, []keyPostings, error) {
+	nRows := 0
+	for _, s := range segs {
+		nRows += s.NumRows()
+	}
+	rows := make([]metadb.Row, 0, nRows)
+	merged := make(map[invindex.Key][]invindex.Posting)
+	for _, s := range segs {
+		for i := 0; i < s.NumRows(); i++ {
+			rows = append(rows, s.RowAt(i))
+		}
+		for _, k := range s.Keys() {
+			ps, err := s.FetchPostings(k.Geohash, k.Term)
+			if err != nil {
+				return nil, nil, err
+			}
+			merged[k] = append(merged[k], ps...)
+		}
+	}
+	enc := make(map[invindex.Key][]byte, len(merged))
+	for k, ps := range merged {
+		payload, err := invindex.EncodeBlockedPostingsList(ps, blockSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		enc[k] = payload
+	}
+	return rows, sortKeyPostings(enc), nil
+}
+
+// BulkLoad seeds an empty store from a batch-built corpus: rows in
+// ascending SID order and fully decoded postings per key, both split at
+// time-bucket boundaries into one segment per occupied bucket, committed
+// under a single MANIFEST. This is the migration path a durable server
+// takes the first time it starts with segments enabled.
+func (st *Store) BulkLoad(rows []metadb.Row, postings map[invindex.Key][]invindex.Posting) error {
+	if !st.Empty() {
+		return fmt.Errorf("segment: bulk load into a non-empty store")
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	// Group rows into contiguous bucket runs.
+	type group struct {
+		rows   []metadb.Row
+		maxSID social.PostID
+	}
+	var groups []group
+	start := 0
+	for i := 1; i <= len(rows); i++ {
+		if i == len(rows) || st.bucketOf(rows[i].SID) != st.bucketOf(rows[start].SID) {
+			groups = append(groups, group{rows: rows[start:i], maxSID: rows[i-1].SID})
+			start = i
+		}
+	}
+	// Slice each key's postings at the same boundaries.
+	keys := make([]invindex.Key, 0, len(postings))
+	for k := range postings {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	cursor := make(map[invindex.Key]int, len(postings))
+	for _, g := range groups {
+		perKey := make(map[invindex.Key][]byte)
+		for _, k := range keys {
+			ps := postings[k]
+			lo := cursor[k]
+			hi := lo + sort.Search(len(ps)-lo, func(i int) bool { return ps[lo+i].TID > g.maxSID })
+			cursor[k] = hi
+			if hi == lo {
+				continue
+			}
+			payload, err := invindex.EncodeBlockedPostingsList(ps[lo:hi], st.opts.BlockSize)
+			if err != nil {
+				return err
+			}
+			perKey[k] = payload
+		}
+		seg, file, err := st.writeSegment(g.rows, sortKeyPostings(perKey))
+		if err != nil {
+			return err
+		}
+		st.mu.Lock()
+		st.segs = append(st.segs, seg)
+		st.segFiles = append(st.segFiles, file)
+		st.mu.Unlock()
+		st.seals.Add(1)
+	}
+	if err := st.commitManifest(); err != nil {
+		return err
+	}
+	return st.gc()
+}
+
+// Views returns the store's postings sources in time order: each sealed
+// segment bounded by its SID range, then the memtable (if non-empty)
+// open-ended — later ingest only appends larger SIDs, so an engine built
+// over this view set stays correct until the next seal or compaction.
+func (st *Store) Views() []View {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	views := make([]View, 0, len(st.segs)+1)
+	for _, seg := range st.segs {
+		views = append(views, View{Source: seg, MinSID: seg.MinSID(), MaxSID: seg.MaxSID()})
+	}
+	// The memtable view is always published, even while empty: posts can
+	// land in it at any time after the engine snapshot, and an engine
+	// without the view would serve them only after the next seal. Its
+	// lower bound is the first bucket a live post can occupy — everything
+	// sealed is below it — so time-window pruning stays exact.
+	if min, _, ok := st.mem.bounds(); ok {
+		bucketStart := st.bucketOf(min) * st.opts.BucketWidth.Nanoseconds()
+		views = append(views, View{Source: st.mem, MinSID: social.PostID(bucketStart)})
+	} else {
+		var floor social.PostID
+		if len(st.segs) > 0 {
+			floor = st.segs[len(st.segs)-1].MaxSID() + 1
+		}
+		views = append(views, View{Source: st.mem, MinSID: floor})
+	}
+	return views
+}
+
+// LookupRowMeta resolves one SID against the sealed segments and the
+// memtable — the store's leg of the metadata database's RowMetaSnapshot.
+func (st *Store) LookupRowMeta(sid social.PostID) (metadb.RowMeta, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	// Segments are disjoint and sorted by SID range.
+	i := sort.Search(len(st.segs), func(i int) bool { return st.segs[i].MaxSID() >= sid })
+	if i < len(st.segs) {
+		if m, ok := st.segs[i].LookupRowMeta(sid); ok {
+			return m, true
+		}
+	}
+	return st.mem.LookupRowMeta(sid)
+}
+
+// MaxSealedSID returns the largest SID covered by a sealed segment, 0
+// when none — the watermark WAL replay uses to decide which posts still
+// belong in the memtable.
+func (st *Store) MaxSealedSID() social.PostID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if len(st.segs) == 0 {
+		return 0
+	}
+	return st.segs[len(st.segs)-1].MaxSID()
+}
+
+// Memtable returns the mutable head table.
+func (st *Store) Memtable() *Memtable {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.mem
+}
+
+// SegmentCount returns the number of live sealed segments.
+func (st *Store) SegmentCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.segs)
+}
+
+// Seals and Compactions report lifetime operation counts; MappedBytes the
+// total mmap'd size of live and retired segments. Exported as
+// tklus_segment_* metrics.
+func (st *Store) Seals() int64       { return st.seals.Load() }
+func (st *Store) Compactions() int64 { return st.compactions.Load() }
+
+func (st *Store) MappedBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var n int64
+	for _, s := range st.segs {
+		n += int64(s.MappedBytes())
+	}
+	for _, s := range st.retired {
+		n += int64(s.MappedBytes())
+	}
+	return n
+}
+
+// Close unmaps every live and retired segment. The caller owns the
+// guarantee that no queries are in flight.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var first error
+	for _, s := range append(st.segs, st.retired...) {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	st.segs, st.segFiles, st.retired = nil, nil, nil
+	st.mem = NewMemtable(st.opts.GeohashLen)
+	return first
+}

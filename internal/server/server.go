@@ -102,11 +102,16 @@ type Server struct {
 	// postCount enriches results with |P_u| when the backend has a
 	// metadata database in reach; nil otherwise (remote-only routers).
 	postCount func(tklus.UserID) int
-	mux       *http.ServeMux
-	opts      Options
-	log       *slog.Logger
-	metrics   *serverMetrics
-	started   time.Time
+	// ingest is the backend's live-ingest entry point. It must be the
+	// wrapper's, not the inner system's: the segmented engine indexes
+	// each post's keywords in its memtable on the way through, and
+	// bypassing it would make the post durable but unsearchable.
+	ingest  func(context.Context, ...*tklus.Post) error
+	mux     *http.ServeMux
+	opts    Options
+	log     *slog.Logger
+	metrics *serverMetrics
+	started time.Time
 }
 
 // New creates a server over a built system with default options: fresh
@@ -134,6 +139,14 @@ func NewSearcher(sr tklus.Searcher) *Server {
 // per-shard metrics are registered into the server's registry.
 func NewSearcherWith(sr tklus.Searcher, opts Options) *Server {
 	sys, _ := sr.(*tklus.System)
+	if sys == nil {
+		// Serving arrangements that wrap one system — the segmented
+		// storage engine — surface it so the introspection endpoints
+		// (evidence, thread, stats enrichment) mount as usual.
+		if u, ok := sr.(interface{ UnderlyingSystem() *tklus.System }); ok {
+			sys = u.UnderlyingSystem()
+		}
+	}
 	return newServer(sr, sys, opts)
 }
 
@@ -173,6 +186,13 @@ func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 	} else if pc, ok := backend.(interface{ PostCountOfUser(tklus.UserID) int }); ok {
 		s.postCount = pc.PostCountOfUser
 	}
+	if ing, ok := backend.(interface {
+		IngestContext(context.Context, ...*tklus.Post) error
+	}); ok {
+		s.ingest = ing.IngestContext
+	} else if sys != nil {
+		s.ingest = sys.IngestContext
+	}
 	s.mux.HandleFunc("POST /v1/search", s.handleSearchV1)
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -184,6 +204,8 @@ func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 	if sys != nil {
 		s.mux.HandleFunc("GET /evidence", s.handleEvidence)
 		s.mux.HandleFunc("GET /thread", s.handleThread)
+	}
+	if s.ingest != nil {
 		s.mux.HandleFunc("POST /v1/ingest", s.handleIngestV1)
 	}
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -212,20 +234,23 @@ type userJSON struct {
 }
 
 type statsJSON struct {
-	Cells           int                  `json:"cells"`
-	PostingsFetched int64                `json:"postings_fetched"`
-	Candidates      int                  `json:"candidates"`
-	ThreadsBuilt    int64                `json:"threads_built"`
-	ThreadsPruned   int64                `json:"threads_pruned"`
-	DBBatchLookups  int64                `json:"db_batch_lookups"`
-	DBPagesSaved    int64                `json:"db_pages_saved"`
-	BlocksSkipped   int64                `json:"blocks_skipped"`
-	PostingsSkipped int64                `json:"postings_skipped"`
-	ElapsedMicros   int64                `json:"elapsed_us"`
-	Ranking         string               `json:"ranking"`
-	Semantic        string               `json:"semantic"`
-	Spans           []spanJSON           `json:"spans"`
-	DegradedShards  []tklus.ShardFailure `json:"degraded_shards,omitempty"`
+	Cells           int   `json:"cells"`
+	PostingsFetched int64 `json:"postings_fetched"`
+	Candidates      int   `json:"candidates"`
+	ThreadsBuilt    int64 `json:"threads_built"`
+	ThreadsPruned   int64 `json:"threads_pruned"`
+	DBBatchLookups  int64 `json:"db_batch_lookups"`
+	DBPagesSaved    int64 `json:"db_pages_saved"`
+	BlocksSkipped   int64 `json:"blocks_skipped"`
+	PostingsSkipped int64 `json:"postings_skipped"`
+	// PartitionsPruned counts time-bucketed segments the query window
+	// discarded whole; nonzero only on a segmented backend.
+	PartitionsPruned int64                `json:"partitions_pruned,omitempty"`
+	ElapsedMicros    int64                `json:"elapsed_us"`
+	Ranking          string               `json:"ranking"`
+	Semantic         string               `json:"semantic"`
+	Spans            []spanJSON           `json:"spans"`
+	DegradedShards   []tklus.ShardFailure `json:"degraded_shards,omitempty"`
 }
 
 // spanJSON is one pipeline-stage timing in the search reply. start_us is
@@ -314,20 +339,21 @@ func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchReq
 		Version: ProtocolVersion,
 		Results: make([]userJSON, 0, len(results)),
 		Stats: statsJSON{
-			Cells:           stats.Cells,
-			PostingsFetched: stats.PostingsFetched,
-			Candidates:      stats.Candidates,
-			ThreadsBuilt:    stats.ThreadsBuilt,
-			ThreadsPruned:   stats.ThreadsPruned,
-			DBBatchLookups:  stats.DBBatchLookups,
-			DBPagesSaved:    stats.DBPagesSaved,
-			BlocksSkipped:   stats.BlocksSkipped,
-			PostingsSkipped: stats.PostingsSkipped,
-			ElapsedMicros:   stats.Elapsed.Microseconds(),
-			Ranking:         q.Ranking.String(),
-			Semantic:        strings.ToLower(q.Semantic.String()),
-			Spans:           spansJSON(stats.Spans),
-			DegradedShards:  stats.DegradedShards,
+			Cells:            stats.Cells,
+			PostingsFetched:  stats.PostingsFetched,
+			Candidates:       stats.Candidates,
+			ThreadsBuilt:     stats.ThreadsBuilt,
+			ThreadsPruned:    stats.ThreadsPruned,
+			DBBatchLookups:   stats.DBBatchLookups,
+			DBPagesSaved:     stats.DBPagesSaved,
+			BlocksSkipped:    stats.BlocksSkipped,
+			PostingsSkipped:  stats.PostingsSkipped,
+			PartitionsPruned: stats.PartitionsPruned,
+			ElapsedMicros:    stats.Elapsed.Microseconds(),
+			Ranking:          q.Ranking.String(),
+			Semantic:         strings.ToLower(q.Semantic.String()),
+			Spans:            spansJSON(stats.Spans),
+			DegradedShards:   stats.DegradedShards,
 		},
 	}
 	for _, res := range results {
@@ -375,10 +401,11 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleIngestV1 serves POST /v1/ingest: a batch of live posts appended
-// through System.Ingest, so thread popularity, pruning bounds and the
-// popularity cache update immediately — and, when a WAL is attached, each
-// post is durable before the 200 goes out. Registered only for
-// single-system backends (shard routers don't own a metadata database).
+// through the backend's ingest path, so thread popularity, pruning
+// bounds, the popularity cache — and, behind the segmented storage
+// engine, the memtable's keyword index — update immediately; when a WAL
+// is attached, each post is durable before the 200 goes out. Registered
+// only for backends that own a metadata database (shard routers don't).
 func (s *Server) handleIngestV1(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequestV1
 	if err := decodeJSONBody(r, &req); err != nil {
@@ -390,7 +417,7 @@ func (s *Server) handleIngestV1(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.sys.IngestContext(r.Context(), posts...); err != nil {
+	if err := s.ingest(r.Context(), posts...); err != nil {
 		// A rejected append (out-of-order SID, duplicate) is client data;
 		// a WAL write failure is the server's disk.
 		code := http.StatusBadRequest

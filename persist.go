@@ -22,6 +22,7 @@ import (
 	"repro/internal/fsx"
 	"repro/internal/invindex"
 	"repro/internal/metadb"
+	"repro/internal/segment"
 	"repro/internal/telemetry"
 	"repro/internal/thread"
 	"repro/internal/wal"
@@ -40,17 +41,19 @@ import (
 //	<dir>/snap-NNNNNNNN/rows.bin     metadata relation rows
 //	<dir>/snap-NNNNNNNN/bounds.gob   popularity bounds (Section V-B)
 //	<dir>/wal/seg-NNNNNNNN.log       ingest write-ahead log segments
+//	<dir>/segments/                  LSM segment store (own MANIFEST/CURRENT)
 const (
-	currentFile  = "CURRENT"
-	manifestFile = "MANIFEST"
-	snapPrefix   = "snap-"
-	tmpPrefix    = ".tmp-snap-"
-	walDirName   = "wal"
-	dfsDir       = "dfs"
-	forwardFile  = "forward.bin"
-	contentsFile = "contents.bin"
-	rowsFile     = "rows.bin"
-	boundsFile   = "bounds.gob"
+	currentFile     = "CURRENT"
+	manifestFile    = "MANIFEST"
+	snapPrefix      = "snap-"
+	tmpPrefix       = ".tmp-snap-"
+	walDirName      = "wal"
+	segmentsDirName = "segments"
+	dfsDir          = "dfs"
+	forwardFile     = "forward.bin"
+	contentsFile    = "contents.bin"
+	rowsFile        = "rows.bin"
+	boundsFile      = "bounds.gob"
 )
 
 // manifestVersion is the snapshot format version this code writes and the
@@ -325,20 +328,46 @@ func gcSnapshots(dir string, keep int) {
 	if err != nil {
 		return
 	}
+	// Segment awareness: sealed segment files referenced by the segment
+	// store's current MANIFEST are live serving state with their own
+	// lifecycle — snapshot collection must never take them down, even if
+	// a segment directory ever ends up nested under a snap-N path. An
+	// unreadable store reports nothing referenced, and the prefix guard
+	// below then leaves every candidate containing segment state alone
+	// only when the store names it, so the conservative branch is the
+	// removal of nothing extra, never of something live.
+	referenced := segment.ReferencedFiles(filepath.Join(dir, segmentsDirName))
+	shieldsLive := func(candidate string) bool {
+		prefix := candidate + string(filepath.Separator)
+		for _, ref := range referenced {
+			if ref == candidate || strings.HasPrefix(ref, prefix) {
+				return true
+			}
+		}
+		return false
+	}
 	for _, e := range entries {
 		name := e.Name()
+		path := filepath.Join(dir, name)
+		if shieldsLive(path) {
+			continue
+		}
 		switch {
 		case strings.HasPrefix(name, tmpPrefix):
 			if name != fmt.Sprintf("%s%08d", tmpPrefix, keep) {
-				_ = fsx.RemoveAll(filepath.Join(dir, name))
+				_ = fsx.RemoveAll(path)
 			}
 		case strings.HasPrefix(name, snapPrefix):
 			var n int
 			if _, err := fmt.Sscanf(name[len(snapPrefix):], "%d", &n); err == nil && n < keep {
-				_ = fsx.RemoveAll(filepath.Join(dir, name))
+				_ = fsx.RemoveAll(path)
 			}
 		}
 	}
+	// Ride-along: clear orphaned segment files a crashed seal or
+	// compaction left behind; GCOrphans only ever removes what the
+	// segment MANIFEST does not reference.
+	_ = segment.GCOrphans(filepath.Join(dir, segmentsDirName))
 }
 
 // SnapshotExists reports whether dir holds a committed snapshot — i.e.

@@ -1,0 +1,319 @@
+package tklus
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/invindex"
+	"repro/internal/metadb"
+	"repro/internal/segment"
+	"repro/internal/social"
+	"repro/internal/telemetry"
+	"repro/internal/wal"
+)
+
+// SegmentOptions configures the on-disk segment storage engine a
+// SegmentedSystem serves from.
+type SegmentOptions struct {
+	// Dir is the segment directory (conventionally <data>/segments).
+	Dir string
+	// BucketWidth is the time-bucket width; ingest crossing a bucket
+	// boundary seals the memtable, so each segment covers at most one
+	// bucket and windowed queries prune whole segments. Non-positive
+	// selects 30 days.
+	BucketWidth time.Duration
+	// BlockSize is the postings block size segments are sealed with;
+	// non-positive selects the index default.
+	BlockSize int
+	// MemtableRows force-seals the memtable at this many buffered rows;
+	// non-positive disables size-based seals.
+	MemtableRows int
+	// CompactFanIn is how many adjacent same-size-class segments one
+	// compaction merge folds together; non-positive selects 4.
+	CompactFanIn int
+	// CompactInterval, when positive, runs background size-tiered
+	// compaction on this period until Close.
+	CompactInterval time.Duration
+	// WALDir, when set, replays the data directory's WAL into the
+	// memtable on open: posts beyond the last sealed segment carry their
+	// keywords in the log, so their index entries survive a restart.
+	WALDir string
+}
+
+// SegmentedSystem serves a System from the LSM-style segment store:
+// sealed immutable segments (mmap'd, zero-copy postings and row metadata)
+// plus a live memtable, presented to the query engine as time-bounded
+// partitions. It shares the underlying System's metadata database,
+// bounds, contents store and WAL — only the postings/row-metadata read
+// path and the ingest indexing change:
+//
+//   - Reads skip the simulated DFS page model and the B⁺-tree descents
+//     entirely; postings iterate directly over mapped bytes.
+//   - Ingested posts are indexed immediately in the memtable (the base
+//     System defers keywords to the next batch build), so a segmented
+//     system's results equal a full batch rebuild over all posts.
+//   - A query TimeWindow prunes whole segments by bucket range before
+//     any block is touched (QueryStats.PartitionsPruned counts them).
+type SegmentedSystem struct {
+	*System
+	Store *segment.Store
+
+	// segMu serializes every mutation of the store and engine: ingest,
+	// seal, compaction, save and close. Searches never take it.
+	segMu  sync.Mutex
+	engine atomic.Pointer[core.Engine]
+
+	stopCompact chan struct{}
+	compactDone chan struct{}
+}
+
+var _ Searcher = (*SegmentedSystem)(nil)
+
+// EnableSegments wraps a built (or loaded) System in the segment storage
+// engine. An empty store is seeded by migrating the batch-built index and
+// row store into time-bucketed segments; a populated store is opened
+// as-is (every file checksummed). With WALDir set, logged posts beyond
+// the last sealed segment are replayed into the memtable, restoring their
+// just-in-time index entries after a restart — SegmentedSystem.Save seals
+// before snapshotting precisely so that every unsealed post is still in
+// the WAL.
+func EnableSegments(sys *System, opts SegmentOptions) (*SegmentedSystem, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("tklus: EnableSegments needs a built system")
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("tklus: EnableSegments needs a segment directory")
+	}
+	store, err := segment.OpenStore(opts.Dir, segment.Options{
+		GeohashLen:   sys.Index.GeohashLen(),
+		BucketWidth:  opts.BucketWidth,
+		BlockSize:    opts.BlockSize,
+		MemtableRows: opts.MemtableRows,
+		CompactFanIn: opts.CompactFanIn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &SegmentedSystem{System: sys, Store: store}
+	if store.Empty() {
+		if err := s.migrate(); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("tklus: migrating index into segments: %w", err)
+		}
+	}
+	if opts.WALDir != "" {
+		if err := s.replayWALIntoMemtable(filepath.Join(opts.WALDir, walDirName)); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("tklus: replaying wal into memtable: %w", err)
+		}
+	}
+	sys.DB.EnableRowMetaSnapshotFrom(store)
+	if err := s.refreshEngine(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	if opts.CompactInterval > 0 {
+		s.stopCompact = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.compactLoop(opts.CompactInterval)
+	}
+	return s, nil
+}
+
+// migrate seeds an empty store from the batch-built index: every row of
+// the metadata database and every postings list of the inverted index,
+// split at time-bucket boundaries. One-time cost on first boot with
+// segments enabled; afterwards the store opens from its MANIFEST.
+func (s *SegmentedSystem) migrate() error {
+	var rows []metadb.Row
+	s.DB.Scan(func(r metadb.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	postings := make(map[invindex.Key][]invindex.Posting)
+	for _, k := range s.Index.Keys() {
+		ps, err := s.Index.FetchPostings(k.Geohash, k.Term)
+		if err != nil {
+			return err
+		}
+		if len(ps) > 0 {
+			postings[k] = ps
+		}
+	}
+	return s.Store.BulkLoad(rows, postings)
+}
+
+// replayWALIntoMemtable restores the just-in-time index entries of posts
+// the WAL holds beyond the last sealed segment. Rows themselves were
+// already replayed into the metadata database by Load; this pass only
+// rebuilds their memtable postings (the log records carry the words).
+// Records at or below the seal watermark — or beyond what the database
+// accepted — are skipped, so the replay is idempotent across crashes.
+func (s *SegmentedSystem) replayWALIntoMemtable(walDir string) error {
+	sealed := s.Store.MaxSealedSID()
+	_, dbMax := s.DB.SIDRange()
+	_, err := wal.Replay(walDir, func(p *social.Post) error {
+		if p.SID <= sealed || p.SID > dbMax {
+			return nil
+		}
+		_, err := s.Store.Add(p)
+		return err
+	})
+	return err
+}
+
+// refreshEngine rebuilds the query engine over the store's current view
+// set and publishes it atomically; in-flight searches finish on the old
+// engine (whose retired segments stay mapped until Close). Caller holds
+// segMu or is the constructor.
+func (s *SegmentedSystem) refreshEngine() error {
+	views := s.Store.Views()
+	parts := make([]core.Partition, 0, len(views))
+	for _, v := range views {
+		parts = append(parts, core.Partition{Source: v.Source, MinSID: v.MinSID, MaxSID: v.MaxSID})
+	}
+	if len(parts) == 0 {
+		// Empty corpus: fall back to the (equally empty) batch index.
+		parts = []core.Partition{{Source: s.Index}}
+	}
+	eng, err := core.NewPartitionedEngine(parts, s.DB, s.Bounds, s.System.Engine.Opts)
+	if err != nil {
+		return err
+	}
+	if s.PopCache != nil {
+		eng.SetPopularityCache(s.PopCache)
+	}
+	s.engine.Store(eng)
+	return nil
+}
+
+// Engine returns the current segment-backed query engine.
+func (s *SegmentedSystem) Engine() *core.Engine { return s.engine.Load() }
+
+// UnderlyingSystem returns the wrapped System — the server uses it to
+// mount the introspection endpoints over the shared state.
+func (s *SegmentedSystem) UnderlyingSystem() *System { return s.System }
+
+// Search executes a query against the segment-backed engine. It
+// implements Searcher.
+func (s *SegmentedSystem) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
+	return s.engine.Load().Search(ctx, q)
+}
+
+// Ingest appends live posts: the shared System applies them (metadata
+// database, WAL, thread popularity, pruning bounds) and the store indexes
+// their keywords in the memtable immediately — unlike the plain batch
+// System, a segmented system's brand-new posts are candidates for the
+// very next query. Crossing a time-bucket boundary seals the memtable and
+// refreshes the engine.
+func (s *SegmentedSystem) Ingest(posts ...*Post) error {
+	return s.IngestContext(context.Background(), posts...)
+}
+
+// IngestContext is Ingest with a context (see System.IngestContext).
+func (s *SegmentedSystem) IngestContext(ctx context.Context, posts ...*Post) error {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	sealed := false
+	for _, p := range posts {
+		if err := s.System.IngestContext(ctx, p); err != nil {
+			return err
+		}
+		sl, err := s.Store.Add(p)
+		if err != nil {
+			return err
+		}
+		sealed = sealed || sl
+	}
+	if sealed {
+		return s.refreshEngine()
+	}
+	return nil
+}
+
+// SealNow seals the memtable into an immutable segment and refreshes the
+// engine. No-op when the memtable is empty.
+func (s *SegmentedSystem) SealNow() error {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	if err := s.Store.SealNow(); err != nil {
+		return err
+	}
+	return s.refreshEngine()
+}
+
+// Compact runs size-tiered compaction to a fixed point and refreshes the
+// engine if anything merged. Returns how many segments were merged away.
+func (s *SegmentedSystem) Compact() (int, error) {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	n, err := s.Store.Compact()
+	if n > 0 {
+		if rerr := s.refreshEngine(); err == nil {
+			err = rerr
+		}
+	}
+	return n, err
+}
+
+// Save seals the memtable and then snapshots the underlying System. The
+// order is the crash-safety contract: the snapshot's WAL rotation mark
+// only ever truncates records whose posts are already sealed, so a
+// restart can always rebuild the memtable from the log.
+func (s *SegmentedSystem) Save(dir string) error {
+	return s.SaveContext(context.Background(), dir)
+}
+
+// SaveContext is Save with a context for checkpoint tracing (see
+// System.SaveContext); sealing happens before the traced snapshot.
+func (s *SegmentedSystem) SaveContext(ctx context.Context, dir string) error {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	if err := s.Store.SealNow(); err != nil {
+		return err
+	}
+	if err := s.refreshEngine(); err != nil {
+		return err
+	}
+	return s.System.SaveContext(ctx, dir)
+}
+
+// compactLoop runs background compaction until Close.
+func (s *SegmentedSystem) compactLoop(interval time.Duration) {
+	defer close(s.compactDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCompact:
+			return
+		case <-t.C:
+			s.Compact() // best-effort; next tick retries after an error
+		}
+	}
+}
+
+// RegisterMetrics exports the store's tklus_segment_* counters and
+// gauges.
+func (s *SegmentedSystem) RegisterMetrics(reg *telemetry.Registry) {
+	s.Store.RegisterMetrics(reg)
+}
+
+// Close stops background compaction and unmaps every segment. Call it
+// only after in-flight searches have drained; it does not close the
+// underlying System's WAL.
+func (s *SegmentedSystem) Close() error {
+	if s.stopCompact != nil {
+		close(s.stopCompact)
+		<-s.compactDone
+		s.stopCompact = nil
+	}
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	return s.Store.Close()
+}

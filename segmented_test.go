@@ -1,0 +1,349 @@
+package tklus_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	tklus "repro"
+	"repro/internal/datagen"
+	"repro/internal/segment"
+)
+
+// segGridCorpus generates the shared grid corpus once per test run.
+func segGridCorpus(t *testing.T) (*datagen.Corpus, []datagen.QuerySpec) {
+	t.Helper()
+	gen := datagen.DefaultConfig()
+	gen.Seed = 42
+	gen.NumUsers = 500
+	gen.NumPosts = 4000
+	corpus, err := datagen.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus, corpus.GenerateQueries(43, 3)
+}
+
+// segExtras synthesizes posts dated after the corpus, round-robin over a
+// few authors near the query hotspots, for the post-seal ingest axis.
+func segExtras(corpus *datagen.Corpus, n int) []*tklus.Post {
+	at := time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
+	loc := corpus.Posts[0].Loc
+	texts := []string{
+		"great hotel downtown", "amazing museum view", "pizza restaurant parking",
+	}
+	var out []*tklus.Post
+	for i := 0; i < n; i++ {
+		at = at.Add(time.Minute)
+		out = append(out, tklus.NewPost(tklus.UserID(9000+i%5), at, loc, texts[i%len(texts)]))
+	}
+	return out
+}
+
+// TestSegmentedEquivalenceGrid is the acceptance grid: segment-backed
+// search must be byte-identical to an in-memory oracle built over the
+// same posts, across ε × ranking × radius × semantic × post-seal ingest ×
+// time-window — including after compaction. The oracle is a plain batch
+// Build over base posts plus extras; the segmented arm builds over the
+// base only and ingests the extras live (half sealed, half still in the
+// memtable), so the comparison also proves that memtable indexing matches
+// the batch mapper exactly.
+func TestSegmentedEquivalenceGrid(t *testing.T) {
+	corpus, queries := segGridCorpus(t)
+	extras := segExtras(corpus, 40)
+	allPosts := append(append([]*tklus.Post{}, corpus.Posts...), extras...)
+
+	minAt := corpus.Posts[0].Time
+	maxAt := extras[len(extras)-1].Time
+	span := maxAt.Sub(minAt)
+	midWindow := &tklus.TimeWindow{From: minAt.Add(span / 3), To: minAt.Add(2 * span / 3)}
+	lateWindow := &tklus.TimeWindow{From: time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC), To: maxAt}
+
+	for _, eps := range []float64{0.1, 0.3} {
+		eps := eps
+		t.Run(fmt.Sprintf("eps=%g", eps), func(t *testing.T) {
+			mkCfg := func(prefix string) tklus.Config {
+				cfg := tklus.DefaultConfig()
+				cfg.Index.GeohashLen = 5
+				cfg.Index.PathPrefix = prefix
+				cfg.Engine.Params.Epsilon = eps
+				cfg.HotKeywords = datagen.MeaningfulKeywords()
+				return cfg
+			}
+			oracle, err := tklus.Build(allPosts, mkCfg(fmt.Sprintf("oracle-e%g", eps)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := tklus.Build(corpus.Posts, mkCfg(fmt.Sprintf("seg-e%g", eps)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg, err := tklus.EnableSegments(base, tklus.SegmentOptions{
+				Dir:         t.TempDir(),
+				BucketWidth: 30 * 24 * time.Hour,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer seg.Close()
+			if seg.Store.SegmentCount() < 2 {
+				t.Fatalf("expected the ~6-month corpus to split into multiple segments, got %d",
+					seg.Store.SegmentCount())
+			}
+			// Post-seal ingest: first half of the extras gets sealed into
+			// its own segment, the second half stays in the memtable.
+			if err := seg.Ingest(extras[:len(extras)/2]...); err != nil {
+				t.Fatal(err)
+			}
+			if err := seg.SealNow(); err != nil {
+				t.Fatal(err)
+			}
+			if err := seg.Ingest(extras[len(extras)/2:]...); err != nil {
+				t.Fatal(err)
+			}
+			if seg.Store.Memtable().Len() == 0 {
+				t.Fatal("expected live posts in the memtable")
+			}
+
+			grid := func(t *testing.T) {
+				prunedTotal := int64(0)
+				for qi, spec := range queries {
+					for _, ranking := range []tklus.Ranking{tklus.SumScore, tklus.MaxScore} {
+						for _, radius := range []float64{5, 15} {
+							for _, sem := range []tklus.Semantic{tklus.Or, tklus.And} {
+								if sem == tklus.And && len(spec.Keywords) < 2 {
+									continue
+								}
+								for _, win := range []*tklus.TimeWindow{nil, midWindow, lateWindow} {
+									q := tklus.Query{
+										Loc: spec.Loc, RadiusKm: radius, Keywords: spec.Keywords,
+										K: 5, Semantic: sem, Ranking: ranking, TimeWindow: win,
+									}
+									want, _, err := oracle.Search(context.Background(), q)
+									if err != nil {
+										t.Fatal(err)
+									}
+									got, stats, err := seg.Search(context.Background(), q)
+									if err != nil {
+										t.Fatal(err)
+									}
+									if !equalResults(got, want) {
+										t.Fatalf("query %d (rank=%v r=%.0f sem=%v win=%v): segmented %v, oracle %v",
+											qi, ranking, radius, sem, win != nil, got, want)
+									}
+									prunedTotal += stats.PartitionsPruned
+								}
+							}
+						}
+					}
+				}
+				if prunedTotal == 0 {
+					t.Fatal("windowed queries never pruned a partition")
+				}
+			}
+			t.Run("sealed+memtable", grid)
+
+			// Compaction must not change a single result.
+			if _, err := seg.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			t.Run("compacted", grid)
+		})
+	}
+}
+
+// TestSegmentedDurableReopen drives the durable lifecycle: build →
+// segments → live ingest → crash (no checkpoint) → Load + EnableSegments
+// must restore the exact serving state from sealed segments plus WAL
+// replay into the memtable; then a clean Save → reopen must as well.
+func TestSegmentedDurableReopen(t *testing.T) {
+	posts, loc, roots := ingestCorpus()
+	dir := t.TempDir()
+	cfg := tklus.DefaultConfig()
+
+	sys, err := tklus.Build(posts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.EnableWAL(dir, tklus.WALOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := tklus.EnableSegments(sys, tklus.SegmentOptions{
+		Dir:         filepath.Join(dir, "segments"),
+		BucketWidth: 24 * time.Hour,
+		WALDir:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	extras := extraReplies(roots, loc, 7)
+	if err := seg.Ingest(extras...); err != nil {
+		t.Fatal(err)
+	}
+	want := searchHotel(t, seg, loc)
+	if err := sys.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	seg.Close()
+
+	// Crash restart: no checkpoint happened since the ingest, so the
+	// extras live only in the WAL — both their rows (replayed by Load)
+	// and their keywords (replayed into the memtable by EnableSegments).
+	sys2, err := tklus.Load(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg2, err := tklus.EnableSegments(sys2, tklus.SegmentOptions{
+		Dir:         filepath.Join(dir, "segments"),
+		BucketWidth: 24 * time.Hour,
+		WALDir:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := searchHotel(t, seg2, loc); !equalResults(got, want) {
+		t.Fatalf("after crash restart: got %v, want %v", got, want)
+	}
+
+	// Clean shutdown: Save seals the memtable, so the next open serves
+	// the extras from a segment and the WAL replay finds nothing to do.
+	if _, err := sys2.EnableWAL(dir, tklus.WALOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg2.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	seg2.Close()
+
+	sys3, err := tklus.Load(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg3, err := tklus.EnableSegments(sys3, tklus.SegmentOptions{
+		Dir:         filepath.Join(dir, "segments"),
+		BucketWidth: 24 * time.Hour,
+		WALDir:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg3.Close()
+	if seg3.Store.Memtable().Len() != 0 {
+		t.Fatalf("clean reopen left %d rows in the memtable", seg3.Store.Memtable().Len())
+	}
+	if got := searchHotel(t, seg3, loc); !equalResults(got, want) {
+		t.Fatalf("after clean reopen: got %v, want %v", got, want)
+	}
+}
+
+// TestSnapshotGCSegmentAware pins the satellite contract: snap-N
+// collection must never delete sealed segment files the segment MANIFEST
+// references, and it clears orphans a crashed seal left behind.
+func TestSnapshotGCSegmentAware(t *testing.T) {
+	posts, loc, roots := ingestCorpus()
+	dir := t.TempDir()
+	cfg := tklus.DefaultConfig()
+
+	sys, err := tklus.Build(posts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.EnableWAL(dir, tklus.WALOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := tklus.EnableSegments(sys, tklus.SegmentOptions{
+		Dir:         filepath.Join(dir, "segments"),
+		BucketWidth: 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+
+	// Plant an orphan that looks exactly like a crashed seal leftover.
+	orphan := filepath.Join(dir, "segments", ".tmp-seg-99999999")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Several checkpoints with live ingest in between: each Save triggers
+	// snapshot gc (keep = latest), which must leave every referenced
+	// segment file alone.
+	extras := extraReplies(roots, loc, 9)
+	for i, p := range extras {
+		if err := seg.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 2 {
+			if err := seg.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("snapshot gc left the orphan segment file behind (err=%v)", err)
+	}
+	for _, ref := range segment.ReferencedFiles(filepath.Join(dir, "segments")) {
+		if _, err := os.Stat(ref); err != nil {
+			t.Fatalf("snapshot gc deleted referenced segment state %s: %v", ref, err)
+		}
+	}
+	// Only the newest snapshot survives, proving gc actually ran.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snap-") {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("expected exactly one surviving snapshot, got %d", snaps)
+	}
+	if got := searchHotel(t, seg, loc); len(got) == 0 {
+		t.Fatal("post-gc search returned nothing")
+	}
+}
+
+// TestSegmentedFreshKeywordVisible pins the empty-memtable visibility
+// contract: the engine must publish the memtable view even when it was
+// empty at refresh time, so a post ingested afterwards — with a keyword
+// no sealed segment holds — is a candidate for the very next query
+// without waiting for a seal.
+func TestSegmentedFreshKeywordVisible(t *testing.T) {
+	posts, loc, _ := ingestCorpus()
+	sys, err := tklus.Build(posts, tklus.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := tklus.EnableSegments(sys, tklus.SegmentOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	p := tklus.NewPost(99001, time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC), loc, "zanzibar spice market")
+	if err := seg.Ingest(p); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := seg.Search(context.Background(), tklus.Query{
+		Loc: loc, RadiusKm: 10, Keywords: []string{"zanzibar"}, K: 3, Ranking: tklus.SumScore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].UID != 99001 {
+		t.Fatalf("fresh keyword not served from memtable: %v", res)
+	}
+}
