@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt lint bench bench-compare bench-sharded bench-batchio bench-tracing bench-blockmax bench-segments bench-load test-crash test-obs clean
+.PHONY: all build test short race vet fmt lint bench bench-compare bench-sharded bench-batchio bench-tracing bench-blockmax bench-segments bench-load bench-replication test-crash test-obs test-replication clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+test: test-replication
 	$(GO) test ./...
 
 short:
@@ -35,6 +35,17 @@ test-crash:
 	$(GO) test -race -count=1 \
 		-run 'CrashInjection|Corruption|WALRecovery|WALReplay|WALTornTail|SaveRacesIngest|BreakerIgnoresClientCancellation' .
 	$(GO) test -race -count=1 ./internal/wal/ ./internal/fsx/... ./internal/segment/
+
+# Replication lane: the replica-group machinery under -race — WAL-shipped
+# followers, lease-based failover and epoch fencing, the lag surfacing
+# contract, the WAL tail-follow reader the shippers are built on, and the
+# router/breaker/admission correctness fixes that ride the same PR (hedge
+# suppression on non-retryable errors, half-open single probe, queue-slot
+# release on client cancellation). Part of the default `make test`.
+test-replication:
+	$(GO) test -race -count=1 \
+		-run 'TestReplicated|TestLease|TestBreaker|TestAdmission|TestShardedNonRetryableErrorSkipsHedge|TestSearcherCancellationContract' .
+	$(GO) test -race -count=1 -run 'TestTail' ./internal/wal/
 
 # Observability lane: the tracing substrate (span trees, tail sampling,
 # ring store, the zero-allocation disabled path) and the server's traced
@@ -148,5 +159,19 @@ bench-load:
 	$(GO) run ./cmd/tklus-benchcheck -in "" -load-in BENCH_load.json \
 		-min-collapse-ratio 2.0 -min-goodput-frac 0.5
 
+# Replication gate: replay the sharded workload against a 2-replica tier
+# with every replica healthy, kill every shard's leader, and replay again.
+# Fails unless both arms answered byte-identically to the monolithic
+# oracle with zero degraded queries, every group re-elected a leader, and
+# re-election finished inside 2x the per-shard deadline. The query set
+# runs with hedging off (in-process replicas make a hedge pure duplicate
+# work) but the serving deadline on, since it is the failover budget's
+# denominator. BENCH_replication.json is the evidence artifact.
+bench-replication:
+	GOMAXPROCS=4 $(GO) run ./cmd/tklus-bench -fig replication \
+		-posts 20000 -users 2000 -queries 8 -iolat 100us \
+		-telemetry "" -parallel "" -replication BENCH_replication.json
+	$(GO) run ./cmd/tklus-benchcheck -in "" -replication-in BENCH_replication.json -max-failover-x 2.0
+
 clean:
-	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json BENCH_blockmax.json BENCH_segments.json BENCH_load.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_sharded.json BENCH_batchio.json BENCH_tracing.json BENCH_blockmax.json BENCH_segments.json BENCH_load.json BENCH_replication.json

@@ -186,7 +186,8 @@ func (ac *AdmissionControl) Search(ctx context.Context, q Query) ([]UserResult, 
 	}
 
 	// Gate 2: cost budget.
-	if est, ok := ac.spendBudget(q); !ok {
+	est, ok := ac.spendBudget(q)
+	if !ok {
 		ac.waiters.Add(-1)
 		ac.shedCost.Add(1)
 		span.Event("admission_shed", fmt.Sprintf("cost %.0f over budget", est))
@@ -194,14 +195,32 @@ func (ac *AdmissionControl) Search(ctx context.Context, q Query) ([]UserResult, 
 			est, core.ErrOverloaded)
 	}
 
-	// Gate 3: bounded wait for a running slot, honoring cancellation.
+	// Gate 3: bounded wait for a running slot, honoring cancellation. A
+	// canceled query refunds its gate-2 charge: it will do no work, and
+	// cancellation is the client hanging up, not an overload signal (a
+	// wait_timeout shed keeps its charge deliberately — under overload the
+	// charge is what stops the same hot shape re-passing gate 2 at once).
 	arrival := ac.opts.now()
 	timer := time.NewTimer(ac.opts.MaxWait)
 	defer timer.Stop()
 	select {
 	case ac.slots <- struct{}{}:
+		// Winning the slot can race the client's cancellation (select
+		// picks arbitrarily among ready cases, and the cancel may land
+		// just after the win). A canceled query must not start: release
+		// the slot to the next waiter immediately, refund the budget, and
+		// return the client's error — never ErrOverloaded, and never an
+		// observation into the cost EWMA.
+		if err := ctx.Err(); err != nil {
+			<-ac.slots
+			ac.waiters.Add(-1)
+			ac.refundBudget(est)
+			span.Event("admission_shed", "canceled while queued")
+			return nil, nil, err
+		}
 	case <-ctx.Done():
 		ac.waiters.Add(-1)
+		ac.refundBudget(est)
 		span.Event("admission_shed", "canceled while queued")
 		return nil, nil, ctx.Err()
 	case <-timer.C:
@@ -260,6 +279,17 @@ func (ac *AdmissionControl) spendBudget(q Query) (est float64, ok bool) {
 	}
 	ac.tokens -= est
 	return est, true
+}
+
+// refundBudget returns a gate-2 charge to the token bucket — the query it
+// was charged for was canceled before doing any work.
+func (ac *AdmissionControl) refundBudget(est float64) {
+	if ac.opts.CostBudget <= 0 || est <= 0 {
+		return
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	ac.tokens = math.Min(ac.opts.CostBurst, ac.tokens+est)
 }
 
 // observe feeds one completed query's stats back into the cost model.

@@ -142,6 +142,113 @@ func TestAdmissionCancelWhileQueued(t *testing.T) {
 	}
 }
 
+// TestAdmissionCancelRefundsBudget pins the cost-accounting half of the
+// cancellation contract: gate 2 charges the token bucket BEFORE the query
+// queues for a slot, so a query canceled while queued must hand the
+// charge back — it will do no work. Before the fix the charge leaked, so
+// a burst of canceled queries silently drained the bucket and the next
+// legitimate query of the same shape was shed as "over budget".
+func TestAdmissionCancelRefundsBudget(t *testing.T) {
+	stub := &stubSearcher{
+		release: make(chan struct{}, 16),
+		stats: tklus.QueryStats{
+			PostingsFetched: 500, Candidates: 300, ThreadsBuilt: 200, // cost 1000
+		},
+	}
+	ac := tklus.NewAdmissionControl(stub, tklus.AdmissionOptions{
+		MaxConcurrent: 1, MaxQueue: 4, MaxWait: 5 * time.Second,
+		CostBudget: 0.001, // refill is negligible over the test's lifetime
+		CostBurst:  1000,  // exactly one learned-shape admission in the bucket
+	})
+	qA := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel"}}
+	qB := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel", "pizza"}}
+
+	// Learn shape A's cost (admitted at estimate 0, observes 1000).
+	stub.release <- struct{}{}
+	if _, _, err := ac.Search(context.Background(), qA); err != nil {
+		t.Fatalf("learning query: %v", err)
+	}
+	if est := ac.EstimateFor(qA); est != 1000 {
+		t.Fatalf("learned estimate = %v, want 1000", est)
+	}
+
+	// Occupy the only slot with shape B (unseen, charges nothing), then
+	// queue a shape-A query — its 1000-unit charge empties the bucket —
+	// and cancel it while it waits.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ac.Search(context.Background(), qB)
+	}()
+	for ac.Stats().Admitted < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := ac.Search(ctx, qA)
+		errCh <- err
+	}()
+	waitForQueued(t, ac, 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled-while-queued error = %v, want context.Canceled", err)
+	}
+	if est := ac.EstimateFor(qA); est != 1000 {
+		t.Fatalf("canceled query polluted the EWMA: estimate = %v, want 1000", est)
+	}
+
+	// The canceled query's charge must be back in the bucket: the next
+	// shape-A query passes gate 2 instead of shedding "over budget".
+	stub.release <- struct{}{} // free the slot holder
+	stub.release <- struct{}{} // and the query under test
+	if _, _, err := ac.Search(context.Background(), qA); err != nil {
+		t.Fatalf("post-cancel query shed: %v (the canceled query's charge was not refunded)", err)
+	}
+	if st := ac.Stats(); st.ShedCost != 0 {
+		t.Errorf("ShedCost = %d, want 0 — cancellation charged the budget (stats %+v)", st.ShedCost, st)
+	}
+	wg.Wait()
+}
+
+// TestAdmissionCanceledWinnerReleasesSlot pins the slot half of the
+// contract: when a query's context is already canceled as it wins a slot
+// (select picks arbitrarily among ready cases), it must release the slot
+// immediately and return ctx.Err() without counting as admitted or
+// running the backend. The loop drives both select arms; before the fix
+// roughly half the iterations ran the backend on a dead context.
+func TestAdmissionCanceledWinnerReleasesSlot(t *testing.T) {
+	stub := &stubSearcher{stats: tklus.QueryStats{Candidates: 1000}} // nil release: backend returns instantly if reached
+	ac := tklus.NewAdmissionControl(stub, tklus.AdmissionOptions{
+		MaxConcurrent: 1, MaxQueue: 4, MaxWait: 5 * time.Second,
+	})
+	q := tklus.Query{RadiusKm: 10, K: 5, Keywords: []string{"hotel"}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead on arrival: the slot is free AND ctx.Done is ready
+	for i := 0; i < 50; i++ {
+		_, _, err := ac.Search(ctx, q)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	st := ac.Stats()
+	if st.Admitted != 0 {
+		t.Errorf("Admitted = %d, want 0 — canceled queries reached the backend", st.Admitted)
+	}
+	if st.Queued != 0 {
+		t.Errorf("Queued = %d, want 0 — a canceled winner leaked its waiter count", st.Queued)
+	}
+	if est := ac.EstimateFor(q); est != 0 {
+		t.Errorf("estimate = %v, want 0 — a canceled query's run polluted the EWMA", est)
+	}
+	// The slot must actually be free: a live query still goes through.
+	if _, _, err := ac.Search(context.Background(), q); err != nil {
+		t.Errorf("live query after canceled winners: %v (slot leaked)", err)
+	}
+}
+
 // TestAdmissionCostModel checks the learn-then-shed loop: an unseen
 // query shape is admitted optimistically with estimate zero, its real
 // cost is learned from the QueryStats it produces, and the next query of

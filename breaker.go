@@ -5,22 +5,31 @@ import (
 	"time"
 )
 
-// breaker is the per-shard circuit breaker of the scatter-gather tier: a
-// shard that fails threshold times in a row is taken out of rotation
-// (queries over its region degrade instantly instead of waiting out a
-// timeout each time), and after a cooldown a single probe request is let
-// through — success closes the circuit, failure re-opens it for another
-// cooldown.
+// breaker is the per-replica circuit breaker of the scatter-gather tier: a
+// backend that fails threshold times in a row is taken out of rotation
+// (queries over its region degrade or fail over instantly instead of
+// waiting out a timeout each time), and after a cooldown a single probe
+// request is let through — probe success closes the circuit, probe failure
+// re-opens it for another cooldown.
 //
 // Failures counted here are whole-request outcomes: a hedged pair counts
 // once, and a request rejected by the open breaker counts not at all.
 //
-// Classification rule: only errors that say something about the SHARD
+// Classification rule: only errors that say something about the BACKEND
 // count. A sub-query that died because the caller canceled (client
 // disconnect) or because the query-wide deadline expired before the
-// shard's own budget is neither a failure nor a success — the breaker
-// does not move. A shard that exhausts its per-shard timeout while the
-// parent context is still healthy counts as a failure.
+// backend's own budget is neither a failure nor a success — the breaker
+// does not move (outcomeAbandon). A backend that exhausts its per-shard
+// timeout while the parent context is still healthy counts as a failure.
+//
+// Attribution rule: every admitted request carries a token stamped with
+// the breaker generation it was admitted under, and only outcomes from the
+// CURRENT generation move the state machine. The generation advances on
+// every state transition, so a straggler admitted while the circuit was
+// still closed cannot close an open circuit when it finally succeeds, and
+// cannot re-trip a half-open circuit whose probe is still in flight —
+// during half-open, exactly one probe token exists and only its outcome
+// decides.
 type breaker struct {
 	threshold int           // consecutive failures to trip; <= 0 disables
 	cooldown  time.Duration // open → half-open delay
@@ -28,6 +37,7 @@ type breaker struct {
 
 	mu          sync.Mutex
 	state       breakerState
+	gen         uint64 // bumped on every state transition
 	consecutive int
 	openedAt    time.Time
 }
@@ -51,6 +61,28 @@ func (s breakerState) String() string {
 	}
 }
 
+// breakerToken identifies one admitted request to the breaker so its
+// outcome can be attributed to the state the breaker was in at admission.
+type breakerToken struct {
+	gen   uint64
+	probe bool // admitted as the half-open probe
+}
+
+// breakerOutcome classifies how an admitted request ended.
+type breakerOutcome int
+
+const (
+	// outcomeSuccess: the backend answered.
+	outcomeSuccess breakerOutcome = iota
+	// outcomeFailure: the backend failed in a way attributable to it.
+	outcomeFailure
+	// outcomeAbandon: the request died for reasons that say nothing about
+	// the backend (client cancel, query-wide deadline). A half-open probe
+	// abandoned this way returns the circuit to open with its original
+	// openedAt, so the next allow can immediately admit a fresh probe.
+	outcomeAbandon
+)
+
 func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
 	if now == nil {
 		now = time.Now
@@ -58,59 +90,79 @@ func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *br
 	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
 }
 
-// allow reports whether a request may proceed. While open it fails fast
+// allow reports whether a request may proceed, and on admission returns
+// the token the caller must hand back to done. While open it fails fast
 // until the cooldown elapses, then flips to half-open and admits exactly
 // one probe; further requests keep failing fast until the probe reports.
-func (b *breaker) allow() bool {
+func (b *breaker) allow() (breakerToken, bool) {
 	if b.threshold <= 0 {
-		return true
+		return breakerToken{}, true
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return breakerToken{gen: b.gen}, true
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
-			b.state = breakerHalfOpen
-			return true
+			b.transition(breakerHalfOpen)
+			return breakerToken{gen: b.gen, probe: true}, true
 		}
-		return false
-	default: // half-open: a probe is already in flight
-		return false
+		return breakerToken{}, false
+	default: // half-open: the probe is already in flight
+		return breakerToken{}, false
 	}
 }
 
-// onSuccess records a successful request, closing the circuit.
-func (b *breaker) onSuccess() {
+// done reports an admitted request's outcome. Outcomes whose token is from
+// an earlier generation are ignored — the state the request was admitted
+// under no longer exists, so the request proves nothing about the current
+// one.
+func (b *breaker) done(t breakerToken, outcome breakerOutcome) {
 	if b.threshold <= 0 {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = breakerClosed
-	b.consecutive = 0
-}
-
-// onFailure records a failed request, tripping the circuit at the
-// threshold and re-opening it when a half-open probe fails.
-func (b *breaker) onFailure() {
-	if b.threshold <= 0 {
-		return
+	if t.gen != b.gen {
+		return // straggler from a previous state: no evidence about this one
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case breakerHalfOpen:
-		b.state = breakerOpen
-		b.openedAt = b.now()
-	case breakerClosed:
-		b.consecutive++
-		if b.consecutive >= b.threshold {
-			b.state = breakerOpen
+		if !t.probe {
+			return // unreachable: the half-open transition bumped gen
+		}
+		switch outcome {
+		case outcomeSuccess:
+			b.transition(breakerClosed)
+			b.consecutive = 0
+		case outcomeFailure:
+			b.transition(breakerOpen)
 			b.openedAt = b.now()
+		case outcomeAbandon:
+			// The probe said nothing; reopen with the ORIGINAL open time so
+			// the cooldown stays elapsed and the next allow re-probes.
+			b.transition(breakerOpen)
+		}
+	case breakerClosed:
+		switch outcome {
+		case outcomeSuccess:
+			b.consecutive = 0
+		case outcomeFailure:
+			b.consecutive++
+			if b.consecutive >= b.threshold {
+				b.transition(breakerOpen)
+				b.openedAt = b.now()
+			}
 		}
 	}
+}
+
+// transition moves the state machine and invalidates every outstanding
+// token by advancing the generation. Caller holds b.mu.
+func (b *breaker) transition(to breakerState) {
+	b.state = to
+	b.gen++
 }
 
 // snapshot returns the current state name (for metrics and degradation

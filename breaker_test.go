@@ -1,35 +1,50 @@
 package tklus
 
 import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
 
 // fakeClock drives the breaker without real sleeps.
-type fakeClock struct{ t time.Time }
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
 
-func (c *fakeClock) now() time.Time          { return c.t }
-func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
-func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
 
 func TestBreakerTripsAtThreshold(t *testing.T) {
 	clk := newFakeClock()
 	b := newBreaker(3, time.Second, clk.now)
 	for i := 0; i < 2; i++ {
-		if !b.allow() {
+		tok, ok := b.allow()
+		if !ok {
 			t.Fatalf("failure %d: breaker closed early", i)
 		}
-		b.onFailure()
+		b.done(tok, outcomeFailure)
 	}
 	if b.snapshot() != breakerClosed {
 		t.Fatalf("state = %v before threshold, want closed", b.snapshot())
 	}
-	b.allow()
-	b.onFailure() // third consecutive failure trips it
+	tok, _ := b.allow()
+	b.done(tok, outcomeFailure) // third consecutive failure trips it
 	if b.snapshot() != breakerOpen {
 		t.Fatalf("state = %v after threshold, want open", b.snapshot())
 	}
-	if b.allow() {
+	if _, ok := b.allow(); ok {
 		t.Fatal("open breaker admitted a request before cooldown")
 	}
 }
@@ -37,12 +52,12 @@ func TestBreakerTripsAtThreshold(t *testing.T) {
 func TestBreakerSuccessResetsCount(t *testing.T) {
 	clk := newFakeClock()
 	b := newBreaker(2, time.Second, clk.now)
-	b.allow()
-	b.onFailure()
-	b.allow()
-	b.onSuccess() // breaks the streak
-	b.allow()
-	b.onFailure() // 1 consecutive again, not 2
+	tok, _ := b.allow()
+	b.done(tok, outcomeFailure)
+	tok, _ = b.allow()
+	b.done(tok, outcomeSuccess) // breaks the streak
+	tok, _ = b.allow()
+	b.done(tok, outcomeFailure) // 1 consecutive again, not 2
 	if b.snapshot() != breakerClosed {
 		t.Fatalf("state = %v, want closed (streak was reset)", b.snapshot())
 	}
@@ -51,32 +66,36 @@ func TestBreakerSuccessResetsCount(t *testing.T) {
 func TestBreakerHalfOpenProbe(t *testing.T) {
 	clk := newFakeClock()
 	b := newBreaker(1, 10*time.Second, clk.now)
-	b.allow()
-	b.onFailure()
+	tok, _ := b.allow()
+	b.done(tok, outcomeFailure)
 	if b.snapshot() != breakerOpen {
 		t.Fatal("breaker should be open")
 	}
 	clk.advance(9 * time.Second)
-	if b.allow() {
+	if _, ok := b.allow(); ok {
 		t.Fatal("breaker admitted a request before the cooldown elapsed")
 	}
 	clk.advance(2 * time.Second)
-	if !b.allow() {
+	probe, ok := b.allow()
+	if !ok {
 		t.Fatal("cooldown elapsed: breaker must admit one probe")
+	}
+	if !probe.probe {
+		t.Fatal("half-open admission not marked as the probe")
 	}
 	if b.snapshot() != breakerHalfOpen {
 		t.Fatalf("state = %v during probe, want half_open", b.snapshot())
 	}
 	// Only one probe at a time.
-	if b.allow() {
+	if _, ok := b.allow(); ok {
 		t.Fatal("half-open breaker admitted a second request")
 	}
 	// Probe success closes the circuit.
-	b.onSuccess()
+	b.done(probe, outcomeSuccess)
 	if b.snapshot() != breakerClosed {
 		t.Fatalf("state = %v after probe success, want closed", b.snapshot())
 	}
-	if !b.allow() {
+	if _, ok := b.allow(); !ok {
 		t.Fatal("closed breaker must admit requests")
 	}
 }
@@ -84,33 +103,208 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 func TestBreakerProbeFailureReopens(t *testing.T) {
 	clk := newFakeClock()
 	b := newBreaker(1, 5*time.Second, clk.now)
-	b.allow()
-	b.onFailure()
+	tok, _ := b.allow()
+	b.done(tok, outcomeFailure)
 	clk.advance(6 * time.Second)
-	if !b.allow() {
+	probe, ok := b.allow()
+	if !ok {
 		t.Fatal("probe not admitted")
 	}
-	b.onFailure() // probe fails: back to open for a fresh cooldown
+	b.done(probe, outcomeFailure) // probe fails: back to open for a fresh cooldown
 	if b.snapshot() != breakerOpen {
 		t.Fatalf("state = %v after probe failure, want open", b.snapshot())
 	}
 	clk.advance(4 * time.Second)
-	if b.allow() {
+	if _, ok := b.allow(); ok {
 		t.Fatal("re-opened breaker admitted a request before the new cooldown")
 	}
 	clk.advance(2 * time.Second)
-	if !b.allow() {
+	if _, ok := b.allow(); !ok {
 		t.Fatal("second probe not admitted after the fresh cooldown")
+	}
+}
+
+// TestBreakerStragglerCannotCloseOpenCircuit pins the attribution rule the
+// pre-token breaker violated: a request admitted while the circuit was
+// closed, whose success only arrives after the circuit tripped open, must
+// NOT close the circuit — it proves nothing about the backend now. The old
+// onSuccess() closed unconditionally, flooding a sick shard the moment one
+// long straggler finally answered.
+func TestBreakerStragglerCannotCloseOpenCircuit(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(2, 10*time.Second, clk.now)
+	straggler, _ := b.allow() // admitted while closed, still in flight
+	for i := 0; i < 2; i++ {
+		tok, _ := b.allow()
+		b.done(tok, outcomeFailure)
+	}
+	if b.snapshot() != breakerOpen {
+		t.Fatal("breaker should have tripped")
+	}
+	b.done(straggler, outcomeSuccess) // stale-generation outcome
+	if b.snapshot() != breakerOpen {
+		t.Fatalf("state = %v: a straggler's success closed an open circuit", b.snapshot())
+	}
+	if _, ok := b.allow(); ok {
+		t.Fatal("circuit admitted traffic before cooldown after straggler success")
+	}
+}
+
+// TestBreakerStragglerCannotDecideProbe pins the other half of the
+// attribution rule: while the half-open probe is in flight, a straggler's
+// failure must not re-open the circuit (stealing the probe's verdict) and
+// a straggler's success must not close it. Only the probe token decides.
+func TestBreakerStragglerCannotDecideProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 5*time.Second, clk.now)
+	straggler, _ := b.allow() // in flight from the closed era
+	tok, _ := b.allow()
+	b.done(tok, outcomeFailure) // trips
+	clk.advance(6 * time.Second)
+	probe, ok := b.allow()
+	if !ok || !probe.probe {
+		t.Fatal("probe not admitted")
+	}
+	b.done(straggler, outcomeFailure)
+	if b.snapshot() != breakerHalfOpen {
+		t.Fatalf("state = %v: straggler failure moved a half-open circuit", b.snapshot())
+	}
+	b.done(straggler, outcomeSuccess)
+	if b.snapshot() != breakerHalfOpen {
+		t.Fatalf("state = %v: straggler success moved a half-open circuit", b.snapshot())
+	}
+	// The probe's own success is what closes it.
+	b.done(probe, outcomeSuccess)
+	if b.snapshot() != breakerClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.snapshot())
+	}
+}
+
+// TestBreakerAbandonedProbeReprobes: a probe that dies with the client
+// (outcomeAbandon) said nothing about the shard; the circuit returns to
+// open with its original timestamp so the very next allow re-probes
+// instead of wedging half-open forever.
+func TestBreakerAbandonedProbeReprobes(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 5*time.Second, clk.now)
+	tok, _ := b.allow()
+	b.done(tok, outcomeFailure)
+	clk.advance(6 * time.Second)
+	probe, _ := b.allow()
+	b.done(probe, outcomeAbandon) // client hung up mid-probe
+	if b.snapshot() != breakerOpen {
+		t.Fatalf("state = %v after abandoned probe, want open", b.snapshot())
+	}
+	probe2, ok := b.allow()
+	if !ok || !probe2.probe {
+		t.Fatal("fresh probe not admitted immediately after abandonment")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbeConcurrent hammers allow from many
+// goroutines at the moment the cooldown elapses and asserts exactly one
+// wins the probe slot.
+func TestBreakerHalfOpenSingleProbeConcurrent(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.now)
+	tok, _ := b.allow()
+	b.done(tok, outcomeFailure)
+	clk.advance(2 * time.Second)
+
+	const n = 64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, ok := b.allow(); ok {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+}
+
+// TestBreakerConcurrentHammer drives allow/done from many goroutines with
+// random outcomes under -race, asserting the single-probe invariant the
+// whole time: between any open→half-open transition and the probe's
+// verdict, no second request is admitted.
+func TestBreakerConcurrentHammer(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Millisecond, clk.now)
+
+	var inFlightProbes atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tok, ok := b.allow()
+				if !ok {
+					continue
+				}
+				if tok.probe {
+					if inFlightProbes.Add(1) > 1 {
+						violations.Add(1)
+					}
+				}
+				var outcome breakerOutcome
+				switch rng.Intn(3) {
+				case 0:
+					outcome = outcomeSuccess
+				case 1:
+					outcome = outcomeFailure
+				default:
+					outcome = outcomeAbandon
+				}
+				// Drop the in-flight count BEFORE done: no new probe can be
+				// admitted until done() transitions the state, but the
+				// instant it does another goroutine may win a fresh probe,
+				// and that one is legitimate.
+				if tok.probe {
+					inFlightProbes.Add(-1)
+				}
+				b.done(tok, outcome)
+			}
+		}(int64(g))
+	}
+	// Let the hammer run while the clock marches so open circuits keep
+	// re-probing.
+	for i := 0; i < 200; i++ {
+		clk.advance(time.Millisecond)
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("observed %d concurrent probes in half-open (want single-probe semantics)", v)
 	}
 }
 
 func TestBreakerDisabled(t *testing.T) {
 	b := newBreaker(0, time.Second, nil)
 	for i := 0; i < 100; i++ {
-		if !b.allow() {
+		tok, ok := b.allow()
+		if !ok {
 			t.Fatal("disabled breaker rejected a request")
 		}
-		b.onFailure()
+		b.done(tok, outcomeFailure)
 	}
 	if b.snapshot() != breakerClosed {
 		t.Fatal("disabled breaker changed state")

@@ -60,6 +60,8 @@ func main() {
 			"write the open-loop load comparison to this file (empty disables; the bench-load lane passes BENCH_load.json)")
 		loadDur = flag.Duration("load-duration", 1500*time.Millisecond,
 			"how long each open-loop load run offers arrivals")
+		replication = flag.String("replication", "",
+			"write the replication failover comparison to this file (empty disables; the bench-replication lane passes BENCH_replication.json)")
 	)
 	flag.Parse()
 
@@ -241,6 +243,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[load comparison (capacity %.0f qps, collapse p99 ratio %.1fx, shed %.0f%%) written to %s in %v]\n",
 			snap.CapacityQPS, snap.CollapseP99Ratio, snap.AdmittedShedRate*100,
 			*load, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *replication != "" {
+		t0 := time.Now()
+		snap, err := setup.ReplicationCompare() // memoized if the runner already ran
+		if err != nil {
+			log.Fatalf("replication comparison: %v", err)
+		}
+		f, err := os.Create(*replication)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[replication comparison (failover %.0fms, %d failovers, identical=%v) written to %s in %v]\n",
+			snap.FailoverMs, snap.Failovers, snap.ResultsIdentical,
+			*replication, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *telemetry != "" {

@@ -40,6 +40,13 @@
 // of the admitted p99, and admitted goodput holding a healthy fraction
 // of capacity (the bench-load lane).
 //
+// The replication gate (-replication-in) reads BENCH_replication.json and
+// exits non-zero unless the replicated tier answered byte-identically to
+// the monolithic oracle both with every replica healthy and after every
+// shard's leader was killed, with zero degraded queries, and every group
+// re-elected a leader within the failover budget (a multiple of the
+// per-shard deadline; the bench-replication lane).
+//
 // Usage:
 //
 //	tklus-benchcheck -in BENCH_parallel.json -min-p95-speedup 1.0
@@ -48,6 +55,7 @@
 //	tklus-benchcheck -in "" -blockmax-in BENCH_blockmax.json -min-blockmax-speedup 2.0
 //	tklus-benchcheck -in "" -tracing-in BENCH_tracing.json -max-tracing-overhead 5.0
 //	tklus-benchcheck -in "" -load-in BENCH_load.json -min-collapse-ratio 2.0
+//	tklus-benchcheck -in "" -replication-in BENCH_replication.json -max-failover-x 2.0
 package main
 
 import (
@@ -94,11 +102,15 @@ func main() {
 			"fail unless the unprotected baseline's overload p99 is at least this multiple of the admission-controlled p99")
 		minGoodputFrac = flag.Float64("min-goodput-frac", 0.5,
 			"fail unless the admission-controlled arm's overload goodput is at least this fraction of measured capacity")
+		replicationIn = flag.String("replication-in", "",
+			"replication failover snapshot written by tklus-bench -replication (empty skips the replication gate)")
+		maxFailoverX = flag.Float64("max-failover-x", 2.0,
+			"fail when group re-election after a leader kill took longer than this multiple of the per-shard deadline")
 	)
 	flag.Parse()
 
-	if *in == "" && *shardedIn == "" && *batchioIn == "" && *blockmaxIn == "" && *segmentsIn == "" && *tracingIn == "" && *loadIn == "" {
-		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in, -blockmax-in, -segments-in, -tracing-in and -load-in are all empty")
+	if *in == "" && *shardedIn == "" && *batchioIn == "" && *blockmaxIn == "" && *segmentsIn == "" && *tracingIn == "" && *loadIn == "" && *replicationIn == "" {
+		log.Fatal("nothing to check: -in, -sharded-in, -batchio-in, -blockmax-in, -segments-in, -tracing-in, -load-in and -replication-in are all empty")
 	}
 	if *shardedIn != "" {
 		checkSharded(*shardedIn)
@@ -117,6 +129,9 @@ func main() {
 	}
 	if *loadIn != "" {
 		checkLoad(*loadIn, *minCollapseRatio, *minGoodputFrac)
+	}
+	if *replicationIn != "" {
+		checkReplication(*replicationIn, *maxFailoverX)
 	}
 	if *in == "" {
 		return
@@ -362,6 +377,57 @@ func checkTracing(path string, maxOverhead, noise float64) {
 			snap.OnOverheadPct, maxOverhead)
 	}
 	fmt.Println("tracing ok")
+}
+
+// checkReplication gates the replication snapshot on the availability
+// contract: results byte-identical to the monolithic oracle with every
+// replica healthy AND after every shard's leader is killed (the
+// post-failover identity guarantee), no degraded queries in either arm,
+// and the lease protocol re-electing every group within a small multiple
+// of the per-shard deadline — a failover slower than the router's own
+// timeout budget would be indistinguishable from an outage.
+func checkReplication(path string, maxFailoverX float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := experiments.ReadReplicationSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if snap.Queries == 0 {
+		log.Fatalf("%s replayed no queries — empty benchmark run?", path)
+	}
+
+	fmt.Printf("replication: %d shards x %d replicas, %d queries, lease TTL %.0fms, shard deadline %.0fms\n",
+		snap.Shards, snap.Replicas, snap.Queries, snap.LeaseTTLMs, snap.ShardTimeoutMs)
+	fmt.Printf("  healthy:        p50 %.2fms, p95 %.2fms (%d degraded)\n",
+		snap.HealthyP50Ms, snap.HealthyP95Ms, snap.HealthyDegraded)
+	fmt.Printf("  leaders killed: p50 %.2fms, p95 %.2fms (%d degraded)\n",
+		snap.LostP50Ms, snap.LostP95Ms, snap.LostDegraded)
+	fmt.Printf("  failover: %d leadership changes in %.0fms (budget %.0fms = %.1fx shard deadline)\n",
+		snap.Failovers, snap.FailoverMs, maxFailoverX*snap.ShardTimeoutMs, maxFailoverX)
+
+	if !snap.ResultsIdentical {
+		log.Fatal("REGRESSION: replicated results diverged from the monolithic oracle")
+	}
+	if snap.HealthyDegraded != 0 || snap.LostDegraded != 0 {
+		log.Fatalf("REGRESSION: replicated tier reported degraded queries (healthy %d, post-failover %d)",
+			snap.HealthyDegraded, snap.LostDegraded)
+	}
+	if snap.Failovers < int64(snap.Shards) {
+		log.Fatalf("REGRESSION: only %d leadership changes across %d shards — leader kill did not exercise failover",
+			snap.Failovers, snap.Shards)
+	}
+	if snap.ShardTimeoutMs <= 0 {
+		log.Fatal("REGRESSION: snapshot carries no per-shard deadline — the failover budget is undefined")
+	}
+	if snap.FailoverMs >= maxFailoverX*snap.ShardTimeoutMs {
+		log.Fatalf("REGRESSION: failover took %.0fms, budget %.0fms (%.1fx the %.0fms shard deadline)",
+			snap.FailoverMs, maxFailoverX*snap.ShardTimeoutMs, maxFailoverX, snap.ShardTimeoutMs)
+	}
+	fmt.Println("replication ok")
 }
 
 // checkLoad gates the open-loop load snapshot on the overload contract:

@@ -58,6 +58,10 @@ func main() {
 			"serve the candidate radius filter from the row-meta snapshot")
 		shards = flag.Int("shards", 0,
 			"serve an in-process sharded tier with this many geo-shards (0 = monolithic; incompatible with -load)")
+		replicas = flag.Int("replicas", 1,
+			"replicas per shard when -shards > 0: one leader plus N-1 WAL-shipped followers with lease-based failover (1 = unreplicated)")
+		replicaDir = flag.String("replica-dir", "",
+			"directory for per-replica ingest WALs when -replicas > 1 (empty = ephemeral temp dir)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
 			"how long to drain in-flight queries on SIGINT/SIGTERM")
 		data = flag.String("data", "",
@@ -176,18 +180,45 @@ func main() {
 		}
 		sc := tklus.DefaultShardingConfig()
 		sc.NumShards = *shards
-		ss, err := tklus.BuildSharded(posts, sysConfig(), sc)
-		if err != nil {
-			logger.Error("building sharded tier", "err", err)
-			os.Exit(1)
+		if *replicas > 1 {
+			rc := tklus.DefaultReplicationConfig()
+			rc.Replicas = *replicas
+			rc.Dir = *replicaDir
+			if rc.Dir == "" {
+				tmp, terr := os.MkdirTemp("", "tklus-replicas-*")
+				if terr != nil {
+					logger.Error("creating ephemeral replica WAL directory", "err", terr)
+					os.Exit(1)
+				}
+				rc.Dir = tmp
+			}
+			rs, rerr := tklus.BuildReplicatedSharded(posts, sysConfig(), sc, rc)
+			if rerr != nil {
+				logger.Error("building replicated sharded tier", "err", rerr)
+				os.Exit(1)
+			}
+			defer rs.Close()
+			if *popCache > 0 {
+				logger.Info("popularity cache enabled per replica", "capacity", *popCache)
+			}
+			handler = server.NewSearcherWith(rs, opts)
+			logger.Info("serving replicated sharded tier",
+				"posts", len(posts), "shards", rs.NumShards(), "replicas", *replicas,
+				"wal_dir", rc.Dir, "addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
+		} else {
+			ss, serr := tklus.BuildSharded(posts, sysConfig(), sc)
+			if serr != nil {
+				logger.Error("building sharded tier", "err", serr)
+				os.Exit(1)
+			}
+			if *popCache > 0 {
+				logger.Info("popularity cache enabled per shard", "capacity", *popCache)
+			}
+			handler = server.NewSearcherWith(ss, opts)
+			logger.Info("serving sharded tier",
+				"posts", len(posts), "shards", ss.NumShards(),
+				"addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
 		}
-		if *popCache > 0 {
-			logger.Info("popularity cache enabled per shard", "capacity", *popCache)
-		}
-		handler = server.NewSearcherWith(ss, opts)
-		logger.Info("serving sharded tier",
-			"posts", len(posts), "shards", ss.NumShards(),
-			"addr", *addr, "pprof", *debug, "slow_query", slowQ.String())
 	} else {
 		var sys *tklus.System
 		var err error

@@ -288,6 +288,14 @@ type QueryStats struct {
 	// feeds them into the per-stage latency histograms.
 	Spans []telemetry.Span
 
+	// ReplicaLagSIDs is the worst replication lag, in acknowledged-but-
+	// unapplied ingest records, among the replicas that served this
+	// scatter-gather query. 0 means every answer came from a fully
+	// caught-up copy (leaders report 0 by definition); a positive value
+	// bounds how much of the most recent ingest stream the answer may not
+	// yet reflect. Always 0 for single-node and unreplicated queries.
+	ReplicaLagSIDs int64
+
 	// DegradedShards lists the shards of a scatter-gather query that did
 	// not contribute results (timeout, error, or open circuit breaker).
 	// Empty for single-node queries and for sharded queries where every

@@ -147,5 +147,6 @@ func Runners() []Runner {
 		{"blockmax", "Block-max traversal: exhaustive vs Def.-11 vs block-max", (*Setup).BlockMaxTable},
 		{"segments", "Storage engine: paged B⁺-tree vs mmap'd segments", (*Setup).SegmentsTable},
 		{"load", "Open-loop load: bare system vs admission control", (*Setup).Load},
+		{"replication", "Replication: leader loss, lease failover, post-failover identity", (*Setup).ReplicationFailover},
 	}
 }

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	tklus "repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+// ReplicationSnapshot is the machine-readable replication run
+// cmd/tklus-bench writes to BENCH_replication.json: the replicated tier's
+// latency with every replica healthy and again after every shard's leader
+// is killed (one replica lost per group), plus how long the lease
+// protocol took to promote successors. cmd/tklus-benchcheck gates the
+// run on the availability contract: results byte-identical to the
+// monolithic oracle in BOTH arms (the post-failover identity guarantee),
+// zero degraded queries, and failover completing inside a small multiple
+// of the per-shard deadline.
+type ReplicationSnapshot struct {
+	Posts            int     `json:"posts"`
+	Users            int     `json:"users"`
+	Seed             int64   `json:"seed"`
+	K                int     `json:"k"`
+	Shards           int     `json:"shards"`
+	Replicas         int     `json:"replicas"`
+	Queries          int     `json:"queries"`
+	LeaseTTLMs       float64 `json:"lease_ttl_ms"`
+	ShardTimeoutMs   float64 `json:"shard_timeout_ms"` // the gate's failover budget denominator
+	MonoP50Ms        float64 `json:"mono_p50_ms"`
+	MonoP95Ms        float64 `json:"mono_p95_ms"`
+	HealthyP50Ms     float64 `json:"healthy_p50_ms"`
+	HealthyP95Ms     float64 `json:"healthy_p95_ms"`
+	HealthyDegraded  int     `json:"healthy_degraded"`
+	LostP50Ms        float64 `json:"lost_p50_ms"` // one replica (the old leader) lost per shard
+	LostP95Ms        float64 `json:"lost_p95_ms"`
+	LostDegraded     int     `json:"lost_degraded"`
+	FailoverMs       float64 `json:"failover_ms"` // kill of every leader -> every group re-elected
+	Failovers        int64   `json:"failovers"`   // leadership changes summed over groups
+	MaxLagSIDs       int64   `json:"max_lag_sids"`
+	ResultsIdentical bool    `json:"results_identical"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (p *ReplicationSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadReplicationSnapshot parses a snapshot written by WriteJSON.
+func ReadReplicationSnapshot(r io.Reader) (*ReplicationSnapshot, error) {
+	var snap ReplicationSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("experiments: parsing replication snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// ReplicationCompare replays the sharded workload against a replicated
+// tier (2 replicas per shard) three ways — monolithic oracle, healthy
+// groups, and after killing every group's leader — verifying byte-
+// identical results throughout and timing how long the lease keepers
+// took to promote successors. The result is memoized on the Setup so the
+// table runner and the JSON emitter share one run.
+func (s *Setup) ReplicationCompare() (*ReplicationSnapshot, error) {
+	if s.replicationSnap != nil {
+		return s.replicationSnap, nil
+	}
+	mono, err := s.System(tklus.DefaultConfig().Index.GeohashLen)
+	if err != nil {
+		return nil, err
+	}
+	workload := s.shardedWorkload()
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("experiments: replication run has no queries")
+	}
+
+	ctx := context.Background()
+	monoTimes := make([]float64, 0, len(workload))
+	monoResults := make([][]core.UserResult, 0, len(workload))
+	for _, q := range workload {
+		res, st, err := mono.Engine.Search(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		monoResults = append(monoResults, res)
+		monoTimes = append(monoTimes, st.Elapsed.Seconds())
+	}
+	monoSum := stats.SummaryOf(monoTimes)
+
+	cfg := tklus.DefaultConfig()
+	cfg.DB.IOLatency = s.Cfg.IOLatency
+	cfg.HotKeywords = datagen.MeaningfulKeywords()
+	cfg.Index.PathPrefix = "replicated"
+	sc := tklus.DefaultShardingConfig()
+	sc.NumShards = 4
+	sc.PrefixLen = shardedPrefixLen
+	// The serving per-shard deadline stays on — it is the denominator of
+	// the failover-time gate — but hedging is off: against in-process
+	// replicas of the same corpus a hedge only duplicates work.
+	sc.HedgeDelay = 0
+	rc := tklus.DefaultReplicationConfig()
+	dir, err := os.MkdirTemp("", "tklus-bench-replication-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	rc.Dir = dir
+	tier, err := tklus.BuildReplicatedSharded(s.Corpus.Posts, cfg, sc, rc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building replicated tier: %w", err)
+	}
+	defer tier.Close()
+
+	snap := &ReplicationSnapshot{
+		Posts: s.Cfg.NumPosts, Users: s.Cfg.NumUsers, Seed: s.Cfg.Seed,
+		K: s.Cfg.K, Shards: tier.NumShards(), Replicas: rc.Replicas,
+		Queries:        len(workload),
+		LeaseTTLMs:     float64(rc.LeaseTTL) / float64(time.Millisecond),
+		ShardTimeoutMs: float64(sc.ShardTimeout) / float64(time.Millisecond),
+		MonoP50Ms:      monoSum.P50 * 1000, MonoP95Ms: monoSum.P95 * 1000,
+		ResultsIdentical: true,
+	}
+
+	replay := func(arm string) (stats.Summary, int, int64, error) {
+		times := make([]float64, 0, len(workload))
+		degraded := 0
+		var maxLag int64
+		for i, q := range workload {
+			res, st, err := tier.Search(ctx, q)
+			if err != nil {
+				return stats.Summary{}, 0, 0, fmt.Errorf("experiments: %s replicated query %d: %w", arm, i, err)
+			}
+			if st.Degraded() {
+				degraded++
+			}
+			if st.ReplicaLagSIDs > maxLag {
+				maxLag = st.ReplicaLagSIDs
+			}
+			if err := sameResults(res, monoResults[i]); err != nil {
+				snap.ResultsIdentical = false
+				return stats.Summary{}, 0, 0, fmt.Errorf("experiments: %s replicated tier diverged from monolithic on %v: %w",
+					arm, q.Keywords, err)
+			}
+			times = append(times, st.Elapsed.Seconds())
+		}
+		return stats.SummaryOf(times), degraded, maxLag, nil
+	}
+
+	healthy, degraded, lag, err := replay("healthy")
+	if err != nil {
+		return nil, err
+	}
+	snap.HealthyP50Ms, snap.HealthyP95Ms = healthy.P50*1000, healthy.P95*1000
+	snap.HealthyDegraded = degraded
+	snap.MaxLagSIDs = lag
+
+	// Kill every group's leader and time the lease protocol: from the last
+	// kill until every group has promoted a successor under a fresh lease.
+	old := make(map[string]string, len(tier.Groups()))
+	for _, g := range tier.Groups() {
+		old[g.Shard()] = g.Leader()
+		if err := g.KillReplica(g.Leader()); err != nil {
+			return nil, err
+		}
+	}
+	t0 := time.Now()
+	deadline := t0.Add(15 * time.Second)
+	for {
+		promoted := true
+		for _, g := range tier.Groups() {
+			if l := g.Leader(); l == "" || l == old[g.Shard()] {
+				promoted = false
+				break
+			}
+		}
+		if promoted {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("experiments: groups did not re-elect within %v of leader kill", 15*time.Second)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap.FailoverMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	for _, g := range tier.Groups() {
+		snap.Failovers += g.Failovers()
+	}
+
+	lost, degraded, lag, err := replay("post-failover")
+	if err != nil {
+		return nil, err
+	}
+	snap.LostP50Ms, snap.LostP95Ms = lost.P50*1000, lost.P95*1000
+	snap.LostDegraded = degraded
+	if lag > snap.MaxLagSIDs {
+		snap.MaxLagSIDs = lag
+	}
+
+	s.replicationSnap = snap
+	return snap, nil
+}
+
+// ReplicationFailover renders ReplicationCompare as a bench table.
+func (s *Setup) ReplicationFailover() (*Table, error) {
+	snap, err := s.ReplicationCompare()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Replicated shards — leader loss vs healthy groups",
+		Note: fmt.Sprintf("identical results on all %d queries in both arms; %d shards x %d replicas; %d failovers in %s (lease TTL %s)",
+			snap.Queries, snap.Shards, snap.Replicas, snap.Failovers,
+			ms(snap.FailoverMs/1000), ms(snap.LeaseTTLMs/1000)),
+		Headers: []string{"arm", "p50", "p95", "degraded", "max lag"},
+	}
+	t.AddRow("monolithic", ms(snap.MonoP50Ms/1000), ms(snap.MonoP95Ms/1000), "-", "-")
+	t.AddRow("replicated healthy", ms(snap.HealthyP50Ms/1000), ms(snap.HealthyP95Ms/1000),
+		fmt.Sprintf("%d", snap.HealthyDegraded), fmt.Sprintf("%d", snap.MaxLagSIDs))
+	t.AddRow("leaders killed", ms(snap.LostP50Ms/1000), ms(snap.LostP95Ms/1000),
+		fmt.Sprintf("%d", snap.LostDegraded), fmt.Sprintf("%d", snap.MaxLagSIDs))
+	return t, nil
+}

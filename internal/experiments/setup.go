@@ -61,14 +61,15 @@ type Setup struct {
 	Corpus  *datagen.Corpus
 	Queries []datagen.QuerySpec
 
-	systems      map[int]*tklus.System // by geohash length
-	parallelSnap *ParallelSnapshot     // memoized ParallelCompare result
-	shardedSnap  *ShardedSnapshot      // memoized ShardedCompare result
-	batchioSnap  *BatchIOSnapshot      // memoized BatchIOCompare result
-	tracingSnap  *TracingSnapshot      // memoized TracingCompare result
-	blockmaxSnap *BlockMaxSnapshot     // memoized BlockMaxCompare result
-	loadSnap     *LoadSnapshot         // memoized LoadCompare result
-	segmentsSnap *SegmentsSnapshot     // memoized SegmentsCompare result
+	systems         map[int]*tklus.System // by geohash length
+	parallelSnap    *ParallelSnapshot     // memoized ParallelCompare result
+	shardedSnap     *ShardedSnapshot      // memoized ShardedCompare result
+	batchioSnap     *BatchIOSnapshot      // memoized BatchIOCompare result
+	tracingSnap     *TracingSnapshot      // memoized TracingCompare result
+	blockmaxSnap    *BlockMaxSnapshot     // memoized BlockMaxCompare result
+	loadSnap        *LoadSnapshot         // memoized LoadCompare result
+	segmentsSnap    *SegmentsSnapshot     // memoized SegmentsCompare result
+	replicationSnap *ReplicationSnapshot  // memoized ReplicationCompare result
 }
 
 // NewSetup generates the corpus and the 90-query-style workload.

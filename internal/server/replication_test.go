@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	tklus "repro"
+	"repro/internal/datagen"
+)
+
+// replicatedServer builds a small replicated tier behind a Server, with a
+// fast lease so failover tests finish quickly.
+func replicatedServer(t *testing.T) (*Server, *tklus.ReplicatedShardedSystem, tklus.Point) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.NumUsers = 150
+	cfg.NumPosts = 2000
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tklus.DefaultShardingConfig()
+	sc.NumShards = 2
+	rc := tklus.DefaultReplicationConfig()
+	rc.Dir = t.TempDir()
+	rc.LeaseTTL = 40 * time.Millisecond
+	rc.ShipInterval = time.Millisecond
+	rs, err := tklus.BuildReplicatedSharded(corpus.Posts, tklus.DefaultConfig(), sc, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+	return NewSearcher(rs), rs, corpus.Config.Cities[0].Center
+}
+
+// TestReplicationStatsAndFaultEndpoints drives a leader kill end to end
+// through the HTTP surface: /stats reports the replication topology, the
+// /debug/replication/kill door marks the leader down, the lease keeper
+// promotes the follower under a new epoch, queries keep answering, and
+// /debug/replication/revive brings the deposed leader back.
+func TestReplicationStatsAndFaultEndpoints(t *testing.T) {
+	s, rs, loc := replicatedServer(t)
+
+	code, body := get(t, s, "/stats")
+	if code != 200 {
+		t.Fatalf("/stats status %d", code)
+	}
+	repl, ok := body["replication"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no replication block: %v", body)
+	}
+	g := rs.Groups()[0]
+	shard, ok := repl[g.Shard()].(map[string]any)
+	if !ok {
+		t.Fatalf("replication block missing %s: %v", g.Shard(), repl)
+	}
+	if shard["leader"] != g.Leader() {
+		t.Fatalf("stats leader %v, group says %s", shard["leader"], g.Leader())
+	}
+
+	// Unknown and malformed replica names are client errors.
+	if code, _ := post(t, s, "/debug/replication/kill?replica=nope", ""); code != 400 {
+		t.Fatalf("malformed replica name: status %d, want 400", code)
+	}
+	if code, _ := post(t, s, "/debug/replication/kill?replica=shard-99/r0", ""); code != 404 {
+		t.Fatalf("unknown replica: status %d, want 404", code)
+	}
+
+	oldLeader, oldEpoch := g.Leader(), g.Epoch()
+	code, body = post(t, s, "/debug/replication/kill?replica="+oldLeader, "")
+	if code != 200 || body["action"] != "killed" {
+		t.Fatalf("kill: status %d body %v", code, body)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Leader() == oldLeader {
+		if time.Now().After(deadline) {
+			t.Fatal("no failover within 5s of killing the leader")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if g.Epoch() <= oldEpoch {
+		t.Fatalf("epoch %d did not advance past %d on failover", g.Epoch(), oldEpoch)
+	}
+
+	url := fmt.Sprintf("/search?lat=%f&lon=%f&radius=25&keywords=restaurant&k=5&ranking=max", loc.Lat, loc.Lon)
+	if code, body := get(t, s, url); code != 200 {
+		t.Fatalf("post-failover search: status %d body %v", code, body)
+	}
+
+	code, body = post(t, s, "/debug/replication/revive?replica="+oldLeader, "")
+	if code != 200 || body["action"] != "revived" {
+		t.Fatalf("revive: status %d body %v", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rs.WaitCaughtUp(ctx); err != nil {
+		t.Fatalf("revived leader never caught up: %v", err)
+	}
+}

@@ -106,12 +106,16 @@ type Server struct {
 	// wrapper's, not the inner system's: the segmented engine indexes
 	// each post's keywords in its memtable on the way through, and
 	// bypassing it would make the post durable but unsearchable.
-	ingest  func(context.Context, ...*tklus.Post) error
-	mux     *http.ServeMux
-	opts    Options
-	log     *slog.Logger
-	metrics *serverMetrics
-	started time.Time
+	ingest func(context.Context, ...*tklus.Post) error
+	// replicated is the unwrapped replica-group tier when the backend is
+	// one: /stats reporting and the /debug/replication fault-injection
+	// endpoints must see through admission wrapping.
+	replicated *tklus.ReplicatedShardedSystem
+	mux        *http.ServeMux
+	opts       Options
+	log        *slog.Logger
+	metrics    *serverMetrics
+	started    time.Time
 }
 
 // New creates a server over a built system with default options: fresh
@@ -181,6 +185,11 @@ func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 	if ss, ok := backend.(*tklus.ShardedSystem); ok {
 		ss.RegisterMetrics(opts.Registry)
 	}
+	if rs, ok := backend.(*tklus.ReplicatedShardedSystem); ok {
+		rs.RegisterMetrics(opts.Registry)
+		rs.RegisterReplicationMetrics(opts.Registry)
+		s.replicated = rs
+	}
 	if sys != nil {
 		s.postCount = sys.DB.PostCountOfUser
 	} else if pc, ok := backend.(interface{ PostCountOfUser(tklus.UserID) int }); ok {
@@ -207,6 +216,10 @@ func newServer(sr tklus.Searcher, sys *tklus.System, opts Options) *Server {
 	}
 	if s.ingest != nil {
 		s.mux.HandleFunc("POST /v1/ingest", s.handleIngestV1)
+	}
+	if s.replicated != nil {
+		s.mux.HandleFunc("POST /debug/replication/kill", s.handleReplicaKill)
+		s.mux.HandleFunc("POST /debug/replication/revive", s.handleReplicaRevive)
 	}
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if opts.Tracer != nil {
@@ -245,12 +258,16 @@ type statsJSON struct {
 	PostingsSkipped int64 `json:"postings_skipped"`
 	// PartitionsPruned counts time-bucketed segments the query window
 	// discarded whole; nonzero only on a segmented backend.
-	PartitionsPruned int64                `json:"partitions_pruned,omitempty"`
-	ElapsedMicros    int64                `json:"elapsed_us"`
-	Ranking          string               `json:"ranking"`
-	Semantic         string               `json:"semantic"`
-	Spans            []spanJSON           `json:"spans"`
-	DegradedShards   []tklus.ShardFailure `json:"degraded_shards,omitempty"`
+	PartitionsPruned int64 `json:"partitions_pruned,omitempty"`
+	// ReplicaLagSIDs is the worst replication lag (acked-but-unapplied
+	// records) among the replicas that served this query; nonzero only on
+	// a replicated backend reading from a catching-up follower.
+	ReplicaLagSIDs int64                `json:"replica_lag_sids,omitempty"`
+	ElapsedMicros  int64                `json:"elapsed_us"`
+	Ranking        string               `json:"ranking"`
+	Semantic       string               `json:"semantic"`
+	Spans          []spanJSON           `json:"spans"`
+	DegradedShards []tklus.ShardFailure `json:"degraded_shards,omitempty"`
 }
 
 // spanJSON is one pipeline-stage timing in the search reply. start_us is
@@ -349,6 +366,7 @@ func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchReq
 			BlocksSkipped:    stats.BlocksSkipped,
 			PostingsSkipped:  stats.PostingsSkipped,
 			PartitionsPruned: stats.PartitionsPruned,
+			ReplicaLagSIDs:   stats.ReplicaLagSIDs,
 			ElapsedMicros:    stats.Elapsed.Microseconds(),
 			Ranking:          q.Ranking.String(),
 			Semantic:         strings.ToLower(q.Semantic.String()),
@@ -553,7 +571,83 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out["shards"] = ss.ShardNames()
 		out["breakers"] = ss.BreakerStates()
 	}
+	if rs := s.replicated; rs != nil {
+		out["shards"] = rs.ShardNames()
+		out["breakers"] = rs.BreakerStates()
+		groups := map[string]any{}
+		for _, g := range rs.Groups() {
+			reps := map[string]any{}
+			for _, rep := range g.Replicas() {
+				reps[rep.Name()] = map[string]any{
+					"down":     rep.Down(),
+					"lag_sids": g.LagRecords(rep.Name()),
+				}
+			}
+			groups[g.Shard()] = map[string]any{
+				"leader":    g.Leader(),
+				"epoch":     g.Epoch(),
+				"failovers": g.Failovers(),
+				"replicas":  reps,
+			}
+		}
+		out["replication"] = groups
+	}
 	writeJSON(w, out)
+}
+
+// handleReplicaKill and handleReplicaRevive are the fault-injection
+// doors for a replicated tier: POST /debug/replication/kill?replica=
+// shard-00/r0 marks the replica down (reads and writes through it fail
+// fast; killing a leader leaves the group leaderless until its lease
+// lapses and the keeper promotes a successor), and .../revive brings it
+// back as a follower whose paused shipper catches it up. They exist so
+// an operator can watch a failover end to end — /stats shows the
+// promotion, /debug/traces shows reads routing around the corpse —
+// without touching process state.
+func (s *Server) handleReplicaKill(w http.ResponseWriter, r *http.Request) {
+	s.handleReplicaFault(w, r, true)
+}
+
+func (s *Server) handleReplicaRevive(w http.ResponseWriter, r *http.Request) {
+	s.handleReplicaFault(w, r, false)
+}
+
+func (s *Server) handleReplicaFault(w http.ResponseWriter, r *http.Request, kill bool) {
+	name := r.URL.Query().Get("replica")
+	shard, _, ok := strings.Cut(name, "/")
+	if !ok {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: replica must be shard-XX/rN, got %q", core.ErrBadQuery, name))
+		return
+	}
+	g := s.replicated.Group(shard)
+	if g == nil || g.Replica(name) == nil {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("%w: no replica %q", core.ErrNoResults, name))
+		return
+	}
+	var err error
+	if kill {
+		err = g.KillReplica(name)
+	} else {
+		err = g.ReviveReplica(name)
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	action := "revived"
+	if kill {
+		action = "killed"
+	}
+	s.log.Info("replica fault injected", "action", action, "replica", name,
+		"leader", g.Leader(), "epoch", g.Epoch())
+	writeJSON(w, map[string]any{
+		"replica": name,
+		"action":  action,
+		"leader":  g.Leader(),
+		"epoch":   g.Epoch(),
+	})
 }
 
 // handleMetrics serves the Prometheus text exposition.

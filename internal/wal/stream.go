@@ -1,0 +1,195 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/social"
+)
+
+// TailReader streams a live log directory's records oldest-first while a
+// writer keeps appending — the replication shipping stream. It follows the
+// framed format incrementally: a record is surfaced only once all of its
+// bytes are present and its checksum passes, so a reader racing the
+// writer's in-flight append simply sees "caught up" (io.EOF from Next)
+// until the record lands. Segment rotation is followed automatically: when
+// the current segment stops growing AND a later segment exists, the reader
+// treats the current one as complete and moves on.
+//
+// A TailReader never blocks: Next returns io.EOF when it has consumed
+// everything durably framed so far, and the caller decides the poll
+// cadence. It is not safe for concurrent use by multiple goroutines.
+type TailReader struct {
+	dir string
+	seq int      // segment currently open; 0 before the first open
+	f   *os.File // nil until a segment is open
+	off int64    // read offset into f (past the magic header)
+}
+
+// OpenTail opens a shipping stream over the log directory, positioned
+// before the oldest record. The directory may not exist yet (the writer
+// creates it on its first Open) — the reader then reports caught-up until
+// it appears.
+func OpenTail(dir string) (*TailReader, error) {
+	return &TailReader{dir: dir}, nil
+}
+
+// Close releases the reader's file handle.
+func (t *TailReader) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	f := t.f
+	t.f = nil
+	return f.Close()
+}
+
+// Next returns the next fully framed record, io.EOF when the reader has
+// caught up with the writer (call again later), or ErrCorrupt when the log
+// violates its framing away from the live tail.
+func (t *TailReader) Next() (*social.Post, error) {
+	for {
+		if t.f == nil {
+			ok, err := t.openNext()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, io.EOF
+			}
+		}
+		p, err := t.readRecord()
+		if err == nil {
+			return p, nil
+		}
+		if !errors.Is(err, errWaitTail) {
+			return nil, err
+		}
+		// The current segment holds no complete record beyond our offset.
+		// If a later segment exists the writer has rotated — this one is
+		// finished — otherwise we are simply caught up with the live tail.
+		later, lerr := t.laterSegmentExists()
+		if lerr != nil {
+			return nil, lerr
+		}
+		if !later {
+			return nil, io.EOF
+		}
+		if cerr := t.Close(); cerr != nil {
+			return nil, cerr
+		}
+	}
+}
+
+// errWaitTail marks "no complete record at the current offset" — either
+// the live tail (wait) or a finished segment (advance); Next decides.
+var errWaitTail = errors.New("wal: waiting on tail")
+
+// openNext opens the oldest segment with sequence > t.seq, reporting false
+// when none exists yet. A directory that does not exist yet is an empty
+// log.
+func (t *TailReader) openNext() (bool, error) {
+	seqs, err := listSegments(t.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	} else if err != nil {
+		return false, err
+	}
+	for _, seq := range seqs {
+		if seq <= t.seq {
+			continue
+		}
+		f, err := os.Open(filepath.Join(t.dir, segName(seq)))
+		if errors.Is(err, os.ErrNotExist) {
+			continue // truncated between list and open; records were snapshotted
+		} else if err != nil {
+			return false, err
+		}
+		t.f = f
+		t.seq = seq
+		t.off = int64(len(segMagic))
+		return true, nil
+	}
+	return false, nil
+}
+
+// laterSegmentExists reports whether the writer has started a segment
+// beyond the one currently open.
+func (t *TailReader) laterSegmentExists() (bool, error) {
+	seqs, err := listSegments(t.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	} else if err != nil {
+		return false, err
+	}
+	for _, seq := range seqs {
+		if seq > t.seq {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// readRecord reads the record at t.off, or errWaitTail when its bytes are
+// not all present yet (including the magic header of a segment the writer
+// has created but not finished writing the header of).
+func (t *TailReader) readRecord() (*social.Post, error) {
+	st, err := t.f.Stat()
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, errWaitTail
+		}
+		return nil, err
+	}
+	size := st.Size()
+	if t.off == int64(len(segMagic)) {
+		// First read of this segment: verify the magic before trusting any
+		// framing that follows it.
+		if size < int64(len(segMagic)) {
+			return nil, errWaitTail
+		}
+		magic := make([]byte, len(segMagic))
+		if _, err := t.f.ReadAt(magic, 0); err != nil {
+			return nil, err
+		}
+		if string(magic) != string(segMagic) {
+			return nil, fmt.Errorf("%w: bad segment magic in %s", ErrCorrupt, segName(t.seq))
+		}
+	}
+	if size-t.off < 8 {
+		return nil, errWaitTail
+	}
+	var hdr [8]byte
+	if _, err := t.f.ReadAt(hdr[:], t.off); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[:4])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if plen > maxRecord {
+		return nil, fmt.Errorf("%w: implausible record length %d in %s", ErrCorrupt, plen, segName(t.seq))
+	}
+	if size-t.off < 8+int64(plen) {
+		return nil, errWaitTail
+	}
+	payload := make([]byte, plen)
+	if _, err := t.f.ReadAt(payload, t.off+8); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, crcTable) != want {
+		// The writer frames each record with a single Write call, so a
+		// checksum mismatch on a fully present record is corruption, not an
+		// in-flight append.
+		return nil, fmt.Errorf("%w: checksum mismatch at %s offset %d", ErrCorrupt, segName(t.seq), t.off)
+	}
+	p, err := decodePost(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	t.off += 8 + int64(plen)
+	return p, nil
+}

@@ -1,0 +1,267 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/social"
+)
+
+// drainTail pulls every currently framed record off the tail reader.
+func drainTail(t *testing.T, tr *TailReader) []*social.Post {
+	t.Helper()
+	var got []*social.Post
+	for {
+		p, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return got
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, p)
+	}
+}
+
+func TestTailReaderStreamsExistingRecords(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*social.Post
+	for sid := 1; sid <= 10; sid++ {
+		p := walPost(sid)
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := OpenTail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	got := drainTail(t, tr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tail read %d records, want %d identical ones", len(got), len(want))
+	}
+	if _, err := tr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("caught-up Next err = %v, want io.EOF", err)
+	}
+	l.Close()
+}
+
+func TestTailReaderFollowsLiveAppends(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if got := drainTail(t, tr); len(got) != 0 {
+		t.Fatalf("empty log yielded %d records", len(got))
+	}
+	// Appends become visible to the same reader without reopening.
+	var want []*social.Post
+	for sid := 1; sid <= 5; sid++ {
+		p := walPost(sid)
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		got := drainTail(t, tr)
+		if len(got) != 1 || !reflect.DeepEqual(got[0], p) {
+			t.Fatalf("after append %d: tail read %v", sid, got)
+		}
+	}
+	l.Close()
+	_ = want
+}
+
+func TestTailReaderFollowsRotation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var want []*social.Post
+	for sid := 1; sid <= 9; sid++ {
+		p := walPost(sid)
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		if sid%3 == 0 {
+			if _, err := l.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := drainTail(t, tr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tail read across rotations: got %d records, want %d", len(got), len(want))
+	}
+	l.Close()
+}
+
+func TestTailReaderOpensBeforeDirectoryExists(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	tr, err := OpenTail(dir) // the writer has not created the directory yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next on missing dir err = %v, want io.EOF", err)
+	}
+	l, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := walPost(1)
+	if err := l.Append(p); err != nil {
+		t.Fatal(err)
+	}
+	got := drainTail(t, tr)
+	if len(got) != 1 || !reflect.DeepEqual(got[0], p) {
+		t.Fatalf("tail read %v after dir appeared", got)
+	}
+	l.Close()
+}
+
+func TestTailReaderWaitsOnPartialRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := walPost(1)
+	if err := l.Append(p); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Simulate an in-flight append: truncate the last record in half. The
+	// reader must report caught-up, not corruption, because from its side a
+	// half-visible record and a half-written record are the same thing.
+	seg := filepath.Join(dir, segName(1))
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next on partial tail err = %v, want io.EOF", err)
+	}
+}
+
+func TestTailReaderDetectsCorruption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid := 1; sid <= 2; sid++ {
+		if err := l.Append(walPost(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Flip a payload byte of the FIRST record: fully framed, bad checksum.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+8+3] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Next on corrupt record err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTailReaderRacesWriter streams concurrently with a writer under -race:
+// every record the writer acknowledges must eventually come out of the
+// tail exactly once and in order.
+func TestTailReaderRacesWriter(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for sid := 1; sid <= n; sid++ {
+			if err := l.Append(walPost(sid)); err != nil {
+				t.Errorf("Append(%d): %v", sid, err)
+				return
+			}
+			if sid%97 == 0 {
+				if _, err := l.Rotate(); err != nil {
+					t.Errorf("Rotate: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	tr, err := OpenTail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var got []*social.Post
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < n && time.Now().Before(deadline) {
+		p, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, p)
+	}
+	wg.Wait()
+	l.Close()
+	if len(got) != n {
+		t.Fatalf("tail surfaced %d records, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if int(p.SID) != i+1 {
+			t.Fatalf("record %d has SID %d, want %d (reordered or duplicated)", i, p.SID, i+1)
+		}
+	}
+}

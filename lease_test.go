@@ -1,0 +1,103 @@
+package tklus
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLeaseAcquireGrantsMonotoneEpochs(t *testing.T) {
+	clk := newFakeClock()
+	m := NewLocalLeaseManager(clk.now)
+	l1, err := m.Acquire("r0", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Holder != "r0" || l1.Epoch == 0 {
+		t.Fatalf("lease = %+v, want holder r0 with nonzero epoch", l1)
+	}
+	clk.advance(2 * time.Second) // expire
+	l2, err := m.Acquire("r1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Epoch <= l1.Epoch {
+		t.Fatalf("second acquisition epoch %d not greater than first %d", l2.Epoch, l1.Epoch)
+	}
+}
+
+func TestLeaseAcquireFailsWhileHeld(t *testing.T) {
+	clk := newFakeClock()
+	m := NewLocalLeaseManager(clk.now)
+	if _, err := m.Acquire("r0", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire("r1", time.Second); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("err = %v, want ErrLeaseHeld — two leaders must be impossible", err)
+	}
+	// The holder itself may re-acquire: an extension under the SAME epoch.
+	l1, _ := m.Current()
+	l2, err := m.Acquire("r0", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Epoch != l1.Epoch {
+		t.Fatalf("self re-acquire changed epoch %d -> %d", l1.Epoch, l2.Epoch)
+	}
+}
+
+func TestLeaseRenewExtendsSameEpoch(t *testing.T) {
+	clk := newFakeClock()
+	m := NewLocalLeaseManager(clk.now)
+	l1, _ := m.Acquire("r0", time.Second)
+	clk.advance(900 * time.Millisecond)
+	l2, err := m.Renew("r0", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Epoch != l1.Epoch {
+		t.Fatalf("renew changed epoch %d -> %d", l1.Epoch, l2.Epoch)
+	}
+	if !l2.Expires.After(l1.Expires) {
+		t.Fatal("renew did not extend the expiry")
+	}
+}
+
+func TestLeaseRenewRejectsNonHolderAndExpired(t *testing.T) {
+	clk := newFakeClock()
+	m := NewLocalLeaseManager(clk.now)
+	if _, err := m.Renew("r0", time.Second); !errors.Is(err, ErrNotLeaseHolder) {
+		t.Fatalf("renew with no lease: err = %v, want ErrNotLeaseHolder", err)
+	}
+	m.Acquire("r0", time.Second)
+	if _, err := m.Renew("r1", time.Second); !errors.Is(err, ErrNotLeaseHolder) {
+		t.Fatalf("renew by non-holder: err = %v, want ErrNotLeaseHolder", err)
+	}
+	clk.advance(2 * time.Second)
+	// An expired lease cannot be quietly resumed: another replica may have
+	// acquired in the gap, so the old holder must go through Acquire.
+	if _, err := m.Renew("r0", time.Second); !errors.Is(err, ErrNotLeaseHolder) {
+		t.Fatalf("renew after expiry: err = %v, want ErrNotLeaseHolder", err)
+	}
+}
+
+func TestLeaseReleaseLetsSuccessorAcquireImmediately(t *testing.T) {
+	clk := newFakeClock()
+	m := NewLocalLeaseManager(clk.now)
+	l1, _ := m.Acquire("r0", time.Hour)
+	m.Release("r1") // releasing a lease one does not hold is a no-op
+	if _, held := m.Current(); !held {
+		t.Fatal("stranger's Release dropped the lease")
+	}
+	m.Release("r0")
+	if _, held := m.Current(); held {
+		t.Fatal("released lease still reported held")
+	}
+	l2, err := m.Acquire("r1", time.Second)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	if l2.Epoch <= l1.Epoch {
+		t.Fatalf("epoch %d after release not greater than %d", l2.Epoch, l1.Epoch)
+	}
+}

@@ -39,6 +39,13 @@ func TestSearcherCancellationContract(t *testing.T) {
 	}
 	fed := tklus.NewFederation(map[string]*tklus.System{"home": sys})
 	admitted := tklus.NewAdmissionControl(sys, tklus.DefaultAdmissionOptions())
+	rc := tklus.DefaultReplicationConfig()
+	rc.Dir = t.TempDir()
+	replicated, err := tklus.BuildReplicatedSharded(corpus.Posts, tklus.DefaultConfig(), sc, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replicated.Close()
 
 	searchers := map[string]tklus.Searcher{
 		"System":            sys,
@@ -46,6 +53,7 @@ func TestSearcherCancellationContract(t *testing.T) {
 		"ShardedSystem":     sharded,
 		"Federation":        fed,
 		"AdmissionControl":  admitted,
+		"ReplicatedSharded": replicated,
 	}
 	q := tklus.Query{
 		Loc:      corpus.Config.Cities[0].Center,
@@ -70,6 +78,18 @@ func TestSearcherCancellationContract(t *testing.T) {
 			}
 			if errors.Is(err, tklus.ErrOverloaded) {
 				t.Errorf("%s: cancellation misreported as overload", name)
+			}
+			// Typed-sentinel half of the contract: a malformed query is
+			// ErrBadQuery from every implementation, never a replication
+			// or availability sentinel.
+			bad := q
+			bad.K = 0
+			_, _, err = sr.Search(context.Background(), bad)
+			if !errors.Is(err, tklus.ErrBadQuery) {
+				t.Errorf("%s: malformed-query error = %v, want ErrBadQuery", name, err)
+			}
+			if errors.Is(err, tklus.ErrStaleEpoch) || errors.Is(err, tklus.ErrReplicaDown) {
+				t.Errorf("%s: bad query misreported as a replication fault: %v", name, err)
 			}
 		})
 	}

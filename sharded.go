@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/contents"
@@ -22,9 +23,15 @@ import (
 // to the shards whose regions the query circle touches, merging their
 // partial scores into the exact monolithic top-k (core.MergePartials).
 // Robustness is the point — per-shard deadlines derived from the request
-// context, one hedged retry for stragglers, a per-shard circuit breaker,
+// context, one hedged retry for stragglers, a circuit breaker per replica,
 // and a partial-results mode that reports degraded shards in QueryStats
 // instead of failing the whole query.
+//
+// A shard may be a replica SET rather than a single backend: the router
+// then reads from the most-preferred healthy replica (the leader while its
+// lease holds, the most-caught-up follower otherwise — see replication.go)
+// and hedges stragglers to a DIFFERENT replica, so one sick copy no longer
+// costs the query its region.
 
 // ShardBackend answers the shard half of a scatter-gather query. *System
 // implements it in process; server.ShardClient implements it over HTTP
@@ -40,12 +47,35 @@ func (s *System) SearchPartials(ctx context.Context, q Query) (*core.Partials, e
 	return s.Engine.SearchPartials(ctx, q)
 }
 
-// ShardSpec declares one shard of a ShardedSystem: a backend plus the
-// geohash prefixes it owns. Prefixes must all have the router's prefix
-// length and no prefix may be owned by two shards.
+// ReplicaSpec declares one replica of a shard's replica set.
+type ReplicaSpec struct {
+	Name    string
+	Backend ShardBackend
+}
+
+// ReplicaView is the router's window into a shard's replica group: which
+// replica to prefer (leader first while its lease holds, then followers by
+// catch-up), and how far behind the leader's acknowledged ingest stream a
+// given replica is. *ReplicaGroup implements it; a nil view routes in
+// declared order with zero reported lag.
+type ReplicaView interface {
+	// PreferredOrder returns replica names, most-preferred first.
+	PreferredOrder() []string
+	// LagRecords returns how many acknowledged ingest records the named
+	// replica has not yet applied (0 for the leader).
+	LagRecords(replica string) int64
+}
+
+// ShardSpec declares one shard of a ShardedSystem: a backend (or a replica
+// set) plus the geohash prefixes it owns. Prefixes must all have the
+// router's prefix length and no prefix may be owned by two shards. When
+// Replicas is set it wins over Backend; Group optionally supplies
+// leadership-aware routing over those replicas.
 type ShardSpec struct {
 	Name     string
 	Backend  ShardBackend
+	Replicas []ReplicaSpec
+	Group    ReplicaView
 	Prefixes []string
 }
 
@@ -65,12 +95,15 @@ type ShardingConfig struct {
 	// means no per-shard timeout beyond the request context's.
 	ShardTimeout time.Duration
 	// HedgeDelay launches one backup attempt against a shard that has not
-	// answered after this long (and immediately after a failed first
-	// attempt); the first success wins. Zero disables hedging.
+	// answered after this long (and immediately after a first attempt that
+	// failed with a retryable error); the backup goes to a different
+	// replica when the shard has one whose breaker admits it. The first
+	// success wins. Zero disables hedging.
 	HedgeDelay time.Duration
-	// BreakerThreshold trips a shard's circuit breaker after this many
-	// consecutive failed requests; while open, queries degrade instantly
-	// instead of waiting out the timeout. Zero disables the breaker.
+	// BreakerThreshold trips a replica's circuit breaker after this many
+	// consecutive failed requests; while open, the router prefers its
+	// siblings (or degrades instantly when the shard has no other
+	// replica). Zero disables the breaker.
 	BreakerThreshold int
 	// BreakerCooldown is how long an open breaker waits before admitting
 	// a half-open probe request.
@@ -97,12 +130,46 @@ func DefaultShardingConfig() ShardingConfig {
 	}
 }
 
-// shard is one routed member with its breaker.
+// shardReplica is one routed copy of a shard with its own breaker.
+type shardReplica struct {
+	name    string
+	backend ShardBackend
+	br      *breaker
+}
+
+// shard is one routed member: a replica set plus the prefixes it owns.
 type shard struct {
 	name     string
-	backend  ShardBackend
 	prefixes []string
-	br       *breaker
+	replicas []*shardReplica
+	group    ReplicaView // nil for static (non-replicated) shards
+}
+
+// ordered returns the shard's replicas in routing preference order: the
+// group's view when it has one (leader first, then followers by catch-up),
+// declared order otherwise. Replicas the view does not name are appended
+// last so a stale view cannot hide a copy entirely.
+func (sh *shard) ordered() []*shardReplica {
+	if sh.group == nil || len(sh.replicas) == 1 {
+		return sh.replicas
+	}
+	byName := make(map[string]*shardReplica, len(sh.replicas))
+	for _, r := range sh.replicas {
+		byName[r.name] = r
+	}
+	out := make([]*shardReplica, 0, len(sh.replicas))
+	for _, n := range sh.group.PreferredOrder() {
+		if r, ok := byName[n]; ok {
+			out = append(out, r)
+			delete(byName, n)
+		}
+	}
+	for _, r := range sh.replicas {
+		if _, left := byName[r.name]; left {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // ShardedSystem routes TkLUS queries across geohash-partitioned shards.
@@ -140,15 +207,39 @@ func NewSharded(alpha float64, cfg ShardingConfig, specs []ShardSpec) (*ShardedS
 		byPrefix: make(map[string]int),
 	}
 	for i, spec := range specs {
-		if spec.Backend == nil {
-			return nil, fmt.Errorf("tklus: shard %d has no backend", i)
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("shard-%02d", i)
+		}
+		reps := spec.Replicas
+		if len(reps) == 0 {
+			if spec.Backend == nil {
+				return nil, fmt.Errorf("tklus: shard %d has no backend", i)
+			}
+			reps = []ReplicaSpec{{Name: name, Backend: spec.Backend}}
 		}
 		if len(spec.Prefixes) == 0 {
 			return nil, fmt.Errorf("tklus: shard %d owns no prefixes", i)
 		}
-		name := spec.Name
-		if name == "" {
-			name = fmt.Sprintf("shard-%02d", i)
+		sh := &shard{name: name, group: spec.Group}
+		seenRep := make(map[string]bool, len(reps))
+		for j, rs := range reps {
+			if rs.Backend == nil {
+				return nil, fmt.Errorf("tklus: shard %s replica %d has no backend", name, j)
+			}
+			rname := rs.Name
+			if rname == "" {
+				rname = fmt.Sprintf("%s/r%d", name, j)
+			}
+			if seenRep[rname] {
+				return nil, fmt.Errorf("tklus: shard %s has two replicas named %q", name, rname)
+			}
+			seenRep[rname] = true
+			sh.replicas = append(sh.replicas, &shardReplica{
+				name:    rname,
+				backend: rs.Backend,
+				br:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+			})
 		}
 		for _, p := range spec.Prefixes {
 			if len(p) != cfg.PrefixLen {
@@ -161,16 +252,53 @@ func NewSharded(alpha float64, cfg ShardingConfig, specs []ShardSpec) (*ShardedS
 			}
 			ss.byPrefix[p] = i
 		}
-		prefixes := append([]string(nil), spec.Prefixes...)
-		sort.Strings(prefixes)
-		ss.shards = append(ss.shards, &shard{
-			name:     name,
-			backend:  spec.Backend,
-			prefixes: prefixes,
-			br:       newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
-		})
+		sh.prefixes = append([]string(nil), spec.Prefixes...)
+		sort.Strings(sh.prefixes)
+		ss.shards = append(ss.shards, sh)
 	}
 	return ss, nil
+}
+
+// partitionByPrefix buckets posts by geohash prefix at prefixLen and
+// balances the prefixes across at most numShards shards greedily by post
+// count (largest prefix first onto the least-loaded shard), so one hot
+// metro does not get a shard to itself while others sit empty. It returns
+// the per-shard prefix sets and post sets; the shard count is capped at
+// the number of distinct prefixes observed.
+func partitionByPrefix(posts []*Post, prefixLen, numShards int) (shardPrefixes [][]string, shardPosts [][]*Post) {
+	byPrefix := make(map[string][]*Post)
+	for _, p := range posts {
+		pre := geo.Encode(p.Loc, prefixLen)
+		byPrefix[pre] = append(byPrefix[pre], p)
+	}
+	prefixes := make([]string, 0, len(byPrefix))
+	for pre := range byPrefix {
+		prefixes = append(prefixes, pre)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		a, b := prefixes[i], prefixes[j]
+		if len(byPrefix[a]) != len(byPrefix[b]) {
+			return len(byPrefix[a]) > len(byPrefix[b])
+		}
+		return a < b
+	})
+	n := numShards
+	if n > len(prefixes) {
+		n = len(prefixes)
+	}
+	shardPrefixes = make([][]string, n)
+	shardPosts = make([][]*Post, n)
+	for _, pre := range prefixes {
+		least := 0
+		for i := 1; i < n; i++ {
+			if len(shardPosts[i]) < len(shardPosts[least]) {
+				least = i
+			}
+		}
+		shardPrefixes[least] = append(shardPrefixes[least], pre)
+		shardPosts[least] = append(shardPosts[least], byPrefix[pre]...)
+	}
+	return shardPrefixes, shardPosts
 }
 
 // BuildSharded partitions the posts by geohash prefix into cfg.NumShards
@@ -190,42 +318,8 @@ func BuildSharded(posts []*Post, cfg Config, sc ShardingConfig) (*ShardedSystem,
 	if sc.PrefixLen <= 0 {
 		return nil, fmt.Errorf("tklus: sharding prefix length must be positive")
 	}
-
-	// Partition by prefix, then balance prefixes across shards greedily by
-	// post count (largest prefix first onto the least-loaded shard) so one
-	// hot metro does not get a shard to itself while others sit empty.
-	byPrefix := make(map[string][]*Post)
-	for _, p := range posts {
-		pre := geo.Encode(p.Loc, sc.PrefixLen)
-		byPrefix[pre] = append(byPrefix[pre], p)
-	}
-	prefixes := make([]string, 0, len(byPrefix))
-	for pre := range byPrefix {
-		prefixes = append(prefixes, pre)
-	}
-	sort.Slice(prefixes, func(i, j int) bool {
-		a, b := prefixes[i], prefixes[j]
-		if len(byPrefix[a]) != len(byPrefix[b]) {
-			return len(byPrefix[a]) > len(byPrefix[b])
-		}
-		return a < b
-	})
-	n := sc.NumShards
-	if n > len(prefixes) {
-		n = len(prefixes)
-	}
-	shardPrefixes := make([][]string, n)
-	shardPosts := make([][]*Post, n)
-	for _, pre := range prefixes {
-		least := 0
-		for i := 1; i < n; i++ {
-			if len(shardPosts[i]) < len(shardPosts[least]) {
-				least = i
-			}
-		}
-		shardPrefixes[least] = append(shardPrefixes[least], pre)
-		shardPosts[least] = append(shardPosts[least], byPrefix[pre]...)
-	}
+	shardPrefixes, shardPosts := partitionByPrefix(posts, sc.PrefixLen, sc.NumShards)
+	n := len(shardPrefixes)
 
 	// Shared foundation (Figure 3's centralized metadata database,
 	// replicated to every shard in a real deployment).
@@ -309,24 +403,72 @@ func (ss *ShardedSystem) PostCountOfUser(uid UserID) int {
 }
 
 // BreakerStates reports each shard's circuit-breaker state by name
-// (closed, open, half_open) — the operator's view of tier health.
+// (closed, open, half_open) — the operator's view of tier health. For a
+// replicated shard this is the state of the currently preferred replica's
+// breaker; ReplicaBreakerStates breaks the set out per replica.
 func (ss *ShardedSystem) BreakerStates() map[string]string {
 	out := make(map[string]string, len(ss.shards))
 	for _, sh := range ss.shards {
-		out[sh.name] = sh.br.snapshot().String()
+		out[sh.name] = sh.ordered()[0].br.snapshot().String()
 	}
 	return out
 }
 
-// errBreakerOpen marks a sub-query rejected without reaching the backend.
+// ReplicaBreakerStates reports every replica's circuit-breaker state,
+// keyed by shard name then replica name.
+func (ss *ShardedSystem) ReplicaBreakerStates() map[string]map[string]string {
+	out := make(map[string]map[string]string, len(ss.shards))
+	for _, sh := range ss.shards {
+		m := make(map[string]string, len(sh.replicas))
+		for _, r := range sh.replicas {
+			m[r.name] = r.br.snapshot().String()
+		}
+		out[sh.name] = m
+	}
+	return out
+}
+
+// errBreakerOpen marks a sub-query rejected without reaching any backend.
 var errBreakerOpen = errors.New("circuit breaker open")
+
+// nonHedgeable reports whether an error is deterministic: re-asking the
+// same question — of this replica or any other — will fail the same way,
+// so a backup attempt would only burn work and skew the hedge counters.
+func nonHedgeable(err error) bool {
+	return errors.Is(err, core.ErrBadQuery) ||
+		errors.Is(err, core.ErrNoResults) ||
+		errors.Is(err, ErrStaleEpoch)
+}
+
+// classifyOutcome maps a finished sub-query attempt to its breaker
+// outcome. Classification table (see DESIGN §12):
+//
+//	nil error                      → success (backend answered)
+//	caller canceled / parent died  → abandon (says nothing about backend)
+//	deterministic query error      → abandon (client's fault, not backend's)
+//	anything else                  → failure (timeout, transport, engine)
+func classifyOutcome(err error, parent context.Context) breakerOutcome {
+	switch {
+	case err == nil:
+		return outcomeSuccess
+	case errors.Is(err, context.Canceled), parent.Err() != nil:
+		return outcomeAbandon
+	case errors.Is(err, core.ErrBadQuery):
+		return outcomeAbandon
+	default:
+		return outcomeFailure
+	}
+}
 
 // Search executes a TkLUS query across the shards: compute the circle
 // cover at the sharding prefix length, fan the query to the shards owning
 // a covered prefix, and merge their partials into the exact monolithic
-// top-k. Shards that time out, error, or sit behind an open breaker are
-// reported in QueryStats.DegradedShards (unless FailOnPartial); the query
-// fails with ErrShardUnavailable only when no overlapping shard answers.
+// top-k. Shards that time out, error, or sit entirely behind open breakers
+// are reported in QueryStats.DegradedShards (unless FailOnPartial); the
+// query fails with ErrShardUnavailable only when no overlapping shard
+// answers. For replicated shards, QueryStats.ReplicaLagSIDs reports the
+// worst replication lag among the replicas that served this query — 0
+// means every answer came from a fully caught-up copy.
 // It implements Searcher.
 func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *QueryStats, error) {
 	if err := q.Validate(); err != nil {
@@ -360,13 +502,14 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 		err     error
 		elapsed time.Duration
 		hedged  bool
+		lag     int64
 	}
 	outs := make([]outcome, len(targets))
 	_ = core.RunJobs(ctx, len(targets), len(targets), func(ctx context.Context, i int) error {
 		sh := ss.shards[targets[i]]
 		t0 := time.Now()
-		parts, hedged, err := ss.callShard(ctx, rspan, sh, q)
-		outs[i] = outcome{parts: parts, err: err, elapsed: time.Since(t0), hedged: hedged}
+		parts, lag, hedged, err := ss.callShard(ctx, rspan, sh, q)
+		outs[i] = outcome{parts: parts, err: err, elapsed: time.Since(t0), hedged: hedged, lag: lag}
 		return nil // shard failures degrade the query below, never cancel siblings
 	})
 	if err := ctx.Err(); err != nil {
@@ -375,6 +518,7 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 
 	good := make([]*core.Partials, 0, len(targets))
 	var failures []core.ShardFailure
+	var maxLag int64
 	for i, o := range outs {
 		sh := ss.shards[targets[i]]
 		ss.metrics.observeShard(sh.name, o.elapsed, o.err, o.hedged)
@@ -382,6 +526,9 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 			failures = append(failures, core.ShardFailure{Shard: sh.name, Reason: o.err.Error()})
 			rspan.Event(telemetry.EventDegradedShard, sh.name+": "+o.err.Error())
 			continue
+		}
+		if o.lag > maxLag {
+			maxLag = o.lag
 		}
 		good = append(good, o.parts)
 	}
@@ -401,6 +548,7 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 		return nil, nil, err
 	}
 	stats.DegradedShards = failures
+	stats.ReplicaLagSIDs = maxLag
 	stats.Elapsed = time.Since(start)
 	if len(failures) > 0 {
 		ss.metrics.countQuery("degraded")
@@ -410,13 +558,24 @@ func (ss *ShardedSystem) Search(ctx context.Context, q Query) ([]UserResult, *Qu
 	return results, stats, nil
 }
 
-// callShard runs one shard sub-query through the breaker, the derived
-// deadline, and the hedged attempt pair.
-func (ss *ShardedSystem) callShard(ctx context.Context, rspan *telemetry.TraceSpan, sh *shard, q Query) (*core.Partials, bool, error) {
-	if !sh.br.allow() {
+// callShard runs one shard sub-query: pick the most-preferred replica
+// whose breaker admits the request, derive the per-shard deadline, and run
+// the hedged attempt pair. The returned lag is the winning replica's
+// replication lag in records (0 for static shards and leaders).
+func (ss *ShardedSystem) callShard(ctx context.Context, rspan *telemetry.TraceSpan, sh *shard, q Query) (*core.Partials, int64, bool, error) {
+	order := sh.ordered()
+	var primary *shardReplica
+	var primaryTok breakerToken
+	for _, r := range order {
+		if tok, ok := r.br.allow(); ok {
+			primary, primaryTok = r, tok
+			break
+		}
+	}
+	if primary == nil {
 		ss.metrics.countRejected(sh.name)
 		rspan.Event(telemetry.EventBreakerOpen, sh.name)
-		return nil, false, fmt.Errorf("shard %s: %w", sh.name, errBreakerOpen)
+		return nil, 0, false, fmt.Errorf("shard %s: %w", sh.name, errBreakerOpen)
 	}
 	// Per-shard deadline derived from the request context: the configured
 	// shard timeout, or 90% of the context's remaining budget if that is
@@ -436,41 +595,59 @@ func (ss *ShardedSystem) callShard(ctx context.Context, rspan *telemetry.TraceSp
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	parts, hedged, err := ss.attempt(ctx, rspan, sh, q)
-	switch {
-	case err == nil:
-		sh.br.onSuccess()
-	case errors.Is(err, context.Canceled), parent.Err() != nil:
-		// The caller canceled (client disconnect) or the query-wide
-		// deadline expired before the shard's own budget did: the shard
-		// said nothing about its health, so the breaker must not move —
-		// a burst of client disconnects used to trip breakers on
-		// perfectly healthy shards.
-	default:
-		sh.br.onFailure()
+	parts, winner, hedged, err := ss.attempt(ctx, parent, rspan, sh, q, order, primary, primaryTok)
+	var lag int64
+	if err == nil && sh.group != nil && winner != nil {
+		lag = sh.group.LagRecords(winner.name)
 	}
-	return parts, hedged, err
+	return parts, lag, hedged, err
+}
+
+// attemptSlot tracks one issued attempt's replica and breaker token. The
+// once is shared between attempts that share a token (a same-replica hedge
+// pair counts once toward that replica's breaker), so each token reports
+// exactly one outcome no matter which path observes the attempt finish.
+type attemptSlot struct {
+	rep  *shardReplica
+	tok  breakerToken
+	once *sync.Once
+}
+
+func (s *attemptSlot) report(oc breakerOutcome) {
+	s.once.Do(func() { s.rep.br.done(s.tok, oc) })
 }
 
 // attempt issues the sub-query with at most one backup attempt: the hedge
-// fires after HedgeDelay if the shard has not answered (the straggler
-// case), or immediately when the first attempt fails fast (the transient-
-// error case). The first success wins; the loser's context is canceled.
+// fires after HedgeDelay if the primary replica has not answered (the
+// straggler case), or immediately when the first attempt fails fast with a
+// RETRYABLE error — deterministic failures (nonHedgeable) return at once
+// without burning a duplicate. The backup goes to the next replica in
+// preference order whose breaker admits it; a shard with no other
+// admitting replica hedges the same backend again (sharing the primary's
+// breaker token, so the pair still counts once). The first success wins;
+// the loser's context is canceled and its breaker outcome is reported by a
+// drain goroutine once it unwinds — the breaker's generation tokens make
+// that late report safe.
 //
 // Each issued attempt gets its own span under the router span, so a hedge
 // appears as a sibling of the attempt it backs up; the loser's span stays
 // open and is snapshotted as unfinished when the trace completes. The
 // winner's span absorbs the shard's engine stage timings — Partials
 // carries them over the wire, so remote shards decompose identically.
-func (ss *ShardedSystem) attempt(ctx context.Context, rspan *telemetry.TraceSpan, sh *shard, q Query) (*core.Partials, bool, error) {
-	issue := func(cctx context.Context, backup bool) (*core.Partials, error) {
+func (ss *ShardedSystem) attempt(ctx, parent context.Context, rspan *telemetry.TraceSpan, sh *shard, q Query,
+	order []*shardReplica, primary *shardReplica, primaryTok breakerToken) (*core.Partials, *shardReplica, bool, error) {
+
+	issue := func(cctx context.Context, rep *shardReplica, backup bool) (*core.Partials, error) {
 		aspan := rspan.StartChild("shard.attempt")
 		aspan.SetShard(sh.name)
+		if len(sh.replicas) > 1 {
+			aspan.SetAttr("replica", rep.name)
+		}
 		if backup {
 			aspan.SetAttr("hedge", "backup")
 		}
 		t0 := time.Now()
-		parts, err := sh.backend.SearchPartials(telemetry.ContextWithSpan(cctx, aspan), q)
+		parts, err := rep.backend.SearchPartials(telemetry.ContextWithSpan(cctx, aspan), q)
 		if err != nil {
 			aspan.SetError(err)
 		} else {
@@ -479,56 +656,109 @@ func (ss *ShardedSystem) attempt(ctx context.Context, rspan *telemetry.TraceSpan
 		aspan.Finish()
 		return parts, err
 	}
+
+	primarySlot := &attemptSlot{rep: primary, tok: primaryTok, once: new(sync.Once)}
 	if ss.cfg.HedgeDelay <= 0 {
-		parts, err := issue(ctx, false)
-		return parts, false, err
+		parts, err := issue(ctx, primary, false)
+		primarySlot.report(classifyOutcome(err, parent))
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return parts, primary, false, nil
 	}
+
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type res struct {
+		idx   int
 		parts *core.Partials
 		err   error
 	}
 	ch := make(chan res, 2)
-	run := func(backup bool) {
-		parts, err := issue(actx, backup)
-		ch <- res{parts, err}
+	slots := []*attemptSlot{primarySlot}
+	run := func(idx int, rep *shardReplica, backup bool) {
+		parts, err := issue(actx, rep, backup)
+		ch <- res{idx, parts, err}
 	}
-	go run(false)
+	go run(0, primary, false)
 	timer := time.NewTimer(ss.cfg.HedgeDelay)
 	defer timer.Stop()
 	outstanding := 1
 	hedged := false
 	var firstErr error
+	// hedge launches the backup attempt: the next replica in preference
+	// order whose breaker admits it, or the primary again (sharing its
+	// token) when the shard has no other admitting copy.
 	hedge := func() {
 		hedged = true
+		target, slot := primary, &attemptSlot{rep: primary, tok: primaryTok, once: primarySlot.once}
+		for _, r := range order {
+			if r == primary {
+				continue
+			}
+			if tok, ok := r.br.allow(); ok {
+				target = r
+				slot = &attemptSlot{rep: r, tok: tok, once: new(sync.Once)}
+				break
+			}
+		}
+		slots = append(slots, slot)
 		outstanding++
 		rspan.Event(telemetry.EventHedge, sh.name)
-		go run(true)
+		go run(len(slots)-1, target, true)
+	}
+	// drain reports the breaker outcome of attempts still in flight when
+	// we return — they unwind after cancel() and prove nothing beyond what
+	// classifyOutcome says about them then.
+	drain := func() {
+		if outstanding == 0 {
+			return
+		}
+		n := outstanding
+		go func() {
+			for i := 0; i < n; i++ {
+				r := <-ch
+				slots[r.idx].report(classifyOutcome(r.err, parent))
+			}
+		}()
 	}
 	for {
 		select {
 		case r := <-ch:
 			outstanding--
 			if r.err == nil {
-				return r.parts, hedged, nil
+				slots[r.idx].report(outcomeSuccess)
+				drain()
+				return r.parts, slots[r.idx].rep, hedged, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
 			if !hedged {
+				if nonHedgeable(r.err) {
+					slots[r.idx].report(classifyOutcome(r.err, parent))
+					return nil, nil, false, r.err
+				}
+				// The primary's verdict is in; if the hedge goes to a
+				// different replica it carries its own token, so settle the
+				// primary's now. (A same-replica hedge shares the once, so
+				// this settles the pair — by then the primary has already
+				// failed, which is the honest whole-pair outcome.)
+				slots[r.idx].report(classifyOutcome(r.err, parent))
 				hedge()
 				continue
 			}
+			slots[r.idx].report(classifyOutcome(r.err, parent))
 			if outstanding == 0 {
-				return nil, hedged, firstErr
+				return nil, nil, hedged, firstErr
 			}
 		case <-timer.C:
 			if !hedged {
 				hedge()
 			}
 		case <-ctx.Done():
-			return nil, hedged, ctx.Err()
+			drain()
+			return nil, nil, hedged, ctx.Err()
 		}
 	}
 }
@@ -541,7 +771,8 @@ type shardedMetrics struct {
 
 // RegisterMetrics hooks the router into a telemetry registry: per-shard
 // request counters by outcome, per-shard latency histograms, hedge
-// counters, breaker-state gauges, and router-level query outcomes.
+// counters, per-replica breaker-state gauges, and router-level query
+// outcomes.
 func (ss *ShardedSystem) RegisterMetrics(reg *telemetry.Registry) {
 	ss.metrics = &shardedMetrics{reg: reg}
 	for _, sh := range ss.shards {
@@ -559,18 +790,21 @@ func (ss *ShardedSystem) RegisterMetrics(reg *telemetry.Registry) {
 		reg.Histogram("tklus_shard_request_seconds",
 			"Per-shard sub-query latency (including hedges and timeouts).",
 			telemetry.Labels{"shard": sh.name}, nil)
-		reg.GaugeFunc("tklus_shard_breaker_state",
-			"Circuit breaker state per shard (0 closed, 1 half-open, 2 open).",
-			telemetry.Labels{"shard": sh.name}, func() float64 {
-				switch sh.br.snapshot() {
-				case breakerOpen:
-					return 2
-				case breakerHalfOpen:
-					return 1
-				default:
-					return 0
-				}
-			})
+		for _, rep := range sh.replicas {
+			rep := rep
+			reg.GaugeFunc("tklus_shard_breaker_state",
+				"Circuit breaker state per replica (0 closed, 1 half-open, 2 open).",
+				telemetry.Labels{"shard": sh.name, "replica": rep.name}, func() float64 {
+					switch rep.br.snapshot() {
+					case breakerOpen:
+						return 2
+					case breakerHalfOpen:
+						return 1
+					default:
+						return 0
+					}
+				})
+		}
 	}
 	for _, outcome := range []string{"ok", "degraded", "unavailable"} {
 		reg.Counter("tklus_sharded_queries_total",

@@ -13,6 +13,7 @@ import (
 	tklus "repro"
 	"repro/internal/datagen"
 	"repro/internal/geo"
+	"repro/internal/telemetry"
 )
 
 // buildBoth builds a monolithic system and a sharded tier over the same
@@ -226,6 +227,9 @@ type faultBackend struct {
 	// hangAll makes every call hang until the context is canceled —
 	// queries in flight when the client disconnects.
 	hangAll bool
+	// badQuery makes every call fail fast with the deterministic
+	// ErrBadQuery sentinel — the canonical non-retryable failure.
+	badQuery bool
 }
 
 func (f *faultBackend) callCount() int {
@@ -244,11 +248,14 @@ func (f *faultBackend) SearchPartials(ctx context.Context, q tklus.Query) (*tklu
 	f.mu.Lock()
 	f.calls++
 	n := f.calls
-	failAll, slowFirst, hangAll := f.failAll, f.slowFirst, f.hangAll
+	failAll, slowFirst, hangAll, badQuery := f.failAll, f.slowFirst, f.hangAll, f.badQuery
 	f.mu.Unlock()
 	if hangAll {
 		<-ctx.Done()
 		return nil, ctx.Err()
+	}
+	if badQuery {
+		return nil, fmt.Errorf("injected deterministic failure: %w", tklus.ErrBadQuery)
 	}
 	if failAll {
 		return nil, errors.New("injected fault")
@@ -370,6 +377,43 @@ func TestShardedHedgeBeatsStraggler(t *testing.T) {
 	}
 	if calls := faults[victim].callCount(); calls != 2 {
 		t.Errorf("straggler shard called %d times, want 2 (original + hedge)", calls)
+	}
+}
+
+// TestShardedNonRetryableErrorSkipsHedge pins the hedging bugfix: a shard
+// failing fast with a DETERMINISTIC error (ErrBadQuery and friends) must
+// not be asked again — the retry would burn a duplicate sub-query to get
+// the same answer. Exactly one attempt reaches the backend and the hedge
+// counter stays at zero; the router degrades the shard like any other
+// failure.
+func TestShardedNonRetryableErrorSkipsHedge(t *testing.T) {
+	sc := faultSharding()
+	sc.HedgeDelay = time.Millisecond // hedging armed: a retryable failure WOULD re-issue
+	_, built, corpus := buildMonoAndShardedCfg(t, 3000, sc)
+	sharded, faults := rewireWithFaults(t, built, sc)
+	reg := telemetry.NewRegistry()
+	sharded.RegisterMetrics(reg)
+
+	q := wideQuery(corpus)
+	victim := shardOwning(t, sharded, q.Loc, sc.PrefixLen)
+	faults[victim].set(func(f *faultBackend) { f.badQuery = true })
+
+	_, stats, err := sharded.Search(context.Background(), q)
+	if err != nil {
+		t.Fatalf("partial-results mode must not fail: %v", err)
+	}
+	if !stats.Degraded() {
+		t.Fatal("deterministically failing shard not reported as degraded")
+	}
+	if calls := faults[victim].callCount(); calls != 1 {
+		t.Errorf("non-retryable failure drew %d attempts, want exactly 1 (no hedge)", calls)
+	}
+	victimName := sharded.ShardNames()[victim]
+	hedges := reg.Counter("tklus_shard_hedges_total",
+		"Backup sub-queries launched against straggler or failing shards.",
+		telemetry.Labels{"shard": victimName})
+	if v := hedges.Value(); v != 0 {
+		t.Errorf("tklus_shard_hedges_total{shard=%s} = %d, want 0", victimName, v)
 	}
 }
 
